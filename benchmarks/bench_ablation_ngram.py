@@ -1,0 +1,47 @@
+"""Ablation: n-gram size across the four context-based models.
+
+Table 7's robustness claim: the best configurations are dominated by one
+n per model family. This bench sweeps n for TN/CN/TNG/CNG on the shared
+corpus and reports the MAP curve, exposing where the optimum falls on
+synthetic data (the paper found n=3 tokens / n=4 characters on its much
+larger real corpus).
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import bench_environment, write_result
+from repro.core.sources import RepresentationSource
+from repro.models.bag import CharacterNGramModel, TokenNGramModel
+from repro.models.graph import CharacterNGramGraphModel, TokenNGramGraphModel
+from repro.twitter.entities import UserType
+
+SWEEP = {
+    "TN": (TokenNGramModel, {"weighting": "TF", "aggregation": "centroid"}, (1, 2, 3)),
+    "CN": (CharacterNGramModel, {"weighting": "TF", "aggregation": "centroid"}, (2, 3, 4)),
+    "TNG": (TokenNGramGraphModel, {"similarity": "VS"}, (1, 2, 3)),
+    "CNG": (CharacterNGramGraphModel, {"similarity": "VS"}, (2, 3, 4)),
+}
+
+
+def _curve() -> dict[str, dict[int, float]]:
+    _, groups, pipeline, _ = bench_environment()
+    users = groups[UserType.ALL]
+    curves: dict[str, dict[int, float]] = {}
+    for name, (cls, kwargs, ns) in SWEEP.items():
+        curves[name] = {
+            n: pipeline.evaluate(cls(n=n, **kwargs), RepresentationSource.R, users).map_score
+            for n in ns
+        }
+    return curves
+
+
+def test_ablation_ngram_size(benchmark):
+    curves = benchmark.pedantic(_curve, rounds=1, iterations=1)
+    lines = ["Ablation: n-gram size per context-based model (source R)"]
+    for name, curve in curves.items():
+        cells = "  ".join(f"n={n}: {v:.3f}" for n, v in curve.items())
+        lines.append(f"{name:>4}  {cells}")
+    write_result("ablation_ngram", "\n".join(lines))
+
+    for name, curve in curves.items():
+        assert all(0.0 <= v <= 1.0 for v in curve.values())

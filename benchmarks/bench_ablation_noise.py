@@ -1,0 +1,59 @@
+"""Ablation: surface-noise rates and the token/character trade-off.
+
+DESIGN.md calls out the noise channels (misspelling, lengthening,
+abbreviation -- Challenges C2/C4) as the driver of the CN/CNG vs TN/TNG
+comparison: character n-grams survive word corruption that breaks exact
+token matches.
+
+Expected shape: as noise increases, the token model's MAP degrades
+faster than the character model's (the CN/TN ratio grows).
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import write_result
+from repro.core.pipeline import ExperimentPipeline
+from repro.core.sources import RepresentationSource
+from repro.models.bag import CharacterNGramModel, TokenNGramModel
+from repro.twitter.dataset import DatasetConfig, generate_dataset, select_user_groups
+from repro.twitter.entities import UserType
+from repro.twitter.generator import NoiseChannel
+
+NOISE_LEVELS = {
+    "clean": NoiseChannel(0.0, 0.0, 0.0),
+    "paper": NoiseChannel(),  # the default rates
+    "heavy": NoiseChannel(misspell_rate=0.25, lengthen_rate=0.15, abbreviate_rate=0.15),
+}
+
+
+def _maps_for(noise: NoiseChannel) -> tuple[float, float]:
+    config = DatasetConfig(n_users=30, n_ticks=120, seed=17, noise=noise)
+    dataset = generate_dataset(config)
+    groups = select_user_groups(dataset, group_size=6, min_retweets=8)
+    pipeline = ExperimentPipeline(dataset, seed=17, max_train_docs_per_user=80)
+    users = pipeline.eligible_users(groups[UserType.ALL])
+    tn = pipeline.evaluate(
+        TokenNGramModel(n=1, weighting="TF-IDF"), RepresentationSource.R, users
+    ).map_score
+    cn = pipeline.evaluate(
+        CharacterNGramModel(n=4, weighting="TF"), RepresentationSource.R, users
+    ).map_score
+    return tn, cn
+
+
+def test_ablation_noise_channels(benchmark):
+    rows = benchmark.pedantic(
+        lambda: {name: _maps_for(noise) for name, noise in NOISE_LEVELS.items()},
+        rounds=1, iterations=1,
+    )
+    lines = ["Ablation: noise rate vs token/character robustness",
+             f"{'noise':>8}  {'TN MAP':>8}  {'CN MAP':>8}  {'CN/TN':>8}"]
+    for name, (tn, cn) in rows.items():
+        ratio = cn / tn if tn else float("nan")
+        lines.append(f"{name:>8}  {tn:>8.3f}  {cn:>8.3f}  {ratio:>8.3f}")
+    write_result("ablation_noise", "\n".join(lines))
+
+    clean_tn, clean_cn = rows["clean"]
+    heavy_tn, heavy_cn = rows["heavy"]
+    # Character models must weather heavy noise better than token models.
+    assert (heavy_cn / heavy_tn) > (clean_cn / clean_tn) - 0.05

@@ -1,0 +1,56 @@
+"""Ablation: retweet-decision sharpness.
+
+DESIGN.md calls out the retweet policy's ``sharpness`` as the knob that
+controls how deterministic relevance is given content -- and therefore
+the headroom between content-based models and the RAN baseline. This
+bench sweeps it and reports the TN-vs-RAN gap.
+
+Expected shape: the gap grows monotonically (modulo sampling noise) with
+sharpness; at sharpness 0 content carries no signal and TN ~= RAN.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import write_result
+from repro.core.pipeline import ExperimentPipeline
+from repro.core.sources import RepresentationSource
+from repro.eval.metrics import mean_average_precision
+from repro.models.bag import TokenNGramModel
+from repro.twitter.behavior import RetweetPolicy
+from repro.twitter.dataset import DatasetConfig, generate_dataset, select_user_groups
+from repro.twitter.entities import UserType
+
+SHARPNESS_LEVELS = (0.0, 1.0, 2.5, 4.0)
+
+
+def _gap_for(sharpness: float) -> tuple[float, float]:
+    config = DatasetConfig(
+        n_users=30, n_ticks=120, seed=13,
+        retweet_policy=RetweetPolicy(sharpness=sharpness),
+    )
+    dataset = generate_dataset(config)
+    groups = select_user_groups(dataset, group_size=6, min_retweets=8)
+    pipeline = ExperimentPipeline(dataset, seed=13, max_train_docs_per_user=80)
+    users = pipeline.eligible_users(groups[UserType.ALL])
+    model = TokenNGramModel(n=1, weighting="TF-IDF")
+    tn_map = pipeline.evaluate(model, RepresentationSource.R, users).map_score
+    ran_map = mean_average_precision(
+        list(pipeline.evaluate_random(users, iterations=100).values())
+    )
+    return tn_map, ran_map
+
+
+def test_ablation_retweet_sharpness(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [(s, *_gap_for(s)) for s in SHARPNESS_LEVELS],
+        rounds=1, iterations=1,
+    )
+    lines = ["Ablation: retweet sharpness vs TN/RAN gap",
+             f"{'sharpness':>10}  {'TN MAP':>8}  {'RAN MAP':>8}  {'gap':>8}"]
+    for sharpness, tn, ran in rows:
+        lines.append(f"{sharpness:>10.1f}  {tn:>8.3f}  {ran:>8.3f}  {tn - ran:>8.3f}")
+    write_result("ablation_sharpness", "\n".join(lines))
+
+    gaps = {s: tn - ran for s, tn, ran in rows}
+    assert gaps[4.0] > gaps[0.0], "sharper policies must widen the content gap"
+    assert abs(gaps[0.0]) < 0.15, "with sharpness 0 content should carry ~no signal"

@@ -1,0 +1,18 @@
+"""EXP-F3: regenerate Figure 3 -- model x source MAP over All Users.
+
+Paper Figure 3: Mean/Min/Max MAP of the 9 representation models over 8
+representation sources for the All-Users group, with the RAN baseline as
+the red line. Expected shape: the token context-based models (TNG/TN)
+lead; the topic models cluster lower with BTM the best of them; every
+content model beats CHR and the best ones clearly beat RAN.
+"""
+
+from benchmarks._figure_bench import run_figure_bench
+from repro.twitter.entities import UserType
+
+
+def test_fig3_map_all_users(benchmark):
+    run_figure_bench(
+        benchmark, UserType.ALL, "fig3_all_users",
+        "Figure 3: Mean (Min-Max) MAP per model and source, All Users",
+    )

@@ -1,0 +1,15 @@
+"""EXP-F4: regenerate Figure 4 -- model x source MAP over IP users.
+
+Expected shape: same relative model ordering as Figure 3, with higher
+absolute MAP -- information producers are the easiest users to model.
+"""
+
+from benchmarks._figure_bench import run_figure_bench
+from repro.twitter.entities import UserType
+
+
+def test_fig4_map_ip_users(benchmark):
+    run_figure_bench(
+        benchmark, UserType.INFORMATION_PRODUCER, "fig4_ip_users",
+        "Figure 4: Mean (Min-Max) MAP per model and source, IP users",
+    )

@@ -1,0 +1,15 @@
+"""EXP-F5: regenerate Figure 5 -- model x source MAP over BU users.
+
+Expected shape: same relative model ordering as Figure 3, absolute MAP
+between the IP (higher) and IS (lower) groups.
+"""
+
+from benchmarks._figure_bench import run_figure_bench
+from repro.twitter.entities import UserType
+
+
+def test_fig5_map_bu_users(benchmark):
+    run_figure_bench(
+        benchmark, UserType.BALANCED_USER, "fig5_bu_users",
+        "Figure 5: Mean (Min-Max) MAP per model and source, BU users",
+    )

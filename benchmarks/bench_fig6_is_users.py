@@ -1,0 +1,16 @@
+"""EXP-F6: regenerate Figure 6 -- model x source MAP over IS users.
+
+Expected shape: same relative model ordering as Figure 3 with the lowest
+absolute MAP of the three user types -- taciturn users are the hardest
+to model.
+"""
+
+from benchmarks._figure_bench import run_figure_bench
+from repro.twitter.entities import UserType
+
+
+def test_fig6_map_is_users(benchmark):
+    run_figure_bench(
+        benchmark, UserType.INFORMATION_SEEKER, "fig6_is_users",
+        "Figure 6: Mean (Min-Max) MAP per model and source, IS users",
+    )

@@ -1,0 +1,32 @@
+"""Pairwise model significance on the shared sweep (paper Section 5).
+
+The paper reports statistical significance for its model comparisons
+("the dominance of TNG over TN is statistically significant (p<0.05)").
+This bench regenerates the pairwise Wilcoxon matrix for source R over
+the All-Users group from the shared figure sweep.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import bench_environment, figure_sweep, write_result
+from repro.core.sources import RepresentationSource
+from repro.experiments.significance import (
+    format_significance_matrix,
+    significance_matrix,
+)
+from repro.twitter.entities import UserType
+
+
+def test_pairwise_significance(benchmark):
+    bench_environment()
+    result = figure_sweep()
+    matrix = benchmark.pedantic(
+        lambda: significance_matrix(result, RepresentationSource.R, UserType.ALL),
+        rounds=1, iterations=1,
+    )
+    text = format_significance_matrix(matrix)
+    write_result("significance_matrix", text)
+
+    assert matrix, "matrix must not be empty"
+    for test in matrix.values():
+        assert 0.0 <= test.p_value <= 1.0

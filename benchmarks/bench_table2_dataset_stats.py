@@ -1,0 +1,34 @@
+"""EXP-T2: regenerate Table 2 -- per-group dataset statistics.
+
+Paper Table 2 reports, for IS / BU / IP / All Users: the user count and
+the total / min / mean / max per-user volumes of outgoing tweets (TR),
+retweets (R), incoming tweets (E) and followers' tweets (F).
+
+Expected shape: IS users have by far the largest incoming streams, IP
+users the largest outgoing-per-user volumes, BU users sit in between.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import bench_environment, write_result
+from repro.experiments.report import format_table2
+from repro.twitter.entities import UserType
+from repro.twitter.stats import group_statistics
+
+
+def test_table2_dataset_stats(benchmark):
+    dataset, groups, _, _ = bench_environment()
+
+    stats = benchmark.pedantic(
+        lambda: group_statistics(dataset, groups), rounds=1, iterations=1
+    )
+    text = format_table2(stats)
+    write_result("table2_dataset_stats", text)
+
+    is_stats = stats[UserType.INFORMATION_SEEKER]
+    ip_stats = stats[UserType.INFORMATION_PRODUCER]
+    # The defining shape of Table 2: seekers receive far more than they
+    # post; producers post far more than they receive.
+    assert is_stats.incoming.mean > is_stats.outgoing.mean
+    if ip_stats.n_users:
+        assert ip_stats.outgoing.mean > ip_stats.incoming.mean

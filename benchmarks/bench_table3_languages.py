@@ -1,0 +1,29 @@
+"""EXP-T3: regenerate Table 3 -- the most frequent languages.
+
+Paper Table 3: tweets are cleaned of decorations, pooled per user, the
+pooled pseudo-document's language is detected, and all the user's tweets
+count towards it. English dominates (~83%) with a long multilingual tail
+including spaceless CJK/Thai scripts.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import bench_environment, write_result
+from repro.experiments.report import format_table3
+from repro.twitter.stats import language_census
+
+
+def test_table3_language_census(benchmark):
+    dataset, _, _, _ = bench_environment()
+
+    census = benchmark.pedantic(
+        lambda: language_census(dataset), rounds=1, iterations=1
+    )
+    text = format_table3(census)
+    write_result("table3_languages", text)
+
+    total = sum(census.values())
+    assert total > 0
+    # The defining shape of Table 3: English holds the dominant share.
+    assert max(census, key=census.get) == "english"
+    assert census["english"] / total > 0.5

@@ -1,0 +1,85 @@
+"""Compare the nine representation models on one corpus.
+
+Reproduces the paper's central comparison at example scale: every model
+family (bag, graph, topic) builds user models from the same training
+data and ranks the same test sets; the script reports MAP, training time
+and testing time per model, grouped by taxonomy category.
+
+Run:  python examples/compare_models.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BitermTopicModel,
+    CharacterNGramGraphModel,
+    CharacterNGramModel,
+    DatasetConfig,
+    ExperimentPipeline,
+    HdpModel,
+    HldaModel,
+    LabeledLdaModel,
+    LdaModel,
+    RepresentationSource,
+    TokenNGramGraphModel,
+    TokenNGramModel,
+    UserType,
+    generate_dataset,
+    select_user_groups,
+)
+from repro.eval.metrics import mean_average_precision
+from repro.models.taxonomy import facts_for
+
+
+def build_models():
+    """One sensible configuration per model (Table 7's frequent winners,
+    with topic counts scaled to the example corpus)."""
+    topic_kwargs = dict(iterations=30, infer_iterations=6, seed=0, pooling="UP")
+    return [
+        TokenNGramModel(n=1, weighting="TF-IDF"),
+        CharacterNGramModel(n=4, weighting="TF"),
+        TokenNGramGraphModel(n=1, similarity="VS"),
+        CharacterNGramGraphModel(n=4, similarity="CoS"),
+        LdaModel(n_topics=15, **topic_kwargs),
+        LabeledLdaModel(n_latent_topics=15, **topic_kwargs),
+        BitermTopicModel(n_topics=15, max_biterms=20_000, **topic_kwargs),
+        HdpModel(initial_topics=10, **topic_kwargs),
+        HldaModel(levels=3, **topic_kwargs),
+    ]
+
+
+def main() -> None:
+    dataset = generate_dataset(DatasetConfig(n_users=40, n_ticks=150, seed=7))
+    groups = select_user_groups(dataset, group_size=8, min_retweets=8)
+    pipeline = ExperimentPipeline(dataset, seed=7, max_train_docs_per_user=100)
+    users = pipeline.eligible_users(groups[UserType.ALL])
+    print(f"{dataset}; evaluating {len(users)} users on source R\n")
+
+    print(f"{'model':>6}  {'category':<22} {'MAP':>6}  {'TTime':>8}  {'ETime':>8}")
+    rows = []
+    for model in build_models():
+        result = pipeline.evaluate(model, RepresentationSource.R, users)
+        facts = facts_for(model.name)
+        rows.append((model.name, result))
+        print(
+            f"{model.name:>6}  {facts.category.value:<22} "
+            f"{result.map_score:>6.3f}  {result.training_seconds:>7.2f}s "
+            f"{result.testing_seconds:>8.3f}s"
+        )
+
+    ran = mean_average_precision(
+        list(pipeline.evaluate_random(users, iterations=200).values())
+    )
+    chrono = mean_average_precision(
+        list(pipeline.evaluate_chronological(users).values())
+    )
+    print(f"\n{'RAN':>6}  {'baseline':<22} {ran:>6.3f}")
+    print(f"{'CHR':>6}  {'baseline':<22} {chrono:>6.3f}")
+
+    best_name, best = max(rows, key=lambda r: r[1].map_score)
+    print(f"\nBest model: {best_name} (MAP {best.map_score:.3f}, "
+          f"{best.map_score / ran:.1f}x random).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Quickstart: evaluate one recommender on a synthetic microblog corpus.
+
+This walks the full pipeline of the paper in ~30 seconds:
+
+1. simulate a small Twitter-like network (users, follows, tweets,
+   retweets);
+2. classify users into the paper's IS / BU / IP groups by posting ratio;
+3. build per-user content models from their retweets (source R) with the
+   token n-gram vector space model (TN);
+4. rank every user's held-out incoming tweets and report MAP against the
+   chronological and random baselines.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DatasetConfig,
+    ExperimentPipeline,
+    RepresentationSource,
+    TokenNGramModel,
+    UserType,
+    generate_dataset,
+    select_user_groups,
+)
+from repro.eval.metrics import mean_average_precision
+
+
+def main() -> None:
+    print("1. simulating the microblog network ...")
+    dataset = generate_dataset(DatasetConfig(n_users=30, n_ticks=150, seed=42))
+    print(f"   {dataset}")
+
+    print("2. selecting user groups by posting ratio ...")
+    groups = select_user_groups(dataset, group_size=6, min_retweets=8)
+    for group in (UserType.INFORMATION_SEEKER, UserType.BALANCED_USER,
+                  UserType.INFORMATION_PRODUCER):
+        ids = groups[group]
+        if not ids:
+            print(f"   {group.value}: (none at this scale)")
+            continue
+        ratios = sorted(dataset.posting_ratio(u) for u in ids)
+        print(f"   {group.value}: {len(ids)} users, "
+              f"posting ratios {ratios[0]:.2f} .. {ratios[-1]:.2f}")
+
+    print("3. building user models from retweets (source R) with TN ...")
+    pipeline = ExperimentPipeline(dataset, seed=42)
+    users = pipeline.eligible_users(groups[UserType.ALL])
+    model = TokenNGramModel(n=1, weighting="TF-IDF", aggregation="centroid",
+                            similarity="CS")
+    result = pipeline.evaluate(model, RepresentationSource.R, users)
+
+    print("4. ranking held-out incoming tweets ...")
+    chr_map = mean_average_precision(
+        list(pipeline.evaluate_chronological(users).values())
+    )
+    ran_map = mean_average_precision(
+        list(pipeline.evaluate_random(users, iterations=200).values())
+    )
+
+    print()
+    print(f"   TN (TF-IDF, centroid, cosine)  MAP = {result.map_score:.3f}")
+    print(f"   Chronological baseline (CHR)   MAP = {chr_map:.3f}")
+    print(f"   Random baseline (RAN)          MAP = {ran_map:.3f}")
+    print()
+    better = (result.map_score / ran_map - 1.0) * 100 if ran_map else float("inf")
+    print(f"   The content-based model beats random ordering by {better:.0f}%.")
+    print("   Recency alone is an inadequate criterion for recommending")
+    print("   microblog content -- the paper's core premise.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Followee and hashtag suggestions (the paper's future-work tasks).
+
+The same user models that rank tweets also power the other two
+recommendation tasks the paper names in its conclusions: suggesting
+accounts to follow (content-based Twittomender) and suggesting hashtags
+for a draft tweet.
+
+Run:  python examples/suggestions.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DatasetConfig, TokenNGramModel, generate_dataset
+from repro.core.extensions import FolloweeRecommender, HashtagRecommender
+
+
+def main() -> None:
+    dataset = generate_dataset(DatasetConfig(n_users=30, n_ticks=120, seed=11))
+    print(f"{dataset}\n")
+
+    # Pick an active user to recommend for.
+    user_id = max(
+        (u.user_id for u in dataset.users),
+        key=lambda uid: len(dataset.outgoing(uid)),
+    )
+    profile = dataset.user(user_id)
+    top_topics = np.argsort(profile.interests)[::-1][:3]
+    print(f"target: user {user_id} (language={profile.language}, "
+          f"top topics {list(map(int, top_topics))})\n")
+
+    print("-- accounts to follow (content similarity, follows excluded) --")
+    followees = FolloweeRecommender(dataset, TokenNGramModel(n=1, weighting="TF")).fit()
+    for item in followees.recommend(user_id, k=5):
+        other = dataset.user(item.candidate)
+        shared = float(np.dot(profile.interests, other.interests))
+        print(f"  @user{item.candidate:<3}  score={item.score:.3f}  "
+              f"(true interest overlap {shared:.2f})")
+
+    print("\n-- hashtags for this user's own content --")
+    hashtags = HashtagRecommender(
+        dataset, TokenNGramModel(n=1, weighting="TF"), min_tag_count=3
+    ).fit()
+    for item in hashtags.recommend_for_user(user_id, k=5):
+        print(f"  {item.candidate}  score={item.score:.3f}")
+
+    draft = dataset.tweets_of(user_id)[-1].text
+    print(f"\n-- hashtags for a draft tweet --\n  draft: {draft!r}")
+    for item in hashtags.recommend_for_text(draft, k=3):
+        print(f"  {item.candidate}  score={item.score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Sparsity and pooling: why topic models need pseudo-documents.
+
+Tweets are too short for word co-occurrence statistics (Challenge C1).
+The paper's remedy is pooling: train the topic model on user-pooled (UP)
+or hashtag-pooled (HP) pseudo-documents instead of raw tweets (NP).
+This example trains the same LDA under all three schemes, plus BTM --
+whose corpus-level biterms sidestep sparsity by design -- and compares
+recommendation MAP.
+
+Expected outcome: UP (and usually HP) beat NP for LDA, while BTM is the
+least pooling-sensitive topic model.
+
+Run:  python examples/topic_pooling.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BitermTopicModel,
+    DatasetConfig,
+    ExperimentPipeline,
+    LdaModel,
+    RepresentationSource,
+    UserType,
+    generate_dataset,
+    select_user_groups,
+)
+from repro.text.pooling import PoolingScheme
+
+
+def main() -> None:
+    dataset = generate_dataset(DatasetConfig(n_users=40, n_ticks=150, seed=3))
+    groups = select_user_groups(dataset, group_size=8, min_retweets=8)
+    pipeline = ExperimentPipeline(dataset, seed=3, max_train_docs_per_user=100)
+    users = pipeline.eligible_users(groups[UserType.ALL])
+    print(f"{dataset}; {len(users)} users; source R\n")
+
+    print(f"{'model':>6}  {'pooling':>8}  {'MAP':>6}")
+    lda_by_pooling: dict[str, float] = {}
+    for pooling in PoolingScheme:
+        model = LdaModel(
+            n_topics=15, iterations=30, infer_iterations=6, seed=3, pooling=pooling
+        )
+        result = pipeline.evaluate(model, RepresentationSource.R, users)
+        lda_by_pooling[pooling.value] = result.map_score
+        print(f"{'LDA':>6}  {pooling.value:>8}  {result.map_score:>6.3f}")
+
+    for pooling in PoolingScheme:
+        model = BitermTopicModel(
+            n_topics=15, iterations=25, infer_iterations=6, seed=3,
+            pooling=pooling, max_biterms=20_000,
+        )
+        result = pipeline.evaluate(model, RepresentationSource.R, users)
+        print(f"{'BTM':>6}  {pooling.value:>8}  {result.map_score:>6.3f}")
+
+    print()
+    if max(lda_by_pooling["UP"], lda_by_pooling["HP"]) > lda_by_pooling["NP"]:
+        print("Pooling lifts LDA, confirming the paper's sparsity analysis:")
+        print("unpooled tweets are too short to expose co-occurrence patterns.")
+    else:
+        print("At this scale pooling did not help LDA -- rerun with more")
+        print("ticks (longer user histories make pooled documents richer).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""repro -- reproduction of "Comparative Analysis of Content-based
+Personalized Microblog Recommendations" (EDBT 2019).
+
+The library has six layers:
+
+* :mod:`repro.text`        -- tweet-aware text processing;
+* :mod:`repro.models`      -- the 9 (+PLSA) representation models;
+* :mod:`repro.twitter`     -- the synthetic Twitter substrate;
+* :mod:`repro.core`        -- sources, splits, ranking, baselines, pipeline;
+* :mod:`repro.eval`        -- metrics, significance tests, timing;
+* :mod:`repro.experiments` -- the paper's configuration grids and reports.
+
+Quickstart::
+
+    from repro import (
+        DatasetConfig, generate_dataset, select_user_groups,
+        ExperimentPipeline, RepresentationSource, TokenNGramGraphModel,
+        UserType,
+    )
+
+    dataset = generate_dataset(DatasetConfig(n_users=30, seed=0))
+    groups = select_user_groups(dataset, group_size=6)
+    pipeline = ExperimentPipeline(dataset)
+    result = pipeline.evaluate(
+        TokenNGramGraphModel(n=3), RepresentationSource.R,
+        groups[UserType.ALL],
+    )
+    print(result.map_score)
+"""
+
+from repro.core import (
+    ALL_SOURCES,
+    ATOMIC_SOURCES,
+    COMPOSITE_SOURCES,
+    DocumentFactory,
+    EvaluationResult,
+    ExperimentPipeline,
+    RankingRecommender,
+    RepresentationSource,
+)
+from repro.errors import (
+    ConfigurationError,
+    DataGenerationError,
+    EmptyCorpusError,
+    NotFittedError,
+    ReproError,
+)
+from repro.models import (
+    BitermTopicModel,
+    CharacterNGramGraphModel,
+    CharacterNGramModel,
+    HdpModel,
+    HldaModel,
+    LabeledLdaModel,
+    LdaModel,
+    PlsaModel,
+    RepresentationModel,
+    TextDoc,
+    TokenNGramGraphModel,
+    TokenNGramModel,
+)
+from repro.twitter import (
+    DatasetConfig,
+    MicroblogDataset,
+    UserType,
+    generate_dataset,
+    select_user_groups,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_SOURCES",
+    "ATOMIC_SOURCES",
+    "BitermTopicModel",
+    "COMPOSITE_SOURCES",
+    "CharacterNGramGraphModel",
+    "CharacterNGramModel",
+    "ConfigurationError",
+    "DataGenerationError",
+    "DatasetConfig",
+    "DocumentFactory",
+    "EmptyCorpusError",
+    "EvaluationResult",
+    "ExperimentPipeline",
+    "HdpModel",
+    "HldaModel",
+    "LabeledLdaModel",
+    "LdaModel",
+    "MicroblogDataset",
+    "NotFittedError",
+    "PlsaModel",
+    "RankingRecommender",
+    "RepresentationModel",
+    "RepresentationSource",
+    "ReproError",
+    "TextDoc",
+    "TokenNGramGraphModel",
+    "TokenNGramModel",
+    "UserType",
+    "generate_dataset",
+    "select_user_groups",
+    "__version__",
+]

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``   simulate a corpus and print its statistics (Table 2 style)
+``evaluate``   evaluate one model on one source and print MAP vs baselines
+``sweep``      run a configuration sweep and save it as JSON
+``report``     render a saved sweep as the paper's figures/tables
+``suggest``    followee / hashtag recommendations (the extension tasks)
+
+Examples
+--------
+::
+
+    python -m repro generate --users 40 --ticks 150 --seed 7
+    python -m repro evaluate --model TN --source R --users 40
+    python -m repro sweep --out sweep.json --sources R T --fast
+    python -m repro report --sweep sweep.json --artifact figure --group "All Users"
+    python -m repro suggest --kind hashtag --text "word1 word2"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.pipeline import ExperimentPipeline
+from repro.core.sources import ALL_SOURCES, RepresentationSource
+from repro.eval.metrics import mean_average_precision
+from repro.experiments.configs import MODEL_NAMES, ConfigGrid
+from repro.experiments.persistence import load_sweep, save_sweep
+from repro.experiments.report import (
+    format_figure7,
+    format_figure_map,
+    format_table2,
+    format_table6,
+    format_table7,
+)
+from repro.experiments.runner import SweepRunner
+from repro.experiments.standard import fast_grid
+from repro.twitter.dataset import DatasetConfig, generate_dataset, select_user_groups
+from repro.twitter.entities import UserType
+from repro.twitter.stats import group_statistics
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_dataset(args: argparse.Namespace):
+    dataset = generate_dataset(
+        DatasetConfig(n_users=args.users, n_ticks=args.ticks, seed=args.seed)
+    )
+    groups = select_user_groups(
+        dataset, group_size=args.group_size, min_retweets=args.min_retweets
+    )
+    return dataset, groups
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--users", type=int, default=40, help="simulated users")
+    parser.add_argument("--ticks", type=int, default=150, help="simulation ticks")
+    parser.add_argument("--seed", type=int, default=7, help="random seed")
+    parser.add_argument("--group-size", type=int, default=8, help="users per group")
+    parser.add_argument(
+        "--min-retweets", type=int, default=8,
+        help="eligibility threshold for evaluated users",
+    )
+
+
+def _build_model(name: str, grid: ConfigGrid):
+    """The fast_grid representative configuration of a model."""
+    for config in fast_grid(seed=0):
+        if config.model == name:
+            return config.build()
+    raise SystemExit(f"unknown model {name!r}; pick from {', '.join(MODEL_NAMES)}")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    dataset, groups = _make_dataset(args)
+    print(dataset)
+    print()
+    print(format_table2(group_statistics(dataset, groups)))
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset, groups = _make_dataset(args)
+    pipeline = ExperimentPipeline(
+        dataset, seed=args.seed, max_train_docs_per_user=args.max_train_docs
+    )
+    users = pipeline.eligible_users(groups[UserType.ALL])
+    model = _build_model(args.model, ConfigGrid())
+    source = RepresentationSource(args.source)
+    result = pipeline.evaluate(model, source, users)
+    ran = mean_average_precision(
+        list(pipeline.evaluate_random(users, iterations=200).values())
+    )
+    chrono = mean_average_precision(
+        list(pipeline.evaluate_chronological(users).values())
+    )
+    print(f"model {args.model} on source {source.value} over {len(users)} users")
+    print(f"  MAP  = {result.map_score:.3f}")
+    print(f"  RAN  = {ran:.3f}")
+    print(f"  CHR  = {chrono:.3f}")
+    print(f"  TTime = {result.training_seconds:.2f}s  ETime = {result.testing_seconds:.3f}s")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    dataset, groups = _make_dataset(args)
+    pipeline = ExperimentPipeline(
+        dataset, seed=args.seed, max_train_docs_per_user=args.max_train_docs
+    )
+    runner = SweepRunner(pipeline, groups)
+    if args.fast:
+        configs = fast_grid(seed=args.seed)
+    else:
+        grid = ConfigGrid(
+            topic_scale=args.topic_scale,
+            iteration_scale=args.iteration_scale,
+            seed=args.seed,
+        )
+        configs = list(grid.iter_all())
+    sources = [RepresentationSource(s) for s in args.sources]
+    result = runner.run(configs, sources, progress=args.progress)
+    path = save_sweep(result, args.out)
+    print(f"{len(result.rows)} rows saved to {path}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    result = load_sweep(args.sweep)
+    sources = (
+        [RepresentationSource(s) for s in args.sources]
+        if args.sources
+        else sorted({row.source for row in result.rows}, key=lambda s: s.value)
+    )
+    group = UserType(args.group)
+    if args.artifact == "figure":
+        print(format_figure_map(result, group, sources))
+    elif args.artifact == "table6":
+        groups = sorted({row.group for row in result.rows}, key=lambda g: g.value)
+        print(format_table6(result, sources, groups))
+    elif args.artifact == "table7":
+        print(format_table7(result, sources))
+    else:
+        print(format_figure7(result))
+    return 0
+
+
+def cmd_suggest(args: argparse.Namespace) -> int:
+    from repro.core.extensions import FolloweeRecommender, HashtagRecommender
+    from repro.models.bag import TokenNGramModel
+
+    dataset, _ = _make_dataset(args)
+    model = TokenNGramModel(n=1, weighting="TF")
+    if args.kind == "followee":
+        if args.user is None:
+            raise SystemExit("--user is required for followee suggestions")
+        recommender = FolloweeRecommender(dataset, model).fit()
+        suggestions = recommender.recommend(args.user, k=args.k)
+        print(f"accounts for user {args.user}:")
+        for item in suggestions:
+            print(f"  @user{item.candidate}  score={item.score:.3f}")
+    else:
+        recommender = HashtagRecommender(dataset, model).fit()
+        if args.text:
+            suggestions = recommender.recommend_for_text(args.text, k=args.k)
+            print(f"hashtags for {args.text!r}:")
+        elif args.user is not None:
+            suggestions = recommender.recommend_for_user(args.user, k=args.k)
+            print(f"hashtags for user {args.user}:")
+        else:
+            raise SystemExit("--text or --user is required for hashtag suggestions")
+        for item in suggestions:
+            print(f"  {item.candidate}  score={item.score:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Content-based personalized microblog recommendation (EDBT 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_generate = sub.add_parser("generate", help="simulate a corpus, print statistics")
+    _add_dataset_arguments(p_generate)
+    p_generate.set_defaults(func=cmd_generate)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate one model on one source")
+    _add_dataset_arguments(p_eval)
+    p_eval.add_argument("--model", required=True, choices=MODEL_NAMES)
+    p_eval.add_argument("--source", default="R",
+                        choices=[s.value for s in ALL_SOURCES])
+    p_eval.add_argument("--max-train-docs", type=int, default=100)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_sweep = sub.add_parser("sweep", help="run a sweep, save to JSON")
+    _add_dataset_arguments(p_sweep)
+    p_sweep.add_argument("--out", required=True, help="output JSON path")
+    p_sweep.add_argument("--sources", nargs="+", default=["R"],
+                         choices=[s.value for s in ALL_SOURCES])
+    p_sweep.add_argument("--fast", action="store_true",
+                         help="one configuration per model instead of the grid")
+    p_sweep.add_argument("--topic-scale", type=float, default=0.1)
+    p_sweep.add_argument("--iteration-scale", type=float, default=0.02)
+    p_sweep.add_argument("--max-train-docs", type=int, default=100)
+    p_sweep.add_argument("--progress", action="store_true")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_report = sub.add_parser("report", help="render a saved sweep")
+    p_report.add_argument("--sweep", required=True, help="sweep JSON path")
+    p_report.add_argument("--artifact", default="figure",
+                          choices=["figure", "table6", "table7", "figure7"])
+    p_report.add_argument("--group", default=UserType.ALL.value,
+                          choices=[g.value for g in UserType])
+    p_report.add_argument("--sources", nargs="*",
+                          choices=[s.value for s in ALL_SOURCES])
+    p_report.set_defaults(func=cmd_report)
+
+    p_suggest = sub.add_parser("suggest", help="followee / hashtag suggestions")
+    _add_dataset_arguments(p_suggest)
+    p_suggest.add_argument("--kind", required=True, choices=["followee", "hashtag"])
+    p_suggest.add_argument("--user", type=int)
+    p_suggest.add_argument("--text")
+    p_suggest.add_argument("-k", type=int, default=5)
+    p_suggest.set_defaults(func=cmd_suggest)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

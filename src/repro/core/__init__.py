@@ -1,0 +1,41 @@
+"""Recommendation core: sources, splits, ranking, baselines, pipeline."""
+
+from repro.core.baselines import (
+    chronological_ordering,
+    random_ordering,
+    random_ordering_expected_ap,
+)
+from repro.core.documents import DocumentFactory
+from repro.core.extensions import FolloweeRecommender, HashtagRecommender, ScoredCandidate
+from repro.core.pipeline import EvaluationResult, ExperimentPipeline
+from repro.core.recommender import RankedItem, RankingRecommender
+from repro.core.sources import (
+    ALL_SOURCES,
+    ATOMIC_SOURCES,
+    COMPOSITE_SOURCES,
+    RepresentationSource,
+    retweeted_original_ids,
+)
+from repro.core.split import UserSplit, split_user, train_tweets
+
+__all__ = [
+    "ALL_SOURCES",
+    "ATOMIC_SOURCES",
+    "COMPOSITE_SOURCES",
+    "DocumentFactory",
+    "FolloweeRecommender",
+    "HashtagRecommender",
+    "ScoredCandidate",
+    "EvaluationResult",
+    "ExperimentPipeline",
+    "RankedItem",
+    "RankingRecommender",
+    "RepresentationSource",
+    "UserSplit",
+    "chronological_ordering",
+    "random_ordering",
+    "random_ordering_expected_ap",
+    "retweeted_original_ids",
+    "split_user",
+    "train_tweets",
+]

@@ -1,0 +1,64 @@
+"""The paper's two baselines: chronological and random ordering.
+
+* **CHR** ranks the test set from the latest tweet to the earliest --
+  the default timeline of early Twitter;
+* **RAN** sorts the test set in an arbitrary order; the paper averages
+  1,000 random permutations per user, and so does
+  :func:`random_ordering_expected_ap` via its ``iterations`` parameter
+  (an exact closed form also exists: the expected AP of a random ranking
+  is close to the positive class prevalence).
+
+Both return positions into the candidate list, mirroring
+:class:`~repro.core.recommender.RankingRecommender.rank`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.twitter.entities import Tweet
+
+__all__ = ["chronological_ordering", "random_ordering", "random_ordering_expected_ap"]
+
+
+def chronological_ordering(candidates: Sequence[Tweet]) -> list[int]:
+    """CHR: candidate positions, most recent first."""
+    order = sorted(
+        range(len(candidates)),
+        key=lambda i: (-candidates[i].timestamp, -candidates[i].tweet_id),
+    )
+    return order
+
+
+def random_ordering(
+    candidates: Sequence[Tweet], rng: np.random.Generator
+) -> list[int]:
+    """RAN: one random permutation of candidate positions."""
+    return list(rng.permutation(len(candidates)))
+
+
+def random_ordering_expected_ap(
+    relevant_flags: Sequence[bool],
+    iterations: int = 1000,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo estimate of RAN's Average Precision.
+
+    ``relevant_flags[i]`` says whether candidate ``i`` is relevant. The
+    paper performs 1,000 iterations per user and reports the average.
+    """
+    from repro.eval.metrics import average_precision
+
+    flags = list(relevant_flags)
+    n_relevant = sum(flags)
+    if n_relevant == 0 or not flags:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    total = 0.0
+    indices = np.arange(len(flags))
+    for _ in range(iterations):
+        rng.shuffle(indices)
+        total += average_precision([flags[i] for i in indices])
+    return total / iterations

@@ -1,0 +1,60 @@
+"""Bridging tweets to model inputs.
+
+Representation models consume :class:`~repro.models.base.TextDoc` --
+normalised text plus tokens. :class:`DocumentFactory` owns the conversion
+policy from the paper's protocol: lowercase, tweet-aware tokenization,
+repeated-letter squeezing, and removal of the corpus's 100 most frequent
+tokens (fitted on *training* tweets only, so the test set never leaks
+into preprocessing).
+
+The normalised ``text`` given to character-based models is the token
+stream re-joined with single spaces, i.e. the same material the
+token-based models see, at character granularity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import NotFittedError
+from repro.models.base import TextDoc
+from repro.text.preprocess import Preprocessor
+from repro.twitter.entities import Tweet
+
+__all__ = ["DocumentFactory"]
+
+
+class DocumentFactory:
+    """Converts raw tweets to :class:`TextDoc` under a fitted pipeline.
+
+    Parameters
+    ----------
+    top_k_stop_words:
+        How many of the most frequent training tokens to drop
+        (paper: 100).
+    """
+
+    def __init__(self, top_k_stop_words: int = 100):
+        self._preprocessor = Preprocessor.default(top_k_stop_words)
+        self._fitted = False
+
+    def fit(self, training_tweets: Iterable[Tweet]) -> "DocumentFactory":
+        """Learn the stop-word list from training tweets."""
+        self._preprocessor.fit(t.text for t in training_tweets)
+        self._fitted = True
+        return self
+
+    @property
+    def stop_words(self) -> frozenset[str]:
+        return self._preprocessor.stop_filter.stop_words
+
+    def to_doc(self, tweet: Tweet) -> TextDoc:
+        """One tweet to a model-ready document."""
+        if not self._fitted:
+            raise NotFittedError("DocumentFactory.fit was never called")
+        tokens = self._preprocessor.process(tweet.text)
+        return TextDoc.from_tokens(tokens)
+
+    def to_docs(self, tweets: Sequence[Tweet]) -> list[TextDoc]:
+        """Batch conversion, preserving order."""
+        return [self.to_doc(t) for t in tweets]

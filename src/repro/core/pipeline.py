@@ -1,0 +1,250 @@
+"""End-to-end evaluation pipeline (paper Sections 2 and 4).
+
+For a given representation model, representation source and set of users,
+the pipeline:
+
+1. splits every user's timeline into training and testing phases (20%
+   most recent retweets are the test positives, 4 sampled negatives per
+   positive);
+2. fits the shared preprocessing (tokenizer + 100 most frequent training
+   tokens as stop words) on the union of all users' training tweets;
+3. fits the representation model once on the training corpus -- IDF for
+   the TF-IDF bags, the single shared topic model M(s) for topic models;
+4. builds one user model per user from her source's training tweets;
+5. ranks every user's test set and computes her Average Precision.
+
+Training time (steps 3-4) and testing time (step 5) accumulate into the
+paper's TTime and ETime measures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.baselines import (
+    chronological_ordering,
+    random_ordering_expected_ap,
+)
+from repro.core.documents import DocumentFactory
+from repro.core.recommender import RankingRecommender
+from repro.core.sources import RepresentationSource
+from repro.core.split import UserSplit, split_user, train_tweets
+from repro.errors import ConfigurationError, DataGenerationError
+from repro.eval.metrics import average_precision, mean_average_precision
+from repro.eval.timing import Stopwatch
+from repro.models.aggregation import AggregationFunction
+from repro.models.base import RepresentationModel, TextDoc
+from repro.twitter.dataset import MicroblogDataset
+from repro.twitter.entities import Tweet
+
+__all__ = ["EvaluationResult", "ExperimentPipeline"]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Outcome of evaluating one (model, source, user set) combination."""
+
+    model: str
+    configuration: dict
+    source: RepresentationSource
+    per_user_ap: dict[int, float]
+    training_seconds: float
+    testing_seconds: float
+
+    @property
+    def map_score(self) -> float:
+        """Mean Average Precision over the evaluated users."""
+        return mean_average_precision(list(self.per_user_ap.values()))
+
+
+@dataclass
+class ExperimentPipeline:
+    """Shared evaluation machinery over one dataset.
+
+    Splits and preprocessed documents are cached, so evaluating many
+    (model, source) combinations over the same users re-tokenises
+    nothing.
+
+    Parameters
+    ----------
+    dataset:
+        The corpus under evaluation.
+    test_fraction, negatives_per_positive, seed:
+        Split protocol knobs (paper: 0.2 / 4).
+    max_train_docs_per_user:
+        Optional cap on per-user training documents (most recent kept).
+        The paper has no cap; benchmarks use one to bound runtime, and
+        report it.
+    top_k_stop_words:
+        Size of the corpus stop-word cut (paper: 100).
+    """
+
+    dataset: MicroblogDataset
+    test_fraction: float = 0.2
+    negatives_per_positive: int = 4
+    seed: int = 0
+    max_train_docs_per_user: int | None = None
+    top_k_stop_words: int = 100
+
+    _splits: dict[int, UserSplit] = field(default_factory=dict, repr=False)
+    _factory: DocumentFactory | None = field(default=None, repr=False)
+    _doc_cache: dict[int, TextDoc] = field(default_factory=dict, repr=False)
+
+    # -- splits and preprocessing ------------------------------------------
+
+    def split_for(self, user_id: int) -> UserSplit:
+        """The (cached) train/test split of one user."""
+        if user_id not in self._splits:
+            self._splits[user_id] = split_user(
+                self.dataset,
+                user_id,
+                test_fraction=self.test_fraction,
+                negatives_per_positive=self.negatives_per_positive,
+                seed=self.seed,
+            )
+        return self._splits[user_id]
+
+    def eligible_users(self, user_ids: Sequence[int]) -> list[int]:
+        """The subset of ``user_ids`` with a valid train/test split."""
+        eligible = []
+        for uid in user_ids:
+            try:
+                self.split_for(uid)
+            except DataGenerationError:
+                continue
+            eligible.append(uid)
+        return eligible
+
+    def _factory_for(self, user_ids: Sequence[int]) -> DocumentFactory:
+        """Document factory fitted on all training-phase tweets.
+
+        The paper's stop-word cut uses "all training tweets"; we gather
+        every tweet that falls in *some* evaluated user's training phase
+        (her outgoing and incoming streams before her cutoff).
+        """
+        if self._factory is None:
+            training: dict[int, Tweet] = {}
+            for uid in user_ids:
+                cutoff = self.split_for(uid).cutoff
+                for tweet in self.dataset.outgoing(uid) + self.dataset.incoming(uid):
+                    if tweet.timestamp < cutoff:
+                        training[tweet.tweet_id] = tweet
+            if not training:
+                raise DataGenerationError("no training tweets for any evaluated user")
+            self._factory = DocumentFactory(self.top_k_stop_words).fit(training.values())
+            self._doc_cache.clear()
+        return self._factory
+
+    def _doc(self, tweet: Tweet, factory: DocumentFactory) -> TextDoc:
+        doc = self._doc_cache.get(tweet.tweet_id)
+        if doc is None:
+            doc = factory.to_doc(tweet)
+            self._doc_cache[tweet.tweet_id] = doc
+        return doc
+
+    def _train_tweets_for(
+        self, user_id: int, source: RepresentationSource
+    ) -> list[Tweet]:
+        tweets = train_tweets(self.dataset, user_id, source, self.split_for(user_id))
+        if self.max_train_docs_per_user is not None:
+            tweets = tweets[-self.max_train_docs_per_user :]
+        return tweets
+
+    # -- model evaluation ------------------------------------------------------
+
+    def evaluate(
+        self,
+        model: RepresentationModel,
+        source: RepresentationSource,
+        user_ids: Sequence[int],
+    ) -> EvaluationResult:
+        """Evaluate one model on one source over the given users."""
+        aggregation = getattr(model, "aggregation", None)
+        uses_rocchio = aggregation is AggregationFunction.ROCCHIO
+        if uses_rocchio and not source.has_negative_examples:
+            raise ConfigurationError(
+                f"Rocchio needs negative examples; source {source} has none"
+            )
+
+        users = self.eligible_users(user_ids)
+        if not users:
+            raise DataGenerationError("no eligible users to evaluate")
+        factory = self._factory_for(users)
+        train_time = Stopwatch()
+        test_time = Stopwatch()
+        recommender = RankingRecommender(model)
+
+        # Training corpus: the union of all users' source train sets.
+        per_user_tweets: dict[int, list[Tweet]] = {
+            uid: self._train_tweets_for(uid, source) for uid in users
+        }
+        corpus_tweets: dict[int, Tweet] = {}
+        corpus_authors: dict[int, str] = {}
+        for tweets in per_user_tweets.values():
+            for tweet in tweets:
+                corpus_tweets[tweet.tweet_id] = tweet
+                corpus_authors[tweet.tweet_id] = str(tweet.author_id)
+        corpus_ids = sorted(corpus_tweets)
+        corpus_docs = [self._doc(corpus_tweets[i], factory) for i in corpus_ids]
+        author_ids = [corpus_authors[i] for i in corpus_ids]
+
+        with train_time.measure():
+            recommender.fit(corpus_docs, user_ids=author_ids)
+
+        user_models: dict[int, object] = {}
+        for uid in users:
+            tweets = per_user_tweets[uid]
+            docs = [self._doc(t, factory) for t in tweets]
+            labels = source.labels_for(self.dataset, uid, tweets) if uses_rocchio else None
+            with train_time.measure():
+                user_models[uid] = recommender.build_profile(docs, labels=labels)
+
+        per_user_ap: dict[int, float] = {}
+        for uid in users:
+            split = self.split_for(uid)
+            candidates = list(split.test_set)
+            docs = [self._doc(t, factory) for t in candidates]
+            relevant = split.relevant_ids
+            with test_time.measure():
+                ranking = recommender.rank(user_models[uid], docs)
+            flags = [candidates[item.position].tweet_id in relevant for item in ranking]
+            per_user_ap[uid] = average_precision(flags)
+
+        return EvaluationResult(
+            model=model.name,
+            configuration=model.describe(),
+            source=source,
+            per_user_ap=per_user_ap,
+            training_seconds=train_time.elapsed,
+            testing_seconds=test_time.elapsed,
+        )
+
+    # -- baselines ----------------------------------------------------------------
+
+    def evaluate_chronological(self, user_ids: Sequence[int]) -> dict[int, float]:
+        """CHR baseline: AP per user when ranking by recency."""
+        result: dict[int, float] = {}
+        for uid in self.eligible_users(user_ids):
+            split = self.split_for(uid)
+            candidates = list(split.test_set)
+            order = chronological_ordering(candidates)
+            relevant = split.relevant_ids
+            flags = [candidates[i].tweet_id in relevant for i in order]
+            result[uid] = average_precision(flags)
+        return result
+
+    def evaluate_random(
+        self, user_ids: Sequence[int], iterations: int = 1000
+    ) -> dict[int, float]:
+        """RAN baseline: expected AP per user over random permutations."""
+        result: dict[int, float] = {}
+        for uid in self.eligible_users(user_ids):
+            split = self.split_for(uid)
+            candidates = list(split.test_set)
+            relevant = split.relevant_ids
+            flags = [t.tweet_id in relevant for t in candidates]
+            result[uid] = random_ordering_expected_ap(
+                flags, iterations=iterations, seed=self.seed
+            )
+        return result

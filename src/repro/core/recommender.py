@@ -1,0 +1,59 @@
+"""The ranking-based recommendation algorithm (paper Definition 2.1).
+
+Given a user model ``UM(u)`` and a set of candidate documents, the
+recommender scores every candidate with the representation model's
+similarity function and returns the candidates in decreasing score. Ties
+are broken deterministically by input position, which keeps evaluation
+reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.models.base import Doc, RepresentationModel
+
+__all__ = ["RankedItem", "RankingRecommender"]
+
+
+@dataclass(frozen=True)
+class RankedItem:
+    """One entry of a recommendation list."""
+
+    position: int  # index into the candidate sequence
+    score: float
+
+
+class RankingRecommender:
+    """Content-based ranking recommender over one representation model.
+
+    Usage: ``fit`` on the training corpus (corpus-level statistics),
+    ``build_profile`` per user, then ``rank`` that user's candidates.
+    """
+
+    def __init__(self, model: RepresentationModel):
+        self.model = model
+
+    def fit(
+        self, corpus: Sequence[Doc], user_ids: Sequence[str] | None = None
+    ) -> "RankingRecommender":
+        """Learn corpus-level statistics (IDF tables, topics, ...)."""
+        self.model.fit(corpus, user_ids=user_ids)
+        return self
+
+    def build_profile(
+        self, docs: Sequence[Doc], labels: Sequence[int] | None = None
+    ) -> Any:
+        """Assemble one user's model from her training documents."""
+        return self.model.build_user_model(docs, labels=labels)
+
+    def rank(self, user_model: Any, candidates: Sequence[Doc]) -> list[RankedItem]:
+        """Candidates in decreasing similarity to the user model."""
+        scored = [
+            RankedItem(position=i, score=float(self.model.score(user_model, self.model.represent(doc))))
+            for i, doc in enumerate(candidates)
+        ]
+        scored.sort(key=lambda item: (-item.score, item.position))
+        return scored

@@ -1,0 +1,148 @@
+"""The 13 representation sources of the paper.
+
+Five atomic sources describe a user ``u``:
+
+* **R** -- her retweets;
+* **T** -- her original tweets;
+* **E** -- all (re)tweets of her followees (information seeker view);
+* **F** -- all (re)tweets of her followers (information producer view);
+* **C** -- all (re)tweets of her reciprocal connections.
+
+plus the eight pairwise unions the paper evaluates: TR, RE, RF, RC, TE,
+TF, TC, EF. (The remaining pairs -- e.g. CF -- are redundant because
+C ⊆ E ∩ F.)
+
+The module also derives the positive/negative label of each training
+tweet. A tweet is *positive* for ``u`` when she authored it or retweeted
+it; tweets from E/C-based sources that she saw but did not retweet are
+*negative*. Follower tweets (F) carry no negative signal -- the user
+never saw them -- which is why the paper restricts Rocchio to
+{C, E, TE, RE, TC, RC, EF}.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.twitter.dataset import MicroblogDataset
+from repro.twitter.entities import Tweet
+
+__all__ = [
+    "RepresentationSource",
+    "ATOMIC_SOURCES",
+    "COMPOSITE_SOURCES",
+    "ALL_SOURCES",
+    "retweeted_original_ids",
+]
+
+
+class RepresentationSource(str, enum.Enum):
+    """The five atomic sources and their eight pairwise unions."""
+
+    R = "R"
+    T = "T"
+    E = "E"
+    F = "F"
+    C = "C"
+    TR = "TR"
+    RE = "RE"
+    RF = "RF"
+    RC = "RC"
+    TE = "TE"
+    TF = "TF"
+    TC = "TC"
+    EF = "EF"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def atoms(self) -> tuple[str, ...]:
+        """The atomic sources this source unions."""
+        return tuple(self.value)
+
+    @property
+    def has_negative_examples(self) -> bool:
+        """True for the sources the paper pairs with Rocchio.
+
+        These are exactly the sources containing E or C -- streams the
+        user has seen and implicitly vetoed by not retweeting.
+        """
+        return "E" in self.value or "C" in self.value
+
+    def tweets_for(self, dataset: MicroblogDataset, user_id: int) -> list[Tweet]:
+        """The source's tweets for one user, deduplicated, in time order.
+
+        Deduplication matters for unions: a retweet of ``u`` whose
+        original came from a followee appears in both R(u) and E(u).
+        """
+        collectors = {
+            "R": dataset.retweets_of,
+            "T": dataset.tweets_of,
+            "E": dataset.incoming,
+            "F": dataset.followers_tweets,
+            "C": dataset.reciprocal_tweets,
+        }
+        seen: set[int] = set()
+        merged: list[Tweet] = []
+        for atom in self.atoms:
+            for tweet in collectors[atom](user_id):
+                if tweet.tweet_id not in seen:
+                    seen.add(tweet.tweet_id)
+                    merged.append(tweet)
+        merged.sort(key=lambda t: (t.timestamp, t.tweet_id))
+        return merged
+
+    def labels_for(
+        self, dataset: MicroblogDataset, user_id: int, tweets: list[Tweet]
+    ) -> list[int]:
+        """Positive (1) / negative (0) labels for training tweets.
+
+        Positive: authored or retweeted by the user (directly, or as the
+        original behind one of her retweets). Negative labels exist only
+        for sources with negative examples; otherwise every tweet is
+        treated as positive evidence.
+        """
+        if not self.has_negative_examples:
+            return [1] * len(tweets)
+        liked = retweeted_original_ids(dataset, user_id)
+        labels: list[int] = []
+        for tweet in tweets:
+            positive = (
+                tweet.author_id == user_id
+                or tweet.tweet_id in liked
+                or (tweet.retweet_of is not None and tweet.retweet_of in liked)
+            )
+            labels.append(1 if positive else 0)
+        return labels
+
+
+#: The paper's five atomic sources, in its presentation order.
+ATOMIC_SOURCES: tuple[RepresentationSource, ...] = (
+    RepresentationSource.R,
+    RepresentationSource.T,
+    RepresentationSource.E,
+    RepresentationSource.F,
+    RepresentationSource.C,
+)
+
+#: The eight pairwise unions.
+COMPOSITE_SOURCES: tuple[RepresentationSource, ...] = (
+    RepresentationSource.TR,
+    RepresentationSource.RE,
+    RepresentationSource.RF,
+    RepresentationSource.RC,
+    RepresentationSource.TE,
+    RepresentationSource.TF,
+    RepresentationSource.TC,
+    RepresentationSource.EF,
+)
+
+ALL_SOURCES: tuple[RepresentationSource, ...] = ATOMIC_SOURCES + COMPOSITE_SOURCES
+
+
+def retweeted_original_ids(dataset: MicroblogDataset, user_id: int) -> frozenset[int]:
+    """Ids of the original tweets the user has ever retweeted."""
+    return frozenset(
+        t.retweet_of for t in dataset.retweets_of(user_id) if t.retweet_of is not None
+    )

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or parameter combination was supplied.
+
+    The paper (Section 4) declares several configuration combinations
+    invalid — e.g. Jaccard similarity with TF weights, or TF-IDF weights
+    for character n-grams. Constructing such a configuration raises this
+    error instead of silently producing meaningless results.
+    """
+
+
+class NotFittedError(ReproError):
+    """A model was used before it was trained/fitted."""
+
+
+class EmptyCorpusError(ReproError):
+    """An operation that requires at least one document got none."""
+
+
+class DataGenerationError(ReproError):
+    """The synthetic Twitter substrate could not satisfy a request."""

@@ -1,0 +1,25 @@
+"""Evaluation: effectiveness metrics, significance tests and timing."""
+
+from repro.eval.metrics import (
+    MapSummary,
+    average_precision,
+    mean_average_precision,
+    precision_at,
+    summarize_maps,
+)
+from repro.eval.significance import TestResult, paired_t_test, wilcoxon_signed_rank
+from repro.eval.timing import Stopwatch, TimingSummary, summarize_timings
+
+__all__ = [
+    "MapSummary",
+    "Stopwatch",
+    "TestResult",
+    "TimingSummary",
+    "average_precision",
+    "mean_average_precision",
+    "paired_t_test",
+    "precision_at",
+    "summarize_maps",
+    "summarize_timings",
+    "wilcoxon_signed_rank",
+]

@@ -1,0 +1,84 @@
+"""Effectiveness metrics: P@n, Average Precision, MAP, MAP deviation.
+
+The paper's definitions (Section 4, "Performance Measures"):
+
+* ``P@n`` -- fraction of the top-n ranked tweets that are relevant
+  (retweeted);
+* ``AP`` -- ``1/|R| · Σ_n P@n · RT(n)`` where ``RT(n)`` flags a relevant
+  tweet at rank ``n`` and ``|R|`` is the number of relevant tweets in the
+  test set;
+* ``MAP`` -- mean AP over a user group;
+* ``MAP deviation`` -- max MAP minus min MAP across a model's
+  configurations; the robustness measure (lower is more robust).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "precision_at",
+    "average_precision",
+    "mean_average_precision",
+    "MapSummary",
+    "summarize_maps",
+]
+
+
+def precision_at(relevance: Sequence[bool], n: int) -> float:
+    """P@n: fraction of the first ``n`` ranked items that are relevant."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    head = relevance[:n]
+    if not head:
+        return 0.0
+    return sum(head) / len(head)
+
+
+def average_precision(relevance: Sequence[bool]) -> float:
+    """AP of one ranked list.
+
+    ``relevance[i]`` flags whether the item ranked at position ``i``
+    (0-based) is relevant. Returns 0 for lists without relevant items.
+    """
+    n_relevant = sum(relevance)
+    if n_relevant == 0:
+        return 0.0
+    total = 0.0
+    hits = 0
+    for rank, flag in enumerate(relevance, start=1):
+        if flag:
+            hits += 1
+            total += hits / rank
+    return total / n_relevant
+
+
+def mean_average_precision(aps: Sequence[float]) -> float:
+    """MAP: the mean of per-user AP values; 0 for an empty group."""
+    if not aps:
+        return 0.0
+    return sum(aps) / len(aps)
+
+
+@dataclass(frozen=True)
+class MapSummary:
+    """Min / mean / max MAP over a set of configurations.
+
+    ``deviation`` (max - min) is the paper's robustness measure.
+    """
+
+    minimum: float
+    mean: float
+    maximum: float
+
+    @property
+    def deviation(self) -> float:
+        return self.maximum - self.minimum
+
+
+def summarize_maps(maps: Sequence[float]) -> MapSummary:
+    """Aggregate per-configuration MAP values into a summary."""
+    if not maps:
+        raise ValueError("cannot summarise zero MAP values")
+    return MapSummary(minimum=min(maps), mean=sum(maps) / len(maps), maximum=max(maps))

@@ -1,0 +1,66 @@
+"""Time-efficiency measurement: TTime and ETime.
+
+The paper's two efficiency measures (Section 4):
+
+* **TTime** (training time) -- modelling time for all users, including,
+  for topic models, the one-off training of the shared model M(s);
+* **ETime** (testing time) -- time to compare every user model with her
+  test tweets and rank them.
+
+:class:`Stopwatch` accumulates wall-clock segments so a pipeline can
+attribute its phases to the right bucket, and :class:`TimingSummary`
+aggregates min/avg/max across runs for the Figure 7 report.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = ["Stopwatch", "TimingSummary", "summarize_timings"]
+
+
+class Stopwatch:
+    """Accumulates wall-clock time across multiple measured segments."""
+
+    def __init__(self) -> None:
+        self._elapsed = 0.0
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        """Context manager: adds the enclosed block's duration."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._elapsed += time.perf_counter() - start
+
+    @property
+    def elapsed(self) -> float:
+        """Total measured seconds."""
+        return self._elapsed
+
+    def reset(self) -> None:
+        self._elapsed = 0.0
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Min / average / max seconds over a set of measured runs."""
+
+    minimum: float
+    average: float
+    maximum: float
+
+
+def summarize_timings(samples: Sequence[float]) -> TimingSummary:
+    """Aggregate run durations into a Figure 7 style summary."""
+    if not samples:
+        raise ValueError("cannot summarise zero timing samples")
+    return TimingSummary(
+        minimum=min(samples),
+        average=sum(samples) / len(samples),
+        maximum=max(samples),
+    )

@@ -1,0 +1,52 @@
+"""Experiment harness: configuration grids, sweep runner, reports."""
+
+from repro.experiments.configs import MODEL_NAMES, ConfigGrid, ModelConfig
+from repro.experiments.persistence import load_sweep, save_sweep
+from repro.experiments.report import (
+    format_figure7,
+    format_figure_map,
+    format_table2,
+    format_table3,
+    format_table6,
+    format_table7,
+)
+from repro.experiments.runner import SweepResult, SweepRow, SweepRunner
+from repro.experiments.significance import (
+    compare_models,
+    format_significance_matrix,
+    significance_matrix,
+)
+from repro.experiments.standard import (
+    FIGURE_SOURCES,
+    BenchSetup,
+    bench_dataset,
+    bench_grid,
+    bench_setup,
+    fast_grid,
+)
+
+__all__ = [
+    "BenchSetup",
+    "compare_models",
+    "format_significance_matrix",
+    "load_sweep",
+    "save_sweep",
+    "significance_matrix",
+    "ConfigGrid",
+    "FIGURE_SOURCES",
+    "MODEL_NAMES",
+    "ModelConfig",
+    "SweepResult",
+    "SweepRow",
+    "SweepRunner",
+    "bench_dataset",
+    "bench_grid",
+    "bench_setup",
+    "fast_grid",
+    "format_figure7",
+    "format_figure_map",
+    "format_table2",
+    "format_table3",
+    "format_table6",
+    "format_table7",
+]

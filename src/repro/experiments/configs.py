@@ -1,0 +1,323 @@
+"""The paper's 223 parameter configurations (Tables 4 and 5).
+
+Context-based models (Table 5):
+
+* TN  -- n ∈ {1,2,3} x {BF,TF,TF-IDF} x {sum,centroid,Rocchio} x
+  {CS,JS,GJS}, minus the invalid combinations = 36 configurations;
+* CN  -- n ∈ {2,3,4}, no TF-IDF = 21;
+* TNG -- n ∈ {1,2,3} x {CoS,VS,NS} = 9;
+* CNG -- n ∈ {2,3,4} x {CoS,VS,NS} = 9.
+
+Topic models (Table 4):
+
+* LDA  -- topics {50,100,150,200} x iterations {1000,2000} x pooling
+  {NP,UP,HP} x aggregation {centroid,Rocchio} = 48 (α = 50/K, β = 0.01);
+* LLDA -- same grid = 48;
+* BTM  -- topics x pooling x aggregation, 1000 iterations, r = 30 = 24;
+* HDP  -- pooling x β {0.1,0.5} x aggregation = 12 (α = γ = 1);
+* HLDA -- α {10,20} x β {0.1,0.5} x γ {0.5,1.0} x aggregation = 16
+  (UP pooling, 3 levels).
+
+Total: 223. PLSA is excluded from the default grid, as in the paper
+(it violated the paper's memory constraint).
+
+Because the Gibbs samplers cannot realistically run 1,000+ iterations
+inside a test-suite benchmark, :class:`ConfigGrid` exposes ``topic_scale``
+and ``iteration_scale`` knobs that shrink the *values* while keeping the
+grid *structure* (the number of configurations and which parameters vary)
+identical to the paper's.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from repro.models.aggregation import AggregationFunction
+from repro.models.bag import CharacterNGramModel, TokenNGramModel
+from repro.models.base import RepresentationModel
+from repro.models.graph import (
+    CharacterNGramGraphModel,
+    GraphSimilarity,
+    TokenNGramGraphModel,
+)
+from repro.models.similarity import VectorSimilarity
+from repro.models.topic.btm import BitermTopicModel
+from repro.models.topic.hdp import HdpModel
+from repro.models.topic.hlda import HldaModel
+from repro.models.topic.lda import LdaModel
+from repro.models.topic.llda import LabeledLdaModel
+from repro.models.weighting import WeightingScheme
+from repro.text.pooling import PoolingScheme
+
+__all__ = ["ModelConfig", "ConfigGrid", "MODEL_NAMES"]
+
+MODEL_NAMES: tuple[str, ...] = (
+    "TN", "CN", "TNG", "CNG", "LDA", "LLDA", "BTM", "HDP", "HLDA",
+)
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One point of the configuration grid.
+
+    ``build()`` constructs a *fresh* model instance, so sweeps never leak
+    fitted state between evaluations.
+    """
+
+    model: str
+    params: dict = field(hash=False)
+    factory: Callable[[], RepresentationModel] = field(hash=False, compare=False)
+
+    def build(self) -> RepresentationModel:
+        return self.factory()
+
+    @property
+    def uses_rocchio(self) -> bool:
+        return self.params.get("aggregation") == AggregationFunction.ROCCHIO.value
+
+    def label(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.model}({inner})"
+
+
+class ConfigGrid:
+    """The paper's grid, optionally scaled down for tractable sweeps.
+
+    Parameters
+    ----------
+    topic_scale:
+        Multiplier on the topic counts {50,100,150,200}; e.g. 0.1 yields
+        {5,10,15,20}.
+    iteration_scale:
+        Multiplier on the Gibbs/EM iteration counts {1000,2000}.
+    infer_iterations:
+        Fold-in iterations for topic-model inference.
+    seed:
+        Seed forwarded to every stochastic model.
+    """
+
+    def __init__(
+        self,
+        topic_scale: float = 1.0,
+        iteration_scale: float = 1.0,
+        infer_iterations: int = 20,
+        btm_max_biterms: int | None = None,
+        seed: int = 0,
+    ):
+        if topic_scale <= 0 or iteration_scale <= 0:
+            raise ValueError("scales must be positive")
+        self.topic_scale = topic_scale
+        self.iteration_scale = iteration_scale
+        self.infer_iterations = infer_iterations
+        self.btm_max_biterms = btm_max_biterms
+        self.seed = seed
+
+    # -- scaling helpers -------------------------------------------------------
+
+    def _topics(self) -> list[int]:
+        return [max(2, round(k * self.topic_scale)) for k in (50, 100, 150, 200)]
+
+    def _iterations(self, base: int) -> int:
+        return max(1, round(base * self.iteration_scale))
+
+    # -- context-based models (Table 5) -----------------------------------------
+
+    def tn_configurations(self) -> list[ModelConfig]:
+        """The 36 valid TN configurations."""
+        configs: list[ModelConfig] = []
+        for n in (1, 2, 3):
+            for ws, af, sm in _valid_bag_combos(character_based=False):
+                configs.append(_bag_config(TokenNGramModel, "TN", n, ws, af, sm))
+        return configs
+
+    def cn_configurations(self) -> list[ModelConfig]:
+        """The 21 valid CN configurations (no TF-IDF)."""
+        configs: list[ModelConfig] = []
+        for n in (2, 3, 4):
+            for ws, af, sm in _valid_bag_combos(character_based=True):
+                configs.append(_bag_config(CharacterNGramModel, "CN", n, ws, af, sm))
+        return configs
+
+    def tng_configurations(self) -> list[ModelConfig]:
+        """The 9 TNG configurations."""
+        return [
+            _graph_config(TokenNGramGraphModel, "TNG", n, sm)
+            for n in (1, 2, 3)
+            for sm in GraphSimilarity
+        ]
+
+    def cng_configurations(self) -> list[ModelConfig]:
+        """The 9 CNG configurations."""
+        return [
+            _graph_config(CharacterNGramGraphModel, "CNG", n, sm)
+            for n in (2, 3, 4)
+            for sm in GraphSimilarity
+        ]
+
+    # -- topic models (Table 4) ---------------------------------------------------
+
+    def lda_configurations(self) -> list[ModelConfig]:
+        """The 48 LDA configurations."""
+        configs: list[ModelConfig] = []
+        for k in self._topics():
+            for base_iters in (1000, 2000):
+                for pooling in PoolingScheme:
+                    for agg in (AggregationFunction.CENTROID, AggregationFunction.ROCCHIO):
+                        configs.append(self._topic_config(
+                            "LDA",
+                            dict(n_topics=k, iterations=self._iterations(base_iters),
+                                 pooling=pooling.value, aggregation=agg.value),
+                            lambda k=k, i=base_iters, p=pooling, a=agg: LdaModel(
+                                n_topics=k, beta=0.01,
+                                iterations=self._iterations(i),
+                                infer_iterations=self.infer_iterations,
+                                pooling=p, aggregation=a, seed=self.seed,
+                            ),
+                        ))
+        return configs
+
+    def llda_configurations(self) -> list[ModelConfig]:
+        """The 48 Labeled LDA configurations."""
+        configs: list[ModelConfig] = []
+        for k in self._topics():
+            for base_iters in (1000, 2000):
+                for pooling in PoolingScheme:
+                    for agg in (AggregationFunction.CENTROID, AggregationFunction.ROCCHIO):
+                        configs.append(self._topic_config(
+                            "LLDA",
+                            dict(n_topics=k, iterations=self._iterations(base_iters),
+                                 pooling=pooling.value, aggregation=agg.value),
+                            lambda k=k, i=base_iters, p=pooling, a=agg: LabeledLdaModel(
+                                n_latent_topics=k, beta=0.01,
+                                iterations=self._iterations(i),
+                                infer_iterations=self.infer_iterations,
+                                pooling=p, aggregation=a, seed=self.seed,
+                            ),
+                        ))
+        return configs
+
+    def btm_configurations(self) -> list[ModelConfig]:
+        """The 24 BTM configurations (1,000 iterations, r = 30)."""
+        configs: list[ModelConfig] = []
+        for k in self._topics():
+            for pooling in PoolingScheme:
+                for agg in (AggregationFunction.CENTROID, AggregationFunction.ROCCHIO):
+                    configs.append(self._topic_config(
+                        "BTM",
+                        dict(n_topics=k, pooling=pooling.value, aggregation=agg.value),
+                        lambda k=k, p=pooling, a=agg: BitermTopicModel(
+                            n_topics=k, beta=0.01, window=30,
+                            max_biterms=self.btm_max_biterms,
+                            iterations=self._iterations(1000),
+                            infer_iterations=self.infer_iterations,
+                            pooling=p, aggregation=a, seed=self.seed,
+                        ),
+                    ))
+        return configs
+
+    def hdp_configurations(self) -> list[ModelConfig]:
+        """The 12 HDP configurations (α = γ = 1, 1,000 iterations)."""
+        configs: list[ModelConfig] = []
+        for pooling in PoolingScheme:
+            for beta in (0.1, 0.5):
+                for agg in (AggregationFunction.CENTROID, AggregationFunction.ROCCHIO):
+                    configs.append(self._topic_config(
+                        "HDP",
+                        dict(pooling=pooling.value, beta=beta, aggregation=agg.value),
+                        lambda p=pooling, b=beta, a=agg: HdpModel(
+                            alpha=1.0, gamma=1.0, eta=b,
+                            iterations=self._iterations(1000),
+                            infer_iterations=self.infer_iterations,
+                            pooling=p, aggregation=a, seed=self.seed,
+                        ),
+                    ))
+        return configs
+
+    def hlda_configurations(self) -> list[ModelConfig]:
+        """The 16 HLDA configurations (UP pooling, 3 levels)."""
+        configs: list[ModelConfig] = []
+        for alpha in (10.0, 20.0):
+            for beta in (0.1, 0.5):
+                for gamma in (0.5, 1.0):
+                    for agg in (AggregationFunction.CENTROID, AggregationFunction.ROCCHIO):
+                        configs.append(self._topic_config(
+                            "HLDA",
+                            dict(alpha=alpha, beta=beta, gamma=gamma,
+                                 aggregation=agg.value),
+                            lambda al=alpha, b=beta, g=gamma, a=agg: HldaModel(
+                                levels=3, alpha=al, beta=b, gamma=g,
+                                iterations=self._iterations(1000),
+                                infer_iterations=self.infer_iterations,
+                                pooling=PoolingScheme.USER, aggregation=a,
+                                seed=self.seed,
+                            ),
+                        ))
+        return configs
+
+    def _topic_config(self, name, params, factory) -> ModelConfig:
+        return ModelConfig(model=name, params=params, factory=factory)
+
+    # -- the full grid ---------------------------------------------------------------
+
+    def all_configurations(self) -> dict[str, list[ModelConfig]]:
+        """The complete 223-configuration grid, keyed by model name."""
+        return {
+            "TN": self.tn_configurations(),
+            "CN": self.cn_configurations(),
+            "TNG": self.tng_configurations(),
+            "CNG": self.cng_configurations(),
+            "LDA": self.lda_configurations(),
+            "LLDA": self.llda_configurations(),
+            "BTM": self.btm_configurations(),
+            "HDP": self.hdp_configurations(),
+            "HLDA": self.hlda_configurations(),
+        }
+
+    def iter_all(self) -> Iterator[ModelConfig]:
+        for configs in self.all_configurations().values():
+            yield from configs
+
+    def total_configurations(self) -> int:
+        return sum(len(v) for v in self.all_configurations().values())
+
+
+# -- bag/graph construction helpers ----------------------------------------------
+
+
+def _valid_bag_combos(
+    character_based: bool,
+) -> Iterator[tuple[WeightingScheme, AggregationFunction, VectorSimilarity]]:
+    """Enumerate the valid (weighting, aggregation, similarity) triples."""
+    weightings = [WeightingScheme.BF, WeightingScheme.TF]
+    if not character_based:
+        weightings.append(WeightingScheme.TF_IDF)
+    for ws in weightings:
+        if ws is WeightingScheme.BF:
+            # BF only with sum aggregation; GJS invalid with BF.
+            for sm in (VectorSimilarity.COSINE, VectorSimilarity.JACCARD):
+                yield ws, AggregationFunction.SUM, sm
+        else:
+            for af in AggregationFunction:
+                if af is AggregationFunction.ROCCHIO:
+                    yield ws, af, VectorSimilarity.COSINE
+                else:
+                    for sm in (VectorSimilarity.COSINE, VectorSimilarity.GENERALIZED_JACCARD):
+                        yield ws, af, sm
+
+
+def _bag_config(cls, name, n, ws, af, sm) -> ModelConfig:
+    params = dict(n=n, weighting=ws.value, aggregation=af.value, similarity=sm.value)
+    return ModelConfig(
+        model=name,
+        params=params,
+        factory=lambda: cls(n=n, weighting=ws, aggregation=af, similarity=sm),
+    )
+
+
+def _graph_config(cls, name, n, sm) -> ModelConfig:
+    return ModelConfig(
+        model=name,
+        params=dict(n=n, similarity=sm.value),
+        factory=lambda: cls(n=n, similarity=sm),
+    )

@@ -1,0 +1,67 @@
+"""Saving and loading sweep results.
+
+Sweeps are expensive (the paper's ran for days), so their results should
+be durable. :func:`save_sweep` writes a :class:`~repro.experiments.runner.SweepResult`
+to JSON; :func:`load_sweep` restores it with full fidelity, so reports
+can be regenerated and extended without re-running a single evaluation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.sources import RepresentationSource
+from repro.experiments.runner import SweepResult, SweepRow
+from repro.twitter.entities import UserType
+
+__all__ = ["save_sweep", "load_sweep"]
+
+#: Format marker for forward compatibility.
+_FORMAT_VERSION = 1
+
+
+def save_sweep(result: SweepResult, path: str | Path) -> Path:
+    """Serialise a sweep result to JSON at ``path``."""
+    path = Path(path)
+    payload = {
+        "version": _FORMAT_VERSION,
+        "rows": [
+            {
+                "model": row.model,
+                "params": row.params,
+                "source": row.source.value,
+                "group": row.group.value,
+                "map_score": row.map_score,
+                "per_user_ap": {str(uid): ap for uid, ap in row.per_user_ap.items()},
+                "training_seconds": row.training_seconds,
+                "testing_seconds": row.testing_seconds,
+            }
+            for row in result.rows
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    return path
+
+
+def load_sweep(path: str | Path) -> SweepResult:
+    """Restore a sweep result saved by :func:`save_sweep`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported sweep file version: {version!r}")
+    rows = [
+        SweepRow(
+            model=entry["model"],
+            params=dict(entry["params"]),
+            source=RepresentationSource(entry["source"]),
+            group=UserType(entry["group"]),
+            map_score=float(entry["map_score"]),
+            per_user_ap={int(k): float(v) for k, v in entry["per_user_ap"].items()},
+            training_seconds=float(entry["training_seconds"]),
+            testing_seconds=float(entry["testing_seconds"]),
+        )
+        for entry in payload["rows"]
+    ]
+    return SweepResult(rows)

@@ -1,0 +1,170 @@
+"""Report builders: render sweep results as the paper's tables/figures.
+
+Every function returns a plain string table so benchmarks and examples
+can ``print`` the same rows/series the paper reports. Figures 3-6 are
+bar charts in the paper; here each becomes a text matrix of Mean
+(Min-Max) MAP per model x source.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.sources import RepresentationSource
+from repro.experiments.runner import SweepResult
+from repro.twitter.entities import UserType
+from repro.twitter.stats import GroupStats
+
+__all__ = [
+    "format_table2",
+    "format_table3",
+    "format_figure_map",
+    "format_table6",
+    "format_table7",
+    "format_figure7",
+]
+
+
+def _fmt_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+
+def format_table2(stats: dict[UserType, GroupStats]) -> str:
+    """Table 2: per-group dataset statistics."""
+    order = [
+        UserType.INFORMATION_SEEKER,
+        UserType.BALANCED_USER,
+        UserType.INFORMATION_PRODUCER,
+        UserType.ALL,
+    ]
+    groups = [g for g in order if g in stats]
+    lines = ["Table 2: statistics per user group"]
+    header = ["", *(g.value for g in groups)]
+    widths = [24] + [12] * len(groups)
+    lines.append(_fmt_row(header, widths))
+    lines.append(_fmt_row(["Users", *(stats[g].n_users for g in groups)], widths))
+
+    blocks = [
+        ("Outgoing tweets (TR)", "outgoing"),
+        ("Retweets (R)", "retweets"),
+        ("Incoming tweets (E)", "incoming"),
+        ("Followers' tweets (F)", "followers_tweets"),
+    ]
+    for title, attr in blocks:
+        lines.append(_fmt_row(
+            [title, *(getattr(stats[g], attr).total for g in groups)], widths))
+        lines.append(_fmt_row(
+            ["  Minimum per user", *(getattr(stats[g], attr).minimum for g in groups)],
+            widths))
+        lines.append(_fmt_row(
+            ["  Mean per user",
+             *(f"{getattr(stats[g], attr).mean:.0f}" for g in groups)], widths))
+        lines.append(_fmt_row(
+            ["  Maximum per user", *(getattr(stats[g], attr).maximum for g in groups)],
+            widths))
+    return "\n".join(lines)
+
+
+def format_table3(census: dict[str, int], top_k: int = 10) -> str:
+    """Table 3: the most frequent languages."""
+    total = sum(census.values())
+    ranked = sorted(census.items(), key=lambda kv: -kv[1])[:top_k]
+    lines = ["Table 3: most frequent languages"]
+    widths = [14, 12, 10]
+    lines.append(_fmt_row(["language", "tweets", "share"], widths))
+    for lang, count in ranked:
+        share = 100.0 * count / total if total else 0.0
+        lines.append(_fmt_row([lang, count, f"{share:.2f}%"], widths))
+    return "\n".join(lines)
+
+
+def format_figure_map(
+    result: SweepResult,
+    group: UserType,
+    sources: Sequence[RepresentationSource],
+    baselines: dict[str, float] | None = None,
+    title: str = "",
+) -> str:
+    """Figures 3-6: Mean (Min-Max) MAP per model x source for one group."""
+    models = result.models()
+    lines = [title or f"MAP per model and source, group={group.value}"]
+    widths = [6] + [21] * len(sources)
+    lines.append(_fmt_row(["model", *(s.value for s in sources)], widths))
+    for model in models:
+        cells = [model]
+        for source in sources:
+            try:
+                summary = result.map_summary(model, source, group)
+            except ValueError:
+                cells.append("-")
+                continue
+            cells.append(
+                f"{summary.mean:.3f} ({summary.minimum:.3f}-{summary.maximum:.3f})"
+            )
+        lines.append(_fmt_row(cells, widths))
+    if baselines:
+        for name, value in baselines.items():
+            lines.append(f"baseline {name}: MAP={value:.3f}")
+    return "\n".join(lines)
+
+
+def format_table6(
+    result: SweepResult,
+    sources: Sequence[RepresentationSource],
+    groups: Sequence[UserType],
+) -> str:
+    """Table 6: Min/Mean/Max MAP of every source over every user type."""
+    lines = ["Table 6: representation-source performance per user type"]
+    widths = [10, 10] + [8] * (len(sources) + 1)
+    lines.append(_fmt_row(["group", "stat", *(s.value for s in sources), "Average"], widths))
+    for group in groups:
+        for stat in ("minimum", "mean", "maximum"):
+            cells = [group.value, {"minimum": "Min", "mean": "Mean", "maximum": "Max"}[stat]]
+            values = []
+            for source in sources:
+                try:
+                    summary = result.source_summary(source, group)
+                except ValueError:
+                    cells.append("-")
+                    continue
+                value = getattr(summary, stat)
+                values.append(value)
+                cells.append(f"{value:.3f}")
+            cells.append(f"{sum(values) / len(values):.3f}" if values else "-")
+            lines.append(_fmt_row(cells, widths))
+    return "\n".join(lines)
+
+
+def format_table7(
+    result: SweepResult, sources: Sequence[RepresentationSource]
+) -> str:
+    """Table 7: the best configuration per model and source."""
+    lines = ["Table 7: best configuration per model and representation source"]
+    for model in result.models():
+        lines.append(f"\n{model}:")
+        for source in sources:
+            try:
+                best = result.best_configuration(model, source)
+            except KeyError:
+                continue
+            params = ", ".join(f"{k}={v}" for k, v in sorted(best.params.items()))
+            lines.append(f"  {source.value:>3}: {params}")
+    return "\n".join(lines)
+
+
+def format_figure7(result: SweepResult) -> str:
+    """Figure 7: TTime and ETime (min/avg/max seconds) per model."""
+    lines = ["Figure 7: time efficiency per representation model (seconds)"]
+    widths = [6, 26, 26]
+    lines.append(_fmt_row(["model", "TTime min/avg/max", "ETime min/avg/max"], widths))
+    for model in result.models():
+        ttime, etime = result.timing_summary(model)
+        lines.append(_fmt_row(
+            [
+                model,
+                f"{ttime.minimum:.3f}/{ttime.average:.3f}/{ttime.maximum:.3f}",
+                f"{etime.minimum:.3f}/{etime.average:.3f}/{etime.maximum:.3f}",
+            ],
+            widths,
+        ))
+    return "\n".join(lines)

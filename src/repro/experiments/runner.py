@@ -1,0 +1,186 @@
+"""Sweep runner: evaluate configuration grids over sources and user groups.
+
+One :class:`SweepRunner` owns an
+:class:`~repro.core.pipeline.ExperimentPipeline` and a user-group mapping.
+``run`` walks (model config x source) pairs, evaluates each over every
+requested group, and collects :class:`SweepRow` records. The aggregation
+helpers then answer the paper's questions: Mean/Min/Max MAP per (model,
+source, group) for Figures 3-6 and Table 6, the best configuration per
+(model, source) for Table 7, and timing summaries for Figure 7.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.pipeline import ExperimentPipeline
+from repro.core.sources import RepresentationSource
+from repro.errors import ConfigurationError
+from repro.eval.metrics import MapSummary, mean_average_precision, summarize_maps
+from repro.eval.timing import TimingSummary, summarize_timings
+from repro.experiments.configs import ModelConfig
+from repro.twitter.entities import UserType
+
+__all__ = ["SweepRow", "SweepResult", "SweepRunner"]
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One evaluated (configuration, source, group) data point."""
+
+    model: str
+    params: dict
+    source: RepresentationSource
+    group: UserType
+    map_score: float
+    per_user_ap: dict[int, float]
+    training_seconds: float
+    testing_seconds: float
+
+
+@dataclass
+class SweepResult:
+    """All rows of a sweep plus the paper's aggregations."""
+
+    rows: list[SweepRow]
+
+    def filtered(
+        self,
+        model: str | None = None,
+        source: RepresentationSource | None = None,
+        group: UserType | None = None,
+    ) -> list[SweepRow]:
+        return [
+            r
+            for r in self.rows
+            if (model is None or r.model == model)
+            and (source is None or r.source is source)
+            and (group is None or r.group is group)
+        ]
+
+    def map_summary(
+        self, model: str, source: RepresentationSource, group: UserType
+    ) -> MapSummary:
+        """Min / Mean / Max MAP across the model's configurations."""
+        maps = [r.map_score for r in self.filtered(model, source, group)]
+        return summarize_maps(maps)
+
+    def source_summary(
+        self, source: RepresentationSource, group: UserType
+    ) -> MapSummary:
+        """Table 6 cell: Min/Mean/Max MAP over *all* models' configs."""
+        maps = [r.map_score for r in self.filtered(source=source, group=group)]
+        return summarize_maps(maps)
+
+    def best_configuration(
+        self, model: str, source: RepresentationSource
+    ) -> SweepRow:
+        """Table 7 cell: the configuration with the highest MAP for a
+        (model, source) pair, averaged across user groups."""
+        rows = self.filtered(model=model, source=source)
+        if not rows:
+            raise KeyError(f"no rows for {model} on {source}")
+        by_params: dict[str, list[SweepRow]] = {}
+        for row in rows:
+            by_params.setdefault(repr(sorted(row.params.items())), []).append(row)
+        best_rows = max(
+            by_params.values(),
+            key=lambda rs: mean_average_precision([r.map_score for r in rs]),
+        )
+        return best_rows[0]
+
+    def timing_summary(self, model: str) -> tuple[TimingSummary, TimingSummary]:
+        """Figure 7 cell: (TTime, ETime) min/avg/max across all rows."""
+        rows = [r for r in self.rows if r.model == model]
+        if not rows:
+            raise KeyError(f"no rows for model {model}")
+        return (
+            summarize_timings([r.training_seconds for r in rows]),
+            summarize_timings([r.testing_seconds for r in rows]),
+        )
+
+    def models(self) -> tuple[str, ...]:
+        return tuple(sorted({r.model for r in self.rows}))
+
+
+class SweepRunner:
+    """Evaluates configuration grids over sources and user groups."""
+
+    def __init__(
+        self,
+        pipeline: ExperimentPipeline,
+        groups: dict[UserType, list[int]],
+    ):
+        self.pipeline = pipeline
+        self.groups = groups
+
+    def run(
+        self,
+        configurations: Iterable[ModelConfig],
+        sources: Sequence[RepresentationSource],
+        groups: Sequence[UserType] | None = None,
+        progress: bool = False,
+    ) -> SweepResult:
+        """Evaluate every (configuration, source) over the user groups.
+
+        Configurations invalid for a source (Rocchio without negative
+        examples) are skipped, exactly as in the paper's protocol. The
+        per-user APs are computed once per (config, source) on the union
+        of all groups' users, then sliced per group -- the groups share
+        users with the All-Users group, so this avoids recomputation.
+        """
+        if groups is None:
+            groups = list(self.groups)
+        rows: list[SweepRow] = []
+        union_users = sorted({uid for g in groups for uid in self.groups[g]})
+
+        for config in configurations:
+            for source in sources:
+                if config.uses_rocchio and not source.has_negative_examples:
+                    continue
+                model = config.build()
+                try:
+                    result = self.pipeline.evaluate(model, source, union_users)
+                except ConfigurationError:
+                    continue
+                if progress:  # pragma: no cover - console side effect
+                    print(f"  {config.label()} on {source}: MAP={result.map_score:.3f}")
+                for group in groups:
+                    member_ap = {
+                        uid: ap
+                        for uid, ap in result.per_user_ap.items()
+                        if uid in set(self.groups[group])
+                    }
+                    if not member_ap:
+                        continue
+                    rows.append(
+                        SweepRow(
+                            model=config.model,
+                            params=dict(config.params),
+                            source=source,
+                            group=group,
+                            map_score=mean_average_precision(list(member_ap.values())),
+                            per_user_ap=member_ap,
+                            training_seconds=result.training_seconds,
+                            testing_seconds=result.testing_seconds,
+                        )
+                    )
+        return SweepResult(rows)
+
+    def baselines(
+        self, groups: Sequence[UserType] | None = None, random_iterations: int = 1000
+    ) -> dict[UserType, dict[str, float]]:
+        """CHR and RAN MAP per user group."""
+        if groups is None:
+            groups = list(self.groups)
+        result: dict[UserType, dict[str, float]] = {}
+        for group in groups:
+            users = self.groups[group]
+            chr_ap = self.pipeline.evaluate_chronological(users)
+            ran_ap = self.pipeline.evaluate_random(users, iterations=random_iterations)
+            result[group] = {
+                "CHR": mean_average_precision(list(chr_ap.values())),
+                "RAN": mean_average_precision(list(ran_ap.values())),
+            }
+        return result

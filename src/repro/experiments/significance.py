@@ -1,0 +1,87 @@
+"""Pairwise model significance from sweep results.
+
+Throughout Section 5 the paper backs its comparisons with statistical
+significance ("the dominance of TNG over TN is statistically significant
+(p < 0.05)"). This module reproduces that analysis: for a pair of models
+it takes each model's *best-Mean-MAP* configuration on a source, pairs
+the per-user AP values, and applies the Wilcoxon signed-rank test.
+:func:`significance_matrix` assembles the full model x model grid, and
+:func:`format_significance_matrix` renders it for reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.sources import RepresentationSource
+from repro.eval.significance import TestResult, wilcoxon_signed_rank
+from repro.experiments.runner import SweepResult
+from repro.twitter.entities import UserType
+
+__all__ = ["compare_models", "significance_matrix", "format_significance_matrix"]
+
+
+def _best_row_ap(
+    result: SweepResult, model: str, source: RepresentationSource, group: UserType
+) -> dict[int, float]:
+    rows = result.filtered(model=model, source=source, group=group)
+    if not rows:
+        raise KeyError(f"no rows for {model} on {source} over {group}")
+    best = max(rows, key=lambda r: r.map_score)
+    return best.per_user_ap
+
+
+def compare_models(
+    result: SweepResult,
+    model_a: str,
+    model_b: str,
+    source: RepresentationSource,
+    group: UserType = UserType.ALL,
+) -> TestResult:
+    """Wilcoxon signed-rank test between two models' per-user APs.
+
+    Each model is represented by its best configuration for the
+    (source, group) pair; users present for both models are paired.
+    """
+    ap_a = _best_row_ap(result, model_a, source, group)
+    ap_b = _best_row_ap(result, model_b, source, group)
+    shared = sorted(set(ap_a) & set(ap_b))
+    if len(shared) < 2:
+        raise ValueError(
+            f"models {model_a} and {model_b} share only {len(shared)} users"
+        )
+    return wilcoxon_signed_rank([ap_a[u] for u in shared], [ap_b[u] for u in shared])
+
+
+def significance_matrix(
+    result: SweepResult,
+    source: RepresentationSource,
+    group: UserType = UserType.ALL,
+    models: Sequence[str] | None = None,
+) -> dict[tuple[str, str], TestResult]:
+    """All pairwise comparisons for one source and user group."""
+    if models is None:
+        models = result.models()
+    matrix: dict[tuple[str, str], TestResult] = {}
+    for i, model_a in enumerate(models):
+        for model_b in models[i + 1 :]:
+            matrix[(model_a, model_b)] = compare_models(
+                result, model_a, model_b, source, group
+            )
+    return matrix
+
+
+def format_significance_matrix(
+    matrix: dict[tuple[str, str], TestResult], alpha: float = 0.05
+) -> str:
+    """Human-readable table of pairwise p-values.
+
+    Significant pairs (p < alpha) are marked with ``*``, matching the
+    paper's reporting convention.
+    """
+    lines = [f"Pairwise Wilcoxon signed-rank tests (alpha={alpha})"]
+    lines.append(f"{'pair':>12}  {'p-value':>9}  significant")
+    for (a, b), test in sorted(matrix.items()):
+        marker = "*" if test.significant(alpha) else ""
+        lines.append(f"{a + ' vs ' + b:>12}  {test.p_value:>9.4f}  {marker}")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Representation models: bag, graph and topic families.
+
+The nine models evaluated by the paper (plus PLSA):
+
+========  =============================  ==========================
+name      class                          taxonomy category
+========  =============================  ==========================
+TN        TokenNGramModel                local context-aware
+CN        CharacterNGramModel            local context-aware
+TNG       TokenNGramGraphModel           global context-aware
+CNG       CharacterNGramGraphModel       global context-aware
+LDA       LdaModel                       context-agnostic
+LLDA      LabeledLdaModel                context-agnostic
+BTM       BitermTopicModel               context-agnostic
+HDP       HdpModel                       context-agnostic (nonparam.)
+HLDA      HldaModel                      context-agnostic (nonparam.)
+PLSA      PlsaModel                      context-agnostic
+========  =============================  ==========================
+"""
+
+from repro.models.aggregation import (
+    AggregationFunction,
+    aggregate,
+    centroid_aggregate,
+    rocchio_aggregate,
+    sum_aggregate,
+)
+from repro.models.bag import BagModel, CharacterNGramModel, TokenNGramModel
+from repro.models.base import Doc, RepresentationModel, TextDoc
+from repro.models.graph import (
+    CharacterNGramGraphModel,
+    GraphSimilarity,
+    NGramGraph,
+    TokenNGramGraphModel,
+    containment_similarity,
+    normalized_value_similarity,
+    value_similarity,
+)
+from repro.models.similarity import (
+    VectorSimilarity,
+    cosine_similarity,
+    generalized_jaccard_similarity,
+    jaccard_similarity,
+)
+from repro.models.taxonomy import TAXONOMY, ContextCategory, ModelFacts, facts_for
+from repro.models.topic import (
+    BitermTopicModel,
+    HdpModel,
+    HldaModel,
+    LabelExtractor,
+    LabeledLdaModel,
+    LdaModel,
+    PlsaModel,
+    TopicModel,
+)
+from repro.models.weighting import IdfTable, WeightingScheme
+
+__all__ = [
+    "AggregationFunction",
+    "BagModel",
+    "BitermTopicModel",
+    "CharacterNGramGraphModel",
+    "CharacterNGramModel",
+    "ContextCategory",
+    "Doc",
+    "GraphSimilarity",
+    "HdpModel",
+    "HldaModel",
+    "IdfTable",
+    "LabelExtractor",
+    "LabeledLdaModel",
+    "LdaModel",
+    "ModelFacts",
+    "NGramGraph",
+    "PlsaModel",
+    "RepresentationModel",
+    "TAXONOMY",
+    "TextDoc",
+    "TokenNGramGraphModel",
+    "TokenNGramModel",
+    "TopicModel",
+    "VectorSimilarity",
+    "WeightingScheme",
+    "aggregate",
+    "centroid_aggregate",
+    "containment_similarity",
+    "cosine_similarity",
+    "facts_for",
+    "generalized_jaccard_similarity",
+    "jaccard_similarity",
+    "normalized_value_similarity",
+    "rocchio_aggregate",
+    "sum_aggregate",
+    "value_similarity",
+]

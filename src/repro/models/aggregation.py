@@ -1,0 +1,121 @@
+"""Aggregation functions that fuse document vectors into a user model.
+
+The paper's three strategies (Section 3.2):
+
+* **sum**      -- component-wise sum of the document vectors;
+* **centroid** -- mean of the unit-normalised document vectors;
+* **Rocchio**  -- weighted difference of positive and negative centroids,
+  ``a/|D+| * sum(d+/|d+|) - b/|D-| * sum(d-/|d-|)`` with ``a + b = 1``
+  (paper setting: ``a = 0.8``, ``b = 0.2``).
+
+All operate on sparse ``dict[str, float]`` vectors.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "AggregationFunction",
+    "sum_aggregate",
+    "centroid_aggregate",
+    "rocchio_aggregate",
+    "aggregate",
+]
+
+SparseVector = dict[str, float]
+
+
+class AggregationFunction(str, enum.Enum):
+    """Bag-model aggregation strategies."""
+
+    SUM = "sum"
+    CENTROID = "centroid"
+    ROCCHIO = "rocchio"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def _normalised(vector: SparseVector) -> SparseVector:
+    norm = math.sqrt(sum(w * w for w in vector.values()))
+    if norm == 0.0:
+        return {}
+    return {g: w / norm for g, w in vector.items()}
+
+
+def sum_aggregate(vectors: Sequence[SparseVector]) -> SparseVector:
+    """Component-wise sum."""
+    total: SparseVector = {}
+    for vector in vectors:
+        for g, w in vector.items():
+            total[g] = total.get(g, 0.0) + w
+    return total
+
+
+def centroid_aggregate(vectors: Sequence[SparseVector]) -> SparseVector:
+    """Mean of unit-normalised vectors."""
+    if not vectors:
+        return {}
+    summed = sum_aggregate([_normalised(v) for v in vectors])
+    count = len(vectors)
+    return {g: w / count for g, w in summed.items()}
+
+
+def rocchio_aggregate(
+    vectors: Sequence[SparseVector],
+    labels: Sequence[int],
+    alpha: float = 0.8,
+    beta: float = 0.2,
+) -> SparseVector:
+    """Rocchio user model from positive and negative examples.
+
+    ``labels[i]`` is 1 for a positive (relevant) document and 0 for a
+    negative one. If one of the classes is empty its term contributes
+    nothing, which degrades gracefully to a (scaled) centroid.
+    """
+    if len(vectors) != len(labels):
+        raise ValueError(f"{len(vectors)} vectors but {len(labels)} labels")
+    if not math.isclose(alpha + beta, 1.0, abs_tol=1e-9):
+        raise ConfigurationError(f"Rocchio requires alpha + beta == 1, got {alpha} + {beta}")
+    positives = [_normalised(v) for v, l in zip(vectors, labels) if l == 1]
+    negatives = [_normalised(v) for v, l in zip(vectors, labels) if l == 0]
+
+    model: SparseVector = {}
+    if positives:
+        scale = alpha / len(positives)
+        for vector in positives:
+            for g, w in vector.items():
+                model[g] = model.get(g, 0.0) + scale * w
+    if negatives:
+        scale = beta / len(negatives)
+        for vector in negatives:
+            for g, w in vector.items():
+                model[g] = model.get(g, 0.0) - scale * w
+    return model
+
+
+def aggregate(
+    function: AggregationFunction,
+    vectors: Sequence[SparseVector],
+    labels: Sequence[int] | None = None,
+    rocchio_alpha: float = 0.8,
+    rocchio_beta: float = 0.2,
+) -> SparseVector:
+    """Dispatch to the chosen aggregation strategy.
+
+    Rocchio requires ``labels``; the other strategies ignore them.
+    """
+    if function is AggregationFunction.SUM:
+        return sum_aggregate(vectors)
+    if function is AggregationFunction.CENTROID:
+        return centroid_aggregate(vectors)
+    if function is AggregationFunction.ROCCHIO:
+        if labels is None:
+            raise ConfigurationError("Rocchio aggregation requires positive/negative labels")
+        return rocchio_aggregate(vectors, labels, rocchio_alpha, rocchio_beta)
+    raise ConfigurationError(f"unknown aggregation function: {function!r}")

@@ -1,0 +1,175 @@
+"""Bag (vector space) representation models: TN and CN.
+
+The token n-grams model (**TN**) and character n-grams model (**CN**)
+represent every document as a sparse weighted vector over the n-grams it
+contains, aggregate document vectors into a user vector, and rank by a
+vector similarity (paper Section 3.2, "Bag Models").
+
+Configuration validity rules (paper Section 4, "Parameter Tuning"):
+
+* Jaccard similarity (JS) is applied only with BF weights;
+* generalized Jaccard (GJS) only with TF and TF-IDF;
+* character n-grams (CN) are never combined with TF-IDF;
+* BF weights are exclusively coupled with the *sum* aggregation;
+* Rocchio is used only with cosine similarity and TF/TF-IDF weights.
+
+Violations raise :class:`~repro.errors.ConfigurationError` at
+construction time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.models.aggregation import AggregationFunction, aggregate
+from repro.models.base import Doc, RepresentationModel
+from repro.models.similarity import VectorSimilarity, vector_similarity_function
+from repro.models.weighting import (
+    IdfTable,
+    WeightingScheme,
+    bf_vector,
+    tf_idf_vector,
+    tf_vector,
+)
+from repro.text.ngrams import char_ngrams, token_ngrams
+
+__all__ = ["BagModel", "TokenNGramModel", "CharacterNGramModel"]
+
+SparseVector = dict[str, float]
+
+
+def validate_bag_configuration(
+    character_based: bool,
+    weighting: WeightingScheme,
+    aggregation: AggregationFunction,
+    similarity: VectorSimilarity,
+) -> None:
+    """Enforce the paper's valid-combination matrix for bag models."""
+    if similarity is VectorSimilarity.JACCARD and weighting is not WeightingScheme.BF:
+        raise ConfigurationError("Jaccard similarity (JS) is applied only with BF weights")
+    if similarity is VectorSimilarity.GENERALIZED_JACCARD and weighting is WeightingScheme.BF:
+        raise ConfigurationError("generalized Jaccard (GJS) is used only with TF and TF-IDF")
+    if character_based and weighting is WeightingScheme.TF_IDF:
+        raise ConfigurationError("character n-grams (CN) are not combined with TF-IDF")
+    if weighting is WeightingScheme.BF and aggregation is not AggregationFunction.SUM:
+        raise ConfigurationError("BF weights are exclusively coupled with sum aggregation")
+    if aggregation is AggregationFunction.ROCCHIO:
+        if similarity is not VectorSimilarity.COSINE:
+            raise ConfigurationError("Rocchio is used only with cosine similarity")
+        if weighting is WeightingScheme.BF:
+            raise ConfigurationError("Rocchio is used only with TF and TF-IDF weights")
+
+
+class BagModel(RepresentationModel):
+    """Shared machinery for TN and CN.
+
+    Parameters
+    ----------
+    n:
+        N-gram size.
+    weighting:
+        BF, TF, or TF-IDF.
+    aggregation:
+        sum, centroid, or Rocchio.
+    similarity:
+        CS, JS, or GJS.
+    rocchio_alpha, rocchio_beta:
+        Rocchio mixing weights (paper: 0.8 / 0.2).
+    """
+
+    character_based: bool = False
+
+    def __init__(
+        self,
+        n: int,
+        weighting: WeightingScheme = WeightingScheme.TF,
+        aggregation: AggregationFunction = AggregationFunction.CENTROID,
+        similarity: VectorSimilarity = VectorSimilarity.COSINE,
+        rocchio_alpha: float = 0.8,
+        rocchio_beta: float = 0.2,
+    ):
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        weighting = WeightingScheme(weighting)
+        aggregation = AggregationFunction(aggregation)
+        similarity = VectorSimilarity(similarity)
+        validate_bag_configuration(self.character_based, weighting, aggregation, similarity)
+        self.n = n
+        self.weighting = weighting
+        self.aggregation = aggregation
+        self.similarity = similarity
+        self.rocchio_alpha = rocchio_alpha
+        self.rocchio_beta = rocchio_beta
+        self._idf: IdfTable | None = None
+        self._similarity_fn = vector_similarity_function(similarity)
+
+    # -- n-gram extraction -------------------------------------------------
+
+    def extract(self, doc: Doc) -> list[str]:
+        """The n-grams of ``doc`` under this model's granularity."""
+        raise NotImplementedError
+
+    # -- RepresentationModel API -------------------------------------------
+
+    def fit(self, corpus: Sequence[Doc], user_ids: Sequence[str] | None = None) -> "BagModel":
+        """Learn the IDF table when the weighting scheme needs one."""
+        if self.weighting is WeightingScheme.TF_IDF:
+            self._idf = IdfTable().fit(self.extract(doc) for doc in corpus)
+        return self
+
+    def represent(self, doc: Doc) -> SparseVector:
+        grams = self.extract(doc)
+        if self.weighting is WeightingScheme.BF:
+            return bf_vector(grams)
+        if self.weighting is WeightingScheme.TF:
+            return tf_vector(grams)
+        if self._idf is None:
+            raise NotFittedError("TF-IDF weighting requires fit() before represent()")
+        return tf_idf_vector(grams, self._idf)
+
+    def build_user_model(
+        self,
+        docs: Sequence[Doc],
+        labels: Sequence[int] | None = None,
+    ) -> SparseVector:
+        vectors = [self.represent(doc) for doc in docs]
+        return aggregate(
+            self.aggregation,
+            vectors,
+            labels=labels,
+            rocchio_alpha=self.rocchio_alpha,
+            rocchio_beta=self.rocchio_beta,
+        )
+
+    def score(self, user_model: SparseVector, doc_model: SparseVector) -> float:
+        return self._similarity_fn(user_model, doc_model)
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "model": self.name,
+            "n": self.n,
+            "weighting": self.weighting.value,
+            "aggregation": self.aggregation.value,
+            "similarity": self.similarity.value,
+        }
+
+
+class TokenNGramModel(BagModel):
+    """**TN** -- the token n-grams vector space model."""
+
+    name = "TN"
+    character_based = False
+
+    def extract(self, doc: Doc) -> list[str]:
+        return token_ngrams(list(doc.tokens), self.n)
+
+
+class CharacterNGramModel(BagModel):
+    """**CN** -- the character n-grams vector space model."""
+
+    name = "CN"
+    character_based = True
+
+    def extract(self, doc: Doc) -> list[str]:
+        return char_ngrams(doc.text, self.n)

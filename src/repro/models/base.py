@@ -1,0 +1,99 @@
+"""Common interface for all representation models.
+
+Every model in the paper fits the same mould (Definition 2.1):
+
+1. optionally learn corpus-level statistics from training documents
+   (:meth:`RepresentationModel.fit` -- e.g. IDF tables, topic
+   distributions);
+2. map a single document to a structured representation
+   (:meth:`RepresentationModel.represent`);
+3. assemble the representations of a user's training documents into a
+   single *user model* (:meth:`RepresentationModel.build_user_model`);
+4. score a candidate document against a user model
+   (:meth:`RepresentationModel.score`) -- higher means more relevant.
+
+Models consume :class:`Doc` objects, a minimal structural type carrying
+the normalised text and its tokens, so the same pipeline feeds
+token-based, character-based and topic models.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = ["Doc", "TextDoc", "RepresentationModel"]
+
+
+@runtime_checkable
+class Doc(Protocol):
+    """Anything with normalised ``text`` and a ``tokens`` sequence."""
+
+    @property
+    def text(self) -> str: ...
+
+    @property
+    def tokens(self) -> Sequence[str]: ...
+
+
+@dataclass(frozen=True)
+class TextDoc:
+    """The plain-data implementation of :class:`Doc`.
+
+    ``text`` is the normalised (lowercased, squeezed) string used by
+    character-based models; ``tokens`` is the token list used by
+    token-based and topic models.
+    """
+
+    text: str
+    tokens: tuple[str, ...]
+
+    @classmethod
+    def from_tokens(cls, tokens: Sequence[str]) -> "TextDoc":
+        return cls(" ".join(tokens), tuple(tokens))
+
+
+class RepresentationModel(abc.ABC):
+    """Abstract base for the nine representation models of the paper."""
+
+    #: Short model name as used in the paper's figures (e.g. ``"TN"``).
+    name: str = "?"
+
+    @abc.abstractmethod
+    def fit(self, corpus: Sequence[Doc], user_ids: Sequence[str] | None = None) -> "RepresentationModel":
+        """Learn corpus-level statistics from training documents.
+
+        ``user_ids`` gives the author of each document; pooling-aware
+        topic models need it, the others ignore it. Returns ``self``.
+        """
+
+    @abc.abstractmethod
+    def represent(self, doc: Doc) -> Any:
+        """Map one document to this model's representation space."""
+
+    @abc.abstractmethod
+    def build_user_model(
+        self,
+        docs: Sequence[Doc],
+        labels: Sequence[int] | None = None,
+    ) -> Any:
+        """Assemble a user model from the user's training documents.
+
+        ``labels`` marks each document as positive (1) or negative (0);
+        only aggregation strategies that exploit negatives (Rocchio) read
+        it. Models that do not support supervision ignore it.
+        """
+
+    @abc.abstractmethod
+    def score(self, user_model: Any, doc_model: Any) -> float:
+        """Similarity between a user model and a document model."""
+
+    def describe(self) -> dict[str, Any]:
+        """Human-readable configuration summary (used in reports)."""
+        return {"model": self.name}
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.describe().items() if k != "model")
+        return f"{type(self).__name__}({params})"

@@ -1,0 +1,263 @@
+"""N-gram graph representation models: TNG and CNG.
+
+An n-gram graph (Giannakopoulos et al., TSLP 2008) represents a document
+as an undirected weighted graph: one vertex per distinct n-gram, an edge
+between every pair of n-grams that co-occur within a window of ``n``
+consecutive n-grams, edge weight = co-occurrence frequency. The weighted
+edges capture *global* context, beyond the local context encoded inside
+each n-gram.
+
+User models are built with the *update operator* (Giannakopoulos &
+Palpanas, 2010): graphs are merged one by one, and each common edge's
+weight moves towards the incoming weight with a learning factor
+``1 / i`` for the ``i``-th merged graph -- i.e. the user graph holds the
+running average of the document edge weights, and the union of their
+edge sets.
+
+Similarity measures (paper Section 3.2): containment (CoS), value (VS)
+and normalized value (NS) similarity.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.models.base import Doc, RepresentationModel
+from repro.text.ngrams import char_ngrams, token_ngrams
+
+__all__ = [
+    "NGramGraph",
+    "GraphSimilarity",
+    "containment_similarity",
+    "value_similarity",
+    "normalized_value_similarity",
+    "TokenNGramGraphModel",
+    "CharacterNGramGraphModel",
+]
+
+Edge = tuple[str, str]
+
+
+def _edge(a: str, b: str) -> Edge:
+    """Canonical (sorted) key for an undirected edge."""
+    return (a, b) if a <= b else (b, a)
+
+
+class NGramGraph:
+    """An undirected weighted graph over n-grams.
+
+    Stored as a ``dict[Edge, float]``; vertices are implicit (the n-grams
+    appearing in at least one edge). ``|G|`` -- the graph *size* used by
+    every similarity measure -- is the number of edges, as in the source
+    papers.
+    """
+
+    __slots__ = ("_edges",)
+
+    def __init__(self, edges: dict[Edge, float] | None = None):
+        self._edges: dict[Edge, float] = dict(edges) if edges else {}
+
+    @classmethod
+    def from_ngrams(cls, grams: Sequence[str], window: int) -> "NGramGraph":
+        """Build a document graph from an n-gram sequence.
+
+        Each n-gram is connected to the n-grams at distance 1..window in
+        the sequence; every co-occurrence increments the edge weight by 1.
+        Self-loops (an n-gram co-occurring with an identical n-gram) are
+        kept -- they carry repetition information.
+        """
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        edges: dict[Edge, float] = {}
+        for i, gram in enumerate(grams):
+            for j in range(i + 1, min(i + window + 1, len(grams))):
+                key = _edge(gram, grams[j])
+                edges[key] = edges.get(key, 0.0) + 1.0
+        return cls(edges)
+
+    # -- mapping-ish surface -------------------------------------------------
+
+    def weight(self, a: str, b: str) -> float:
+        return self._edges.get(_edge(a, b), 0.0)
+
+    def edges(self) -> Iterator[tuple[Edge, float]]:
+        return iter(self._edges.items())
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, edge: Edge) -> bool:
+        return _edge(*edge) in self._edges
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NGramGraph):
+            return NotImplemented
+        return self._edges == other._edges
+
+    def __repr__(self) -> str:
+        return f"NGramGraph({len(self)} edges)"
+
+    # -- update operator -------------------------------------------------
+
+    def updated(self, other: "NGramGraph", learning_factor: float) -> "NGramGraph":
+        """Return this graph merged with ``other`` by the update operator.
+
+        Common edges move towards the incoming weight:
+        ``w = w_self + (w_other - w_self) * learning_factor``; edges only
+        in ``other`` are adopted scaled by the learning factor applied to
+        a zero prior, i.e. ``w = w_other * learning_factor``; edges only
+        in ``self`` are kept unchanged.
+        """
+        if not 0.0 < learning_factor <= 1.0:
+            raise ValueError(f"learning factor must be in (0, 1], got {learning_factor}")
+        merged = dict(self._edges)
+        for key, w_other in other._edges.items():
+            w_self = merged.get(key, 0.0)
+            merged[key] = w_self + (w_other - w_self) * learning_factor
+        return NGramGraph(merged)
+
+    @classmethod
+    def merge_all(cls, graphs: Sequence["NGramGraph"]) -> "NGramGraph":
+        """Merge document graphs into a user graph via the update operator.
+
+        The ``i``-th graph (1-based) is merged with learning factor
+        ``1 / i``, so the result holds running-average edge weights.
+        """
+        model = cls()
+        for i, graph in enumerate(graphs, start=1):
+            model = model.updated(graph, 1.0 / i)
+        return model
+
+
+# -- similarity measures ------------------------------------------------------
+
+
+class GraphSimilarity(str, enum.Enum):
+    """Graph-model similarity measures."""
+
+    CONTAINMENT = "CoS"
+    VALUE = "VS"
+    NORMALIZED_VALUE = "NS"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def containment_similarity(g1: NGramGraph, g2: NGramGraph) -> float:
+    """CoS: fraction of shared edges, normalised by the smaller graph."""
+    if len(g1) == 0 or len(g2) == 0:
+        return 0.0
+    small, large = (g1, g2) if len(g1) <= len(g2) else (g2, g1)
+    shared = sum(1 for edge, _ in small.edges() if edge in large)
+    return shared / len(small)
+
+
+def value_similarity(g1: NGramGraph, g2: NGramGraph) -> float:
+    """VS: weight-aware overlap, normalised by the larger graph."""
+    if len(g1) == 0 or len(g2) == 0:
+        return 0.0
+    small, large = (g1, g2) if len(g1) <= len(g2) else (g2, g1)
+    total = 0.0
+    for (a, b), w_small in small.edges():
+        w_large = large.weight(a, b)
+        if w_large > 0.0 and w_small > 0.0:
+            total += min(w_small, w_large) / max(w_small, w_large)
+    return total / max(len(g1), len(g2))
+
+
+def normalized_value_similarity(g1: NGramGraph, g2: NGramGraph) -> float:
+    """NS: like VS but normalised by the *smaller* graph.
+
+    Mitigates the imbalance between a large user graph and a small tweet
+    graph, which drives VS towards 0.
+    """
+    if len(g1) == 0 or len(g2) == 0:
+        return 0.0
+    small, large = (g1, g2) if len(g1) <= len(g2) else (g2, g1)
+    total = 0.0
+    for (a, b), w_small in small.edges():
+        w_large = large.weight(a, b)
+        if w_large > 0.0 and w_small > 0.0:
+            total += min(w_small, w_large) / max(w_small, w_large)
+    return total / min(len(g1), len(g2))
+
+
+_GRAPH_SIMILARITIES = {
+    GraphSimilarity.CONTAINMENT: containment_similarity,
+    GraphSimilarity.VALUE: value_similarity,
+    GraphSimilarity.NORMALIZED_VALUE: normalized_value_similarity,
+}
+
+
+# -- the models ----------------------------------------------------------------
+
+
+class GraphModel(RepresentationModel):
+    """Shared machinery for TNG and CNG.
+
+    Parameters
+    ----------
+    n:
+        N-gram size; also the co-occurrence window size, as in the paper
+        ("their window size is also n").
+    similarity:
+        CoS, VS, or NS.
+    """
+
+    def __init__(self, n: int, similarity: GraphSimilarity = GraphSimilarity.VALUE):
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        self.n = n
+        self.similarity = GraphSimilarity(similarity)
+        self._similarity_fn = _GRAPH_SIMILARITIES[self.similarity]
+
+    def extract(self, doc: Doc) -> list[str]:
+        raise NotImplementedError
+
+    def fit(self, corpus: Sequence[Doc], user_ids: Sequence[str] | None = None) -> "GraphModel":
+        """Graph models need no corpus-level statistics."""
+        return self
+
+    def represent(self, doc: Doc) -> NGramGraph:
+        return NGramGraph.from_ngrams(self.extract(doc), window=self.n)
+
+    def build_user_model(
+        self,
+        docs: Sequence[Doc],
+        labels: Sequence[int] | None = None,
+    ) -> NGramGraph:
+        """Merge the (positive) document graphs with the update operator.
+
+        Graph models have no negative-example mechanism; when labels are
+        provided, only the positive documents contribute, otherwise all
+        documents do.
+        """
+        if labels is not None:
+            docs = [d for d, l in zip(docs, labels) if l == 1]
+        return NGramGraph.merge_all([self.represent(d) for d in docs])
+
+    def score(self, user_model: NGramGraph, doc_model: NGramGraph) -> float:
+        return self._similarity_fn(user_model, doc_model)
+
+    def describe(self) -> dict[str, object]:
+        return {"model": self.name, "n": self.n, "similarity": self.similarity.value}
+
+
+class TokenNGramGraphModel(GraphModel):
+    """**TNG** -- token n-gram graphs."""
+
+    name = "TNG"
+
+    def extract(self, doc: Doc) -> list[str]:
+        return token_ngrams(list(doc.tokens), self.n)
+
+
+class CharacterNGramGraphModel(GraphModel):
+    """**CNG** -- character n-gram graphs."""
+
+    name = "CNG"
+
+    def extract(self, doc: Doc) -> list[str]:
+        return char_ngrams(doc.text, self.n)

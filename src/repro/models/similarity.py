@@ -1,0 +1,101 @@
+"""Similarity measures for sparse bag-model vectors.
+
+The paper's three measures (Section 3.2):
+
+* **CS**  -- cosine similarity;
+* **JS**  -- Jaccard similarity over the supports (presence/absence);
+* **GJS** -- generalized Jaccard: ``sum(min) / sum(max)`` over weights.
+
+All three operate on sparse ``dict[str, float]`` vectors and return a
+value in ``[0, 1]`` for non-negative weights. Two empty vectors are
+defined to have similarity 0, matching the "no shared evidence" reading
+used throughout the evaluation.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections.abc import Callable, Mapping
+
+__all__ = [
+    "VectorSimilarity",
+    "cosine_similarity",
+    "jaccard_similarity",
+    "generalized_jaccard_similarity",
+    "vector_similarity_function",
+]
+
+SparseVector = Mapping[str, float]
+
+
+class VectorSimilarity(str, enum.Enum):
+    """Bag-model similarity measures."""
+
+    COSINE = "CS"
+    JACCARD = "JS"
+    GENERALIZED_JACCARD = "GJS"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def cosine_similarity(u: SparseVector, v: SparseVector) -> float:
+    """Cosine of the angle between two sparse vectors."""
+    if not u or not v:
+        return 0.0
+    if len(v) < len(u):
+        u, v = v, u
+    dot = sum(w * v[g] for g, w in u.items() if g in v)
+    if dot == 0.0:
+        return 0.0
+    norm_u = math.sqrt(sum(w * w for w in u.values()))
+    norm_v = math.sqrt(sum(w * w for w in v.values()))
+    if norm_u == 0.0 or norm_v == 0.0:
+        return 0.0
+    return dot / (norm_u * norm_v)
+
+
+def jaccard_similarity(u: SparseVector, v: SparseVector) -> float:
+    """Set Jaccard over the non-zero supports of the two vectors."""
+    support_u = {g for g, w in u.items() if w != 0.0}
+    support_v = {g for g, w in v.items() if w != 0.0}
+    if not support_u and not support_v:
+        return 0.0
+    union = len(support_u | support_v)
+    return len(support_u & support_v) / union
+
+
+def generalized_jaccard_similarity(u: SparseVector, v: SparseVector) -> float:
+    """Weighted Jaccard: ``sum_k min(u_k, v_k) / sum_k max(u_k, v_k)``.
+
+    Defined for non-negative weights; raises ``ValueError`` on negative
+    inputs, for which min/max lose their overlap semantics (the paper
+    never combines GJS with signed Rocchio vectors).
+    """
+    num = 0.0
+    den = 0.0
+    for g in u.keys() | v.keys():
+        wu = u.get(g, 0.0)
+        wv = v.get(g, 0.0)
+        if wu < 0.0 or wv < 0.0:
+            raise ValueError("generalized Jaccard requires non-negative weights")
+        num += min(wu, wv)
+        den += max(wu, wv)
+    if den == 0.0:
+        return 0.0
+    return num / den
+
+
+_FUNCTIONS: dict[VectorSimilarity, Callable[[SparseVector, SparseVector], float]] = {
+    VectorSimilarity.COSINE: cosine_similarity,
+    VectorSimilarity.JACCARD: jaccard_similarity,
+    VectorSimilarity.GENERALIZED_JACCARD: generalized_jaccard_similarity,
+}
+
+
+def vector_similarity_function(
+    measure: VectorSimilarity,
+) -> Callable[[SparseVector, SparseVector], float]:
+    """Look up the implementation of a similarity measure."""
+    return _FUNCTIONS[measure]

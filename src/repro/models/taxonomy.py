@@ -1,0 +1,75 @@
+"""The paper's taxonomy of representation models (Figure 1).
+
+Three main categories by how a model handles n-gram order:
+
+* **context-agnostic** -- ignores n-gram order entirely (the topic
+  models); subcategory: *nonparametric* models whose parameter count
+  grows with the data (HDP, HLDA);
+* **local context-aware** -- orders characters/tokens inside each n-gram
+  but ignores order between n-grams (the bag models TN, CN);
+* **global context-aware** -- additionally captures order between
+  n-grams (the graph models TNG, CNG).
+
+Local and global context-aware models are collectively *context-based*;
+CN and CNG form the *character-based* subcategory shared by bags and
+graphs. The registry below makes all of this queryable so reports can
+group results exactly as the paper's discussion does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ContextCategory", "ModelFacts", "TAXONOMY", "models_in_category", "facts_for"]
+
+
+class ContextCategory(str, enum.Enum):
+    """The taxonomy's three main categories."""
+
+    CONTEXT_AGNOSTIC = "context-agnostic"
+    LOCAL_CONTEXT_AWARE = "local context-aware"
+    GLOBAL_CONTEXT_AWARE = "global context-aware"
+
+
+@dataclass(frozen=True)
+class ModelFacts:
+    """Endogenous characteristics of one representation model."""
+
+    name: str
+    category: ContextCategory
+    nonparametric: bool
+    character_based: bool
+    topic_model: bool
+
+    @property
+    def context_based(self) -> bool:
+        """Local and global context-aware models together."""
+        return self.category is not ContextCategory.CONTEXT_AGNOSTIC
+
+
+TAXONOMY: dict[str, ModelFacts] = {
+    facts.name: facts
+    for facts in (
+        ModelFacts("TN", ContextCategory.LOCAL_CONTEXT_AWARE, False, False, False),
+        ModelFacts("CN", ContextCategory.LOCAL_CONTEXT_AWARE, False, True, False),
+        ModelFacts("TNG", ContextCategory.GLOBAL_CONTEXT_AWARE, False, False, False),
+        ModelFacts("CNG", ContextCategory.GLOBAL_CONTEXT_AWARE, False, True, False),
+        ModelFacts("PLSA", ContextCategory.CONTEXT_AGNOSTIC, False, False, True),
+        ModelFacts("LDA", ContextCategory.CONTEXT_AGNOSTIC, False, False, True),
+        ModelFacts("LLDA", ContextCategory.CONTEXT_AGNOSTIC, False, False, True),
+        ModelFacts("BTM", ContextCategory.CONTEXT_AGNOSTIC, False, False, True),
+        ModelFacts("HDP", ContextCategory.CONTEXT_AGNOSTIC, True, False, True),
+        ModelFacts("HLDA", ContextCategory.CONTEXT_AGNOSTIC, True, False, True),
+    )
+}
+
+
+def facts_for(model_name: str) -> ModelFacts:
+    """Taxonomy facts for a model name; raises ``KeyError`` if unknown."""
+    return TAXONOMY[model_name]
+
+
+def models_in_category(category: ContextCategory) -> tuple[str, ...]:
+    """All model names in a taxonomy category, in registry order."""
+    return tuple(name for name, facts in TAXONOMY.items() if facts.category is category)

@@ -1,0 +1,26 @@
+"""Topic models: PLSA, LDA, Labeled LDA, BTM, HDP, HLDA."""
+
+from repro.models.topic.base import TopicModel, dense_centroid, dense_cosine, dense_rocchio
+from repro.models.topic.btm import BitermTopicModel, extract_biterms
+from repro.models.topic.hdp import HdpModel
+from repro.models.topic.hlda import HldaModel
+from repro.models.topic.labels import EMOTICON_CLASSES, LabelExtractor
+from repro.models.topic.lda import LdaModel
+from repro.models.topic.llda import LabeledLdaModel
+from repro.models.topic.plsa import PlsaModel
+
+__all__ = [
+    "BitermTopicModel",
+    "EMOTICON_CLASSES",
+    "HdpModel",
+    "HldaModel",
+    "LabelExtractor",
+    "LabeledLdaModel",
+    "LdaModel",
+    "PlsaModel",
+    "TopicModel",
+    "dense_centroid",
+    "dense_cosine",
+    "dense_rocchio",
+    "extract_biterms",
+]

@@ -1,0 +1,210 @@
+"""Shared machinery for the topic models (PLSA, LDA, LLDA, BTM, HDP, HLDA).
+
+All topic models in the paper follow the same usage protocol (Section 3.2,
+"Using Topic Models"):
+
+1. training documents are pooled (NP / UP / HP) into pseudo-documents;
+2. a single model is trained on the pooled pseudo-documents;
+3. every individual tweet's topic distribution ``theta`` is *inferred*
+   from the trained model;
+4. the user model is the centroid (or Rocchio combination) of her
+   training tweets' distributions;
+5. candidate tweets are ranked by cosine similarity to the user model.
+
+Subclasses implement two hooks: :meth:`TopicModel._train` (fit the model
+on encoded pseudo-documents) and :meth:`TopicModel._infer` (fold in one
+encoded document and return its topic distribution).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EmptyCorpusError, NotFittedError
+from repro.models.aggregation import AggregationFunction
+from repro.models.base import Doc, RepresentationModel
+from repro.text.pooling import PoolingScheme, pool_documents
+from repro.text.vocabulary import Vocabulary
+
+__all__ = ["TopicModel", "dense_cosine", "dense_centroid", "dense_rocchio"]
+
+
+def dense_cosine(u: np.ndarray, v: np.ndarray) -> float:
+    """Cosine similarity between dense vectors; 0 when either is null."""
+    norm_u = float(np.linalg.norm(u))
+    norm_v = float(np.linalg.norm(v))
+    if norm_u == 0.0 or norm_v == 0.0:
+        return 0.0
+    return float(np.dot(u, v) / (norm_u * norm_v))
+
+
+def dense_centroid(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Mean of unit-normalised dense vectors."""
+    if not vectors:
+        raise EmptyCorpusError("cannot build a centroid from zero vectors")
+    total = np.zeros_like(vectors[0], dtype=float)
+    for vec in vectors:
+        norm = np.linalg.norm(vec)
+        if norm > 0.0:
+            total += vec / norm
+    return total / len(vectors)
+
+
+def dense_rocchio(
+    vectors: Sequence[np.ndarray],
+    labels: Sequence[int],
+    alpha: float = 0.8,
+    beta: float = 0.2,
+) -> np.ndarray:
+    """Rocchio combination of dense positive and negative vectors."""
+    if len(vectors) != len(labels):
+        raise ValueError(f"{len(vectors)} vectors but {len(labels)} labels")
+    if not vectors:
+        raise EmptyCorpusError("cannot build a Rocchio model from zero vectors")
+    model = np.zeros_like(vectors[0], dtype=float)
+    positives = [v for v, l in zip(vectors, labels) if l == 1]
+    negatives = [v for v, l in zip(vectors, labels) if l == 0]
+    if positives:
+        model += (alpha / len(positives)) * np.sum(
+            [v / n for v in positives if (n := np.linalg.norm(v)) > 0.0], axis=0
+        )
+    if negatives:
+        model -= (beta / len(negatives)) * np.sum(
+            [v / n for v in negatives if (n := np.linalg.norm(v)) > 0.0], axis=0
+        )
+    return model
+
+
+class TopicModel(RepresentationModel):
+    """Base class implementing the pooling / centroid / cosine protocol.
+
+    Parameters
+    ----------
+    pooling:
+        Pseudo-document pooling scheme for training (NP / UP / HP).
+    aggregation:
+        How tweet distributions fuse into a user model: centroid or
+        Rocchio (sum is not used with topic models in the paper).
+    iterations:
+        Sampler / EM iterations for training.
+    infer_iterations:
+        Fold-in iterations when inferring a new document's distribution.
+    min_count:
+        Minimum corpus frequency for a token to enter the vocabulary.
+    seed:
+        Seed for the model's private RNG; fixed seeds give reproducible
+        fits.
+    """
+
+    def __init__(
+        self,
+        pooling: PoolingScheme = PoolingScheme.USER,
+        aggregation: AggregationFunction = AggregationFunction.CENTROID,
+        iterations: int = 200,
+        infer_iterations: int = 20,
+        min_count: int = 1,
+        seed: int | None = 0,
+        rocchio_alpha: float = 0.8,
+        rocchio_beta: float = 0.2,
+    ):
+        aggregation = AggregationFunction(aggregation)
+        if aggregation is AggregationFunction.SUM:
+            raise ConfigurationError(
+                "topic models use centroid or Rocchio aggregation, not sum"
+            )
+        if iterations < 1:
+            raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
+        self.pooling = PoolingScheme(pooling)
+        self.aggregation = aggregation
+        self.iterations = iterations
+        self.infer_iterations = infer_iterations
+        self.min_count = min_count
+        self.seed = seed
+        self.rocchio_alpha = rocchio_alpha
+        self.rocchio_beta = rocchio_beta
+        self._rng = np.random.default_rng(seed)
+        self._vocabulary: Vocabulary | None = None
+
+    # -- subclass hooks -----------------------------------------------------
+
+    @abc.abstractmethod
+    def _train(self, docs: list[list[int]], raw_docs: list[Sequence[str]]) -> None:
+        """Fit the model on encoded pseudo-documents.
+
+        ``docs[i]`` is the id-encoded token list of pseudo-document ``i``;
+        ``raw_docs[i]`` is the same document's raw token sequence (needed
+        by LLDA for label extraction).
+        """
+
+    @abc.abstractmethod
+    def _infer(self, doc: list[int]) -> np.ndarray:
+        """Topic distribution of one encoded (unseen) document."""
+
+    @property
+    @abc.abstractmethod
+    def n_topics(self) -> int:
+        """Number of topics after training (may be data-driven)."""
+
+    # -- RepresentationModel API -------------------------------------------
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        if self._vocabulary is None:
+            raise NotFittedError(f"{type(self).__name__}.fit was never called")
+        return self._vocabulary
+
+    def fit(self, corpus: Sequence[Doc], user_ids: Sequence[str] | None = None) -> "TopicModel":
+        """Pool, encode and train on the training corpus."""
+        if not corpus:
+            raise EmptyCorpusError("cannot fit a topic model on an empty corpus")
+        token_docs = [list(doc.tokens) for doc in corpus]
+        pooled = pool_documents(token_docs, self.pooling, user_ids=user_ids)
+        raw_docs: list[Sequence[str]] = [p.tokens for p in pooled]
+        self._vocabulary = Vocabulary.from_documents(raw_docs, min_count=self.min_count)
+        encoded = [self._vocabulary.encode(tokens) for tokens in raw_docs]
+        self._train(encoded, raw_docs)
+        return self
+
+    def represent(self, doc: Doc) -> np.ndarray:
+        if self._vocabulary is None:
+            raise NotFittedError(f"{type(self).__name__}.fit was never called")
+        encoded = self._vocabulary.encode(list(doc.tokens))
+        return self._infer(encoded)
+
+    def build_user_model(
+        self,
+        docs: Sequence[Doc],
+        labels: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        if not docs:
+            # A user with no training documents for this source gets a
+            # null model: every candidate scores 0, as for the bag and
+            # graph models' empty representations.
+            return np.zeros(max(self.n_topics, 1))
+        vectors = [self.represent(d) for d in docs]
+        if self.aggregation is AggregationFunction.ROCCHIO:
+            if labels is None:
+                raise ConfigurationError("Rocchio aggregation requires labels")
+            return dense_rocchio(vectors, labels, self.rocchio_alpha, self.rocchio_beta)
+        return dense_centroid(vectors)
+
+    def score(self, user_model: np.ndarray, doc_model: np.ndarray) -> float:
+        return dense_cosine(user_model, doc_model)
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "model": self.name,
+            "pooling": self.pooling.value,
+            "aggregation": self.aggregation.value,
+            "iterations": self.iterations,
+        }
+
+    # -- helpers for subclasses ----------------------------------------------
+
+    def _uniform_theta(self) -> np.ndarray:
+        """Fallback distribution for documents with no in-vocab tokens."""
+        k = self.n_topics
+        return np.full(k, 1.0 / k) if k > 0 else np.zeros(0)

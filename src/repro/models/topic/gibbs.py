@@ -1,0 +1,45 @@
+"""Numerical helpers shared by the Gibbs samplers.
+
+All the collapsed Gibbs samplers in this package need the same two
+primitives: drawing from an unnormalised discrete distribution, and
+sampling the number of occupied tables in a Chinese Restaurant Process
+(used by HDP's table-count resampling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sample_index", "sample_crp_tables"]
+
+
+def sample_index(weights: np.ndarray, rng: np.random.Generator) -> int:
+    """Draw an index proportionally to non-negative ``weights``.
+
+    Falls back to a uniform draw when all weights are zero (which can
+    happen transiently in sparse samplers) rather than crashing the
+    chain.
+    """
+    total = float(weights.sum())
+    if total <= 0.0 or not np.isfinite(total):
+        return int(rng.integers(len(weights)))
+    # Inverse-CDF sampling on the cumulative sum: one uniform draw,
+    # one searchsorted -- the fastest pure-numpy approach for small K.
+    return int(np.searchsorted(np.cumsum(weights), rng.random() * total))
+
+
+def sample_crp_tables(n_customers: int, concentration: float, rng: np.random.Generator) -> int:
+    """Sample the table count for ``n_customers`` in a CRP.
+
+    In a Chinese Restaurant Process with concentration ``a``, customer
+    ``i`` (1-based) opens a new table with probability ``a / (a + i - 1)``.
+    The sum of those Bernoulli draws is the Antoniak-distributed number of
+    occupied tables; HDP resamples its per-document table counts this way.
+    """
+    if n_customers <= 0:
+        return 0
+    if concentration <= 0.0:
+        return 1
+    i = np.arange(n_customers, dtype=float)
+    probs = concentration / (concentration + i)
+    return int((rng.random(n_customers) < probs).sum())

@@ -1,0 +1,114 @@
+"""Label extraction for Labeled LDA.
+
+The paper (Section 4, "Parameter Tuning", following Ramage et al. 2010)
+attaches the following observed labels to every training tweet:
+
+* one label per hashtag that occurs more than ``min_hashtag_count`` times
+  in the training tweets;
+* a label for the question mark;
+* nine emoticon-class labels -- smile, frown, wink, big grin, tongue,
+  heart, surprise, awkward, confused;
+* an ``@user`` label for tweets whose *first* token is a mention.
+
+Frequent labels get 10 variations each (e.g. ``frown-0`` … ``frown-9``),
+so that one label does not absorb a huge share of tokens; the hashtag
+labels and the emoticons *big grin*, *heart*, *surprise* and *confused*
+have no variations, exactly as in the paper. Variation assignment must be
+deterministic for reproducibility: we hash the document index.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+__all__ = ["LabelExtractor", "EMOTICON_CLASSES"]
+
+#: The nine emoticon classes and their member tokens (tokenizer output
+#: is lowercase, so only lowercase forms appear here).
+EMOTICON_CLASSES: dict[str, tuple[str, ...]] = {
+    "smile": (":)", ":-)", "=)", "^_^"),
+    "frown": (":(", ":-("),
+    "wink": (";)", ";-)"),
+    "big grin": (":d", ":-d", "xd"),
+    "tongue": (":p", ":-p"),
+    "heart": ("<3",),
+    "surprise": (":o", ":-o"),
+    "awkward": (":/", ":-/"),
+    "confused": (":s", ":-s"),
+}
+
+#: Labels that never get numeric variations (paper Section 4).
+_NO_VARIATIONS: frozenset[str] = frozenset({"big grin", "heart", "surprise", "confused"})
+
+_N_VARIATIONS = 10
+
+
+class LabelExtractor:
+    """Extracts the paper's LLDA label set from tokenized tweets.
+
+    Parameters
+    ----------
+    min_hashtag_count:
+        A hashtag becomes a label only if it occurs more than this many
+        times across the training tweets (paper: 30).
+    n_variations:
+        Number of variations for the frequent non-hashtag labels
+        (paper: 10).
+    """
+
+    def __init__(self, min_hashtag_count: int = 30, n_variations: int = _N_VARIATIONS):
+        if n_variations < 1:
+            raise ValueError(f"n_variations must be >= 1, got {n_variations}")
+        self.min_hashtag_count = min_hashtag_count
+        self.n_variations = n_variations
+        self._emoticon_to_class = {
+            tok: cls for cls, toks in EMOTICON_CLASSES.items() for tok in toks
+        }
+        self._frequent_hashtags: frozenset[str] = frozenset()
+
+    def fit(self, documents: Sequence[Sequence[str]]) -> "LabelExtractor":
+        """Learn which hashtags are frequent enough to become labels."""
+        counts: Counter[str] = Counter()
+        for doc in documents:
+            counts.update(t for t in doc if t.startswith("#"))
+        self._frequent_hashtags = frozenset(
+            tag for tag, c in counts.items() if c > self.min_hashtag_count
+        )
+        return self
+
+    @property
+    def frequent_hashtags(self) -> frozenset[str]:
+        return self._frequent_hashtags
+
+    def _varied(self, label: str, doc_index: int) -> str:
+        if label in _NO_VARIATIONS:
+            return label
+        return f"{label}-{doc_index % self.n_variations}"
+
+    def labels_for(self, tokens: Sequence[str], doc_index: int) -> list[str]:
+        """The observed labels of one tokenized tweet.
+
+        ``doc_index`` deterministically selects the variation for labels
+        that have them.
+        """
+        labels: list[str] = []
+        seen_classes: set[str] = set()
+        for pos, tok in enumerate(tokens):
+            if tok.startswith("#"):
+                if tok in self._frequent_hashtags and tok not in seen_classes:
+                    labels.append(tok)  # hashtags never vary
+                    seen_classes.add(tok)
+            elif tok == "?":
+                if "?" not in seen_classes:
+                    labels.append(self._varied("question", doc_index))
+                    seen_classes.add("?")
+            elif tok in self._emoticon_to_class:
+                cls = self._emoticon_to_class[tok]
+                if cls not in seen_classes:
+                    labels.append(self._varied(cls, doc_index))
+                    seen_classes.add(cls)
+            elif pos == 0 and tok.startswith("@"):
+                labels.append(self._varied("@user", doc_index))
+                seen_classes.add("@user")
+        return labels

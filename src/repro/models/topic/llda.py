@@ -1,0 +1,171 @@
+"""Labeled LDA trained with constrained collapsed Gibbs sampling.
+
+Labeled LDA (Ramage et al. 2009) is a supervised LDA variant: every
+document carries a set of observed labels, and its words may only be
+assigned to topics corresponding to those labels. Following the paper
+(and Ramage et al. 2010), each document's topic set is the union of
+
+* its observed labels (hashtags, question mark, emoticon classes,
+  ``@user`` -- see :mod:`repro.models.topic.labels`), and
+* ``K`` shared latent topics ``Topic 1 … Topic K`` available to all
+  documents.
+
+The Gibbs update is the LDA update restricted to the document's allowed
+topics. At inference time a new document has no observed labels, so its
+distribution spans the full topic set with the same restricted sampler
+relaxed to all topics; its mass naturally concentrates on the latent
+topics plus any label topics whose words it shares.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.models.topic.base import TopicModel
+from repro.models.topic.gibbs import sample_index
+from repro.models.topic.labels import LabelExtractor
+
+__all__ = ["LabeledLdaModel"]
+
+
+class LabeledLdaModel(TopicModel):
+    """**LLDA** -- Labeled LDA with latent background topics.
+
+    Parameters
+    ----------
+    n_latent_topics:
+        Number of shared latent topics added to every document's label
+        set (paper grid: 50/100/150/200).
+    alpha, beta:
+        Dirichlet priors; ``alpha=None`` selects ``50 / K_total`` after
+        the label vocabulary is known.
+    label_extractor:
+        Source of observed labels; defaults to the paper's configuration.
+    """
+
+    name = "LLDA"
+
+    def __init__(
+        self,
+        n_latent_topics: int = 50,
+        alpha: float | None = None,
+        beta: float = 0.01,
+        label_extractor: LabelExtractor | None = None,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if n_latent_topics < 1:
+            raise ConfigurationError(f"n_latent_topics must be >= 1, got {n_latent_topics}")
+        self.n_latent_topics = n_latent_topics
+        self._alpha_param = alpha
+        self.beta = beta
+        self.label_extractor = label_extractor or LabelExtractor()
+        self.alpha: float | None = alpha
+        self._topic_names: list[str] = []
+        self._phi: np.ndarray | None = None
+
+    @property
+    def n_topics(self) -> int:
+        if not self._topic_names:
+            return self.n_latent_topics
+        return len(self._topic_names)
+
+    @property
+    def topic_names(self) -> tuple[str, ...]:
+        return tuple(self._topic_names)
+
+    @property
+    def phi(self) -> np.ndarray:
+        if self._phi is None:
+            raise NotFittedError("LabeledLdaModel.fit was never called")
+        return self._phi
+
+    def _train(self, docs: list[list[int]], raw_docs: list[Sequence[str]]) -> None:
+        vocab_size = len(self.vocabulary)
+        rng = self._rng
+
+        self.label_extractor.fit(raw_docs)
+        doc_labels = [
+            self.label_extractor.labels_for(tokens, d) for d, tokens in enumerate(raw_docs)
+        ]
+        label_names = sorted({lab for labs in doc_labels for lab in labs})
+        latent_names = [f"Topic {i + 1}" for i in range(self.n_latent_topics)]
+        self._topic_names = latent_names + label_names
+        topic_index = {name: i for i, name in enumerate(self._topic_names)}
+        k = len(self._topic_names)
+        if self._alpha_param is None:
+            self.alpha = 50.0 / k
+
+        latent_ids = np.arange(self.n_latent_topics)
+        allowed: list[np.ndarray] = []
+        for labs in doc_labels:
+            ids = [topic_index[lab] for lab in labs]
+            allowed.append(np.concatenate([latent_ids, np.array(ids, dtype=int)]))
+
+        n_dk = np.zeros((len(docs), k))
+        n_kw = np.zeros((k, vocab_size))
+        n_k = np.zeros(k)
+        assignments: list[np.ndarray] = []
+        for d, doc in enumerate(docs):
+            choices = allowed[d]
+            z = choices[rng.integers(len(choices), size=len(doc))]
+            assignments.append(z)
+            for w, topic in zip(doc, z):
+                n_dk[d, topic] += 1
+                n_kw[topic, w] += 1
+                n_k[topic] += 1
+
+        v_beta = vocab_size * self.beta
+        for _ in range(self.iterations):
+            for d, doc in enumerate(docs):
+                z = assignments[d]
+                choices = allowed[d]
+                for i, w in enumerate(doc):
+                    topic = z[i]
+                    n_dk[d, topic] -= 1
+                    n_kw[topic, w] -= 1
+                    n_k[topic] -= 1
+                    weights = (
+                        (n_dk[d, choices] + self.alpha)
+                        * (n_kw[choices, w] + self.beta)
+                        / (n_k[choices] + v_beta)
+                    )
+                    topic = int(choices[sample_index(weights, rng)])
+                    z[i] = topic
+                    n_dk[d, topic] += 1
+                    n_kw[topic, w] += 1
+                    n_k[topic] += 1
+
+        self._phi = (n_kw + self.beta) / (n_k[:, None] + v_beta)
+
+    def _infer(self, doc: list[int]) -> np.ndarray:
+        if self._phi is None:
+            raise NotFittedError("LabeledLdaModel.fit was never called")
+        if not doc:
+            return self._uniform_theta()
+        k = self.n_topics
+        rng = self._rng
+        phi = self._phi
+
+        n_dk = np.zeros(k)
+        z = rng.integers(k, size=len(doc))
+        for topic in z:
+            n_dk[topic] += 1
+        for _ in range(self.infer_iterations):
+            for i, w in enumerate(doc):
+                topic = z[i]
+                n_dk[topic] -= 1
+                weights = (n_dk + self.alpha) * phi[:, w]
+                topic = sample_index(weights, rng)
+                z[i] = topic
+                n_dk[topic] += 1
+        theta = n_dk + self.alpha
+        return theta / theta.sum()
+
+    def describe(self) -> dict[str, object]:
+        info = super().describe()
+        info.update(n_latent_topics=self.n_latent_topics, beta=self.beta)
+        return info

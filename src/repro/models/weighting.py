@@ -1,0 +1,93 @@
+"""Weighting schemes for the bag (vector space) models.
+
+The paper's three schemes (Section 3.2, "Bag Models"):
+
+* **BF**     -- boolean frequency: 1 if the n-gram occurs, else 0;
+* **TF**     -- term frequency normalised by document length:
+  ``f_j / N_d``;
+* **TF-IDF** -- TF discounted by inverse document frequency:
+  ``TF * log(|D| / (df_j + 1))``.
+
+Vectors are sparse ``dict[str, float]`` mappings -- tweets have a handful
+of n-grams, so dense vectors would waste both memory and time.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.errors import NotFittedError
+
+__all__ = ["WeightingScheme", "IdfTable", "bf_vector", "tf_vector", "tf_idf_vector"]
+
+
+class WeightingScheme(str, enum.Enum):
+    """The three bag-model weighting schemes."""
+
+    BF = "BF"
+    TF = "TF"
+    TF_IDF = "TF-IDF"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class IdfTable:
+    """Inverse document frequencies learned from a training corpus.
+
+    ``idf(t) = log(|D| / (df(t) + 1))`` exactly as in the paper. Unseen
+    n-grams get ``log(|D| / 1)``, the maximum IDF, which is the natural
+    limit of the same formula at ``df = 0``.
+    """
+
+    def __init__(self) -> None:
+        self._df: Counter[str] = Counter()
+        self._n_docs: int | None = None
+
+    def fit(self, documents: Iterable[Iterable[str]]) -> "IdfTable":
+        """Count document frequencies over n-gram streams."""
+        self._df = Counter()
+        n_docs = 0
+        for grams in documents:
+            self._df.update(set(grams))
+            n_docs += 1
+        self._n_docs = n_docs
+        return self
+
+    @property
+    def n_docs(self) -> int:
+        if self._n_docs is None:
+            raise NotFittedError("IdfTable.fit was never called")
+        return self._n_docs
+
+    def idf(self, gram: str) -> float:
+        if self._n_docs is None:
+            raise NotFittedError("IdfTable.fit was never called")
+        if self._n_docs == 0:
+            return 0.0
+        return math.log(self._n_docs / (self._df.get(gram, 0) + 1))
+
+    def __contains__(self, gram: str) -> bool:
+        return gram in self._df
+
+
+def bf_vector(grams: Sequence[str]) -> dict[str, float]:
+    """Boolean-frequency sparse vector."""
+    return {g: 1.0 for g in grams}
+
+
+def tf_vector(grams: Sequence[str]) -> dict[str, float]:
+    """Length-normalised term-frequency sparse vector."""
+    total = len(grams)
+    if total == 0:
+        return {}
+    counts = Counter(grams)
+    return {g: c / total for g, c in counts.items()}
+
+
+def tf_idf_vector(grams: Sequence[str], idf_table: IdfTable) -> dict[str, float]:
+    """TF-IDF sparse vector using a fitted :class:`IdfTable`."""
+    return {g: w * idf_table.idf(g) for g, w in tf_vector(grams).items()}

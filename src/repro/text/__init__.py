@@ -1,0 +1,35 @@
+"""Text-processing substrate: tokenization, n-grams, pooling, language id.
+
+Public surface:
+
+* :class:`~repro.text.tokenizer.TweetTokenizer` -- tweet-aware tokenizer;
+* :func:`~repro.text.ngrams.token_ngrams` / :func:`~repro.text.ngrams.char_ngrams`;
+* :class:`~repro.text.vocabulary.Vocabulary`;
+* :class:`~repro.text.preprocess.StopWordFilter` / :class:`~repro.text.preprocess.Preprocessor`;
+* :class:`~repro.text.pooling.PoolingScheme` / :func:`~repro.text.pooling.pool_documents`;
+* :class:`~repro.text.langdetect.LanguageDetector`.
+"""
+
+from repro.text.langdetect import LanguageDetector
+from repro.text.ngrams import char_ngrams, ngram_counts, token_ngrams
+from repro.text.pooling import PooledDocument, PoolingScheme, pool_documents
+from repro.text.preprocess import Preprocessor, StopWordFilter, clean_for_langdetect
+from repro.text.tokenizer import EMOTICONS, TweetTokenizer, squeeze_repeats
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "EMOTICONS",
+    "LanguageDetector",
+    "PooledDocument",
+    "PoolingScheme",
+    "Preprocessor",
+    "StopWordFilter",
+    "TweetTokenizer",
+    "Vocabulary",
+    "char_ngrams",
+    "clean_for_langdetect",
+    "ngram_counts",
+    "pool_documents",
+    "squeeze_repeats",
+    "token_ngrams",
+]

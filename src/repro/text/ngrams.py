@@ -1,0 +1,53 @@
+"""Character and token n-gram extraction.
+
+Both the bag models (TN, CN) and the graph models (TNG, CNG) of the paper
+are built on n-grams. This module provides the two extraction primitives:
+
+* :func:`token_ngrams` -- n-grams over a token sequence (TN/TNG);
+* :func:`char_ngrams` -- n-grams over the raw character stream (CN/CNG).
+
+N-grams are represented as strings. Token n-grams join their tokens with a
+single space, which is unambiguous because tokens never contain spaces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+__all__ = ["token_ngrams", "char_ngrams", "ngram_counts"]
+
+
+def token_ngrams(tokens: Sequence[str], n: int) -> list[str]:
+    """Return the contiguous token n-grams of ``tokens``.
+
+    >>> token_ngrams(["bob", "sues", "jim"], 2)
+    ['bob sues', 'sues jim']
+
+    A sequence shorter than ``n`` yields no n-grams.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n == 1:
+        return list(tokens)
+    return [" ".join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def char_ngrams(text: str, n: int) -> list[str]:
+    """Return the contiguous character n-grams of ``text``.
+
+    >>> char_ngrams("tweet", 2)
+    ['tw', 'we', 'ee', 'et']
+
+    The text is used verbatim -- callers that want tokenization-level
+    normalisation (lowercasing, squeezing) should apply it first and pass
+    the normalised string.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return [text[i : i + n] for i in range(len(text) - n + 1)]
+
+
+def ngram_counts(grams: Iterable[str]) -> Counter[str]:
+    """Count occurrences of each n-gram. Thin, explicit wrapper."""
+    return Counter(grams)

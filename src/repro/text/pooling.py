@@ -1,0 +1,129 @@
+"""Tweet pooling schemes for topic-model training.
+
+Topic models suffer on sparse documents (Challenge C1), so the paper
+trains them on pooled pseudo-documents (Section 3.2, "Using Topic
+Models"):
+
+* **NP** (no pooling)      -- every tweet is its own document;
+* **UP** (user pooling)    -- all tweets by the same user form one document;
+* **HP** (hashtag pooling) -- all tweets sharing a hashtag form one
+  document; tweets without any hashtag stay individual documents. A tweet
+  with several hashtags contributes to every matching pool.
+
+Pooling operates on *token lists* plus lightweight metadata, so it is
+independent of any particular model.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["PoolingScheme", "PooledDocument", "pool_documents"]
+
+
+class PoolingScheme(str, enum.Enum):
+    """The three pooling strategies of the paper (NP / UP / HP)."""
+
+    NONE = "NP"
+    USER = "UP"
+    HASHTAG = "HP"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class PooledDocument:
+    """One pseudo-document produced by pooling.
+
+    Attributes
+    ----------
+    tokens:
+        The concatenated token lists of the pooled tweets.
+    key:
+        What the pool aggregates on: a user id for UP, a hashtag for HP,
+        or the tweet index for NP and unpooled HP leftovers.
+    source_indices:
+        Indices (into the input list) of the tweets that flowed into this
+        pseudo-document.
+    """
+
+    tokens: tuple[str, ...]
+    key: str
+    source_indices: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+def pool_documents(
+    documents: Sequence[Sequence[str]],
+    scheme: PoolingScheme,
+    user_ids: Sequence[str] | None = None,
+) -> list[PooledDocument]:
+    """Pool tokenized tweets into pseudo-documents under ``scheme``.
+
+    Parameters
+    ----------
+    documents:
+        Tokenized tweets. Hashtag tokens must start with ``"#"`` (the
+        tokenizer guarantees this).
+    scheme:
+        The pooling scheme.
+    user_ids:
+        Per-tweet author ids; required for
+        :attr:`PoolingScheme.USER`, ignored otherwise.
+    """
+    if scheme is PoolingScheme.NONE:
+        return [
+            PooledDocument(tuple(doc), key=str(i), source_indices=(i,))
+            for i, doc in enumerate(documents)
+        ]
+
+    if scheme is PoolingScheme.USER:
+        if user_ids is None:
+            raise ValueError("user pooling requires user_ids")
+        if len(user_ids) != len(documents):
+            raise ValueError(
+                f"user_ids length {len(user_ids)} != documents length {len(documents)}"
+            )
+        by_user: dict[str, list[int]] = defaultdict(list)
+        for i, uid in enumerate(user_ids):
+            by_user[str(uid)].append(i)
+        return [
+            PooledDocument(
+                tokens=tuple(t for i in indices for t in documents[i]),
+                key=uid,
+                source_indices=tuple(indices),
+            )
+            for uid, indices in by_user.items()
+        ]
+
+    if scheme is PoolingScheme.HASHTAG:
+        by_tag: dict[str, list[int]] = defaultdict(list)
+        untagged: list[int] = []
+        for i, doc in enumerate(documents):
+            tags = sorted({t for t in doc if t.startswith("#")})
+            if tags:
+                for tag in tags:
+                    by_tag[tag].append(i)
+            else:
+                untagged.append(i)
+        pools = [
+            PooledDocument(
+                tokens=tuple(t for i in indices for t in documents[i]),
+                key=tag,
+                source_indices=tuple(indices),
+            )
+            for tag, indices in sorted(by_tag.items())
+        ]
+        pools.extend(
+            PooledDocument(tuple(documents[i]), key=str(i), source_indices=(i,))
+            for i in untagged
+        )
+        return pools
+
+    raise ValueError(f"unknown pooling scheme: {scheme!r}")

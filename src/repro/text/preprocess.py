@@ -1,0 +1,100 @@
+"""Corpus-level preprocessing.
+
+The paper removes the 100 most frequent tokens across all *training*
+tweets ("as they practically correspond to stop words", Section 4) and
+otherwise applies only the tokenizer-level normalisation. This module
+implements that corpus-driven stop-word logic plus the tweet-cleaning
+helper used before language detection (strip hashtags, mentions, URLs and
+emoticons).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.text.tokenizer import EMOTICONS, TweetTokenizer
+
+__all__ = ["StopWordFilter", "clean_for_langdetect", "Preprocessor"]
+
+
+class StopWordFilter:
+    """Removes the top-``k`` most frequent tokens of a training corpus.
+
+    The filter must be :meth:`fit` on tokenized training documents before
+    use; applying an unfitted filter is a no-op by design (so pipelines can
+    be composed before data exists) -- but :attr:`stop_words` makes the
+    fitted state inspectable.
+    """
+
+    def __init__(self, top_k: int = 100):
+        if top_k < 0:
+            raise ValueError(f"top_k must be >= 0, got {top_k}")
+        self.top_k = top_k
+        self._stop_words: frozenset[str] = frozenset()
+
+    def fit(self, documents: Iterable[Sequence[str]]) -> "StopWordFilter":
+        """Learn the ``top_k`` most frequent tokens across ``documents``."""
+        counts: Counter[str] = Counter()
+        for doc in documents:
+            counts.update(doc)
+        self._stop_words = frozenset(t for t, _ in counts.most_common(self.top_k))
+        return self
+
+    @property
+    def stop_words(self) -> frozenset[str]:
+        return self._stop_words
+
+    def apply(self, tokens: Sequence[str]) -> list[str]:
+        """Return ``tokens`` with the learned stop words removed."""
+        stop = self._stop_words
+        return [t for t in tokens if t not in stop]
+
+    def __call__(self, tokens: Sequence[str]) -> list[str]:
+        return self.apply(tokens)
+
+
+def clean_for_langdetect(text: str) -> str:
+    """Strip hashtags, mentions, URLs and emoticons from raw tweet text.
+
+    The paper does exactly this before language detection "in order to
+    reduce the noise of non-English tweets" (Section 4).
+    """
+    tokenizer = TweetTokenizer(lowercase=True, squeeze=False)
+    kept = [
+        tok
+        for tok in tokenizer.tokenize(text)
+        if not tok.startswith(("#", "@", "http", "www."))
+        and tok not in EMOTICONS
+        and tok != "?"
+    ]
+    return " ".join(kept)
+
+
+@dataclass
+class Preprocessor:
+    """The full tokenize-then-filter pipeline used throughout the repo.
+
+    Combines a :class:`~repro.text.tokenizer.TweetTokenizer` with a
+    :class:`StopWordFilter`. ``fit`` learns the stop words from raw
+    training texts; ``process`` converts one raw text into its final token
+    list.
+    """
+
+    tokenizer: TweetTokenizer
+    stop_filter: StopWordFilter
+
+    @classmethod
+    def default(cls, top_k_stop_words: int = 100) -> "Preprocessor":
+        return cls(TweetTokenizer(), StopWordFilter(top_k=top_k_stop_words))
+
+    def fit(self, raw_texts: Iterable[str]) -> "Preprocessor":
+        self.stop_filter.fit(self.tokenizer.tokenize(t) for t in raw_texts)
+        return self
+
+    def process(self, raw_text: str) -> list[str]:
+        return self.stop_filter.apply(self.tokenizer.tokenize(raw_text))
+
+    def __call__(self, raw_text: str) -> list[str]:
+        return self.process(raw_text)

@@ -1,0 +1,89 @@
+"""Vocabulary: a bidirectional mapping between terms and integer ids.
+
+Topic models and vectorized bag models need dense integer term ids.
+:class:`Vocabulary` provides a frozen-after-build mapping with O(1)
+lookups in both directions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+
+from repro.errors import EmptyCorpusError
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """An immutable term <-> id mapping built from a token stream.
+
+    Parameters
+    ----------
+    terms:
+        The distinct terms, in the order their ids are assigned.
+
+    Use :meth:`from_documents` to build one from tokenized documents with
+    frequency-based filtering.
+    """
+
+    __slots__ = ("_terms", "_index")
+
+    def __init__(self, terms: Iterable[str]):
+        self._terms: tuple[str, ...] = tuple(terms)
+        self._index: dict[str, int] = {t: i for i, t in enumerate(self._terms)}
+        if len(self._index) != len(self._terms):
+            raise ValueError("duplicate terms passed to Vocabulary")
+
+    @classmethod
+    def from_documents(
+        cls,
+        documents: Iterable[Iterable[str]],
+        min_count: int = 1,
+        max_terms: int | None = None,
+    ) -> "Vocabulary":
+        """Build a vocabulary from tokenized documents.
+
+        Terms are ordered by decreasing corpus frequency (ties broken
+        lexicographically) so that truncation by ``max_terms`` keeps the
+        most frequent ones.
+        """
+        counts: Counter[str] = Counter()
+        n_docs = 0
+        for doc in documents:
+            counts.update(doc)
+            n_docs += 1
+        if n_docs == 0:
+            raise EmptyCorpusError("cannot build a vocabulary from zero documents")
+        kept = [t for t, c in counts.items() if c >= min_count]
+        kept.sort(key=lambda t: (-counts[t], t))
+        if max_terms is not None:
+            kept = kept[:max_terms]
+        return cls(kept)
+
+    def id_of(self, term: str) -> int:
+        """Return the id of ``term``; raises ``KeyError`` if absent."""
+        return self._index[term]
+
+    def get(self, term: str, default: int | None = None) -> int | None:
+        return self._index.get(term, default)
+
+    def term_of(self, term_id: int) -> str:
+        return self._terms[term_id]
+
+    def encode(self, tokens: Iterable[str]) -> list[int]:
+        """Map tokens to ids, silently dropping out-of-vocabulary tokens."""
+        index = self._index
+        return [index[t] for t in tokens if t in index]
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._index
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._terms)
+
+    def __repr__(self) -> str:
+        return f"Vocabulary({len(self)} terms)"

@@ -1,0 +1,48 @@
+"""Synthetic Twitter substrate.
+
+Replaces the paper's (unavailable) 2009 Twitter corpus and social-graph
+snapshot with a simulator that preserves the behaviours the evaluation
+depends on; see DESIGN.md ("Substitutions") for the full rationale.
+"""
+
+from repro.twitter.behavior import RetweetPolicy
+from repro.twitter.dataset import (
+    DatasetConfig,
+    MicroblogDataset,
+    generate_dataset,
+    select_user_groups,
+)
+from repro.twitter.entities import Tweet, UserProfile, UserType
+from repro.twitter.generator import ComposedText, NoiseChannel, TweetComposer
+from repro.twitter.graph import SocialGraph, generate_follow_graph
+from repro.twitter.language import (
+    DEFAULT_LANGUAGES,
+    LanguageInventory,
+    SyntheticLanguage,
+    default_inventory,
+)
+from repro.twitter.stats import GroupStats, SourceStats, group_statistics, language_census
+
+__all__ = [
+    "ComposedText",
+    "DEFAULT_LANGUAGES",
+    "DatasetConfig",
+    "GroupStats",
+    "LanguageInventory",
+    "MicroblogDataset",
+    "NoiseChannel",
+    "RetweetPolicy",
+    "SocialGraph",
+    "SourceStats",
+    "SyntheticLanguage",
+    "Tweet",
+    "TweetComposer",
+    "UserProfile",
+    "UserType",
+    "default_inventory",
+    "generate_dataset",
+    "generate_follow_graph",
+    "group_statistics",
+    "language_census",
+    "select_user_groups",
+]

@@ -1,0 +1,237 @@
+"""The directed follow graph of the Twitter substrate.
+
+Twitter's social graph is directed: ``u1`` may follow ``u2`` unilaterally
+(``u1`` is a *follower* of ``u2``, ``u2`` a *followee* of ``u1``); if
+``u2`` follows back, the two are *reciprocally* connected. The paper's
+representation sources E(u), F(u) and C(u) are defined over exactly these
+three relations.
+
+:class:`SocialGraph` stores the adjacency in both directions for O(1)
+queries. :func:`generate_follow_graph` wires a synthetic graph whose
+degree structure supports all three user types: designated
+information-seeker roles get many followees, producer roles get many
+followers, and a preferential-attachment term produces the heavy-tailed
+in-degree distribution of real social networks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import DataGenerationError
+
+__all__ = ["SocialGraph", "generate_follow_graph"]
+
+
+class SocialGraph:
+    """Directed follow relationships with O(1) two-way adjacency."""
+
+    def __init__(self, n_users: int):
+        if n_users < 0:
+            raise ValueError(f"n_users must be >= 0, got {n_users}")
+        self._n_users = n_users
+        self._followees: list[set[int]] = [set() for _ in range(n_users)]
+        self._followers: list[set[int]] = [set() for _ in range(n_users)]
+
+    @property
+    def n_users(self) -> int:
+        return self._n_users
+
+    def add_follow(self, follower: int, followee: int) -> None:
+        """Record that ``follower`` follows ``followee``."""
+        if follower == followee:
+            raise ValueError(f"user {follower} cannot follow themselves")
+        self._check(follower)
+        self._check(followee)
+        self._followees[follower].add(followee)
+        self._followers[followee].add(follower)
+
+    def follows(self, follower: int, followee: int) -> bool:
+        return followee in self._followees[follower]
+
+    def followees(self, user: int) -> frozenset[int]:
+        """e(u): the accounts ``user`` follows."""
+        self._check(user)
+        return frozenset(self._followees[user])
+
+    def followers(self, user: int) -> frozenset[int]:
+        """f(u): the accounts following ``user``."""
+        self._check(user)
+        return frozenset(self._followers[user])
+
+    def reciprocal(self, user: int) -> frozenset[int]:
+        """The accounts connected to ``user`` in both directions."""
+        self._check(user)
+        return frozenset(self._followees[user] & self._followers[user])
+
+    def n_edges(self) -> int:
+        return sum(len(s) for s in self._followees)
+
+    def _check(self, user: int) -> None:
+        if not 0 <= user < self._n_users:
+            raise KeyError(f"unknown user id {user} (graph has {self._n_users} users)")
+
+    def __repr__(self) -> str:
+        return f"SocialGraph({self._n_users} users, {self.n_edges()} follows)"
+
+
+def generate_follow_graph(
+    roles: Sequence[str],
+    rng: np.random.Generator,
+    interests: Sequence[np.ndarray] | None = None,
+    homophily: float = 2.0,
+    languages: Sequence[str] | None = None,
+    language_affinity: float = 0.1,
+    followee_counts: dict[str, int] | None = None,
+    producer_extra_followers: int = 8,
+    reciprocity: float = 0.3,
+    min_followers: int = 3,
+    min_followees: int = 3,
+) -> SocialGraph:
+    """Generate a follow graph matching the requested user roles.
+
+    The posting ratio that classifies users (paper Section 2) is
+    ``|outgoing| / |E(u)|``, so the graph controls user types through
+    *whom* each user follows:
+
+    * **seekers** follow many accounts, preferring popular producers, so
+      their incoming stream E(u) dwarfs their own output;
+    * **balanced** users follow a small mix of quiet accounts, keeping
+      E(u) comparable to their output;
+    * **producers** follow almost nobody noisy -- mostly lurkers plus at
+      most one balanced account -- so E(u) stays far below their output;
+    * **lurkers** barely post; they exist so the other roles have quiet
+      accounts to follow (real Twitter is full of them).
+
+    Parameters
+    ----------
+    roles:
+        One of ``"seeker"``, ``"producer"``, ``"balanced"``, ``"lurker"``
+        per user.
+    rng:
+        Random source.
+    languages:
+        Optional per-user language names; when given, follow targets in
+        a different language are down-weighted by ``language_affinity``
+        (people mostly follow accounts they can read).
+    interests:
+        Optional per-user topic-interest vectors; when given, follow
+        targets are additionally weighted by interest similarity raised
+        to ``homophily``, so a user\'s incoming stream is biased towards
+        content she actually cares about (users pick whom to follow by
+        interest on real Twitter, and the retweet relevance signal in
+        E(u) depends on it).
+    homophily:
+        Exponent on the interest-similarity weight; 0 disables it.
+    followee_counts:
+        Followees wired per role; defaults to
+        ``{"seeker": 12, "balanced": 4, "producer": 3, "lurker": 4}``.
+    producer_extra_followers:
+        Extra followers wired towards each producer.
+    reciprocity:
+        Probability that a new follow is reciprocated, yielding C(u).
+        Follows towards producers are never reciprocated (a producer
+        following back would inflate her E(u) out of the IP regime).
+    min_followers, min_followees:
+        The paper\'s dataset filter (each user kept >= 3 of both); the
+        generator tops up until the constraint holds.
+    """
+    n = len(roles)
+    if n < max(min_followers, min_followees) + 1:
+        raise DataGenerationError(
+            f"need at least {max(min_followers, min_followees) + 1} users, got {n}"
+        )
+    valid_roles = {"seeker", "producer", "balanced", "lurker"}
+    unknown = set(roles) - valid_roles
+    if unknown:
+        raise DataGenerationError(f"unknown roles: {sorted(unknown)}")
+    if interests is not None and len(interests) != n:
+        raise DataGenerationError(
+            f"{len(interests)} interest vectors for {n} users"
+        )
+    if languages is not None and len(languages) != n:
+        raise DataGenerationError(f"{len(languages)} languages for {n} users")
+    if followee_counts is None:
+        followee_counts = {"seeker": 12, "balanced": 4, "producer": 3, "lurker": 4}
+
+    graph = SocialGraph(n)
+    in_degree = np.ones(n)  # +1 smoothing for preferential attachment
+
+    if interests is not None:
+        stacked = np.stack([np.asarray(v, dtype=float) for v in interests])
+        norms = np.linalg.norm(stacked, axis=1, keepdims=True)
+        normed = stacked / np.where(norms > 0, norms, 1.0)
+        similarity = normed @ normed.T  # cosine of interest vectors
+    else:
+        similarity = None
+
+    def follow(follower: int, followee: int) -> None:
+        if follower == followee or graph.follows(follower, followee):
+            return
+        graph.add_follow(follower, followee)
+        in_degree[followee] += 1
+        back_p = 0.0 if roles[followee] == "producer" else reciprocity
+        if rng.random() < back_p and not graph.follows(followee, follower):
+            graph.add_follow(followee, follower)
+            in_degree[follower] += 1
+
+    def pick_targets(user: int, count: int, weights: np.ndarray) -> Iterable[int]:
+        weights = weights.astype(float).copy()
+        if similarity is not None and homophily > 0:
+            weights = weights * np.clip(similarity[user], 0.0, None) ** homophily
+        if languages is not None:
+            # Language homophily: users overwhelmingly follow accounts
+            # they can read. Cross-language follows still happen (the
+            # paper's corpus has them), just rarely.
+            same = np.array([languages[v] == languages[user] for v in range(n)])
+            weights = weights * np.where(same, 1.0, language_affinity)
+        weights[user] = 0.0
+        total = weights.sum()
+        if total <= 0:
+            return []
+        count = min(count, int((weights > 0).sum()))
+        if count <= 0:
+            return []
+        return rng.choice(n, size=count, replace=False, p=weights / total)
+
+    # Per-follower-role weights over followee roles. Seekers additionally
+    # get the preferential-attachment in-degree factor.
+    role_weights = {
+        "seeker": {"seeker": 0.5, "balanced": 1.0, "producer": 5.0, "lurker": 0.2},
+        "balanced": {"seeker": 0.5, "balanced": 3.0, "producer": 0.1, "lurker": 6.0},
+        "producer": {"seeker": 0.5, "balanced": 6.0, "producer": 0.1, "lurker": 8.0},
+        "lurker": {"seeker": 1.0, "balanced": 2.0, "producer": 3.0, "lurker": 0.5},
+    }
+
+    for user, role in enumerate(roles):
+        weights = np.array([role_weights[role][r] for r in roles])
+        if role == "seeker":
+            weights = weights * in_degree
+        for target in pick_targets(user, followee_counts[role], weights):
+            follow(user, int(target))
+
+    follower_weights = np.array(
+        [{"seeker": 5.0, "balanced": 2.0, "producer": 0.2, "lurker": 1.0}[r] for r in roles]
+    )
+    for user, role in enumerate(roles):
+        if role != "producer":
+            continue
+        for source in pick_targets(user, producer_extra_followers, follower_weights):
+            follow(int(source), user)
+
+    # Top-up pass: enforce the paper's >=3 followers / >=3 followees filter.
+    for user in range(n):
+        while len(graph.followees(user)) < min_followees:
+            candidates = [v for v in range(n) if v != user and not graph.follows(user, v)]
+            if not candidates:
+                raise DataGenerationError(f"cannot satisfy min_followees for user {user}")
+            follow(user, int(rng.choice(candidates)))
+        while len(graph.followers(user)) < min_followers:
+            candidates = [v for v in range(n) if v != user and not graph.follows(v, user)]
+            if not candidates:
+                raise DataGenerationError(f"cannot satisfy min_followers for user {user}")
+            follow(int(rng.choice(candidates)), user)
+
+    return graph

@@ -1,0 +1,112 @@
+"""Dataset statistics: the machinery behind Tables 2 and 3.
+
+Table 2 reports, per user group, the totals and per-user min/mean/max of
+outgoing tweets (TR), retweets (R), incoming tweets (E) and followers'
+tweets (F). Table 3 is a language census: tweets are cleaned, pooled per
+user, the prevalent language of each pseudo-document is detected, and all
+of the user's tweets are assigned to it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.text.langdetect import LanguageDetector
+from repro.text.preprocess import clean_for_langdetect
+from repro.twitter.dataset import MicroblogDataset
+from repro.twitter.entities import UserType
+
+__all__ = ["SourceStats", "GroupStats", "group_statistics", "language_census"]
+
+
+@dataclass(frozen=True)
+class SourceStats:
+    """Total / min / mean / max tweet counts over a user group."""
+
+    total: int
+    minimum: int
+    mean: float
+    maximum: int
+
+    @classmethod
+    def from_counts(cls, counts: Sequence[int]) -> "SourceStats":
+        if not counts:
+            return cls(0, 0, 0.0, 0)
+        return cls(
+            total=sum(counts),
+            minimum=min(counts),
+            mean=sum(counts) / len(counts),
+            maximum=max(counts),
+        )
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """One user group's row block of Table 2."""
+
+    group: UserType
+    n_users: int
+    outgoing: SourceStats
+    retweets: SourceStats
+    incoming: SourceStats
+    followers_tweets: SourceStats
+
+
+def group_statistics(
+    dataset: MicroblogDataset, groups: dict[UserType, list[int]]
+) -> dict[UserType, GroupStats]:
+    """Compute the Table 2 statistics for every user group."""
+    result: dict[UserType, GroupStats] = {}
+    for group, user_ids in groups.items():
+        outgoing = [len(dataset.outgoing(uid)) for uid in user_ids]
+        retweets = [len(dataset.retweets_of(uid)) for uid in user_ids]
+        incoming = [len(dataset.incoming(uid)) for uid in user_ids]
+        followers = [len(dataset.followers_tweets(uid)) for uid in user_ids]
+        result[group] = GroupStats(
+            group=group,
+            n_users=len(user_ids),
+            outgoing=SourceStats.from_counts(outgoing),
+            retweets=SourceStats.from_counts(retweets),
+            incoming=SourceStats.from_counts(incoming),
+            followers_tweets=SourceStats.from_counts(followers),
+        )
+    return result
+
+
+def language_census(
+    dataset: MicroblogDataset,
+    detector: LanguageDetector | None = None,
+    detector_samples: int = 50,
+) -> dict[str, int]:
+    """Tweets per detected language -- the paper's Table 3 protocol.
+
+    Every tweet is cleaned (hashtags, mentions, URLs and emoticons
+    stripped), tweets are pooled per user, the pseudo-document's language
+    is detected, and all the user's tweets count towards that language.
+
+    A detector trained on the dataset's own language inventory is built
+    when none is supplied.
+    """
+    if detector is None:
+        import numpy as np
+
+        inventory = dataset.inventory
+        rng = np.random.default_rng(0)
+        samples = {
+            name: inventory.sample_texts(name, detector_samples, 8, rng)
+            for name in inventory.language_names
+        }
+        detector = LanguageDetector().fit(samples)
+
+    census: Counter[str] = Counter()
+    for user in dataset.users:
+        posts = dataset.outgoing(user.user_id)
+        if not posts:
+            continue
+        pooled = " ".join(clean_for_langdetect(t.text) for t in posts)
+        detected = detector.detect(pooled)
+        if detected is not None:
+            census[detected] += len(posts)
+    return dict(census)

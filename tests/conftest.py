@@ -1,0 +1,56 @@
+"""Shared fixtures: tiny corpora and a small simulated dataset.
+
+Dataset generation and pipeline evaluation are the expensive parts, so
+the fixtures are session-scoped; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.base import TextDoc
+from repro.twitter.dataset import DatasetConfig, generate_dataset, select_user_groups
+from repro.twitter.language import LanguageInventory, SyntheticLanguage
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus() -> list[TextDoc]:
+    """Six tokenized documents over two obvious themes (pets, markets)."""
+    texts = [
+        "the cat sat on the mat",
+        "dogs chase cats in the park",
+        "stock market rallies today",
+        "the market closed higher today",
+        "cats and dogs are pets",
+        "traders watch the stock ticker",
+    ]
+    return [TextDoc.from_tokens(tuple(t.split())) for t in texts]
+
+
+@pytest.fixture(scope="session")
+def tiny_user_ids() -> list[str]:
+    """Authors for :func:`tiny_corpus` (two users, one per theme-ish)."""
+    return ["u1", "u1", "u2", "u2", "u1", "u2"]
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small but complete simulated dataset (24 users, 80 ticks)."""
+    return generate_dataset(DatasetConfig(n_users=24, n_ticks=80, seed=11))
+
+
+@pytest.fixture(scope="session")
+def small_groups(small_dataset):
+    return select_user_groups(small_dataset, group_size=5, min_retweets=5)
+
+
+@pytest.fixture(scope="session")
+def two_language_inventory() -> LanguageInventory:
+    """A 2-language, 4-topic inventory for fast language-level tests."""
+    langs = (
+        (SyntheticLanguage("alpha", "bcdfgh", "aeiou"), 0.7),
+        (SyntheticLanguage("beta", "klmnpr", "aiu"), 0.3),
+    )
+    return LanguageInventory(
+        languages=langs, n_topics=4, words_per_topic=30, n_common_words=10, seed=5
+    )

@@ -1,0 +1,65 @@
+"""Tests for the CHR and RAN baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    chronological_ordering,
+    random_ordering,
+    random_ordering_expected_ap,
+)
+from repro.twitter.entities import Tweet
+
+
+def tweets_at(timestamps: list[int]) -> list[Tweet]:
+    return [
+        Tweet(tweet_id=i, author_id=0, text=f"t{i}", timestamp=ts)
+        for i, ts in enumerate(timestamps)
+    ]
+
+
+class TestChronological:
+    def test_most_recent_first(self):
+        order = chronological_ordering(tweets_at([5, 9, 1]))
+        assert order == [1, 0, 2]
+
+    def test_tie_broken_by_tweet_id_descending(self):
+        order = chronological_ordering(tweets_at([3, 3]))
+        assert order == [1, 0]
+
+    def test_empty(self):
+        assert chronological_ordering([]) == []
+
+
+class TestRandomOrdering:
+    def test_is_permutation(self):
+        order = random_ordering(tweets_at([1, 2, 3, 4]), np.random.default_rng(0))
+        assert sorted(order) == [0, 1, 2, 3]
+
+
+class TestExpectedRandomAp:
+    def test_no_relevant_items(self):
+        assert random_ordering_expected_ap([False, False]) == 0.0
+
+    def test_empty(self):
+        assert random_ordering_expected_ap([]) == 0.0
+
+    def test_all_relevant_is_one(self):
+        assert random_ordering_expected_ap([True, True], iterations=10) == pytest.approx(1.0)
+
+    def test_near_prevalence_for_one_in_five(self):
+        # The paper's 1:4 positive:negative protocol; expected AP of a
+        # random ranking with 1 relevant item among 5 is
+        # mean over positions of 1/position-of-relevant ≈ 0.457.
+        flags = [True] + [False] * 4
+        estimate = random_ordering_expected_ap(flags, iterations=4000, seed=1)
+        exact = np.mean([1 / k for k in range(1, 6)])
+        assert estimate == pytest.approx(exact, abs=0.02)
+
+    def test_seed_reproducible(self):
+        flags = [True, False, False]
+        a = random_ordering_expected_ap(flags, iterations=50, seed=3)
+        b = random_ordering_expected_ap(flags, iterations=50, seed=3)
+        assert a == b

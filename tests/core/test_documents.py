@@ -1,0 +1,44 @@
+"""Tests for the tweet -> TextDoc conversion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.documents import DocumentFactory
+from repro.errors import NotFittedError
+from repro.twitter.entities import Tweet
+
+
+def tweet(text: str, tid: int = 0) -> Tweet:
+    return Tweet(tweet_id=tid, author_id=0, text=text, timestamp=0)
+
+
+class TestDocumentFactory:
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            DocumentFactory().to_doc(tweet("hello"))
+
+    def test_learns_stop_words_from_training(self):
+        factory = DocumentFactory(top_k_stop_words=1)
+        factory.fit([tweet("the cat"), tweet("the dog"), tweet("the bird")])
+        assert factory.stop_words == {"the"}
+        doc = factory.to_doc(tweet("the cat runs"))
+        assert doc.tokens == ("cat", "runs")
+
+    def test_text_is_joined_tokens(self):
+        factory = DocumentFactory(top_k_stop_words=0).fit([tweet("x")])
+        doc = factory.to_doc(tweet("Hello WORLD"))
+        assert doc.text == "hello world"
+        assert doc.tokens == ("hello", "world")
+
+    def test_to_docs_preserves_order(self):
+        factory = DocumentFactory(top_k_stop_words=0).fit([tweet("x")])
+        docs = factory.to_docs([tweet("one"), tweet("two")])
+        assert [d.text for d in docs] == ["one", "two"]
+
+    def test_special_tokens_survive(self):
+        factory = DocumentFactory(top_k_stop_words=0).fit([tweet("x")])
+        doc = factory.to_doc(tweet("see #edbt @alice :) http://t.co/a1"))
+        assert "#edbt" in doc.tokens
+        assert "@alice" in doc.tokens
+        assert ":)" in doc.tokens

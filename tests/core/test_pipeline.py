@@ -1,0 +1,105 @@
+"""Tests for the end-to-end evaluation pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ExperimentPipeline
+from repro.core.sources import RepresentationSource
+from repro.errors import ConfigurationError, DataGenerationError
+from repro.models.bag import TokenNGramModel
+from repro.models.graph import TokenNGramGraphModel
+from repro.twitter.entities import UserType
+
+
+@pytest.fixture(scope="module")
+def pipeline(small_dataset):
+    return ExperimentPipeline(small_dataset, seed=1, max_train_docs_per_user=80)
+
+
+@pytest.fixture(scope="module")
+def users(small_dataset, small_groups, pipeline):
+    return pipeline.eligible_users(small_groups[UserType.ALL])
+
+
+class TestEligibility:
+    def test_eligible_users_have_splits(self, pipeline, users):
+        assert users
+        for uid in users:
+            split = pipeline.split_for(uid)
+            assert split.positives
+
+    def test_split_cached(self, pipeline, users):
+        assert pipeline.split_for(users[0]) is pipeline.split_for(users[0])
+
+
+class TestEvaluate:
+    def test_result_structure(self, pipeline, users):
+        model = TokenNGramModel(n=1, weighting="TF")
+        result = pipeline.evaluate(model, RepresentationSource.R, users)
+        assert result.model == "TN"
+        assert result.source is RepresentationSource.R
+        assert set(result.per_user_ap) == set(users)
+        assert all(0.0 <= ap <= 1.0 for ap in result.per_user_ap.values())
+        assert result.training_seconds >= 0.0
+        assert result.testing_seconds >= 0.0
+
+    def test_map_is_mean_of_aps(self, pipeline, users):
+        model = TokenNGramModel(n=1, weighting="TF")
+        result = pipeline.evaluate(model, RepresentationSource.R, users)
+        expected = sum(result.per_user_ap.values()) / len(result.per_user_ap)
+        assert result.map_score == pytest.approx(expected)
+
+    def test_content_model_beats_random(self, pipeline, users):
+        model = TokenNGramModel(n=1, weighting="TF-IDF")
+        result = pipeline.evaluate(model, RepresentationSource.R, users)
+        ran = pipeline.evaluate_random(users, iterations=100)
+        ran_map = sum(ran.values()) / len(ran)
+        assert result.map_score > ran_map
+
+    def test_rocchio_on_source_without_negatives_rejected(self, pipeline, users):
+        model = TokenNGramModel(n=1, weighting="TF", aggregation="rocchio")
+        with pytest.raises(ConfigurationError):
+            pipeline.evaluate(model, RepresentationSource.R, users)
+
+    def test_rocchio_on_negative_source_accepted(self, pipeline, users):
+        model = TokenNGramModel(n=1, weighting="TF", aggregation="rocchio")
+        result = pipeline.evaluate(model, RepresentationSource.E, users)
+        assert result.map_score >= 0.0
+
+    def test_graph_model_runs(self, pipeline, users):
+        result = pipeline.evaluate(
+            TokenNGramGraphModel(n=1), RepresentationSource.TR, users
+        )
+        assert 0.0 <= result.map_score <= 1.0
+
+    def test_no_eligible_users_raises(self, small_dataset):
+        fresh = ExperimentPipeline(small_dataset, seed=1)
+        quiet = [
+            u.user_id for u in small_dataset.users
+            if not small_dataset.retweets_of(u.user_id)
+        ]
+        if not quiet:
+            pytest.skip("every user has retweets")
+        with pytest.raises(DataGenerationError):
+            fresh.evaluate(TokenNGramModel(n=1, weighting="TF"),
+                           RepresentationSource.R, quiet)
+
+    def test_max_train_docs_cap(self, small_dataset, users):
+        capped = ExperimentPipeline(small_dataset, seed=1, max_train_docs_per_user=3)
+        tweets = capped._train_tweets_for(users[0], RepresentationSource.E)
+        assert len(tweets) <= 3
+
+
+class TestBaselines:
+    def test_chronological_returns_per_user_ap(self, pipeline, users):
+        aps = pipeline.evaluate_chronological(users)
+        assert set(aps) == set(users)
+        assert all(0.0 <= v <= 1.0 for v in aps.values())
+
+    def test_random_near_class_prevalence(self, pipeline, users):
+        aps = pipeline.evaluate_random(users, iterations=200)
+        mean_ap = sum(aps.values()) / len(aps)
+        # 1 positive per 5 candidates gives an expected AP well below 0.5
+        # and above the positive rate 0.2.
+        assert 0.15 < mean_ap < 0.55

@@ -1,0 +1,45 @@
+"""Tests for the ranking recommender."""
+
+from __future__ import annotations
+
+from repro.core.recommender import RankingRecommender
+from repro.models.bag import TokenNGramModel
+from repro.models.base import TextDoc
+
+
+def doc(text: str) -> TextDoc:
+    return TextDoc.from_tokens(tuple(text.split()))
+
+
+class TestRankingRecommender:
+    def test_ranks_by_descending_score(self, tiny_corpus):
+        rec = RankingRecommender(TokenNGramModel(n=1, weighting="TF")).fit(tiny_corpus)
+        um = rec.build_profile([doc("cats dogs pets"), doc("cat mat")])
+        candidates = [doc("stock ticker"), doc("cats and dogs"), doc("market today")]
+        ranking = rec.rank(um, candidates)
+        assert ranking[0].position == 1  # the pets doc wins
+        scores = [item.score for item in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_ties_broken_by_input_position(self, tiny_corpus):
+        rec = RankingRecommender(TokenNGramModel(n=1, weighting="TF")).fit(tiny_corpus)
+        um = rec.build_profile([doc("cats")])
+        # Both candidates score zero; input order must be preserved.
+        ranking = rec.rank(um, [doc("alpha"), doc("beta")])
+        assert [item.position for item in ranking] == [0, 1]
+
+    def test_every_candidate_ranked_once(self, tiny_corpus):
+        rec = RankingRecommender(TokenNGramModel(n=1, weighting="TF")).fit(tiny_corpus)
+        um = rec.build_profile(tiny_corpus[:2])
+        ranking = rec.rank(um, tiny_corpus)
+        assert sorted(item.position for item in ranking) == list(range(len(tiny_corpus)))
+
+    def test_fit_returns_self(self, tiny_corpus):
+        rec = RankingRecommender(TokenNGramModel(n=1, weighting="TF"))
+        assert rec.fit(tiny_corpus) is rec
+
+    def test_labels_forwarded_to_model(self, tiny_corpus):
+        model = TokenNGramModel(n=1, weighting="TF", aggregation="rocchio")
+        rec = RankingRecommender(model).fit(tiny_corpus)
+        um = rec.build_profile([doc("good stuff"), doc("bad stuff")], labels=[1, 0])
+        assert um["good"] > 0 > um["bad"]

@@ -1,0 +1,95 @@
+"""Tests for AP / MAP / MAP-deviation metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    MapSummary,
+    average_precision,
+    mean_average_precision,
+    precision_at,
+    summarize_maps,
+)
+
+
+class TestPrecisionAt:
+    def test_prefix_precision(self):
+        relevance = [True, False, True, False]
+        assert precision_at(relevance, 1) == 1.0
+        assert precision_at(relevance, 2) == 0.5
+        assert precision_at(relevance, 4) == 0.5
+
+    def test_n_beyond_length_uses_available(self):
+        assert precision_at([True], 5) == 1.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            precision_at([True], 0)
+
+    def test_empty_list(self):
+        assert precision_at([], 3) == 0.0
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([True, True, False, False]) == 1.0
+
+    def test_worst_ranking(self):
+        # Two relevant items at the bottom of four.
+        ap = average_precision([False, False, True, True])
+        assert math.isclose(ap, (1 / 3 + 2 / 4) / 2)
+
+    def test_textbook_example(self):
+        # relevant at ranks 1 and 3: (1/1 + 2/3) / 2
+        ap = average_precision([True, False, True])
+        assert math.isclose(ap, (1.0 + 2 / 3) / 2)
+
+    def test_no_relevant(self):
+        assert average_precision([False, False]) == 0.0
+
+    def test_empty(self):
+        assert average_precision([]) == 0.0
+
+    def test_single_relevant_at_rank_k(self):
+        for k in range(1, 6):
+            flags = [False] * (k - 1) + [True]
+            assert math.isclose(average_precision(flags), 1 / k)
+
+    @given(st.lists(st.booleans(), max_size=30))
+    def test_bounded(self, flags):
+        assert 0.0 <= average_precision(flags) <= 1.0
+
+    @given(st.integers(1, 8), st.integers(0, 8))
+    def test_perfect_is_upper_bound(self, n_pos, n_neg):
+        perfect = [True] * n_pos + [False] * n_neg
+        worst = [False] * n_neg + [True] * n_pos
+        assert average_precision(perfect) >= average_precision(worst)
+
+
+class TestMeanAveragePrecision:
+    def test_mean(self):
+        assert mean_average_precision([0.2, 0.4]) == pytest.approx(0.3)
+
+    def test_empty_group(self):
+        assert mean_average_precision([]) == 0.0
+
+
+class TestMapSummary:
+    def test_summary_fields(self):
+        summary = summarize_maps([0.2, 0.5, 0.3])
+        assert summary == MapSummary(minimum=0.2, mean=pytest.approx(1 / 3), maximum=0.5)
+
+    def test_deviation_is_robustness_measure(self):
+        assert summarize_maps([0.2, 0.5]).deviation == pytest.approx(0.3)
+
+    def test_single_config_zero_deviation(self):
+        assert summarize_maps([0.4]).deviation == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_maps([])

@@ -1,0 +1,80 @@
+"""Tests for the paired significance tests (validated against scipy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import paired_t_test, wilcoxon_signed_rank
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestPairedT:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.5, 0.1, size=30)
+        b = a + rng.normal(0.05, 0.05, size=30)
+        ours = paired_t_test(list(a), list(b))
+        theirs = scipy_stats.ttest_rel(a, b)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-9)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6)
+
+    def test_identical_samples_not_significant(self):
+        result = paired_t_test([0.1, 0.2, 0.3], [0.1, 0.2, 0.3])
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_constant_shift_maximally_significant(self):
+        result = paired_t_test([1.0, 2.0, 3.0], [0.5, 1.5, 2.5])
+        assert result.p_value == 0.0
+        assert result.significant()
+
+    def test_large_difference_significant(self):
+        a = [0.9] * 10
+        b = [0.1 + 0.01 * i for i in range(10)]
+        assert paired_t_test(a, b).significant()
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [1.0, 2.0])
+
+    def test_too_few_pairs(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [2.0])
+
+
+class TestWilcoxon:
+    def test_matches_scipy_approximation(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.5, 0.1, size=40)
+        b = a + rng.normal(0.04, 0.08, size=40)
+        ours = wilcoxon_signed_rank(list(a), list(b))
+        theirs = scipy_stats.wilcoxon(a, b, correction=True, mode="approx")
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=0.05)
+
+    def test_identical_samples(self):
+        result = wilcoxon_signed_rank([1.0, 2.0], [1.0, 2.0])
+        assert result.p_value == 1.0
+
+    def test_clear_difference_significant(self):
+        a = [0.8 + 0.01 * i for i in range(15)]
+        b = [0.2 + 0.01 * i for i in range(15)]
+        assert wilcoxon_signed_rank(a, b).significant()
+
+    def test_symmetric_noise_not_significant(self):
+        rng = np.random.default_rng(2)
+        a = list(rng.normal(0.5, 0.1, size=30))
+        b = list(np.array(a) + rng.normal(0.0, 0.001, size=30))
+        result = wilcoxon_signed_rank(a, b)
+        assert result.p_value > 0.05
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1.0], [1.0, 2.0])
+
+    def test_handles_ties_in_magnitudes(self):
+        a = [1.0, 2.0, 3.0, 4.0]
+        b = [0.5, 1.5, 3.5, 4.5]  # |diffs| all 0.5 -- fully tied ranks
+        result = wilcoxon_signed_rank(a, b)
+        assert 0.0 <= result.p_value <= 1.0

@@ -1,0 +1,45 @@
+"""Tests for the timing harness."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.eval.timing import Stopwatch, TimingSummary, summarize_timings
+
+
+class TestStopwatch:
+    def test_accumulates_segments(self):
+        watch = Stopwatch()
+        with watch.measure():
+            time.sleep(0.01)
+        first = watch.elapsed
+        with watch.measure():
+            time.sleep(0.01)
+        assert watch.elapsed > first >= 0.01
+
+    def test_measures_even_on_exception(self):
+        watch = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with watch.measure():
+                time.sleep(0.005)
+                raise RuntimeError("boom")
+        assert watch.elapsed >= 0.005
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch.measure():
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+
+class TestSummarize:
+    def test_summary(self):
+        summary = summarize_timings([1.0, 3.0, 2.0])
+        assert summary == TimingSummary(minimum=1.0, average=2.0, maximum=3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_timings([])

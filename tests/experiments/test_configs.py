@@ -1,0 +1,100 @@
+"""Tests for the paper's 223-configuration grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import MODEL_NAMES, ConfigGrid
+
+
+@pytest.fixture(scope="module")
+def grid() -> ConfigGrid:
+    return ConfigGrid(topic_scale=0.1, iteration_scale=0.01, infer_iterations=2)
+
+
+class TestGridCounts:
+    """Configuration counts from the paper's Tables 4 and 5."""
+
+    @pytest.mark.parametrize("model,count", [
+        ("TN", 36), ("CN", 21), ("TNG", 9), ("CNG", 9),
+        ("LDA", 48), ("LLDA", 48), ("BTM", 24), ("HDP", 12), ("HLDA", 16),
+    ])
+    def test_per_model_counts(self, grid, model, count):
+        assert len(grid.all_configurations()[model]) == count
+
+    def test_total_is_223(self, grid):
+        assert grid.total_configurations() == 223
+
+    def test_iter_all_matches_total(self, grid):
+        assert len(list(grid.iter_all())) == 223
+
+    def test_model_names_cover_grid(self, grid):
+        assert set(grid.all_configurations()) == set(MODEL_NAMES)
+
+
+class TestConfigurationValidity:
+    def test_every_config_buildable(self, grid):
+        for config in grid.iter_all():
+            model = config.build()
+            assert model.name == config.model
+
+    def test_no_invalid_bag_combinations(self, grid):
+        for config in grid.all_configurations()["TN"]:
+            params = config.params
+            if params["similarity"] == "JS":
+                assert params["weighting"] == "BF"
+            if params["similarity"] == "GJS":
+                assert params["weighting"] != "BF"
+            if params["weighting"] == "BF":
+                assert params["aggregation"] == "sum"
+            if params["aggregation"] == "rocchio":
+                assert params["similarity"] == "CS"
+
+    def test_cn_never_uses_tf_idf(self, grid):
+        for config in grid.all_configurations()["CN"]:
+            assert config.params["weighting"] != "TF-IDF"
+
+    def test_hlda_only_user_pooling(self, grid):
+        for config in grid.all_configurations()["HLDA"]:
+            model = config.build()
+            assert model.pooling.value == "UP"
+
+    def test_fresh_instance_per_build(self, grid):
+        config = grid.all_configurations()["TN"][0]
+        assert config.build() is not config.build()
+
+    def test_uses_rocchio_flag(self, grid):
+        rocchio = [c for c in grid.all_configurations()["LDA"] if c.uses_rocchio]
+        assert len(rocchio) == 24  # half of the 48 LDA configs
+
+    def test_label_contains_params(self, grid):
+        config = grid.all_configurations()["TNG"][0]
+        assert config.label().startswith("TNG(")
+        assert "similarity=" in config.label()
+
+
+class TestScaling:
+    def test_topic_scale_shrinks_topics(self):
+        scaled = ConfigGrid(topic_scale=0.1)
+        ks = {c.params["n_topics"] for c in scaled.all_configurations()["LDA"]}
+        assert ks == {5, 10, 15, 20}
+
+    def test_full_scale_matches_paper(self):
+        full = ConfigGrid()
+        ks = {c.params["n_topics"] for c in full.all_configurations()["BTM"]}
+        assert ks == {50, 100, 150, 200}
+
+    def test_iteration_scale(self):
+        scaled = ConfigGrid(iteration_scale=0.01)
+        iters = {c.params["iterations"] for c in scaled.all_configurations()["LDA"]}
+        assert iters == {10, 20}
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigGrid(topic_scale=0.0)
+
+    def test_btm_max_biterms_forwarded(self):
+        grid = ConfigGrid(btm_max_biterms=123)
+        model = grid.all_configurations()["BTM"][0].build()
+        assert model.max_biterms == 123

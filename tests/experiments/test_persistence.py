@@ -1,0 +1,76 @@
+"""Tests for sweep result persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.sources import RepresentationSource
+from repro.experiments.persistence import load_sweep, save_sweep
+from repro.experiments.runner import SweepResult, SweepRow
+from repro.twitter.entities import UserType
+
+
+@pytest.fixture()
+def sample_result() -> SweepResult:
+    rows = [
+        SweepRow(
+            model="TN",
+            params={"n": 1, "weighting": "TF"},
+            source=RepresentationSource.R,
+            group=UserType.ALL,
+            map_score=0.61,
+            per_user_ap={3: 0.5, 7: 0.72},
+            training_seconds=1.25,
+            testing_seconds=0.05,
+        ),
+        SweepRow(
+            model="TNG",
+            params={"n": 2, "similarity": "VS"},
+            source=RepresentationSource.E,
+            group=UserType.INFORMATION_SEEKER,
+            map_score=0.4,
+            per_user_ap={3: 0.4},
+            training_seconds=2.0,
+            testing_seconds=0.1,
+        ),
+    ]
+    return SweepResult(rows)
+
+
+class TestRoundTrip:
+    def test_rows_survive(self, sample_result, tmp_path):
+        path = save_sweep(sample_result, tmp_path / "sweep.json")
+        restored = load_sweep(path)
+        assert restored.rows == sample_result.rows
+
+    def test_enums_restored_as_enums(self, sample_result, tmp_path):
+        restored = load_sweep(save_sweep(sample_result, tmp_path / "s.json"))
+        assert restored.rows[0].source is RepresentationSource.R
+        assert restored.rows[1].group is UserType.INFORMATION_SEEKER
+
+    def test_user_ids_restored_as_ints(self, sample_result, tmp_path):
+        restored = load_sweep(save_sweep(sample_result, tmp_path / "s.json"))
+        assert set(restored.rows[0].per_user_ap) == {3, 7}
+
+    def test_aggregations_work_after_reload(self, sample_result, tmp_path):
+        restored = load_sweep(save_sweep(sample_result, tmp_path / "s.json"))
+        summary = restored.map_summary("TN", RepresentationSource.R, UserType.ALL)
+        assert summary.mean == pytest.approx(0.61)
+
+    def test_creates_parent_directories(self, sample_result, tmp_path):
+        path = save_sweep(sample_result, tmp_path / "deep" / "dir" / "s.json")
+        assert path.exists()
+
+    def test_unknown_version_rejected(self, sample_result, tmp_path):
+        path = save_sweep(sample_result, tmp_path / "s.json")
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_sweep(path)
+
+    def test_empty_result_roundtrips(self, tmp_path):
+        restored = load_sweep(save_sweep(SweepResult([]), tmp_path / "s.json"))
+        assert restored.rows == []

@@ -1,0 +1,93 @@
+"""Tests for the table/figure report builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ExperimentPipeline
+from repro.core.sources import RepresentationSource
+from repro.experiments.configs import ConfigGrid
+from repro.experiments.report import (
+    format_figure7,
+    format_figure_map,
+    format_table2,
+    format_table3,
+    format_table6,
+    format_table7,
+)
+from repro.experiments.runner import SweepRunner
+from repro.twitter.entities import UserType
+from repro.twitter.stats import group_statistics, language_census
+
+
+@pytest.fixture(scope="module")
+def sweep_result(small_dataset, small_groups):
+    pipeline = ExperimentPipeline(small_dataset, seed=1, max_train_docs_per_user=40)
+    runner = SweepRunner(pipeline, small_groups)
+    grid = ConfigGrid()
+    configs = grid.tn_configurations()[:2] + grid.tng_configurations()[:2]
+    return runner.run(
+        configs, [RepresentationSource.R], groups=[UserType.ALL]
+    )
+
+
+class TestTable2:
+    def test_contains_groups_and_blocks(self, small_dataset, small_groups):
+        stats = group_statistics(small_dataset, small_groups)
+        text = format_table2(stats)
+        assert "Outgoing tweets (TR)" in text
+        assert "Retweets (R)" in text
+        assert "Incoming tweets (E)" in text
+        assert "IS" in text and "All Users" in text
+
+
+class TestTable3:
+    def test_lists_languages_with_shares(self, small_dataset):
+        census = language_census(small_dataset)
+        text = format_table3(census)
+        assert "english" in text
+        assert "%" in text
+
+    def test_top_k_truncates(self):
+        census = {f"lang{i}": 10 - i for i in range(10)}
+        text = format_table3(census, top_k=3)
+        assert "lang0" in text and "lang5" not in text
+
+
+class TestFigureMap:
+    def test_matrix_contains_models_and_sources(self, sweep_result):
+        text = format_figure_map(
+            sweep_result, UserType.ALL, [RepresentationSource.R],
+            baselines={"RAN": 0.3},
+        )
+        assert "TN" in text and "TNG" in text
+        assert "baseline RAN: MAP=0.300" in text
+
+    def test_missing_source_rendered_as_dash(self, sweep_result):
+        text = format_figure_map(
+            sweep_result, UserType.ALL, [RepresentationSource.EF]
+        )
+        assert "-" in text
+
+
+class TestTable6:
+    def test_rows_per_group_and_stat(self, sweep_result):
+        text = format_table6(
+            sweep_result, [RepresentationSource.R], [UserType.ALL]
+        )
+        assert "Min" in text and "Mean" in text and "Max" in text
+        assert "Average" in text
+
+
+class TestTable7:
+    def test_best_config_listed(self, sweep_result):
+        text = format_table7(sweep_result, [RepresentationSource.R])
+        assert "TN" in text and "TNG" in text
+        assert "n=" in text
+
+
+class TestFigure7:
+    def test_timing_rows(self, sweep_result):
+        text = format_figure7(sweep_result)
+        assert "TTime" in text and "ETime" in text
+        assert "TN" in text

@@ -1,0 +1,108 @@
+"""Tests for the sweep runner and its aggregations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ExperimentPipeline
+from repro.core.sources import RepresentationSource
+from repro.experiments.configs import ConfigGrid
+from repro.experiments.runner import SweepRunner
+from repro.twitter.entities import UserType
+
+
+@pytest.fixture(scope="module")
+def sweep(small_dataset, small_groups):
+    pipeline = ExperimentPipeline(small_dataset, seed=1, max_train_docs_per_user=60)
+    runner = SweepRunner(pipeline, small_groups)
+    grid = ConfigGrid(topic_scale=0.05, iteration_scale=0.003, infer_iterations=2)
+    # A small but heterogeneous slice: 3 TN configs + all 9 TNG configs.
+    configs = grid.all_configurations()["TN"][:3] + grid.tng_configurations()
+    result = runner.run(
+        configs,
+        [RepresentationSource.R, RepresentationSource.E],
+        groups=[UserType.ALL],
+    )
+    return runner, result
+
+
+class TestSweepRows:
+    def test_rows_cover_models_and_sources(self, sweep):
+        _, result = sweep
+        assert set(result.models()) == {"TN", "TNG"}
+        sources = {row.source for row in result.rows}
+        assert sources == {RepresentationSource.R, RepresentationSource.E}
+
+    def test_row_count(self, sweep):
+        # 12 configs x 2 sources x 1 group (no Rocchio in the slice).
+        _, result = sweep
+        assert len(result.rows) == 24
+
+    def test_map_in_unit_interval(self, sweep):
+        _, result = sweep
+        for row in result.rows:
+            assert 0.0 <= row.map_score <= 1.0
+
+    def test_filtered(self, sweep):
+        _, result = sweep
+        tng_rows = result.filtered(model="TNG", source=RepresentationSource.R)
+        assert len(tng_rows) == 9
+
+
+class TestAggregations:
+    def test_map_summary_bounds(self, sweep):
+        _, result = sweep
+        summary = result.map_summary("TNG", RepresentationSource.R, UserType.ALL)
+        assert summary.minimum <= summary.mean <= summary.maximum
+        assert summary.deviation >= 0.0
+
+    def test_source_summary_pools_models(self, sweep):
+        _, result = sweep
+        summary = result.source_summary(RepresentationSource.R, UserType.ALL)
+        per_model = [
+            result.map_summary(m, RepresentationSource.R, UserType.ALL)
+            for m in result.models()
+        ]
+        assert summary.maximum == max(s.maximum for s in per_model)
+        assert summary.minimum == min(s.minimum for s in per_model)
+
+    def test_best_configuration_is_argmax(self, sweep):
+        _, result = sweep
+        best = result.best_configuration("TNG", RepresentationSource.R)
+        rows = result.filtered(model="TNG", source=RepresentationSource.R)
+        assert best.map_score == max(r.map_score for r in rows)
+
+    def test_best_configuration_unknown_model(self, sweep):
+        _, result = sweep
+        with pytest.raises(KeyError):
+            result.best_configuration("BTM", RepresentationSource.R)
+
+    def test_timing_summary(self, sweep):
+        _, result = sweep
+        ttime, etime = result.timing_summary("TN")
+        assert ttime.minimum <= ttime.average <= ttime.maximum
+        assert etime.average >= 0.0
+
+
+class TestRunnerProtocol:
+    def test_rocchio_skipped_on_sources_without_negatives(
+        self, small_dataset, small_groups
+    ):
+        pipeline = ExperimentPipeline(small_dataset, seed=1, max_train_docs_per_user=40)
+        runner = SweepRunner(pipeline, small_groups)
+        grid = ConfigGrid()
+        rocchio_configs = [
+            c for c in grid.tn_configurations() if c.uses_rocchio
+        ][:1]
+        result = runner.run(
+            rocchio_configs,
+            [RepresentationSource.R, RepresentationSource.E],
+            groups=[UserType.ALL],
+        )
+        assert {row.source for row in result.rows} == {RepresentationSource.E}
+
+    def test_baselines_per_group(self, sweep):
+        runner, _ = sweep
+        base = runner.baselines(groups=[UserType.ALL], random_iterations=50)
+        assert set(base[UserType.ALL]) == {"CHR", "RAN"}
+        assert 0.0 <= base[UserType.ALL]["RAN"] <= 1.0

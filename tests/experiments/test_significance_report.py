@@ -1,0 +1,85 @@
+"""Tests for the pairwise model-significance report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sources import RepresentationSource
+from repro.experiments.runner import SweepResult, SweepRow
+from repro.experiments.significance import (
+    compare_models,
+    format_significance_matrix,
+    significance_matrix,
+)
+from repro.twitter.entities import UserType
+
+
+def make_row(model: str, per_user_ap: dict[int, float], map_score: float) -> SweepRow:
+    return SweepRow(
+        model=model,
+        params={"n": 1},
+        source=RepresentationSource.R,
+        group=UserType.ALL,
+        map_score=map_score,
+        per_user_ap=per_user_ap,
+        training_seconds=0.0,
+        testing_seconds=0.0,
+    )
+
+
+@pytest.fixture()
+def result() -> SweepResult:
+    users = list(range(20))
+    strong = {u: 0.8 + 0.005 * u for u in users}
+    weak = {u: 0.2 + 0.005 * u for u in users}
+    mid = {u: 0.5 + 0.01 * ((u * 7) % 5) for u in users}
+    return SweepResult([
+        make_row("TNG", strong, 0.85),
+        make_row("TNG", weak, 0.25),  # a bad configuration -- must be ignored
+        make_row("TN", mid, 0.52),
+        make_row("LDA", weak, 0.25),
+    ])
+
+
+class TestCompareModels:
+    def test_clear_dominance_is_significant(self, result):
+        test = compare_models(result, "TNG", "LDA", RepresentationSource.R)
+        assert test.significant()
+
+    def test_uses_best_configuration(self, result):
+        # TNG's best config dominates TN; if the weak TNG config were
+        # used instead, the direction would flip.
+        test = compare_models(result, "TNG", "TN", RepresentationSource.R)
+        assert test.significant()
+
+    def test_missing_model_raises(self, result):
+        with pytest.raises(KeyError):
+            compare_models(result, "TNG", "BTM", RepresentationSource.R)
+
+    def test_disjoint_users_raise(self):
+        result = SweepResult([
+            make_row("A", {1: 0.5}, 0.5),
+            make_row("B", {2: 0.5}, 0.5),
+        ])
+        with pytest.raises(ValueError):
+            compare_models(result, "A", "B", RepresentationSource.R)
+
+
+class TestMatrix:
+    def test_all_pairs_present(self, result):
+        matrix = significance_matrix(result, RepresentationSource.R)
+        models = result.models()
+        expected_pairs = len(models) * (len(models) - 1) // 2
+        assert len(matrix) == expected_pairs
+
+    def test_explicit_model_list(self, result):
+        matrix = significance_matrix(
+            result, RepresentationSource.R, models=["TNG", "LDA"]
+        )
+        assert set(matrix) == {("TNG", "LDA")}
+
+    def test_formatting_marks_significance(self, result):
+        matrix = significance_matrix(result, RepresentationSource.R)
+        text = format_significance_matrix(matrix)
+        assert "LDA vs TNG" in text
+        assert "*" in text

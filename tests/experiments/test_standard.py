@@ -1,0 +1,56 @@
+"""Tests for the standard benchmark setups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.standard import (
+    FIGURE_SOURCES,
+    bench_dataset,
+    bench_grid,
+    bench_setup,
+    fast_grid,
+)
+from repro.twitter.entities import UserType
+
+
+class TestFigureSources:
+    def test_eight_sources(self):
+        assert len(FIGURE_SOURCES) == 8
+
+    def test_atomic_sources_included(self):
+        values = {s.value for s in FIGURE_SOURCES}
+        assert {"T", "R", "F", "E", "C"} <= values
+
+
+class TestBenchDataset:
+    def test_cached(self):
+        a = bench_dataset(n_users=12, n_ticks=20, seed=1)
+        b = bench_dataset(n_users=12, n_ticks=20, seed=1)
+        assert a is b
+
+
+class TestBenchSetup:
+    def test_setup_has_all_pieces(self):
+        setup = bench_setup(n_users=16, n_ticks=40, seed=2, group_size=3,
+                            min_retweets=3)
+        assert setup.dataset.n_users == 16
+        assert UserType.ALL in setup.groups
+        assert setup.pipeline.dataset is setup.dataset
+
+
+class TestGrids:
+    def test_bench_grid_keeps_paper_structure(self):
+        assert bench_grid().total_configurations() == 223
+
+    def test_fast_grid_one_config_per_model(self):
+        picks = fast_grid()
+        assert len(picks) == 9
+        assert sorted({c.model for c in picks}) == [
+            "BTM", "CN", "CNG", "HDP", "HLDA", "LDA", "LLDA", "TN", "TNG",
+        ]
+
+    def test_fast_grid_configs_buildable(self):
+        for config in fast_grid():
+            model = config.build()
+            assert model.name == config.model

@@ -1,0 +1,104 @@
+"""Tests for sum / centroid / Rocchio aggregation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models.aggregation import (
+    AggregationFunction,
+    aggregate,
+    centroid_aggregate,
+    rocchio_aggregate,
+    sum_aggregate,
+)
+
+
+class TestSum:
+    def test_component_wise(self):
+        result = sum_aggregate([{"a": 1.0, "b": 2.0}, {"a": 3.0, "c": 1.0}])
+        assert result == {"a": 4.0, "b": 2.0, "c": 1.0}
+
+    def test_empty_list(self):
+        assert sum_aggregate([]) == {}
+
+
+class TestCentroid:
+    def test_normalises_before_averaging(self):
+        # Two vectors with very different magnitudes contribute equally.
+        result = centroid_aggregate([{"a": 100.0}, {"b": 1.0}])
+        assert math.isclose(result["a"], 0.5)
+        assert math.isclose(result["b"], 0.5)
+
+    def test_single_vector_is_unit(self):
+        result = centroid_aggregate([{"a": 3.0, "b": 4.0}])
+        assert math.isclose(result["a"], 0.6)
+        assert math.isclose(result["b"], 0.8)
+
+    def test_zero_vector_contributes_nothing(self):
+        result = centroid_aggregate([{"a": 1.0}, {}])
+        assert math.isclose(result["a"], 0.5)
+
+    def test_empty_list(self):
+        assert centroid_aggregate([]) == {}
+
+    @given(st.lists(
+        st.dictionaries(st.sampled_from("ab"), st.floats(0.1, 5.0), min_size=1, max_size=2),
+        min_size=1, max_size=6,
+    ))
+    def test_magnitude_bounded_by_one(self, vectors):
+        result = centroid_aggregate(vectors)
+        norm = math.sqrt(sum(w * w for w in result.values()))
+        assert norm <= 1.0 + 1e-9
+
+
+class TestRocchio:
+    def test_positive_only_scaled_centroid(self):
+        result = rocchio_aggregate([{"a": 1.0}], labels=[1], alpha=0.8, beta=0.2)
+        assert math.isclose(result["a"], 0.8)
+
+    def test_negatives_subtract(self):
+        result = rocchio_aggregate(
+            [{"a": 1.0}, {"a": 1.0}], labels=[1, 0], alpha=0.8, beta=0.2
+        )
+        assert math.isclose(result["a"], 0.8 - 0.2)
+
+    def test_negative_only_terms_negative(self):
+        result = rocchio_aggregate([{"a": 1.0}], labels=[0])
+        assert result["a"] < 0
+
+    def test_alpha_beta_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            rocchio_aggregate([{"a": 1.0}], labels=[1], alpha=0.9, beta=0.2)
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rocchio_aggregate([{"a": 1.0}], labels=[1, 0])
+
+    def test_paper_defaults(self):
+        # alpha = 0.8, beta = 0.2 (paper Section 4)
+        result = rocchio_aggregate(
+            [{"a": 1.0}, {"b": 1.0}], labels=[1, 0]
+        )
+        assert math.isclose(result["a"], 0.8)
+        assert math.isclose(result["b"], -0.2)
+
+
+class TestDispatch:
+    def test_sum(self):
+        assert aggregate(AggregationFunction.SUM, [{"a": 1.0}]) == {"a": 1.0}
+
+    def test_centroid(self):
+        assert aggregate(AggregationFunction.CENTROID, [{"a": 2.0}]) == {"a": 1.0}
+
+    def test_rocchio_requires_labels(self):
+        with pytest.raises(ConfigurationError):
+            aggregate(AggregationFunction.ROCCHIO, [{"a": 1.0}])
+
+    def test_rocchio_with_labels(self):
+        result = aggregate(AggregationFunction.ROCCHIO, [{"a": 1.0}], labels=[1])
+        assert math.isclose(result["a"], 0.8)

@@ -1,0 +1,113 @@
+"""Tests for CS / JS / GJS vector similarities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.models.similarity import (
+    VectorSimilarity,
+    cosine_similarity,
+    generalized_jaccard_similarity,
+    jaccard_similarity,
+    vector_similarity_function,
+)
+
+sparse_vectors = st.dictionaries(
+    st.sampled_from("abcdef"), st.floats(0.0, 10.0, allow_nan=False), max_size=6
+)
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        v = {"a": 1.0, "b": 2.0}
+        assert math.isclose(cosine_similarity(v, v), 1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_scale_invariant(self):
+        u = {"a": 1.0, "b": 3.0}
+        v = {"a": 10.0, "b": 30.0}
+        assert math.isclose(cosine_similarity(u, v), 1.0)
+
+    def test_known_value(self):
+        # cos between (1,1) and (1,0) is 1/sqrt(2)
+        assert math.isclose(
+            cosine_similarity({"a": 1.0, "b": 1.0}, {"a": 1.0}), 1 / math.sqrt(2)
+        )
+
+    def test_empty_vector_scores_zero(self):
+        assert cosine_similarity({}, {"a": 1.0}) == 0.0
+        assert cosine_similarity({}, {}) == 0.0
+
+    @given(sparse_vectors, sparse_vectors)
+    def test_symmetric_and_bounded(self, u, v):
+        s1 = cosine_similarity(u, v)
+        s2 = cosine_similarity(v, u)
+        assert math.isclose(s1, s2, abs_tol=1e-12)
+        assert -1e-9 <= s1 <= 1.0 + 1e-9
+
+
+class TestJaccard:
+    def test_identical_supports(self):
+        assert jaccard_similarity({"a": 1.0, "b": 1.0}, {"a": 9.0, "b": 0.5}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_partial_overlap(self):
+        assert math.isclose(
+            jaccard_similarity({"a": 1.0, "b": 1.0}, {"b": 1.0, "c": 1.0}), 1 / 3
+        )
+
+    def test_zero_weights_do_not_count(self):
+        assert jaccard_similarity({"a": 0.0}, {"a": 1.0}) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard_similarity({}, {}) == 0.0
+
+
+class TestGeneralizedJaccard:
+    def test_identical(self):
+        v = {"a": 2.0, "b": 3.0}
+        assert math.isclose(generalized_jaccard_similarity(v, v), 1.0)
+
+    def test_known_value(self):
+        # min sum = 1 + 0 = 1; max sum = 2 + 1 = 3
+        u = {"a": 1.0, "b": 1.0}
+        v = {"a": 2.0}
+        assert math.isclose(generalized_jaccard_similarity(u, v), 1 / 3)
+
+    def test_reduces_to_jaccard_on_binary(self):
+        u = {"a": 1.0, "b": 1.0}
+        v = {"b": 1.0, "c": 1.0}
+        assert math.isclose(
+            generalized_jaccard_similarity(u, v), jaccard_similarity(u, v)
+        )
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            generalized_jaccard_similarity({"a": -1.0}, {"a": 1.0})
+
+    def test_both_empty(self):
+        assert generalized_jaccard_similarity({}, {}) == 0.0
+
+    @given(sparse_vectors, sparse_vectors)
+    def test_symmetric_and_bounded(self, u, v):
+        s1 = generalized_jaccard_similarity(u, v)
+        assert math.isclose(s1, generalized_jaccard_similarity(v, u), abs_tol=1e-12)
+        assert 0.0 <= s1 <= 1.0
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("measure,function", [
+        (VectorSimilarity.COSINE, cosine_similarity),
+        (VectorSimilarity.JACCARD, jaccard_similarity),
+        (VectorSimilarity.GENERALIZED_JACCARD, generalized_jaccard_similarity),
+    ])
+    def test_lookup(self, measure, function):
+        assert vector_similarity_function(measure) is function

@@ -1,0 +1,66 @@
+"""Tests for the Figure 1 taxonomy registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.taxonomy import (
+    TAXONOMY,
+    ContextCategory,
+    facts_for,
+    models_in_category,
+)
+
+
+class TestRegistry:
+    def test_all_ten_models_present(self):
+        assert set(TAXONOMY) == {
+            "TN", "CN", "TNG", "CNG", "PLSA", "LDA", "LLDA", "BTM", "HDP", "HLDA",
+        }
+
+    def test_topic_models_are_context_agnostic(self):
+        for name in ("PLSA", "LDA", "LLDA", "BTM", "HDP", "HLDA"):
+            assert facts_for(name).category is ContextCategory.CONTEXT_AGNOSTIC
+
+    def test_bag_models_are_local(self):
+        for name in ("TN", "CN"):
+            assert facts_for(name).category is ContextCategory.LOCAL_CONTEXT_AWARE
+
+    def test_graph_models_are_global(self):
+        for name in ("TNG", "CNG"):
+            assert facts_for(name).category is ContextCategory.GLOBAL_CONTEXT_AWARE
+
+    def test_nonparametric_models(self):
+        nonparametric = {n for n, f in TAXONOMY.items() if f.nonparametric}
+        assert nonparametric == {"HDP", "HLDA"}
+
+    def test_character_based_subcategory_spans_bags_and_graphs(self):
+        character = {n for n, f in TAXONOMY.items() if f.character_based}
+        assert character == {"CN", "CNG"}
+
+    def test_context_based_means_not_agnostic(self):
+        for facts in TAXONOMY.values():
+            assert facts.context_based == (
+                facts.category is not ContextCategory.CONTEXT_AGNOSTIC
+            )
+
+    def test_topic_model_flag(self):
+        assert facts_for("LDA").topic_model
+        assert not facts_for("TN").topic_model
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            facts_for("WORD2VEC")
+
+    def test_models_in_category(self):
+        assert set(models_in_category(ContextCategory.GLOBAL_CONTEXT_AWARE)) == {
+            "TNG", "CNG",
+        }
+
+    def test_categories_partition_registry(self):
+        union = [
+            name
+            for category in ContextCategory
+            for name in models_in_category(category)
+        ]
+        assert sorted(union) == sorted(TAXONOMY)

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = ["--users", "16", "--ticks", "40", "--seed", "4",
+         "--group-size", "3", "--min-retweets", "3"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--model", "WORD2VEC"])
+
+    def test_sources_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--out", "x.json", "--sources", "Z"])
+
+
+class TestGenerate:
+    def test_prints_table2(self, capsys):
+        assert main(["generate", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "MicroblogDataset" in out
+        assert "Outgoing tweets (TR)" in out
+
+
+class TestEvaluate:
+    def test_reports_map_and_baselines(self, capsys):
+        assert main(["evaluate", "--model", "TN", "--source", "R", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "MAP" in out and "RAN" in out and "CHR" in out
+
+
+class TestSweepAndReport:
+    def test_roundtrip(self, tmp_path, capsys):
+        sweep_path = tmp_path / "sweep.json"
+        code = main([
+            "sweep", "--out", str(sweep_path), "--sources", "R", "--fast", *SMALL,
+        ])
+        assert code == 0
+        assert sweep_path.exists()
+        capsys.readouterr()
+
+        assert main(["report", "--sweep", str(sweep_path), "--artifact", "figure"]) == 0
+        out = capsys.readouterr().out
+        assert "TN" in out
+
+        assert main(["report", "--sweep", str(sweep_path), "--artifact", "figure7"]) == 0
+        out = capsys.readouterr().out
+        assert "TTime" in out
+
+
+class TestSuggest:
+    def test_hashtag_for_text(self, capsys):
+        code = main([
+            "suggest", "--kind", "hashtag", "--text", "some words here", *SMALL,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#" in out
+
+    def test_followee_requires_user(self):
+        with pytest.raises(SystemExit):
+            main(["suggest", "--kind", "followee", *SMALL])

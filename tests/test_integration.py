@@ -1,0 +1,86 @@
+"""End-to-end integration tests across the whole stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ExperimentPipeline,
+    RepresentationSource,
+    TokenNGramModel,
+    UserType,
+)
+from repro.eval.metrics import mean_average_precision
+from repro.eval.significance import wilcoxon_signed_rank
+from repro.experiments.configs import ConfigGrid
+from repro.experiments.runner import SweepRunner
+
+
+@pytest.fixture(scope="module")
+def pipeline(small_dataset):
+    return ExperimentPipeline(small_dataset, seed=2, max_train_docs_per_user=80)
+
+
+@pytest.fixture(scope="module")
+def all_users(small_groups, pipeline):
+    return pipeline.eligible_users(small_groups[UserType.ALL])
+
+
+class TestHeadlineFindings:
+    """The paper's qualitative conclusions must hold on synthetic data."""
+
+    def test_content_model_beats_both_baselines(self, pipeline, all_users):
+        model = TokenNGramModel(n=1, weighting="TF-IDF")
+        result = pipeline.evaluate(model, RepresentationSource.R, all_users)
+        chr_map = mean_average_precision(
+            list(pipeline.evaluate_chronological(all_users).values())
+        )
+        ran_map = mean_average_precision(
+            list(pipeline.evaluate_random(all_users, iterations=200).values())
+        )
+        assert result.map_score > ran_map
+        assert result.map_score > chr_map
+
+    def test_significance_machinery_on_real_comparison(self, pipeline, all_users):
+        strong = pipeline.evaluate(
+            TokenNGramModel(n=1, weighting="TF-IDF"),
+            RepresentationSource.R, all_users,
+        )
+        ran = pipeline.evaluate_random(all_users, iterations=200)
+        users = sorted(strong.per_user_ap)
+        test = wilcoxon_signed_rank(
+            [strong.per_user_ap[u] for u in users],
+            [ran[u] for u in users],
+        )
+        assert test.significant(alpha=0.1)
+
+    def test_retweet_source_is_informative(self, pipeline, all_users):
+        """R should outperform F (follower tweets are noisy)."""
+        model_r = pipeline.evaluate(
+            TokenNGramModel(n=1, weighting="TF-IDF"),
+            RepresentationSource.R, all_users,
+        )
+        model_f = pipeline.evaluate(
+            TokenNGramModel(n=1, weighting="TF-IDF"),
+            RepresentationSource.F, all_users,
+        )
+        assert model_r.map_score > model_f.map_score
+
+
+class TestFullSweepSlice:
+    def test_sweep_runs_all_model_families(self, small_dataset, small_groups):
+        pipeline = ExperimentPipeline(
+            small_dataset, seed=2, max_train_docs_per_user=40
+        )
+        runner = SweepRunner(pipeline, small_groups)
+        grid = ConfigGrid(
+            topic_scale=0.04, iteration_scale=0.005, infer_iterations=2,
+            btm_max_biterms=5000,
+        )
+        configs = [grid.all_configurations()[m][0] for m in (
+            "TN", "CN", "TNG", "CNG", "LDA", "LLDA", "BTM", "HDP", "HLDA",
+        )]
+        result = runner.run(configs, [RepresentationSource.R], groups=[UserType.ALL])
+        assert len(result.models()) == 9
+        for row in result.rows:
+            assert 0.0 <= row.map_score <= 1.0

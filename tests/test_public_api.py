@@ -1,0 +1,53 @@
+"""Contract tests for the library's public surface.
+
+Downstream users import from the package roots; these tests pin the
+advertised names so refactors cannot silently drop them.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    @pytest.mark.parametrize("name", [
+        "DatasetConfig", "generate_dataset", "select_user_groups",
+        "ExperimentPipeline", "RepresentationSource", "UserType",
+        "TokenNGramModel", "CharacterNGramModel",
+        "TokenNGramGraphModel", "CharacterNGramGraphModel",
+        "LdaModel", "LabeledLdaModel", "BitermTopicModel",
+        "HdpModel", "HldaModel", "PlsaModel",
+        "RankingRecommender", "DocumentFactory", "TextDoc",
+        "ReproError", "ConfigurationError", "NotFittedError",
+    ])
+    def test_advertised_names_importable(self, name):
+        assert hasattr(repro, name)
+
+    def test_all_entries_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ advertises missing {name}"
+
+
+class TestSubpackages:
+    @pytest.mark.parametrize("module", [
+        "repro.text", "repro.models", "repro.models.topic",
+        "repro.twitter", "repro.core", "repro.eval",
+        "repro.experiments", "repro.cli",
+    ])
+    def test_all_lists_are_accurate(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.__all__ advertises missing {name}"
+
+    def test_model_registry_matches_classes(self):
+        from repro.experiments.configs import MODEL_NAMES
+        from repro.models.taxonomy import TAXONOMY
+        # Every sweepable model is in the taxonomy (taxonomy adds PLSA).
+        assert set(MODEL_NAMES) <= set(TAXONOMY)

@@ -1,0 +1,77 @@
+"""Tests for the character n-gram language detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyCorpusError, NotFittedError
+from repro.text.langdetect import LanguageDetector
+
+
+@pytest.fixture(scope="module")
+def detector(two_language_inventory):
+    rng = np.random.default_rng(0)
+    samples = {
+        name: two_language_inventory.sample_texts(name, 40, 8, rng)
+        for name in two_language_inventory.language_names
+    }
+    return LanguageDetector().fit(samples)
+
+
+class TestFitValidation:
+    def test_empty_samples_raise(self):
+        with pytest.raises(EmptyCorpusError):
+            LanguageDetector().fit({})
+
+    def test_language_without_text_raises(self):
+        with pytest.raises(EmptyCorpusError):
+            LanguageDetector().fit({"x": [""]})
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            LanguageDetector(n=0)
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            LanguageDetector(smoothing=0.0)
+
+
+class TestDetection:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LanguageDetector().detect("hello")
+
+    def test_languages_listed(self, detector):
+        assert detector.languages == ("alpha", "beta")
+
+    def test_detects_each_language(self, detector, two_language_inventory):
+        rng = np.random.default_rng(42)
+        for name in two_language_inventory.language_names:
+            texts = two_language_inventory.sample_texts(name, 10, 10, rng)
+            hits = sum(detector.detect(t) == name for t in texts)
+            assert hits >= 8, f"detector failed on {name}: {hits}/10"
+
+    def test_empty_text_returns_none(self, detector):
+        assert detector.detect("") is None
+        assert detector.detect(" ") is None
+
+    def test_scores_are_log_likelihoods(self, detector):
+        scores = detector.scores("babebi")
+        assert set(scores) == {"alpha", "beta"}
+        assert all(s <= 0 for s in scores.values())
+
+    def test_detect_matches_argmax_of_scores(self, detector):
+        text = "babebi kuklu"
+        scores = detector.scores(text)
+        assert detector.detect(text) == max(scores, key=lambda k: (scores[k], k))
+
+
+class TestRealScripts:
+    def test_separates_latin_from_cjk(self):
+        detector = LanguageDetector().fit({
+            "latin": ["hello world how are you", "the quick brown fox"],
+            "cjk": ["こんにちは世界", "ありがとうございます"],
+        })
+        assert detector.detect("good morning world") == "latin"
+        assert detector.detect("こんばんは") == "cjk"

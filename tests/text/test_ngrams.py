@@ -1,0 +1,76 @@
+"""Tests for n-gram extraction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.ngrams import char_ngrams, ngram_counts, token_ngrams
+
+
+class TestTokenNGrams:
+    def test_unigrams_are_tokens(self):
+        assert token_ngrams(["a", "b", "c"], 1) == ["a", "b", "c"]
+
+    def test_bigrams(self):
+        assert token_ngrams(["bob", "sues", "jim"], 2) == ["bob sues", "sues jim"]
+
+    def test_order_matters(self):
+        assert token_ngrams(["a", "b"], 2) != token_ngrams(["b", "a"], 2)
+
+    def test_short_sequence_yields_nothing(self):
+        assert token_ngrams(["only"], 2) == []
+
+    def test_empty_sequence(self):
+        assert token_ngrams([], 1) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            token_ngrams(["a"], 0)
+
+    @given(st.lists(st.text(alphabet="ab", min_size=1, max_size=3), max_size=15),
+           st.integers(1, 4))
+    def test_count_formula(self, tokens, n):
+        grams = token_ngrams(tokens, n)
+        assert len(grams) == max(0, len(tokens) - n + 1)
+
+
+class TestCharNGrams:
+    def test_bigrams(self):
+        assert char_ngrams("tweet", 2) == ["tw", "we", "ee", "et"]
+
+    def test_n_equals_length(self):
+        assert char_ngrams("abc", 3) == ["abc"]
+
+    def test_n_longer_than_text(self):
+        assert char_ngrams("ab", 3) == []
+
+    def test_empty_text(self):
+        assert char_ngrams("", 2) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            char_ngrams("abc", 0)
+
+    def test_misspelling_shares_most_bigrams(self):
+        # The robustness-to-noise argument for character models (paper
+        # Section 3.1): "tweet" vs "twete" share most bigrams.
+        a = set(char_ngrams("tweet", 2))
+        b = set(char_ngrams("twete", 2))
+        assert len(a & b) >= 3
+
+    @given(st.text(max_size=40), st.integers(1, 5))
+    def test_every_gram_has_length_n(self, text, n):
+        assert all(len(g) == n for g in char_ngrams(text, n))
+
+
+class TestNGramCounts:
+    def test_counts(self):
+        counts = ngram_counts(["a", "b", "a"])
+        assert counts["a"] == 2
+        assert counts["b"] == 1
+
+    @given(st.lists(st.sampled_from("abcd"), max_size=30))
+    def test_total_preserved(self, grams):
+        assert sum(ngram_counts(grams).values()) == len(grams)

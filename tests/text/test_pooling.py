@@ -1,0 +1,91 @@
+"""Tests for the NP/UP/HP pooling schemes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.pooling import PoolingScheme, pool_documents
+
+DOCS = [
+    ["hello", "#a", "world"],
+    ["more", "text"],
+    ["tagged", "#a", "#b"],
+    ["plain"],
+]
+USERS = ["u1", "u2", "u1", "u2"]
+
+
+class TestNoPooling:
+    def test_one_pool_per_tweet(self):
+        pools = pool_documents(DOCS, PoolingScheme.NONE)
+        assert len(pools) == len(DOCS)
+        assert [list(p.tokens) for p in pools] == DOCS
+
+    def test_source_indices_identity(self):
+        pools = pool_documents(DOCS, PoolingScheme.NONE)
+        assert [p.source_indices for p in pools] == [(0,), (1,), (2,), (3,)]
+
+
+class TestUserPooling:
+    def test_groups_by_user(self):
+        pools = pool_documents(DOCS, PoolingScheme.USER, user_ids=USERS)
+        by_key = {p.key: p for p in pools}
+        assert set(by_key) == {"u1", "u2"}
+        assert list(by_key["u1"].tokens) == DOCS[0] + DOCS[2]
+        assert list(by_key["u2"].tokens) == DOCS[1] + DOCS[3]
+
+    def test_requires_user_ids(self):
+        with pytest.raises(ValueError):
+            pool_documents(DOCS, PoolingScheme.USER)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pool_documents(DOCS, PoolingScheme.USER, user_ids=["u1"])
+
+    def test_every_tweet_in_exactly_one_pool(self):
+        pools = pool_documents(DOCS, PoolingScheme.USER, user_ids=USERS)
+        indices = sorted(i for p in pools for i in p.source_indices)
+        assert indices == [0, 1, 2, 3]
+
+
+class TestHashtagPooling:
+    def test_groups_by_hashtag(self):
+        pools = pool_documents(DOCS, PoolingScheme.HASHTAG)
+        by_key = {p.key: p for p in pools}
+        assert "#a" in by_key and "#b" in by_key
+        assert by_key["#a"].source_indices == (0, 2)
+        assert by_key["#b"].source_indices == (2,)
+
+    def test_untagged_tweets_stay_individual(self):
+        pools = pool_documents(DOCS, PoolingScheme.HASHTAG)
+        individual = [p for p in pools if p.key in {"1", "3"}]
+        assert len(individual) == 2
+
+    def test_multi_tag_tweet_contributes_to_all_pools(self):
+        pools = pool_documents(DOCS, PoolingScheme.HASHTAG)
+        containing_2 = [p for p in pools if 2 in p.source_indices]
+        assert len(containing_2) == 2  # #a and #b
+
+
+class TestPoolingProperties:
+    token = st.sampled_from(["w1", "w2", "#h1", "#h2"])
+    docs_strategy = st.lists(st.lists(token, max_size=5), min_size=1, max_size=10)
+
+    @given(docs_strategy)
+    def test_np_and_up_preserve_token_mass(self, docs):
+        users = [f"u{i % 3}" for i in range(len(docs))]
+        total = sum(len(d) for d in docs)
+        for scheme, kwargs in [
+            (PoolingScheme.NONE, {}),
+            (PoolingScheme.USER, {"user_ids": users}),
+        ]:
+            pools = pool_documents(docs, scheme, **kwargs)
+            assert sum(len(p) for p in pools) == total
+
+    @given(docs_strategy)
+    def test_hp_covers_every_document(self, docs):
+        pools = pool_documents(docs, PoolingScheme.HASHTAG)
+        covered = {i for p in pools for i in p.source_indices}
+        assert covered == set(range(len(docs)))

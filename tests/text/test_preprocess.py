@@ -1,0 +1,67 @@
+"""Tests for corpus-level preprocessing (stop words, cleaning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.preprocess import Preprocessor, StopWordFilter, clean_for_langdetect
+
+
+class TestStopWordFilter:
+    def test_removes_top_k(self):
+        docs = [["the", "cat"], ["the", "dog"], ["the", "bird"]]
+        filt = StopWordFilter(top_k=1).fit(docs)
+        assert filt.stop_words == {"the"}
+        assert filt(["the", "cat"]) == ["cat"]
+
+    def test_unfitted_is_noop(self):
+        assert StopWordFilter(top_k=5)(["a", "b"]) == ["a", "b"]
+
+    def test_top_k_zero_removes_nothing(self):
+        filt = StopWordFilter(top_k=0).fit([["a", "a"]])
+        assert filt(["a"]) == ["a"]
+
+    def test_negative_top_k_rejected(self):
+        with pytest.raises(ValueError):
+            StopWordFilter(top_k=-1)
+
+    def test_fit_replaces_previous_state(self):
+        filt = StopWordFilter(top_k=1).fit([["x", "x"]])
+        filt.fit([["y", "y"]])
+        assert filt.stop_words == {"y"}
+
+    def test_top_k_larger_than_vocabulary(self):
+        filt = StopWordFilter(top_k=100).fit([["a", "b"]])
+        assert filt.stop_words == {"a", "b"}
+
+
+class TestCleanForLangdetect:
+    def test_strips_decorations(self):
+        cleaned = clean_for_langdetect("hello #tag @user http://t.co/x :) world ?")
+        assert cleaned == "hello world"
+
+    def test_plain_text_untouched_modulo_case(self):
+        assert clean_for_langdetect("Bonjour Monde") == "bonjour monde"
+
+    def test_empty(self):
+        assert clean_for_langdetect("") == ""
+
+
+class TestPreprocessor:
+    def test_default_pipeline(self):
+        pre = Preprocessor.default(top_k_stop_words=1)
+        pre.fit(["the cat", "the dog", "the bird"])
+        assert pre("the cat runs") == ["cat", "runs"]
+
+    def test_keeps_special_tokens(self):
+        pre = Preprocessor.default(top_k_stop_words=0)
+        pre.fit(["anything"])
+        tokens = pre("go #edbt @alice :)")
+        assert "#edbt" in tokens
+        assert "@alice" in tokens
+        assert ":)" in tokens
+
+    def test_squeezes_lengthening(self):
+        pre = Preprocessor.default(top_k_stop_words=0)
+        pre.fit(["x"])
+        assert pre("yeeees") == ["yees"]

@@ -1,0 +1,88 @@
+"""Tests for the Vocabulary mapping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EmptyCorpusError
+from repro.text.vocabulary import Vocabulary
+
+
+class TestConstruction:
+    def test_assigns_dense_ids(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        assert [vocab.id_of(t) for t in "abc"] == [0, 1, 2]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Vocabulary(["a", "a"])
+
+    def test_from_documents_orders_by_frequency(self):
+        vocab = Vocabulary.from_documents([["b", "b", "a"], ["b", "a", "c"]])
+        assert vocab.term_of(0) == "b"  # most frequent first
+        assert vocab.term_of(1) == "a"
+
+    def test_min_count_filters(self):
+        vocab = Vocabulary.from_documents([["a", "a", "b"]], min_count=2)
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_max_terms_truncates_keeping_frequent(self):
+        vocab = Vocabulary.from_documents([["a"] * 3 + ["b"] * 2 + ["c"]], max_terms=2)
+        assert set(vocab) == {"a", "b"}
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(EmptyCorpusError):
+            Vocabulary.from_documents([])
+
+    def test_tie_broken_lexicographically(self):
+        vocab = Vocabulary.from_documents([["z", "a"]])
+        assert vocab.term_of(0) == "a"
+
+
+class TestLookups:
+    @pytest.fixture()
+    def vocab(self) -> Vocabulary:
+        return Vocabulary(["x", "y"])
+
+    def test_roundtrip(self, vocab):
+        for term in vocab:
+            assert vocab.term_of(vocab.id_of(term)) == term
+
+    def test_id_of_missing_raises(self, vocab):
+        with pytest.raises(KeyError):
+            vocab.id_of("missing")
+
+    def test_get_default(self, vocab):
+        assert vocab.get("missing") is None
+        assert vocab.get("missing", -1) == -1
+
+    def test_contains(self, vocab):
+        assert "x" in vocab
+        assert "z" not in vocab
+
+    def test_len(self, vocab):
+        assert len(vocab) == 2
+
+    def test_encode_drops_oov(self, vocab):
+        assert vocab.encode(["x", "nope", "y"]) == [0, 1]
+
+
+class TestProperties:
+    @given(st.lists(st.lists(st.sampled_from("abcdef"), max_size=8), min_size=1, max_size=10))
+    def test_encode_roundtrip_identity(self, docs):
+        vocab = Vocabulary.from_documents(docs)
+        for doc in docs:
+            decoded = [vocab.term_of(i) for i in vocab.encode(doc)]
+            assert decoded == list(doc)  # nothing dropped: all terms kept
+
+    @given(st.lists(st.lists(st.sampled_from("abc"), max_size=6), min_size=1, max_size=8),
+           st.integers(1, 4))
+    def test_min_count_subset(self, docs, min_count):
+        full = Vocabulary.from_documents(docs) if any(docs) else None
+        if full is None:
+            return
+        filtered = Vocabulary.from_documents(docs, min_count=min_count)
+        assert set(filtered) <= set(full)

@@ -1,0 +1,109 @@
+"""Tests for the HDP direct-assignment sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.base import TextDoc
+from repro.models.topic.gibbs import sample_crp_tables
+from repro.models.topic.hdp import HdpModel
+
+
+def docs_from(texts: list[str]) -> list[TextDoc]:
+    return [TextDoc.from_tokens(tuple(t.split())) for t in texts]
+
+
+THEMED = docs_from([
+    "piano violin concert piano",
+    "violin concert piano music",
+    "music piano violin concert",
+    "goal referee match goal",
+    "match referee goal kick",
+    "kick goal match referee",
+] * 2)
+
+
+class TestCrpTables:
+    def test_zero_customers(self):
+        rng = np.random.default_rng(0)
+        assert sample_crp_tables(0, 1.0, rng) == 0
+
+    def test_at_least_one_table_for_customers(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert 1 <= sample_crp_tables(5, 1.0, rng) <= 5
+
+    def test_degenerate_concentration(self):
+        rng = np.random.default_rng(0)
+        assert sample_crp_tables(10, 0.0, rng) == 1
+
+    def test_high_concentration_means_more_tables(self):
+        rng = np.random.default_rng(0)
+        low = np.mean([sample_crp_tables(50, 0.1, rng) for _ in range(50)])
+        high = np.mean([sample_crp_tables(50, 50.0, rng) for _ in range(50)])
+        assert high > low
+
+
+class TestHdpConfiguration:
+    def test_invalid_concentrations(self):
+        with pytest.raises(ConfigurationError):
+            HdpModel(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            HdpModel(gamma=-1.0)
+        with pytest.raises(ConfigurationError):
+            HdpModel(eta=0.0)
+
+    def test_invalid_topic_bounds(self):
+        with pytest.raises(ConfigurationError):
+            HdpModel(initial_topics=0)
+        with pytest.raises(ConfigurationError):
+            HdpModel(initial_topics=10, max_topics=5)
+
+
+class TestHdpTraining:
+    @pytest.fixture(scope="class")
+    def fitted(self) -> HdpModel:
+        return HdpModel(
+            iterations=25, infer_iterations=8, seed=0, pooling="NP",
+            initial_topics=4, max_topics=32,
+        ).fit(THEMED)
+
+    def test_topic_count_is_data_driven(self, fitted):
+        # Nonparametric: the fitted inventory can differ from the initial.
+        assert 1 <= fitted.n_topics <= 32
+
+    def test_phi_rows_are_distributions(self, fitted):
+        assert np.allclose(fitted.phi.sum(axis=1), 1.0)
+
+    def test_stick_weights_normalised(self, fitted):
+        assert np.isclose(fitted.stick_weights.sum(), 1.0)
+        assert len(fitted.stick_weights) == fitted.n_topics
+
+    def test_inference_is_distribution(self, fitted):
+        theta = fitted.represent(docs_from(["piano violin"])[0])
+        assert np.isclose(theta.sum(), 1.0)
+        assert theta.shape == (fitted.n_topics,)
+
+    def test_themes_separate(self, fitted):
+        music = fitted.represent(docs_from(["piano violin concert"])[0])
+        sport = fitted.represent(docs_from(["goal match referee"])[0])
+        music2 = fitted.represent(docs_from(["music concert piano"])[0])
+        assert fitted.score(music, music2) > fitted.score(music, sport)
+
+    def test_empty_doc_uniform(self, fitted):
+        theta = fitted.represent(TextDoc.from_tokens(()))
+        assert np.isclose(theta.sum(), 1.0)
+
+    def test_reproducible(self):
+        runs = []
+        for _ in range(2):
+            m = HdpModel(iterations=5, seed=9, pooling="NP", initial_topics=3).fit(THEMED)
+            runs.append(m.n_topics)
+        assert runs[0] == runs[1]
+
+    def test_describe(self, fitted):
+        info = fitted.describe()
+        assert info["model"] == "HDP"
+        assert info["alpha"] == 1.0

@@ -1,0 +1,80 @@
+"""Tests for hierarchical LDA over the nested CRP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.base import TextDoc
+from repro.models.topic.hlda import HldaModel
+
+
+def docs_from(texts: list[str]) -> list[TextDoc]:
+    return [TextDoc.from_tokens(tuple(t.split())) for t in texts]
+
+
+THEMED = docs_from([
+    "star planet orbit star moon",
+    "orbit moon star planet",
+    "planet star orbit moon",
+    "bread flour oven bread yeast",
+    "yeast oven bread flour",
+    "flour bread yeast oven",
+] * 2)
+
+
+class TestConfiguration:
+    def test_invalid_levels(self):
+        with pytest.raises(ConfigurationError):
+            HldaModel(levels=0)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ConfigurationError):
+            HldaModel(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            HldaModel(beta=-0.1)
+        with pytest.raises(ConfigurationError):
+            HldaModel(gamma=0.0)
+
+
+class TestTraining:
+    @pytest.fixture(scope="class")
+    def fitted(self) -> HldaModel:
+        return HldaModel(
+            levels=2, iterations=20, infer_iterations=8, seed=0, pooling="NP",
+            gamma=0.5,
+        ).fit(THEMED)
+
+    def test_tree_has_nodes(self, fitted):
+        # At least the root plus one child path must exist.
+        assert fitted.n_topics >= 2
+
+    def test_theta_supported_on_one_path(self, fitted):
+        theta = fitted.represent(docs_from(["star orbit"])[0])
+        assert np.isclose(theta.sum(), 1.0)
+        # The distribution touches at most `levels` distinct nodes.
+        assert (theta > 0).sum() <= 2
+
+    def test_themes_get_distinct_paths(self, fitted):
+        space = fitted.represent(docs_from(["star planet orbit moon"])[0])
+        bread = fitted.represent(docs_from(["bread flour yeast oven"])[0])
+        space2 = fitted.represent(docs_from(["moon orbit planet"])[0])
+        assert fitted.score(space, space2) >= fitted.score(space, bread)
+
+    def test_empty_doc_uniform(self, fitted):
+        theta = fitted.represent(TextDoc.from_tokens(()))
+        assert np.isclose(theta.sum(), 1.0)
+
+    def test_three_levels_default(self):
+        assert HldaModel().levels == 3
+
+    def test_reproducible(self):
+        a = HldaModel(levels=2, iterations=5, seed=3, pooling="NP").fit(THEMED)
+        b = HldaModel(levels=2, iterations=5, seed=3, pooling="NP").fit(THEMED)
+        assert a.n_topics == b.n_topics
+
+    def test_describe(self, fitted):
+        info = fitted.describe()
+        assert info["model"] == "HLDA"
+        assert info["levels"] == 2

@@ -1,0 +1,88 @@
+"""Tests for the Labeled LDA label extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.topic.labels import EMOTICON_CLASSES, LabelExtractor
+
+
+class TestEmoticonClasses:
+    def test_nine_classes(self):
+        assert len(EMOTICON_CLASSES) == 9
+
+    def test_expected_classes(self):
+        assert set(EMOTICON_CLASSES) == {
+            "smile", "frown", "wink", "big grin", "tongue",
+            "heart", "surprise", "awkward", "confused",
+        }
+
+    def test_no_token_in_two_classes(self):
+        seen: set[str] = set()
+        for tokens in EMOTICON_CLASSES.values():
+            for tok in tokens:
+                assert tok not in seen
+                seen.add(tok)
+
+
+class TestHashtagLabels:
+    def test_only_frequent_hashtags_become_labels(self):
+        docs = [["#hot", "word"]] * 5 + [["#cold", "word"]]
+        ex = LabelExtractor(min_hashtag_count=3).fit(docs)
+        assert ex.frequent_hashtags == {"#hot"}
+        assert "#hot" in ex.labels_for(["#hot", "x"], 0)
+        assert "#cold" not in ex.labels_for(["#cold", "x"], 0)
+
+    def test_hashtag_labels_have_no_variations(self):
+        docs = [["#tag"]] * 40
+        ex = LabelExtractor(min_hashtag_count=30).fit(docs)
+        for i in range(20):
+            assert ex.labels_for(["#tag"], i) == ["#tag"]
+
+    def test_duplicate_hashtag_counted_once_per_tweet_label(self):
+        docs = [["#t", "#t"]] * 40
+        ex = LabelExtractor(min_hashtag_count=30).fit(docs)
+        assert ex.labels_for(["#t", "#t"], 0) == ["#t"]
+
+
+class TestOtherLabels:
+    @pytest.fixture()
+    def extractor(self) -> LabelExtractor:
+        return LabelExtractor().fit([])
+
+    def test_question_mark(self, extractor):
+        labels = extractor.labels_for(["really", "?"], 4)
+        assert labels == ["question-4"]
+
+    def test_emoticon_class_with_variation(self, extractor):
+        labels = extractor.labels_for([":("], 7)
+        assert labels == ["frown-7"]
+
+    def test_no_variation_classes(self, extractor):
+        # "heart" is one of the paper's no-variation labels.
+        assert extractor.labels_for(["<3"], 3) == ["heart"]
+        assert extractor.labels_for([":d"], 9) == ["big grin"]
+
+    def test_mention_as_first_token(self, extractor):
+        assert extractor.labels_for(["@bob", "hi"], 2) == ["@user-2"]
+
+    def test_mention_not_first_token_ignored(self, extractor):
+        assert extractor.labels_for(["hi", "@bob"], 2) == []
+
+    def test_variation_deterministic(self, extractor):
+        assert extractor.labels_for(["?"], 13) == extractor.labels_for(["?"], 13)
+        assert extractor.labels_for(["?"], 13) == extractor.labels_for(["?"], 3)
+
+    def test_multiple_label_kinds_in_one_tweet(self, extractor):
+        labels = extractor.labels_for(["@a", "nice", ":)", "?"], 1)
+        assert set(labels) == {"@user-1", "smile-1", "question-1"}
+
+    def test_same_class_emitted_once(self, extractor):
+        assert extractor.labels_for([":)", ":-)"], 0) == ["smile-0"]
+
+    def test_plain_tweet_no_labels(self, extractor):
+        assert extractor.labels_for(["just", "words"], 0) == []
+
+    def test_invalid_variations(self):
+        with pytest.raises(ValueError):
+            LabelExtractor(n_variations=0)

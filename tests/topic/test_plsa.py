@@ -1,0 +1,73 @@
+"""Tests for the EM-trained PLSA implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.models.base import TextDoc
+from repro.models.topic.plsa import PlsaModel
+
+
+def docs_from(texts: list[str]) -> list[TextDoc]:
+    return [TextDoc.from_tokens(tuple(t.split())) for t in texts]
+
+
+THEMED = docs_from([
+    "sun beach sand sun waves",
+    "beach waves sand sun",
+    "sand sun beach waves beach",
+    "code bug test code compile",
+    "compile test bug code",
+    "test code compile bug bug",
+] * 2)
+
+
+class TestPlsa:
+    @pytest.fixture(scope="class")
+    def fitted(self) -> PlsaModel:
+        return PlsaModel(
+            n_topics=2, iterations=40, infer_iterations=20, seed=0, pooling="NP"
+        ).fit(THEMED)
+
+    def test_invalid_topics(self):
+        with pytest.raises(ConfigurationError):
+            PlsaModel(n_topics=0)
+
+    def test_phi_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            _ = PlsaModel(n_topics=2).phi
+
+    def test_phi_rows_are_distributions(self, fitted):
+        assert np.allclose(fitted.phi.sum(axis=1), 1.0, atol=1e-6)
+        assert (fitted.phi >= 0).all()
+
+    def test_topics_separate_themes(self, fitted):
+        vocab = fitted.vocabulary
+        beach = fitted.phi[:, vocab.id_of("beach")]
+        code = fitted.phi[:, vocab.id_of("code")]
+        assert int(np.argmax(beach)) != int(np.argmax(code))
+
+    def test_inference_is_distribution(self, fitted):
+        theta = fitted.represent(docs_from(["sun beach"])[0])
+        assert np.isclose(theta.sum(), 1.0)
+        assert (theta >= 0).all()
+
+    def test_inference_separates_themes(self, fitted):
+        beach = fitted.represent(docs_from(["sun beach sand"])[0])
+        code = fitted.represent(docs_from(["code bug compile"])[0])
+        assert fitted.score(beach, code) < 0.9
+
+    def test_empty_doc_uniform(self, fitted):
+        theta = fitted.represent(TextDoc.from_tokens(()))
+        assert np.allclose(theta, 0.5)
+
+    def test_reproducible(self):
+        a = PlsaModel(n_topics=2, iterations=10, seed=7, pooling="NP").fit(THEMED)
+        b = PlsaModel(n_topics=2, iterations=10, seed=7, pooling="NP").fit(THEMED)
+        assert np.allclose(a.phi, b.phi)
+
+    def test_describe(self, fitted):
+        assert fitted.describe()["model"] == "PLSA"
+        assert fitted.describe()["n_topics"] == 2

@@ -1,0 +1,106 @@
+"""Tests for the retweet policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.twitter.behavior import RetweetPolicy
+from repro.twitter.entities import UserProfile
+
+
+@pytest.fixture()
+def profile():
+    return UserProfile(
+        user_id=0,
+        interests=np.array([0.6, 0.3, 0.1]),
+        language="english",
+        tweet_rate=1.0,
+    )
+
+
+class TestValidation:
+    def test_base_probability_bounds(self):
+        with pytest.raises(ValueError):
+            RetweetPolicy(base_probability=0.0)
+        with pytest.raises(ValueError):
+            RetweetPolicy(base_probability=1.5)
+
+    def test_negative_sharpness_rejected(self):
+        with pytest.raises(ValueError):
+            RetweetPolicy(sharpness=-1.0)
+
+    def test_social_noise_bounds(self):
+        with pytest.raises(ValueError):
+            RetweetPolicy(social_noise=1.5)
+
+
+class TestMatchScore:
+    def test_pure_top_interest_scores_one(self, profile):
+        policy = RetweetPolicy()
+        mix = np.array([1.0, 0.0, 0.0])
+        assert policy.match_score(profile, mix) == pytest.approx(1.0)
+
+    def test_off_interest_scores_low(self, profile):
+        policy = RetweetPolicy()
+        mix = np.array([0.0, 0.0, 1.0])
+        assert policy.match_score(profile, mix) < 0.2
+
+    def test_score_bounded(self, profile):
+        policy = RetweetPolicy()
+        for mix in (np.array([1.0, 0, 0]), np.array([0, 1.0, 0]), np.ones(3) / 3):
+            assert 0.0 <= policy.match_score(profile, mix) <= 1.0
+
+
+class TestProbability:
+    def test_monotone_in_match(self, profile):
+        policy = RetweetPolicy(social_noise=0.0)
+        on = policy.probability(profile, np.array([1.0, 0.0, 0.0]))
+        off = policy.probability(profile, np.array([0.0, 0.0, 1.0]))
+        assert on > off
+
+    def test_social_noise_lifts_off_topic_probability(self, profile):
+        off_mix = np.array([0.0, 0.0, 1.0])
+        without = RetweetPolicy(social_noise=0.0).probability(profile, off_mix)
+        with_noise = RetweetPolicy(social_noise=0.5).probability(profile, off_mix)
+        assert with_noise > without
+
+    def test_probability_capped(self, profile):
+        hot = UserProfile(
+            user_id=1, interests=np.array([1.0, 0.0]), language="english",
+            tweet_rate=1.0, retweet_affinity=5.0,
+        )
+        policy = RetweetPolicy(base_probability=0.9, max_probability=0.8)
+        assert policy.probability(hot, np.array([1.0, 0.0])) <= 0.8
+
+    def test_sharpness_widens_gap(self, profile):
+        mid_mix = np.array([0.3, 0.4, 0.3])
+        soft = RetweetPolicy(sharpness=1.0, social_noise=0.0)
+        sharp = RetweetPolicy(sharpness=5.0, social_noise=0.0)
+        assert sharp.probability(profile, mid_mix) < soft.probability(profile, mid_mix)
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    def test_probability_always_valid(self, a, b, c):
+        total = a + b + c
+        if total == 0:
+            return
+        mix = np.array([a, b, c]) / total
+        profile = UserProfile(
+            user_id=0, interests=np.array([0.5, 0.3, 0.2]),
+            language="english", tweet_rate=1.0,
+        )
+        p = RetweetPolicy().probability(profile, mix)
+        assert 0.0 <= p <= 0.95
+
+
+class TestDecide:
+    def test_decision_follows_probability(self, profile):
+        rng = np.random.default_rng(0)
+        policy = RetweetPolicy(social_noise=0.0)
+        on_mix = np.array([1.0, 0.0, 0.0])
+        decisions = [policy.decide(profile, on_mix, rng) for _ in range(300)]
+        observed = np.mean(decisions)
+        expected = policy.probability(profile, on_mix)
+        assert abs(observed - expected) < 0.1

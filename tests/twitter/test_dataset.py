@@ -1,0 +1,145 @@
+"""Tests for dataset generation and the source views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DataGenerationError
+from repro.twitter.dataset import DatasetConfig, generate_dataset, select_user_groups
+from repro.twitter.entities import UserType
+
+
+class TestConfigValidation:
+    def test_too_few_users(self):
+        with pytest.raises(DataGenerationError):
+            DatasetConfig(n_users=2)
+
+    def test_zero_ticks(self):
+        with pytest.raises(DataGenerationError):
+            DatasetConfig(n_ticks=0)
+
+    def test_fractions_must_sum_below_one(self):
+        with pytest.raises(DataGenerationError):
+            DatasetConfig(seeker_fraction=0.6, balanced_fraction=0.5)
+
+
+class TestGeneratedDataset:
+    def test_reproducible(self):
+        cfg = DatasetConfig(n_users=10, n_ticks=20, seed=5)
+        a = generate_dataset(cfg)
+        b = generate_dataset(cfg)
+        assert [t.text for t in a.tweets] == [t.text for t in b.tweets]
+
+    def test_tweets_time_ordered(self, small_dataset):
+        stamps = [t.timestamp for t in small_dataset.tweets]
+        assert stamps == sorted(stamps)
+
+    def test_retweets_reference_existing_originals(self, small_dataset):
+        for tweet in small_dataset.tweets:
+            if tweet.is_retweet:
+                original = small_dataset.tweet(tweet.retweet_of)
+                assert not original.is_retweet  # cascades are 1-hop
+                assert original.author_id == tweet.original_author_id
+                assert original.text == tweet.text
+
+    def test_retweeter_follows_original_author(self, small_dataset):
+        for tweet in small_dataset.tweets:
+            if tweet.is_retweet:
+                assert small_dataset.graph.follows(
+                    tweet.author_id, tweet.original_author_id
+                )
+
+    def test_no_user_retweets_same_original_twice(self, small_dataset):
+        seen = set()
+        for tweet in small_dataset.tweets:
+            if tweet.is_retweet:
+                key = (tweet.author_id, tweet.retweet_of)
+                assert key not in seen
+                seen.add(key)
+
+    def test_seen_contains_all_retweeted_originals(self, small_dataset):
+        for user in small_dataset.users:
+            seen = small_dataset.seen[user.user_id]
+            for rt in small_dataset.retweets_of(user.user_id):
+                assert rt.retweet_of in seen
+
+    def test_inventory_topic_mismatch_rejected(self, two_language_inventory):
+        with pytest.raises(DataGenerationError):
+            generate_dataset(
+                DatasetConfig(n_users=8, n_ticks=5, n_topics=12),
+                inventory=two_language_inventory,  # has 4 topics
+            )
+
+
+class TestSourceViews:
+    def test_outgoing_is_t_union_r(self, small_dataset):
+        for user in small_dataset.users[:5]:
+            uid = user.user_id
+            t_ids = {t.tweet_id for t in small_dataset.tweets_of(uid)}
+            r_ids = {t.tweet_id for t in small_dataset.retweets_of(uid)}
+            out_ids = {t.tweet_id for t in small_dataset.outgoing(uid)}
+            assert out_ids == t_ids | r_ids
+            assert not t_ids & r_ids
+
+    def test_incoming_is_followees_posts(self, small_dataset):
+        uid = small_dataset.users[0].user_id
+        followees = small_dataset.graph.followees(uid)
+        for tweet in small_dataset.incoming(uid):
+            assert tweet.author_id in followees
+
+    def test_reciprocal_subset_of_incoming_and_followers(self, small_dataset):
+        uid = small_dataset.users[0].user_id
+        c_ids = {t.tweet_id for t in small_dataset.reciprocal_tweets(uid)}
+        e_ids = {t.tweet_id for t in small_dataset.incoming(uid)}
+        f_ids = {t.tweet_id for t in small_dataset.followers_tweets(uid)}
+        assert c_ids <= e_ids
+        assert c_ids <= f_ids
+
+    def test_posting_ratio_definition(self, small_dataset):
+        uid = small_dataset.users[0].user_id
+        expected = len(small_dataset.outgoing(uid)) / len(small_dataset.incoming(uid))
+        assert small_dataset.posting_ratio(uid) == pytest.approx(expected)
+
+    def test_user_type_consistent_with_ratio(self, small_dataset):
+        for user in small_dataset.users:
+            ratio = small_dataset.posting_ratio(user.user_id)
+            assert small_dataset.user_type(user.user_id) is UserType.from_posting_ratio(ratio)
+
+
+class TestGroupSelection:
+    def test_groups_follow_paper_structure(self, small_dataset, small_groups):
+        is_users = small_groups[UserType.INFORMATION_SEEKER]
+        bu_users = small_groups[UserType.BALANCED_USER]
+        ip_users = small_groups[UserType.INFORMATION_PRODUCER]
+        assert is_users and bu_users  # IP may be empty on tiny data
+        # IS users have lower ratios than BU users.
+        max_is = max(small_dataset.posting_ratio(u) for u in is_users)
+        min_bu_dist = min(abs(small_dataset.posting_ratio(u) - 1.0) for u in bu_users)
+        assert max_is < 1.0
+        for u in ip_users:
+            assert small_dataset.posting_ratio(u) > 2.0
+
+    def test_groups_are_disjoint(self, small_groups):
+        is_set = set(small_groups[UserType.INFORMATION_SEEKER])
+        bu_set = set(small_groups[UserType.BALANCED_USER])
+        ip_set = set(small_groups[UserType.INFORMATION_PRODUCER])
+        assert not is_set & bu_set
+        assert not is_set & ip_set
+        assert not bu_set & ip_set
+
+    def test_all_users_is_superset(self, small_groups):
+        union = (
+            set(small_groups[UserType.INFORMATION_SEEKER])
+            | set(small_groups[UserType.BALANCED_USER])
+            | set(small_groups[UserType.INFORMATION_PRODUCER])
+        )
+        assert union <= set(small_groups[UserType.ALL])
+
+    def test_min_retweets_respected(self, small_dataset, small_groups):
+        for group in small_groups.values():
+            for uid in group:
+                assert len(small_dataset.retweets_of(uid)) >= 5
+
+    def test_impossible_selection_raises(self, small_dataset):
+        with pytest.raises(DataGenerationError):
+            select_user_groups(small_dataset, min_retweets=10**9)

@@ -1,0 +1,61 @@
+"""Tests for the substrate entities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.twitter.entities import Tweet, UserProfile, UserType
+
+
+class TestUserType:
+    @pytest.mark.parametrize("ratio,expected", [
+        (5.0, UserType.INFORMATION_PRODUCER),
+        (2.01, UserType.INFORMATION_PRODUCER),
+        (2.0, UserType.BALANCED_USER),
+        (1.0, UserType.BALANCED_USER),
+        (0.5, UserType.BALANCED_USER),
+        (0.49, UserType.INFORMATION_SEEKER),
+        (0.0, UserType.INFORMATION_SEEKER),
+    ])
+    def test_paper_thresholds(self, ratio, expected):
+        assert UserType.from_posting_ratio(ratio) is expected
+
+    def test_string_values(self):
+        assert UserType.INFORMATION_PRODUCER.value == "IP"
+        assert UserType.ALL.value == "All Users"
+
+
+class TestTweet:
+    def test_original_tweet(self):
+        t = Tweet(tweet_id=1, author_id=2, text="hi", timestamp=3)
+        assert not t.is_retweet
+        assert t.retweet_of is None
+
+    def test_retweet(self):
+        t = Tweet(
+            tweet_id=2, author_id=3, text="hi", timestamp=4,
+            retweet_of=1, original_author_id=2,
+        )
+        assert t.is_retweet
+        assert t.original_author_id == 2
+
+    def test_frozen(self):
+        t = Tweet(tweet_id=1, author_id=2, text="hi", timestamp=3)
+        with pytest.raises(AttributeError):
+            t.text = "new"
+
+
+class TestUserProfile:
+    def test_interests_normalised(self):
+        profile = UserProfile(
+            user_id=0, interests=np.array([2.0, 2.0]), language="english",
+            tweet_rate=1.0,
+        )
+        assert np.allclose(profile.interests, [0.5, 0.5])
+
+    def test_zero_interest_mass_rejected(self):
+        with pytest.raises(ValueError):
+            UserProfile(
+                user_id=0, interests=np.zeros(3), language="english", tweet_rate=1.0
+            )

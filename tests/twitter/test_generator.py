@@ -1,0 +1,128 @@
+"""Tests for tweet composition and the noise channels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.twitter.entities import UserProfile
+from repro.twitter.generator import NoiseChannel, TweetComposer
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture()
+def profile(two_language_inventory):
+    return UserProfile(
+        user_id=0,
+        interests=np.array([0.7, 0.1, 0.1, 0.1]),
+        language="alpha",
+        tweet_rate=1.0,
+    )
+
+
+class TestNoiseChannel:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            NoiseChannel(misspell_rate=0.6, lengthen_rate=0.5, abbreviate_rate=0.0)
+
+    def test_zero_rates_never_corrupt(self, rng):
+        channel = NoiseChannel(0.0, 0.0, 0.0)
+        assert channel.corrupt("word", rng) == "word"
+
+    def test_short_words_untouched(self, rng):
+        channel = NoiseChannel(1.0, 0.0, 0.0)
+        assert channel.corrupt("a", rng) == "a"
+
+    def test_misspell_changes_word(self, rng):
+        channel = NoiseChannel(misspell_rate=1.0, lengthen_rate=0.0, abbreviate_rate=0.0)
+        word = "tweeting"
+        corrupted = channel.corrupt(word, rng)
+        assert corrupted != word
+        assert abs(len(corrupted) - len(word)) <= 1
+
+    def test_lengthen_repeats_character(self, rng):
+        channel = NoiseChannel(misspell_rate=0.0, lengthen_rate=1.0, abbreviate_rate=0.0)
+        corrupted = channel.corrupt("yes", rng)
+        assert len(corrupted) >= len("yes") + 2
+
+    def test_abbreviate_drops_vowels(self):
+        assert NoiseChannel._abbreviate("goodnight") == "gdnght"
+
+    def test_abbreviate_keeps_first_and_last(self):
+        out = NoiseChannel._abbreviate("around")
+        assert out[0] == "a" and out[-1] == "d"
+
+    def test_abbreviate_short_word_untouched(self):
+        assert NoiseChannel._abbreviate("cat") == "cat"
+
+
+class TestTweetComposer:
+    def test_invalid_word_bounds(self, two_language_inventory):
+        with pytest.raises(ValueError):
+            TweetComposer(two_language_inventory, min_words=5, max_words=3)
+
+    def test_compose_returns_text_and_mix(self, two_language_inventory, profile, rng):
+        composer = TweetComposer(two_language_inventory)
+        composed = composer.compose(profile, rng)
+        assert composed.text
+        assert len(composed.topic_mix) == 4
+        assert abs(sum(composed.topic_mix) - 1.0) < 1e-9
+
+    def test_topic_mix_reflects_interests(self, two_language_inventory, profile, rng):
+        composer = TweetComposer(two_language_inventory, topic_concentration=50.0)
+        dominant = [int(np.argmax(composer.sample_topic_mix(profile, rng)))
+                    for _ in range(200)]
+        # Topic 0 holds 70% of the profile's interest mass.
+        assert dominant.count(0) > 100
+
+    def test_hashtag_rendered_in_dominant_language(self, two_language_inventory):
+        composer = TweetComposer(two_language_inventory)
+        dominant = two_language_inventory.language_names[0]
+        for topic in range(4):
+            tag = composer.hashtag_for_topic(topic)
+            assert tag.startswith("#")
+            assert tag[1:] in two_language_inventory.topic_words(dominant, topic)
+
+    def test_decorations_appear_at_configured_rates(
+        self, two_language_inventory, profile, rng
+    ):
+        composer = TweetComposer(
+            two_language_inventory,
+            hashtag_rate=1.0, url_rate=1.0, emoticon_rate=1.0, question_rate=1.0,
+            mention_rate=1.0,
+        )
+        composed = composer.compose(profile, rng, mentionable=(7,))
+        assert "#" in composed.text
+        assert "http://t.co/" in composed.text
+        assert "@user7" in composed.text
+        assert composed.text.rstrip().endswith("?")
+
+    def test_no_decorations_when_rates_zero(self, two_language_inventory, profile, rng):
+        composer = TweetComposer(
+            two_language_inventory,
+            hashtag_rate=0.0, url_rate=0.0, emoticon_rate=0.0, question_rate=0.0,
+            mention_rate=0.0,
+        )
+        text = composer.compose(profile, rng).text
+        assert "#" not in text and "@" not in text and "http" not in text
+
+    def test_word_count_within_bounds(self, two_language_inventory, profile, rng):
+        composer = TweetComposer(
+            two_language_inventory, min_words=4, max_words=6,
+            hashtag_rate=0.0, url_rate=0.0, emoticon_rate=0.0,
+            question_rate=0.0, mention_rate=0.0, phrase_rate=0.0,
+            common_word_rate=0.0,
+        )
+        for _ in range(20):
+            words = composer.compose(profile, rng).text.split()
+            assert 4 <= len(words) <= 6
+
+    def test_explicit_topic_mix_used(self, two_language_inventory, profile, rng):
+        composer = TweetComposer(two_language_inventory)
+        mix = np.array([0.0, 0.0, 1.0, 0.0])
+        composed = composer.compose(profile, rng, topic_mix=mix)
+        assert composed.topic_mix == (0.0, 0.0, 1.0, 0.0)

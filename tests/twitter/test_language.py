@@ -1,0 +1,118 @@
+"""Tests for the synthetic language inventory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.twitter.language import (
+    DEFAULT_LANGUAGES,
+    LanguageInventory,
+    SyntheticLanguage,
+    default_inventory,
+)
+
+
+class TestSyntheticLanguage:
+    def test_make_word_uses_script(self):
+        lang = SyntheticLanguage("toy", "bc", "a")
+        rng = np.random.default_rng(0)
+        word = lang.make_word(rng)
+        assert set(word) <= {"a", "b", "c"}
+
+    def test_word_length_bounds(self):
+        lang = SyntheticLanguage("toy", "bc", "a", min_syllables=2, max_syllables=2)
+        rng = np.random.default_rng(0)
+        assert len(lang.make_word(rng)) == 4  # 2 syllables x (C + V)
+
+    def test_spaceless_join(self):
+        spaced = SyntheticLanguage("a", "b", "a")
+        spaceless = SyntheticLanguage("b", "b", "a", spaceless=True)
+        assert spaced.join(["x", "y"]) == "x y"
+        assert spaceless.join(["x", "y"]) == "xy"
+
+
+class TestDefaults:
+    def test_ten_default_languages(self):
+        assert len(DEFAULT_LANGUAGES) == 10
+
+    def test_english_dominates(self):
+        by_name = {lang.name: p for lang, p in DEFAULT_LANGUAGES}
+        assert by_name["english"] == max(by_name.values())
+
+    def test_cjk_and_thai_are_spaceless(self):
+        spaceless = {lang.name for lang, _ in DEFAULT_LANGUAGES if lang.spaceless}
+        assert {"japanese", "chinese", "korean", "thai"} <= spaceless
+
+
+class TestInventory:
+    @pytest.fixture(scope="class")
+    def inventory(self, two_language_inventory) -> LanguageInventory:
+        return two_language_inventory
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LanguageInventory(n_topics=0)
+        with pytest.raises(ValueError):
+            LanguageInventory(words_per_topic=0)
+        with pytest.raises(ValueError):
+            LanguageInventory(shared_word_fraction=1.0)
+
+    def test_topic_vocabularies_have_requested_size(self, inventory):
+        for topic in range(inventory.n_topics):
+            assert len(inventory.topic_words("alpha", topic)) == 30
+
+    def test_unique_words_do_not_alias_across_topics(self, inventory):
+        # Shared words may repeat across topics; the guarantee is that
+        # every topic's vocabulary is internally distinct.
+        for topic in range(inventory.n_topics):
+            vocab = inventory.topic_words("alpha", topic)
+            assert len(set(vocab)) == len(vocab)
+
+    def test_languages_have_disjoint_vocabularies(self, inventory):
+        words_a = {w for t in range(4) for w in inventory.topic_words("alpha", t)}
+        words_b = {w for t in range(4) for w in inventory.topic_words("beta", t)}
+        assert not words_a & words_b
+
+    def test_sampling_respects_language(self, inventory):
+        rng = np.random.default_rng(0)
+        word = inventory.sample_topic_word("alpha", 0, rng)
+        assert word in inventory.topic_words("alpha", 0)
+
+    def test_language_frequencies_respected(self, inventory):
+        rng = np.random.default_rng(0)
+        names = [inventory.sample_language(rng).name for _ in range(500)]
+        share_alpha = names.count("alpha") / len(names)
+        assert 0.6 < share_alpha < 0.8  # configured 0.7
+
+    def test_successor_chains_are_topic_specific(self, inventory):
+        rng = np.random.default_rng(0)
+        chain = inventory.sample_chain("alpha", 0, rng, continue_probability=1.0)
+        vocab = set(inventory.topic_words("alpha", 0))
+        assert set(chain) <= vocab
+        assert len(chain) >= 2
+
+    def test_chain_follows_successor_map(self, inventory):
+        rng = np.random.default_rng(1)
+        chain = inventory.sample_chain("alpha", 1, rng, continue_probability=1.0)
+        for prev, nxt in zip(chain, chain[1:]):
+            assert nxt in inventory.successors("alpha", 1, prev)
+
+    def test_collocations_available(self, inventory):
+        rng = np.random.default_rng(0)
+        pair = inventory.sample_collocation("alpha", 0, rng)
+        assert pair is not None
+        assert pair in inventory.collocations("alpha", 0)
+
+    def test_sample_texts_in_language_script(self, inventory):
+        rng = np.random.default_rng(0)
+        texts = inventory.sample_texts("beta", 5, 6, rng)
+        assert len(texts) == 5
+        allowed = set("klmnpraiu ")
+        for text in texts:
+            assert set(text) <= allowed
+
+    def test_default_inventory_reproducible(self):
+        a = default_inventory(seed=1, n_topics=4)
+        b = default_inventory(seed=1, n_topics=4)
+        assert a.topic_words("english", 0) == b.topic_words("english", 0)

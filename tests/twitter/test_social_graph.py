@@ -1,0 +1,135 @@
+"""Tests for the follow graph and its generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DataGenerationError
+from repro.twitter.graph import SocialGraph, generate_follow_graph
+
+
+class TestSocialGraph:
+    def test_follow_recorded_both_directions(self):
+        g = SocialGraph(3)
+        g.add_follow(0, 1)
+        assert g.follows(0, 1)
+        assert 1 in g.followees(0)
+        assert 0 in g.followers(1)
+
+    def test_follow_is_directed(self):
+        g = SocialGraph(3)
+        g.add_follow(0, 1)
+        assert not g.follows(1, 0)
+        assert g.reciprocal(0) == frozenset()
+
+    def test_reciprocal_requires_both_directions(self):
+        g = SocialGraph(2)
+        g.add_follow(0, 1)
+        g.add_follow(1, 0)
+        assert g.reciprocal(0) == {1}
+        assert g.reciprocal(1) == {0}
+
+    def test_self_follow_rejected(self):
+        g = SocialGraph(2)
+        with pytest.raises(ValueError):
+            g.add_follow(0, 0)
+
+    def test_unknown_user_rejected(self):
+        g = SocialGraph(2)
+        with pytest.raises(KeyError):
+            g.add_follow(0, 5)
+        with pytest.raises(KeyError):
+            g.followees(9)
+
+    def test_edge_count(self):
+        g = SocialGraph(3)
+        g.add_follow(0, 1)
+        g.add_follow(1, 2)
+        g.add_follow(0, 1)  # duplicate, idempotent
+        assert g.n_edges() == 2
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SocialGraph(-1)
+
+
+class TestGenerator:
+    ROLES = (
+        ["seeker"] * 6 + ["balanced"] * 5 + ["producer"] * 3 + ["lurker"] * 6
+    )
+
+    @pytest.fixture(scope="class")
+    def graph(self) -> SocialGraph:
+        return generate_follow_graph(self.ROLES, np.random.default_rng(0))
+
+    def test_minimum_degrees_enforced(self, graph):
+        # The paper's dataset filter: >= 3 followers and followees each.
+        for user in range(len(self.ROLES)):
+            assert len(graph.followees(user)) >= 3
+            assert len(graph.followers(user)) >= 3
+
+    def test_seekers_follow_more_than_producers(self, graph):
+        seeker_mean = np.mean([
+            len(graph.followees(u)) for u, r in enumerate(self.ROLES) if r == "seeker"
+        ])
+        producer_mean = np.mean([
+            len(graph.followees(u)) for u, r in enumerate(self.ROLES) if r == "producer"
+        ])
+        assert seeker_mean > producer_mean
+
+    def test_producers_have_more_followers_than_lurkers(self, graph):
+        producer_mean = np.mean([
+            len(graph.followers(u)) for u, r in enumerate(self.ROLES) if r == "producer"
+        ])
+        lurker_mean = np.mean([
+            len(graph.followers(u)) for u, r in enumerate(self.ROLES) if r == "lurker"
+        ])
+        assert producer_mean > lurker_mean
+
+    def test_reciprocal_edges_exist(self, graph):
+        total = sum(len(graph.reciprocal(u)) for u in range(len(self.ROLES)))
+        assert total > 0
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(DataGenerationError):
+            generate_follow_graph(["seeker", "alien"] * 4, np.random.default_rng(0))
+
+    def test_too_few_users_rejected(self):
+        with pytest.raises(DataGenerationError):
+            generate_follow_graph(["seeker"] * 2, np.random.default_rng(0))
+
+    def test_interest_length_mismatch_rejected(self):
+        with pytest.raises(DataGenerationError):
+            generate_follow_graph(
+                self.ROLES, np.random.default_rng(0), interests=[np.ones(3)]
+            )
+
+    def test_homophily_biases_towards_similar_interests(self):
+        rng = np.random.default_rng(1)
+        n = 30
+        roles = ["balanced"] * n
+        # Two interest camps: users 0-14 topic A, 15-29 topic B.
+        interests = [np.array([1.0, 0.0]) if u < 15 else np.array([0.0, 1.0])
+                     for u in range(n)]
+        graph = generate_follow_graph(
+            roles, rng, interests=interests, homophily=3.0
+        )
+        same_camp = cross_camp = 0
+        for u in range(n):
+            for v in graph.followees(u):
+                if (u < 15) == (v < 15):
+                    same_camp += 1
+                else:
+                    cross_camp += 1
+        assert same_camp > cross_camp
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_generator_deterministic_per_seed(self, seed):
+        g1 = generate_follow_graph(self.ROLES, np.random.default_rng(seed))
+        g2 = generate_follow_graph(self.ROLES, np.random.default_rng(seed))
+        for u in range(len(self.ROLES)):
+            assert g1.followees(u) == g2.followees(u)

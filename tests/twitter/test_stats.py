@@ -1,0 +1,77 @@
+"""Tests for Table 2 / Table 3 statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.twitter.entities import UserType
+from repro.twitter.stats import SourceStats, group_statistics, language_census
+
+
+class TestSourceStats:
+    def test_from_counts(self):
+        stats = SourceStats.from_counts([1, 2, 3])
+        assert stats.total == 6
+        assert stats.minimum == 1
+        assert stats.mean == 2.0
+        assert stats.maximum == 3
+
+    def test_empty(self):
+        stats = SourceStats.from_counts([])
+        assert stats.total == 0 and stats.mean == 0.0
+
+
+class TestGroupStatistics:
+    def test_matches_dataset_counts(self, small_dataset, small_groups):
+        stats = group_statistics(small_dataset, small_groups)
+        for group, user_ids in small_groups.items():
+            if not user_ids:
+                continue
+            block = stats[group]
+            assert block.n_users == len(user_ids)
+            expected_total = sum(len(small_dataset.outgoing(u)) for u in user_ids)
+            assert block.outgoing.total == expected_total
+            expected_retweets = sum(len(small_dataset.retweets_of(u)) for u in user_ids)
+            assert block.retweets.total == expected_retweets
+
+    def test_min_le_mean_le_max(self, small_dataset, small_groups):
+        stats = group_statistics(small_dataset, small_groups)
+        for block in stats.values():
+            if block.n_users == 0:
+                continue
+            for attr in ("outgoing", "retweets", "incoming", "followers_tweets"):
+                source = getattr(block, attr)
+                assert source.minimum <= source.mean <= source.maximum
+
+
+class TestLanguageCensus:
+    @pytest.fixture(scope="class")
+    def census(self, small_dataset) -> dict[str, int]:
+        return language_census(small_dataset)
+
+    def test_counts_cover_active_users_posts(self, small_dataset, census):
+        expected = sum(
+            len(small_dataset.outgoing(u.user_id)) for u in small_dataset.users
+            if small_dataset.outgoing(u.user_id)
+        )
+        assert sum(census.values()) == expected
+
+    def test_english_dominates(self, census):
+        # The inventory assigns ~83% of users to English.
+        assert census, "census must not be empty"
+        assert max(census, key=census.get) == "english"
+
+    def test_only_known_languages(self, small_dataset, census):
+        assert set(census) <= set(small_dataset.inventory.language_names)
+
+    def test_census_accuracy_against_ground_truth(self, small_dataset, census):
+        # Aggregate truth: tweets per actual author language.
+        from collections import Counter
+        truth: Counter[str] = Counter()
+        for user in small_dataset.users:
+            truth[user.language] += len(small_dataset.outgoing(user.user_id))
+        # The detected English share should be within 10 points of truth.
+        total = sum(truth.values())
+        t_share = truth["english"] / total
+        c_share = census.get("english", 0) / sum(census.values())
+        assert abs(t_share - c_share) < 0.10
