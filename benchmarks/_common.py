@@ -161,13 +161,25 @@ def _cached_run(name: str, configs, sources) -> SweepResult:
     Delete ``results/_sweep_cache`` to force recomputation.
     """
     from repro.experiments.persistence import load_sweep, save_sweep
+    from repro.obs import RunManifest
 
     path = _cache_dir() / f"{name}.json"
     if path.exists():
         return load_sweep(path)
+    scale = current_scale()
+    manifest = RunManifest.create(
+        seed=scale.seed,
+        dataset={"n_users": scale.n_users, "n_ticks": scale.n_ticks,
+                 "group_size": scale.group_size,
+                 "min_retweets": scale.min_retweets},
+        models=sorted({config.model for config in configs}),
+        command=f"bench:{name}",
+        bench_scale=os.environ.get("REPRO_BENCH_SCALE", "quick"),
+    )
     _, _, _, runner = bench_environment()
     result = runner.run(configs, sources, groups=_ALL_GROUPS)
-    save_sweep(result, path)
+    manifest.finish()
+    save_sweep(result, path, manifest=manifest)
     return result
 
 

@@ -8,7 +8,8 @@ The library has six layers:
 * :mod:`repro.twitter`     -- the synthetic Twitter substrate;
 * :mod:`repro.core`        -- sources, splits, ranking, baselines, pipeline;
 * :mod:`repro.eval`        -- metrics, significance tests, timing;
-* :mod:`repro.experiments` -- the paper's configuration grids and reports.
+* :mod:`repro.experiments` -- the paper's configuration grids and reports;
+* :mod:`repro.obs`         -- spans, metrics, event logs and run manifests.
 
 Quickstart::
 
@@ -59,6 +60,7 @@ from repro.models import (
     TokenNGramGraphModel,
     TokenNGramModel,
 )
+from repro.obs import RunManifest, Telemetry, Tracer
 from repro.twitter import (
     DatasetConfig,
     MicroblogDataset,
@@ -94,7 +96,10 @@ __all__ = [
     "RepresentationModel",
     "RepresentationSource",
     "ReproError",
+    "RunManifest",
+    "Telemetry",
     "TextDoc",
+    "Tracer",
     "TokenNGramGraphModel",
     "TokenNGramModel",
     "UserType",

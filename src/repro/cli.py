@@ -8,14 +8,22 @@ Commands
 ``report``     render a saved sweep as the paper's figures/tables
 ``suggest``    followee / hashtag recommendations (the extension tasks)
 
+``evaluate`` and ``sweep`` accept observability flags: ``--trace-out
+trace.json`` saves a span trace (manifest + per-phase timing tree +
+metrics), and ``--log-json [PATH]`` streams structured JSON-lines
+events (to stderr when no path is given). A saved trace renders as a
+per-phase tree with ``report --artifact timing-breakdown --trace
+trace.json``.
+
 Examples
 --------
 ::
 
     python -m repro generate --users 40 --ticks 150 --seed 7
-    python -m repro evaluate --model TN --source R --users 40
-    python -m repro sweep --out sweep.json --sources R T --fast
+    python -m repro evaluate --model TN --source R --users 40 --trace-out trace.json
+    python -m repro sweep --out sweep.json --sources R T --fast --log-json
     python -m repro report --sweep sweep.json --artifact figure --group "All Users"
+    python -m repro report --artifact timing-breakdown --trace trace.json
     python -m repro suggest --kind hashtag --text "word1 word2"
 """
 
@@ -24,11 +32,12 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from functools import lru_cache
 
 from repro.core.pipeline import ExperimentPipeline
 from repro.core.sources import ALL_SOURCES, RepresentationSource
 from repro.eval.metrics import mean_average_precision
-from repro.experiments.configs import MODEL_NAMES, ConfigGrid
+from repro.experiments.configs import MODEL_NAMES, ConfigGrid, ModelConfig
 from repro.experiments.persistence import load_sweep, save_sweep
 from repro.experiments.report import (
     format_figure7,
@@ -39,6 +48,13 @@ from repro.experiments.report import (
 )
 from repro.experiments.runner import SweepRunner
 from repro.experiments.standard import fast_grid
+from repro.obs import (
+    JsonLinesSink,
+    RunManifest,
+    Telemetry,
+    format_timing_breakdown,
+    load_trace,
+)
 from repro.twitter.dataset import DatasetConfig, generate_dataset, select_user_groups
 from repro.twitter.entities import UserType
 from repro.twitter.stats import group_statistics
@@ -67,12 +83,71 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _build_model(name: str, grid: ConfigGrid):
+@lru_cache(maxsize=1)
+def _fast_configs() -> dict[str, ModelConfig]:
+    """One fast_grid scan, indexed by model name (built once per process)."""
+    return {config.model: config for config in fast_grid(seed=0)}
+
+
+def _build_model(name: str):
     """The fast_grid representative configuration of a model."""
-    for config in fast_grid(seed=0):
-        if config.model == name:
-            return config.build()
-    raise SystemExit(f"unknown model {name!r}; pick from {', '.join(MODEL_NAMES)}")
+    config = _fast_configs().get(name)
+    if config is None:
+        raise SystemExit(f"unknown model {name!r}; pick from {', '.join(MODEL_NAMES)}")
+    return config.build()
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="save a span trace (manifest + timing tree + metrics) as JSON",
+    )
+    parser.add_argument(
+        "--log-json", metavar="PATH", nargs="?", const="-", default=None,
+        help="stream structured JSON-lines events (to stderr without PATH)",
+    )
+
+
+def _make_telemetry(
+    args: argparse.Namespace, command: str, models: Sequence[str]
+) -> tuple[Telemetry | None, JsonLinesSink | None]:
+    """Telemetry wired from ``--trace-out`` / ``--log-json``, if requested."""
+    if not (args.trace_out or args.log_json):
+        return None, None
+    manifest = RunManifest.create(
+        seed=args.seed,
+        dataset={
+            "n_users": args.users,
+            "n_ticks": args.ticks,
+            "group_size": args.group_size,
+            "min_retweets": args.min_retweets,
+        },
+        models=list(models),
+        command=command,
+    )
+    telemetry = Telemetry(manifest=manifest)
+    sink = None
+    if args.log_json:
+        sink = JsonLinesSink(args.log_json)
+        telemetry.events.add_sink(sink)
+    return telemetry, sink
+
+
+def _finish_telemetry(
+    args: argparse.Namespace,
+    telemetry: Telemetry | None,
+    sink: JsonLinesSink | None,
+) -> None:
+    """Stamp the wall clock, save the trace, release the log sink."""
+    if telemetry is None:
+        return
+    if telemetry.manifest is not None:
+        telemetry.manifest.finish()
+    if args.trace_out:
+        path = telemetry.save_trace(args.trace_out)
+        print(f"trace written to {path}")
+    if sink is not None:
+        sink.close()
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -84,12 +159,14 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
+    telemetry, sink = _make_telemetry(args, "evaluate", [args.model])
     dataset, groups = _make_dataset(args)
     pipeline = ExperimentPipeline(
-        dataset, seed=args.seed, max_train_docs_per_user=args.max_train_docs
+        dataset, seed=args.seed, max_train_docs_per_user=args.max_train_docs,
+        telemetry=telemetry,
     )
     users = pipeline.eligible_users(groups[UserType.ALL])
-    model = _build_model(args.model, ConfigGrid())
+    model = _build_model(args.model)
     source = RepresentationSource(args.source)
     result = pipeline.evaluate(model, source, users)
     ran = mean_average_precision(
@@ -103,15 +180,11 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     print(f"  RAN  = {ran:.3f}")
     print(f"  CHR  = {chrono:.3f}")
     print(f"  TTime = {result.training_seconds:.2f}s  ETime = {result.testing_seconds:.3f}s")
+    _finish_telemetry(args, telemetry, sink)
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    dataset, groups = _make_dataset(args)
-    pipeline = ExperimentPipeline(
-        dataset, seed=args.seed, max_train_docs_per_user=args.max_train_docs
-    )
-    runner = SweepRunner(pipeline, groups)
     if args.fast:
         configs = fast_grid(seed=args.seed)
     else:
@@ -121,14 +194,47 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         configs = list(grid.iter_all())
+    models = sorted({c.model for c in configs})
+    telemetry, sink = _make_telemetry(args, "sweep", models)
+    # Sweep JSON always embeds a manifest, even without tracing enabled.
+    manifest = (
+        telemetry.manifest
+        if telemetry is not None
+        else RunManifest.create(
+            seed=args.seed,
+            dataset={
+                "n_users": args.users,
+                "n_ticks": args.ticks,
+                "group_size": args.group_size,
+                "min_retweets": args.min_retweets,
+            },
+            models=models,
+            command="sweep",
+        )
+    )
+    dataset, groups = _make_dataset(args)
+    pipeline = ExperimentPipeline(
+        dataset, seed=args.seed, max_train_docs_per_user=args.max_train_docs,
+        telemetry=telemetry,
+    )
+    runner = SweepRunner(pipeline, groups, telemetry=telemetry)
     sources = [RepresentationSource(s) for s in args.sources]
     result = runner.run(configs, sources, progress=args.progress)
-    path = save_sweep(result, args.out)
+    manifest.finish()
+    path = save_sweep(result, args.out, manifest=manifest)
     print(f"{len(result.rows)} rows saved to {path}")
+    _finish_telemetry(args, telemetry, sink)
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.artifact == "timing-breakdown":
+        if not args.trace:
+            raise SystemExit("--trace is required for the timing-breakdown artifact")
+        print(format_timing_breakdown(load_trace(args.trace)))
+        return 0
+    if not args.sweep:
+        raise SystemExit(f"--sweep is required for the {args.artifact} artifact")
     result = load_sweep(args.sweep)
     sources = (
         [RepresentationSource(s) for s in args.sources]
@@ -194,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--source", default="R",
                         choices=[s.value for s in ALL_SOURCES])
     p_eval.add_argument("--max-train-docs", type=int, default=100)
+    _add_telemetry_arguments(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_sweep = sub.add_parser("sweep", help="run a sweep, save to JSON")
@@ -207,12 +314,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--iteration-scale", type=float, default=0.02)
     p_sweep.add_argument("--max-train-docs", type=int, default=100)
     p_sweep.add_argument("--progress", action="store_true")
+    _add_telemetry_arguments(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
-    p_report = sub.add_parser("report", help="render a saved sweep")
-    p_report.add_argument("--sweep", required=True, help="sweep JSON path")
+    p_report = sub.add_parser("report", help="render a saved sweep or trace")
+    p_report.add_argument("--sweep", help="sweep JSON path")
+    p_report.add_argument("--trace", help="trace JSON path (timing-breakdown)")
     p_report.add_argument("--artifact", default="figure",
-                          choices=["figure", "table6", "table7", "figure7"])
+                          choices=["figure", "table6", "table7", "figure7",
+                                   "timing-breakdown"])
     p_report.add_argument("--group", default=UserType.ALL.value,
                           choices=[g.value for g in UserType])
     p_report.add_argument("--sources", nargs="*",

@@ -32,9 +32,9 @@ from repro.core.sources import RepresentationSource
 from repro.core.split import UserSplit, split_user, train_tweets
 from repro.errors import ConfigurationError, DataGenerationError
 from repro.eval.metrics import average_precision, mean_average_precision
-from repro.eval.timing import Stopwatch
 from repro.models.aggregation import AggregationFunction
 from repro.models.base import RepresentationModel, TextDoc
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.twitter.dataset import MicroblogDataset
 from repro.twitter.entities import Tweet
 
@@ -51,6 +51,9 @@ class EvaluationResult:
     per_user_ap: dict[int, float]
     training_seconds: float
     testing_seconds: float
+    #: Per-phase wall-clock rollup (prepare/fit/profiles/rank seconds);
+    #: TTime = fit + profiles, ETime = rank.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def map_score(self) -> float:
@@ -78,6 +81,13 @@ class ExperimentPipeline:
         report it.
     top_k_stop_words:
         Size of the corpus stop-word cut (paper: 100).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`. When set, every
+        evaluation records a span tree (``evaluate`` > ``prepare`` /
+        ``fit`` / ``profiles`` / ``rank``), doc-cache and eligibility
+        metrics, and per-iteration Gibbs progress events. When unset the
+        same code path runs with plain stopwatches, so results are
+        bit-identical either way.
     """
 
     dataset: MicroblogDataset
@@ -86,6 +96,7 @@ class ExperimentPipeline:
     seed: int = 0
     max_train_docs_per_user: int | None = None
     top_k_stop_words: int = 100
+    telemetry: Telemetry | None = None
 
     _splits: dict[int, UserSplit] = field(default_factory=dict, repr=False)
     _factory: DocumentFactory | None = field(default=None, repr=False)
@@ -108,10 +119,14 @@ class ExperimentPipeline:
     def eligible_users(self, user_ids: Sequence[int]) -> list[int]:
         """The subset of ``user_ids`` with a valid train/test split."""
         eligible = []
+        tel = self.telemetry
         for uid in user_ids:
             try:
                 self.split_for(uid)
             except DataGenerationError:
+                if tel is not None:
+                    tel.count("users.ineligible")
+                    tel.emit("user_skipped", user=uid, reason="no valid split")
                 continue
             eligible.append(uid)
         return eligible
@@ -138,9 +153,15 @@ class ExperimentPipeline:
 
     def _doc(self, tweet: Tweet, factory: DocumentFactory) -> TextDoc:
         doc = self._doc_cache.get(tweet.tweet_id)
+        tel = self.telemetry
         if doc is None:
             doc = factory.to_doc(tweet)
             self._doc_cache[tweet.tweet_id] = doc
+            if tel is not None:
+                tel.count("doc_cache.miss")
+                tel.count("docs.tokenized")
+        elif tel is not None:
+            tel.count("doc_cache.hit")
         return doc
 
     def _train_tweets_for(
@@ -167,58 +188,108 @@ class ExperimentPipeline:
                 f"Rocchio needs negative examples; source {source} has none"
             )
 
-        users = self.eligible_users(user_ids)
-        if not users:
-            raise DataGenerationError("no eligible users to evaluate")
-        factory = self._factory_for(users)
-        train_time = Stopwatch()
-        test_time = Stopwatch()
-        recommender = RankingRecommender(model)
+        tel = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
+        with tel.span("evaluate", model=model.name, source=source.value):
+            users = self.eligible_users(user_ids)
+            if not users:
+                raise DataGenerationError("no eligible users to evaluate")
+            factory = self._factory_for(users)
+            prepare_time = tel.stopwatch("prepare")
+            fit_time = tel.stopwatch("fit")
+            profile_time = tel.stopwatch("profiles")
+            rank_time = tel.stopwatch("rank")
+            recommender = RankingRecommender(model)
 
-        # Training corpus: the union of all users' source train sets.
-        per_user_tweets: dict[int, list[Tweet]] = {
-            uid: self._train_tweets_for(uid, source) for uid in users
-        }
-        corpus_tweets: dict[int, Tweet] = {}
-        corpus_authors: dict[int, str] = {}
-        for tweets in per_user_tweets.values():
-            for tweet in tweets:
-                corpus_tweets[tweet.tweet_id] = tweet
-                corpus_authors[tweet.tweet_id] = str(tweet.author_id)
-        corpus_ids = sorted(corpus_tweets)
-        corpus_docs = [self._doc(corpus_tweets[i], factory) for i in corpus_ids]
-        author_ids = [corpus_authors[i] for i in corpus_ids]
+            # Training corpus: the union of all users' source train sets.
+            with prepare_time.measure():
+                per_user_tweets: dict[int, list[Tweet]] = {
+                    uid: self._train_tweets_for(uid, source) for uid in users
+                }
+                corpus_tweets: dict[int, Tweet] = {}
+                corpus_authors: dict[int, str] = {}
+                for tweets in per_user_tweets.values():
+                    for tweet in tweets:
+                        corpus_tweets[tweet.tweet_id] = tweet
+                        corpus_authors[tweet.tweet_id] = str(tweet.author_id)
+                corpus_ids = sorted(corpus_tweets)
+                corpus_docs = [self._doc(corpus_tweets[i], factory) for i in corpus_ids]
+                author_ids = [corpus_authors[i] for i in corpus_ids]
 
-        with train_time.measure():
-            recommender.fit(corpus_docs, user_ids=author_ids)
+            self._install_iteration_hook(model, tel)
+            try:
+                with fit_time.measure():
+                    recommender.fit(corpus_docs, user_ids=author_ids)
+            finally:
+                self._clear_iteration_hook(model)
 
-        user_models: dict[int, object] = {}
-        for uid in users:
-            tweets = per_user_tweets[uid]
-            docs = [self._doc(t, factory) for t in tweets]
-            labels = source.labels_for(self.dataset, uid, tweets) if uses_rocchio else None
-            with train_time.measure():
-                user_models[uid] = recommender.build_profile(docs, labels=labels)
+            user_models: dict[int, object] = {}
+            for uid in users:
+                tweets = per_user_tweets[uid]
+                docs = [self._doc(t, factory) for t in tweets]
+                labels = source.labels_for(self.dataset, uid, tweets) if uses_rocchio else None
+                with profile_time.measure():
+                    user_models[uid] = recommender.build_profile(docs, labels=labels)
 
-        per_user_ap: dict[int, float] = {}
-        for uid in users:
-            split = self.split_for(uid)
-            candidates = list(split.test_set)
-            docs = [self._doc(t, factory) for t in candidates]
-            relevant = split.relevant_ids
-            with test_time.measure():
-                ranking = recommender.rank(user_models[uid], docs)
-            flags = [candidates[item.position].tweet_id in relevant for item in ranking]
-            per_user_ap[uid] = average_precision(flags)
+            per_user_ap: dict[int, float] = {}
+            for uid in users:
+                split = self.split_for(uid)
+                candidates = list(split.test_set)
+                docs = [self._doc(t, factory) for t in candidates]
+                relevant = split.relevant_ids
+                with rank_time.measure():
+                    ranking = recommender.rank(user_models[uid], docs)
+                flags = [candidates[item.position].tweet_id in relevant for item in ranking]
+                per_user_ap[uid] = average_precision(flags)
 
-        return EvaluationResult(
-            model=model.name,
-            configuration=model.describe(),
-            source=source,
-            per_user_ap=per_user_ap,
-            training_seconds=train_time.elapsed,
-            testing_seconds=test_time.elapsed,
-        )
+            result = EvaluationResult(
+                model=model.name,
+                configuration=model.describe(),
+                source=source,
+                per_user_ap=per_user_ap,
+                training_seconds=fit_time.elapsed + profile_time.elapsed,
+                testing_seconds=rank_time.elapsed,
+                phase_seconds={
+                    "prepare": prepare_time.elapsed,
+                    "fit": fit_time.elapsed,
+                    "profiles": profile_time.elapsed,
+                    "rank": rank_time.elapsed,
+                },
+            )
+            tel.emit(
+                "evaluate_done",
+                model=model.name,
+                source=source.value,
+                users=len(users),
+                map=result.map_score,
+                training_seconds=result.training_seconds,
+                testing_seconds=result.testing_seconds,
+            )
+            return result
+
+    @staticmethod
+    def _install_iteration_hook(model: RepresentationModel, tel: Telemetry) -> None:
+        """Stream a topic model's per-iteration Gibbs/EM progress."""
+        if not tel.enabled or not hasattr(model, "set_iteration_hook"):
+            return
+
+        def hook(progress) -> None:
+            tel.count("gibbs.iterations")
+            if progress.log_likelihood is not None:
+                tel.gauge("gibbs.log_likelihood", progress.log_likelihood)
+            tel.emit(
+                "gibbs_iteration",
+                model=progress.model,
+                iteration=progress.iteration,
+                total=progress.total,
+                log_likelihood=progress.log_likelihood,
+            )
+
+        model.set_iteration_hook(hook)
+
+    @staticmethod
+    def _clear_iteration_hook(model: RepresentationModel) -> None:
+        if hasattr(model, "set_iteration_hook"):
+            model.set_iteration_hook(None)
 
     # -- baselines ----------------------------------------------------------------
 

@@ -19,6 +19,8 @@ from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
+
 __all__ = ["Stopwatch", "TimingSummary", "summarize_timings"]
 
 
@@ -56,9 +58,17 @@ class TimingSummary:
 
 
 def summarize_timings(samples: Sequence[float]) -> TimingSummary:
-    """Aggregate run durations into a Figure 7 style summary."""
+    """Aggregate run durations into a Figure 7 style summary.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``samples`` is empty -- a summary over zero runs is a caller
+        configuration bug, and it surfaces as a library error so callers
+        can catch the :class:`~repro.errors.ReproError` family.
+    """
     if not samples:
-        raise ValueError("cannot summarise zero timing samples")
+        raise ConfigurationError("cannot summarise zero timing samples")
     return TimingSummary(
         minimum=min(samples),
         average=sum(samples) / len(samples),

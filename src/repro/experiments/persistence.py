@@ -4,6 +4,13 @@ Sweeps are expensive (the paper's ran for days), so their results should
 be durable. :func:`save_sweep` writes a :class:`~repro.experiments.runner.SweepResult`
 to JSON; :func:`load_sweep` restores it with full fidelity, so reports
 can be regenerated and extended without re-running a single evaluation.
+
+Sweep files are self-describing: they embed the run's provenance
+manifest (seed, dataset configuration, model grid, package version --
+see :class:`repro.obs.manifest.RunManifest`) and, for runs under
+telemetry, each row carries its per-phase span rollup
+(``phase_seconds``). Files written before these fields existed load
+unchanged.
 """
 
 from __future__ import annotations
@@ -13,19 +20,36 @@ from pathlib import Path
 
 from repro.core.sources import RepresentationSource
 from repro.experiments.runner import SweepResult, SweepRow
+from repro.obs.manifest import RunManifest
 from repro.twitter.entities import UserType
 
 __all__ = ["save_sweep", "load_sweep"]
 
-#: Format marker for forward compatibility.
+#: Format marker for forward compatibility. The manifest and
+#: ``phase_seconds`` fields are optional additions within version 1.
 _FORMAT_VERSION = 1
 
 
-def save_sweep(result: SweepResult, path: str | Path) -> Path:
-    """Serialise a sweep result to JSON at ``path``."""
+def save_sweep(
+    result: SweepResult,
+    path: str | Path,
+    manifest: RunManifest | dict | None = None,
+) -> Path:
+    """Serialise a sweep result to JSON at ``path``.
+
+    ``manifest`` (a :class:`~repro.obs.manifest.RunManifest` or its
+    dict form) overrides the manifest already attached to ``result``.
+    """
     path = Path(path)
+    if manifest is None:
+        manifest_dict = result.manifest
+    elif isinstance(manifest, RunManifest):
+        manifest_dict = manifest.to_dict()
+    else:
+        manifest_dict = dict(manifest)
     payload = {
         "version": _FORMAT_VERSION,
+        "manifest": manifest_dict,
         "rows": [
             {
                 "model": row.model,
@@ -36,6 +60,7 @@ def save_sweep(result: SweepResult, path: str | Path) -> Path:
                 "per_user_ap": {str(uid): ap for uid, ap in row.per_user_ap.items()},
                 "training_seconds": row.training_seconds,
                 "testing_seconds": row.testing_seconds,
+                "phase_seconds": row.phase_seconds,
             }
             for row in result.rows
         ],
@@ -61,7 +86,11 @@ def load_sweep(path: str | Path) -> SweepResult:
             per_user_ap={int(k): float(v) for k, v in entry["per_user_ap"].items()},
             training_seconds=float(entry["training_seconds"]),
             testing_seconds=float(entry["testing_seconds"]),
+            phase_seconds={
+                str(k): float(v)
+                for k, v in entry.get("phase_seconds", {}).items()
+            },
         )
         for entry in payload["rows"]
     ]
-    return SweepResult(rows)
+    return SweepResult(rows, manifest=payload.get("manifest"))

@@ -12,7 +12,7 @@ source, group) for Figures 3-6 and Table 6, the best configuration per
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.pipeline import ExperimentPipeline
 from repro.core.sources import RepresentationSource
@@ -20,6 +20,8 @@ from repro.errors import ConfigurationError
 from repro.eval.metrics import MapSummary, mean_average_precision, summarize_maps
 from repro.eval.timing import TimingSummary, summarize_timings
 from repro.experiments.configs import ModelConfig
+from repro.obs.events import EventLog
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.twitter.entities import UserType
 
 __all__ = ["SweepRow", "SweepResult", "SweepRunner"]
@@ -37,6 +39,9 @@ class SweepRow:
     per_user_ap: dict[int, float]
     training_seconds: float
     testing_seconds: float
+    #: Per-phase span rollup of the evaluation that produced this row
+    #: (prepare/fit/profiles/rank seconds); empty for legacy rows.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -44,6 +49,10 @@ class SweepResult:
     """All rows of a sweep plus the paper's aggregations."""
 
     rows: list[SweepRow]
+    #: Optional provenance record (see :class:`repro.obs.manifest.RunManifest`);
+    #: populated when the sweep ran under telemetry or was loaded from a
+    #: manifest-bearing JSON file.
+    manifest: dict | None = None
 
     def filtered(
         self,
@@ -104,16 +113,48 @@ class SweepResult:
         return tuple(sorted({r.model for r in self.rows}))
 
 
+def _console_progress(record: dict) -> None:  # pragma: no cover - console side effect
+    """Event sink reproducing the legacy ``progress=True`` console line."""
+    if record.get("event") == "config_result":
+        print(
+            f"  {record['label']} on {record['source']}: MAP={record['map']:.3f}"
+        )
+    elif record.get("event") == "config_skipped":
+        print(f"  {record['label']} on {record['source']}: skipped ({record['reason']})")
+
+
 class SweepRunner:
-    """Evaluates configuration grids over sources and user groups."""
+    """Evaluates configuration grids over sources and user groups.
+
+    Parameters
+    ----------
+    pipeline:
+        The shared evaluation pipeline.
+    groups:
+        User-group membership (user ids per :class:`UserType`).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`. Defaults to
+        the pipeline's own, so instrumenting the pipeline is enough to
+        get sweep-level progress events, per-config spans and skip
+        counters.
+    """
 
     def __init__(
         self,
         pipeline: ExperimentPipeline,
         groups: dict[UserType, list[int]],
+        telemetry: Telemetry | None = None,
     ):
         self.pipeline = pipeline
         self.groups = groups
+        self.telemetry = telemetry
+
+    def _telemetry(self) -> Telemetry:
+        if self.telemetry is not None:
+            return self.telemetry
+        if self.pipeline.telemetry is not None:
+            return self.pipeline.telemetry
+        return NULL_TELEMETRY
 
     def run(
         self,
@@ -129,44 +170,97 @@ class SweepRunner:
         per-user APs are computed once per (config, source) on the union
         of all groups' users, then sliced per group -- the groups share
         users with the All-Users group, so this avoids recomputation.
+
+        Progress is reported as a structured event stream
+        (``sweep_start`` / ``config_result`` / ``config_skipped`` /
+        ``sweep_done``); ``progress=True`` attaches a console sink to
+        that stream for the duration of the run.
         """
         if groups is None:
             groups = list(self.groups)
+        tel = self._telemetry()
+        # With telemetry disabled events still flow to the progress
+        # console sink through a throwaway local log.
+        events = tel.events if tel.enabled else EventLog()
         rows: list[SweepRow] = []
-        union_users = sorted({uid for g in groups for uid in self.groups[g]})
+        # Group membership is immutable during a sweep: materialise each
+        # group's member set once instead of per (config, source, group).
+        membership = {g: frozenset(self.groups[g]) for g in groups}
+        union_users = sorted({uid for members in membership.values() for uid in members})
+        configurations = list(configurations)
 
-        for config in configurations:
-            for source in sources:
-                if config.uses_rocchio and not source.has_negative_examples:
-                    continue
-                model = config.build()
-                try:
-                    result = self.pipeline.evaluate(model, source, union_users)
-                except ConfigurationError:
-                    continue
-                if progress:  # pragma: no cover - console side effect
-                    print(f"  {config.label()} on {source}: MAP={result.map_score:.3f}")
-                for group in groups:
-                    member_ap = {
-                        uid: ap
-                        for uid, ap in result.per_user_ap.items()
-                        if uid in set(self.groups[group])
-                    }
-                    if not member_ap:
-                        continue
-                    rows.append(
-                        SweepRow(
-                            model=config.model,
-                            params=dict(config.params),
-                            source=source,
-                            group=group,
-                            map_score=mean_average_precision(list(member_ap.values())),
-                            per_user_ap=member_ap,
-                            training_seconds=result.training_seconds,
-                            testing_seconds=result.testing_seconds,
+        if progress:
+            events.add_sink(_console_progress)
+        try:
+            events.emit(
+                "sweep_start",
+                configurations=len(configurations),
+                sources=[s.value for s in sources],
+                groups=[g.value for g in groups],
+                users=len(union_users),
+            )
+            for config in configurations:
+                for source in sources:
+                    if config.uses_rocchio and not source.has_negative_examples:
+                        tel.count("sweep.configs.skipped_rocchio")
+                        events.emit(
+                            "config_skipped",
+                            label=config.label(),
+                            source=source.value,
+                            reason="rocchio needs negative examples",
                         )
+                        continue
+                    model = config.build()
+                    with tel.span("config", label=config.label(), source=source.value):
+                        try:
+                            result = self.pipeline.evaluate(model, source, union_users)
+                        except ConfigurationError as error:
+                            tel.count("sweep.configs.skipped_invalid")
+                            events.emit(
+                                "config_skipped",
+                                label=config.label(),
+                                source=source.value,
+                                reason=str(error),
+                            )
+                            continue
+                    tel.count("sweep.configs.evaluated")
+                    events.emit(
+                        "config_result",
+                        label=config.label(),
+                        model=config.model,
+                        source=source.value,
+                        map=result.map_score,
+                        training_seconds=result.training_seconds,
+                        testing_seconds=result.testing_seconds,
                     )
-        return SweepResult(rows)
+                    for group in groups:
+                        members = membership[group]
+                        member_ap = {
+                            uid: ap
+                            for uid, ap in result.per_user_ap.items()
+                            if uid in members
+                        }
+                        if not member_ap:
+                            continue
+                        rows.append(
+                            SweepRow(
+                                model=config.model,
+                                params=dict(config.params),
+                                source=source,
+                                group=group,
+                                map_score=mean_average_precision(list(member_ap.values())),
+                                per_user_ap=member_ap,
+                                training_seconds=result.training_seconds,
+                                testing_seconds=result.testing_seconds,
+                                phase_seconds=dict(result.phase_seconds),
+                            )
+                        )
+            events.emit("sweep_done", rows=len(rows))
+        finally:
+            if progress:
+                events.remove_sink(_console_progress)
+        manifest = tel.manifest.to_dict() if tel.enabled and tel.manifest else None
+        return SweepResult(rows, manifest=manifest)
 
     def baselines(
         self, groups: Sequence[UserType] | None = None, random_iterations: int = 1000

@@ -26,6 +26,7 @@ import numpy as np
 from repro.errors import ConfigurationError, EmptyCorpusError, NotFittedError
 from repro.models.aggregation import AggregationFunction
 from repro.models.base import Doc, RepresentationModel
+from repro.models.topic.gibbs import IterationHook
 from repro.text.pooling import PoolingScheme, pool_documents
 from repro.text.vocabulary import Vocabulary
 
@@ -127,6 +128,19 @@ class TopicModel(RepresentationModel):
         self.rocchio_beta = rocchio_beta
         self._rng = np.random.default_rng(seed)
         self._vocabulary: Vocabulary | None = None
+        self.iteration_hook: IterationHook | None = None
+
+    def set_iteration_hook(self, hook: IterationHook | None) -> "TopicModel":
+        """Install (or clear) a per-training-iteration progress observer.
+
+        The hook receives one
+        :class:`~repro.models.topic.gibbs.GibbsIteration` per sweep of
+        the training loop. Models that can compute their corpus
+        log-likelihood cheaply include it; the computation only happens
+        while a hook is installed, so uninstrumented fits pay nothing.
+        """
+        self.iteration_hook = hook
+        return self
 
     # -- subclass hooks -----------------------------------------------------
 

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, NotFittedError
 from repro.models.topic.base import TopicModel
-from repro.models.topic.gibbs import sample_index
+from repro.models.topic.gibbs import notify_iteration, sample_index
 from repro.text.pooling import PoolingScheme
 
 __all__ = ["BitermTopicModel", "extract_biterms"]
@@ -139,7 +139,7 @@ class BitermTopicModel(TopicModel):
             n_kw[topic, w2] += 1
 
         v_beta = vocab_size * self.beta
-        for _ in range(self.iterations):
+        for iteration in range(self.iterations):
             for i, (w1, w2) in enumerate(biterms):
                 topic = z_assign[i]
                 n_z[topic] -= 1
@@ -157,6 +157,9 @@ class BitermTopicModel(TopicModel):
                 n_z[topic] += 1
                 n_kw[topic, w1] += 1
                 n_kw[topic, w2] += 1
+            notify_iteration(
+                self.iteration_hook, self.name, iteration + 1, self.iterations
+            )
 
         self._phi = (n_kw + self.beta) / (2.0 * n_z[:, None] + v_beta)
         theta = n_z + self.alpha

@@ -4,13 +4,60 @@ All the collapsed Gibbs samplers in this package need the same two
 primitives: drawing from an unnormalised discrete distribution, and
 sampling the number of occupied tables in a Chinese Restaurant Process
 (used by HDP's table-count resampling).
+
+The module also defines the samplers' per-iteration progress protocol:
+a training loop calls :func:`notify_iteration` once per sweep, and any
+installed :data:`IterationHook` receives a :class:`GibbsIteration`
+record (iteration number, total, optional corpus log-likelihood). The
+telemetry layer uses this to stream sampler convergence without the
+models knowing anything about tracing.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
+from dataclasses import dataclass
+
 import numpy as np
 
-__all__ = ["sample_index", "sample_crp_tables"]
+__all__ = [
+    "GibbsIteration",
+    "IterationHook",
+    "notify_iteration",
+    "sample_index",
+    "sample_crp_tables",
+]
+
+
+@dataclass(frozen=True)
+class GibbsIteration:
+    """One completed training sweep of a sampler (or EM) loop."""
+
+    model: str
+    iteration: int  # 1-based
+    total: int
+    log_likelihood: float | None = None
+
+
+#: Observer of sampler progress; see :func:`notify_iteration`.
+IterationHook = Callable[[GibbsIteration], None]
+
+
+def notify_iteration(
+    hook: IterationHook | None,
+    model: str,
+    iteration: int,
+    total: int,
+    log_likelihood: float | None = None,
+) -> None:
+    """Deliver one :class:`GibbsIteration` to ``hook`` if one is set."""
+    if hook is not None:
+        hook(GibbsIteration(
+            model=model,
+            iteration=iteration,
+            total=total,
+            log_likelihood=log_likelihood,
+        ))
 
 
 def sample_index(weights: np.ndarray, rng: np.random.Generator) -> int:

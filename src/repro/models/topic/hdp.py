@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, NotFittedError
 from repro.models.topic.base import TopicModel
-from repro.models.topic.gibbs import sample_crp_tables, sample_index
+from repro.models.topic.gibbs import notify_iteration, sample_crp_tables, sample_index
 
 __all__ = ["HdpModel"]
 
@@ -123,7 +123,7 @@ class HdpModel(TopicModel):
         active = list(range(k))
 
         v_eta = vocab_size * self.eta
-        for _ in range(self.iterations):
+        for iteration in range(self.iterations):
             for d, doc in enumerate(docs):
                 z = assignments[d]
                 for i, w in enumerate(doc):
@@ -170,6 +170,9 @@ class HdpModel(TopicModel):
                         m_k[j] += sample_crp_tables(count, self.alpha * beta[j], rng)
             m_k = np.maximum(m_k, 1e-3)  # guard against degenerate Dirichlet params
             beta = rng.dirichlet(np.append(m_k, self.gamma))
+            notify_iteration(
+                self.iteration_hook, self.name, iteration + 1, self.iterations
+            )
 
         idx = np.array(active)
         self._phi = (n_kw[idx] + self.eta) / (n_k[idx][:, None] + v_eta)

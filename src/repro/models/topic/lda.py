@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, NotFittedError
 from repro.models.topic.base import TopicModel
-from repro.models.topic.gibbs import sample_index
+from repro.models.topic.gibbs import notify_iteration, sample_index
 
 __all__ = ["LdaModel"]
 
@@ -90,7 +90,7 @@ class LdaModel(TopicModel):
                 n_k[topic] += 1
 
         v_beta = vocab_size * self.beta
-        for _ in range(self.iterations):
+        for iteration in range(self.iterations):
             for d, doc in enumerate(docs):
                 z = assignments[d]
                 for i, w in enumerate(doc):
@@ -104,8 +104,37 @@ class LdaModel(TopicModel):
                     n_dk[d, topic] += 1
                     n_kw[topic, w] += 1
                     n_k[topic] += 1
+            notify_iteration(
+                self.iteration_hook, self.name, iteration + 1, self.iterations,
+                self._corpus_log_likelihood(docs, n_dk, n_kw, n_k, v_beta)
+                if self.iteration_hook is not None else None,
+            )
 
         self._phi = (n_kw + self.beta) / (n_k[:, None] + v_beta)
+
+    def _corpus_log_likelihood(
+        self,
+        docs: list[list[int]],
+        n_dk: np.ndarray,
+        n_kw: np.ndarray,
+        n_k: np.ndarray,
+        v_beta: float,
+    ) -> float:
+        """Corpus log p(w | theta-hat, phi-hat) under the current counts.
+
+        Only evaluated when an iteration hook is installed; the point
+        estimates use the same smoothing as the final ``phi``.
+        """
+        phi = (n_kw + self.beta) / (n_k[:, None] + v_beta)
+        ll = 0.0
+        for d, doc in enumerate(docs):
+            if not doc:
+                continue
+            theta = n_dk[d] + self.alpha
+            theta = theta / theta.sum()
+            probs = theta @ phi[:, doc]
+            ll += float(np.log(np.maximum(probs, 1e-300)).sum())
+        return ll
 
     # -- inference ------------------------------------------------------------
 

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, NotFittedError
 from repro.models.topic.base import TopicModel
-from repro.models.topic.gibbs import sample_index
+from repro.models.topic.gibbs import notify_iteration, sample_index
 from repro.models.topic.labels import LabelExtractor
 
 __all__ = ["LabeledLdaModel"]
@@ -119,7 +119,7 @@ class LabeledLdaModel(TopicModel):
                 n_k[topic] += 1
 
         v_beta = vocab_size * self.beta
-        for _ in range(self.iterations):
+        for iteration in range(self.iterations):
             for d, doc in enumerate(docs):
                 z = assignments[d]
                 choices = allowed[d]
@@ -138,6 +138,9 @@ class LabeledLdaModel(TopicModel):
                     n_dk[d, topic] += 1
                     n_kw[topic, w] += 1
                     n_k[topic] += 1
+            notify_iteration(
+                self.iteration_hook, self.name, iteration + 1, self.iterations
+            )
 
         self._phi = (n_kw + self.beta) / (n_k[:, None] + v_beta)
 

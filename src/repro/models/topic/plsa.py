@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, NotFittedError
 from repro.models.topic.base import TopicModel
+from repro.models.topic.gibbs import notify_iteration
 
 __all__ = ["PlsaModel"]
 
@@ -75,7 +76,7 @@ class PlsaModel(TopicModel):
         phi = rng.dirichlet(np.ones(vocab_size), size=k)  # K x V
 
         eps = 1e-12
-        for _ in range(self.iterations):
+        for iteration in range(self.iterations):
             # E + M fused per document block to avoid the D x V x K tensor.
             new_phi = np.zeros_like(phi)
             new_theta = np.zeros_like(theta)
@@ -89,6 +90,11 @@ class PlsaModel(TopicModel):
             phi = new_phi / (new_phi.sum(axis=1, keepdims=True) + eps)
             row_totals = new_theta.sum(axis=1, keepdims=True)
             theta = np.where(row_totals > 0, new_theta / (row_totals + eps), 1.0 / k)
+            notify_iteration(
+                self.iteration_hook, self.name, iteration + 1, self.iterations,
+                float((counts * np.log(theta @ phi + eps)).sum())
+                if self.iteration_hook is not None else None,
+            )
 
         self._phi = phi
 

@@ -1,0 +1,52 @@
+"""repro.obs -- observability for the sweep pipeline.
+
+Four primitives, one facade:
+
+* :mod:`repro.obs.tracing`   -- hierarchical wall-clock spans
+  (:class:`Tracer`), with :class:`SpanStopwatch` keeping the legacy
+  :class:`~repro.eval.timing.Stopwatch` API;
+* :mod:`repro.obs.metrics`   -- counters / gauges / histograms in a
+  :class:`MetricsRegistry`;
+* :mod:`repro.obs.events`    -- structured JSON-lines event logging
+  with pluggable sinks;
+* :mod:`repro.obs.manifest`  -- :class:`RunManifest` provenance records
+  (seed, dataset, grid, version, wall clock);
+* :mod:`repro.obs.telemetry` -- the :class:`Telemetry` facade the
+  pipeline is instrumented against, and its zero-overhead
+  :data:`NULL_TELEMETRY` twin.
+
+Everything is pure stdlib; with telemetry disabled the pipeline runs
+the exact same code path with plain stopwatches.
+"""
+
+from repro.obs.events import EventLog, JsonLinesSink, MemorySink, Sink
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import format_timing_breakdown
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    load_trace,
+)
+from repro.obs.tracing import Span, SpanStopwatch, Tracer
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "JsonLinesSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "RunManifest",
+    "Sink",
+    "Span",
+    "SpanStopwatch",
+    "Telemetry",
+    "Tracer",
+    "format_timing_breakdown",
+    "load_trace",
+]

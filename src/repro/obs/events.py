@@ -1,0 +1,89 @@
+"""Structured JSON-lines event logging with pluggable sinks.
+
+An :class:`EventLog` turns instrumented call sites into a stream of
+flat, JSON-serialisable records (``{"event": ..., "ts": ..., **fields}``)
+and fans them out to any number of sinks. A sink is just a callable
+taking the record dict, so tests capture with :class:`MemorySink`, the
+CLI writes JSON lines with :class:`JsonLinesSink`, and the sweep
+runner's ``progress=True`` console output is itself a sink over the
+same stream.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from collections.abc import Callable
+from pathlib import Path
+from typing import IO
+
+__all__ = ["EventLog", "JsonLinesSink", "MemorySink", "Sink"]
+
+#: A sink consumes one JSON-serialisable event record.
+Sink = Callable[[dict], None]
+
+
+class EventLog:
+    """Emits structured event records to registered sinks."""
+
+    def __init__(self, sinks: tuple[Sink, ...] | list[Sink] = ()):
+        self._sinks: list[Sink] = list(sinks)
+
+    def add_sink(self, sink: Sink) -> Sink:
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Sink) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    @property
+    def sinks(self) -> tuple[Sink, ...]:
+        return tuple(self._sinks)
+
+    def emit(self, event: str, **fields: object) -> dict:
+        """Build an event record and deliver it to every sink."""
+        record: dict[str, object] = {"event": event, "ts": time.time(), **fields}
+        for sink in self._sinks:
+            sink(record)
+        return record
+
+
+class MemorySink:
+    """Collects records in a list; the test / in-process sink."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def __call__(self, record: dict) -> None:
+        self.records.append(record)
+
+    def of(self, event: str) -> list[dict]:
+        """The captured records of one event type, in emit order."""
+        return [r for r in self.records if r.get("event") == event]
+
+
+class JsonLinesSink:
+    """Writes one JSON object per line to a file path or open stream.
+
+    Pass ``"-"`` (or an already-open stream) to log to stderr; a path
+    opens (and truncates) the file, and :meth:`close` releases it.
+    """
+
+    def __init__(self, target: str | Path | IO[str] = "-"):
+        if isinstance(target, (str, Path)) and str(target) != "-":
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream: IO[str] = path.open("w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = sys.stderr if str(target) == "-" else target
+            self._owns_stream = False
+
+    def __call__(self, record: dict) -> None:
+        self._stream.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+
+    def close(self) -> None:
+        if self._owns_stream and not self._stream.closed:
+            self._stream.close()

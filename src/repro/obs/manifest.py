@@ -1,0 +1,117 @@
+"""Run manifests: what exactly produced a set of numbers.
+
+Comparative studies live or die on attributable measurement -- a MAP or
+TTime figure is only meaningful alongside the seed, dataset
+configuration, model grid and software version that produced it. A
+:class:`RunManifest` captures that provenance once at run start, is
+embedded in trace files and sweep JSON, and makes every saved result
+self-describing.
+"""
+
+from __future__ import annotations
+
+import platform as _platform
+import sys
+import time
+from datetime import datetime, timezone
+
+__all__ = ["RunManifest"]
+
+
+def _package_version() -> str:
+    try:
+        from repro import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - only during partial imports
+        return "unknown"
+
+
+class RunManifest:
+    """Provenance record for one experiment run."""
+
+    def __init__(
+        self,
+        seed: int | None = None,
+        dataset: dict | None = None,
+        models: list[str] | tuple[str, ...] = (),
+        command: str | None = None,
+        package_version: str = "",
+        python_version: str = "",
+        platform: str = "",
+        started_at: str = "",
+        wall_seconds: float | None = None,
+        extra: dict | None = None,
+    ):
+        self.seed = seed
+        self.dataset = dict(dataset or {})
+        self.models = list(models)
+        self.command = command
+        self.package_version = package_version
+        self.python_version = python_version
+        self.platform = platform
+        self.started_at = started_at
+        self.wall_seconds = wall_seconds
+        self.extra = dict(extra or {})
+        self._start_clock: float | None = None
+
+    @classmethod
+    def create(
+        cls,
+        seed: int | None = None,
+        dataset: dict | None = None,
+        models: list[str] | tuple[str, ...] = (),
+        command: str | None = None,
+        **extra: object,
+    ) -> "RunManifest":
+        """Stamp a manifest with the current environment and wall clock."""
+        manifest = cls(
+            seed=seed,
+            dataset=dataset,
+            models=models,
+            command=command,
+            package_version=_package_version(),
+            python_version=sys.version.split()[0],
+            platform=_platform.platform(),
+            started_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            extra=dict(extra),
+        )
+        manifest._start_clock = time.perf_counter()
+        return manifest
+
+    def finish(self) -> "RunManifest":
+        """Record the run's total wall-clock seconds."""
+        if self._start_clock is not None:
+            self.wall_seconds = time.perf_counter() - self._start_clock
+        return self
+
+    def to_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "seed": self.seed,
+            "dataset": dict(self.dataset),
+            "models": list(self.models),
+            "command": self.command,
+            "package_version": self.package_version,
+            "python_version": self.python_version,
+            "platform": self.platform,
+            "started_at": self.started_at,
+            "wall_seconds": self.wall_seconds,
+        }
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunManifest":
+        return cls(
+            seed=payload.get("seed"),
+            dataset=payload.get("dataset"),
+            models=payload.get("models", ()),
+            command=payload.get("command"),
+            package_version=payload.get("package_version", ""),
+            python_version=payload.get("python_version", ""),
+            platform=payload.get("platform", ""),
+            started_at=payload.get("started_at", ""),
+            wall_seconds=payload.get("wall_seconds"),
+            extra=payload.get("extra"),
+        )

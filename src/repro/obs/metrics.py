@@ -1,0 +1,113 @@
+"""Counters, gauges and histograms for run-level measurement.
+
+The sweep pipeline wants to answer quantitative questions that spans
+cannot: how many documents were tokenized, how often the doc cache hit,
+how many Gibbs iterations a topic model burned, how many users were
+skipped as ineligible. A :class:`MetricsRegistry` hands out named
+instruments on first use (so instrumented code never has to declare
+them up front) and snapshots to a JSON-ready dict for the trace file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counters only increase; got increment {n}")
+        self.value += n
+
+    def to_dict(self) -> dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """Last-written value (e.g. current log-likelihood)."""
+
+    value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> dict[str, object]:
+        return {"type": "gauge", "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Streaming summary (count/total/min/max/mean) of observations."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float | None = None
+    maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    asking for the same name as a different kind is a bug and raises.
+    """
+
+    _instruments: dict[str, Counter | Gauge | Histogram] = field(default_factory=dict)
+
+    def _get(self, name: str, kind: type):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """JSON-ready view of every instrument, sorted by name."""
+        return {
+            name: self._instruments[name].to_dict()
+            for name in sorted(self._instruments)
+        }

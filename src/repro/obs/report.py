@@ -1,0 +1,85 @@
+"""Render saved traces as human-readable reports.
+
+``repro report --artifact timing-breakdown --trace trace.json`` uses
+:func:`format_timing_breakdown` to turn a trace document into a
+per-phase tree: sibling spans with the same name are merged into one
+line with a call count and summed duration, so a 20-user run shows
+``profiles ×20`` rather than twenty lines. The footer restates the
+paper's two efficiency measures (TTime = fit + profiles, ETime = rank)
+as rolled up from the span tree.
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracing import Span
+
+__all__ = ["format_timing_breakdown"]
+
+#: Span names whose rollup forms the paper's TTime measure.
+TRAINING_PHASES = ("fit", "profiles")
+#: Span name whose rollup forms the paper's ETime measure.
+TESTING_PHASE = "rank"
+
+
+def _merge_siblings(spans: list[Span]) -> list[tuple[Span, int, float, list[Span]]]:
+    """Group same-named siblings: (exemplar, count, total, all children)."""
+    order: list[str] = []
+    groups: dict[str, list[Span]] = {}
+    for span in spans:
+        if span.name not in groups:
+            order.append(span.name)
+            groups[span.name] = []
+        groups[span.name].append(span)
+    merged = []
+    for name in order:
+        members = groups[name]
+        total = sum(s.duration or 0.0 for s in members)
+        children = [c for s in members for c in s.children]
+        merged.append((members[0], len(members), total, children))
+    return merged
+
+
+def _render(spans: list[Span], indent: int, lines: list[str]) -> None:
+    for exemplar, count, total, children in _merge_siblings(spans):
+        attrs = ""
+        if count == 1 and exemplar.attributes:
+            attrs = " [" + " ".join(
+                f"{k}={v}" for k, v in exemplar.attributes.items()
+            ) + "]"
+        calls = f" x{count}" if count > 1 else ""
+        label = f"{'  ' * indent}{exemplar.name}{attrs}{calls}"
+        lines.append(f"{label:<48}{total:>10.3f}s")
+        _render(children, indent + 1, lines)
+
+
+def format_timing_breakdown(trace: dict) -> str:
+    """Per-phase timing tree plus TTime/ETime rollups for one trace."""
+    spans = [Span.from_dict(p) for p in trace.get("spans", [])]
+    lines = ["timing breakdown (wall-clock seconds)"]
+
+    manifest = trace.get("manifest")
+    if manifest:
+        bits = []
+        if manifest.get("command"):
+            bits.append(str(manifest["command"]))
+        if manifest.get("seed") is not None:
+            bits.append(f"seed={manifest['seed']}")
+        if manifest.get("package_version"):
+            bits.append(f"repro {manifest['package_version']}")
+        if manifest.get("started_at"):
+            bits.append(f"started {manifest['started_at']}")
+        if bits:
+            lines.append("run: " + ", ".join(bits))
+
+    if not spans:
+        lines.append("(no spans recorded)")
+        return "\n".join(lines)
+
+    _render(spans, 0, lines)
+
+    training = sum(sum(root.total(p) for root in spans) for p in TRAINING_PHASES)
+    testing = sum(root.total(TESTING_PHASE) for root in spans)
+    lines.append("")
+    lines.append(f"TTime (fit + profiles) = {training:.3f}s")
+    lines.append(f"ETime (rank)           = {testing:.3f}s")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""The telemetry facade instrumented code talks to.
+
+A :class:`Telemetry` bundles the four observability primitives -- a
+:class:`~repro.obs.tracing.Tracer`, a
+:class:`~repro.obs.metrics.MetricsRegistry`, an
+:class:`~repro.obs.events.EventLog` and an optional
+:class:`~repro.obs.manifest.RunManifest` -- behind a handful of cheap
+methods, so the pipeline and sweep runner instrument themselves against
+one object instead of four.
+
+:data:`NULL_TELEMETRY` is the disabled twin: same surface, zero
+recording, plain :class:`~repro.eval.timing.Stopwatch` timers. Code
+paths are identical with telemetry on or off, so enabling tracing can
+never change a MAP value.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.eval.timing import Stopwatch
+from repro.obs.events import EventLog
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+__all__ = ["NULL_TELEMETRY", "NullTelemetry", "Telemetry", "load_trace"]
+
+#: Format marker for trace files.
+TRACE_FORMAT_VERSION = 1
+
+
+class Telemetry:
+    """Tracer + metrics + events + manifest behind one interface."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        events: EventLog | None = None,
+        manifest: RunManifest | None = None,
+    ):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else EventLog()
+        self.manifest = manifest
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, **attributes: object):
+        return self.tracer.span(name, **attributes)
+
+    def stopwatch(self, name: str, **attributes: object) -> Stopwatch:
+        return self.tracer.stopwatch(name, **attributes)
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.metrics.counter(name).inc(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.histogram(name).observe(value)
+
+    def emit(self, event: str, **fields: object) -> None:
+        self.events.emit(event, **fields)
+
+    # -- persistence --------------------------------------------------------
+
+    def trace_payload(self) -> dict[str, object]:
+        """The JSON-ready trace document: manifest + spans + metrics."""
+        return {
+            "version": TRACE_FORMAT_VERSION,
+            "manifest": self.manifest.to_dict() if self.manifest else None,
+            "spans": self.tracer.to_payload(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def save_trace(self, path: str | Path) -> Path:
+        """Write the trace document to ``path`` as JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.trace_payload(), indent=1, sort_keys=True))
+        return path
+
+
+class NullTelemetry(Telemetry):
+    """Disabled telemetry: the same surface, none of the bookkeeping."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    @contextmanager
+    def span(self, name: str, **attributes: object):
+        yield None
+
+    def stopwatch(self, name: str, **attributes: object) -> Stopwatch:
+        return Stopwatch()
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def emit(self, event: str, **fields: object) -> None:
+        pass
+
+
+#: Shared disabled instance; instrumented code uses it when no
+#: telemetry was supplied.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def load_trace(path: str | Path) -> dict:
+    """Read back a trace document written by :meth:`Telemetry.save_trace`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("version")
+    if version != TRACE_FORMAT_VERSION:
+        raise ValueError(f"unsupported trace file version: {version!r}")
+    return payload

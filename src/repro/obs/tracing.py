@@ -1,0 +1,134 @@
+"""Hierarchical wall-clock spans.
+
+A :class:`Span` is one timed region of a run -- it has a name, optional
+attributes, a duration and child spans. A :class:`Tracer` maintains the
+active span stack so nested ``with tracer.span("fit")`` blocks build a
+tree that mirrors the pipeline's call structure, exactly the per-phase
+decomposition the paper's Figure 7 (TTime/ETime) needs.
+
+:class:`SpanStopwatch` keeps the legacy
+:class:`~repro.eval.timing.Stopwatch` API (``measure()`` / ``elapsed`` /
+``reset``) while recording every measured segment as a span, so the
+pipeline's TTime/ETime bookkeeping and the trace tree are fed by the
+*same* clock readings: the sum of a phase's span durations equals the
+stopwatch's ``elapsed`` exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.eval.timing import Stopwatch
+
+__all__ = ["Span", "SpanStopwatch", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One timed region: name, attributes, duration, children."""
+
+    name: str
+    attributes: dict[str, object] = field(default_factory=dict)
+    duration: float | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    def total(self, name: str) -> float:
+        """Summed duration of this span's descendants named ``name``.
+
+        The span itself is included when its own name matches.
+        """
+        acc = 0.0
+        if self.name == name and self.duration is not None:
+            acc += self.duration
+        for child in self.children:
+            acc += child.total(name)
+        return acc
+
+    def to_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = {"name": self.name}
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        if self.duration is not None:
+            payload["duration"] = self.duration
+        if self.children:
+            payload["children"] = [c.to_dict() for c in self.children]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        return cls(
+            name=payload["name"],
+            attributes=dict(payload.get("attributes", {})),
+            duration=payload.get("duration"),
+            children=[cls.from_dict(c) for c in payload.get("children", [])],
+        )
+
+
+class Tracer:
+    """Builds span trees from nested ``span(...)`` context managers.
+
+    Spans opened while another span is active become its children;
+    spans opened at the top level collect in :attr:`roots`.
+    """
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Open a timed span; nested spans attach as children."""
+        span = Span(name=name, attributes=attributes)
+        parent = self.current
+        (parent.children if parent is not None else self.roots).append(span)
+        self._stack.append(span)
+        start = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.duration = time.perf_counter() - start
+            self._stack.pop()
+
+    def stopwatch(self, name: str, **attributes: object) -> "SpanStopwatch":
+        """A Stopwatch-compatible timer whose segments become spans."""
+        return SpanStopwatch(self, name, **attributes)
+
+    def total(self, name: str) -> float:
+        """Summed duration of every finished span named ``name``."""
+        return sum(root.total(name) for root in self.roots)
+
+    def to_payload(self) -> list[dict]:
+        """JSON-ready list of root span trees."""
+        return [root.to_dict() for root in self.roots]
+
+
+class SpanStopwatch(Stopwatch):
+    """Drop-in :class:`Stopwatch` that records each segment as a span.
+
+    ``elapsed`` accumulates the *span* durations, so trace rollups and
+    the legacy TTime/ETime totals are identical by construction.
+    """
+
+    def __init__(self, tracer: Tracer, name: str, **attributes: object):
+        super().__init__()
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        span: Span | None = None
+        try:
+            with self._tracer.span(self._name, **self._attributes) as span:
+                yield
+        finally:
+            if span is not None and span.duration is not None:
+                self._elapsed += span.duration

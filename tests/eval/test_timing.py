@@ -6,6 +6,7 @@ import time
 
 import pytest
 
+from repro.errors import ConfigurationError, ReproError
 from repro.eval.timing import Stopwatch, TimingSummary, summarize_timings
 
 
@@ -40,6 +41,10 @@ class TestSummarize:
         summary = summarize_timings([1.0, 3.0, 2.0])
         assert summary == TimingSummary(minimum=1.0, average=2.0, maximum=3.0)
 
-    def test_empty_rejected(self):
-        with pytest.raises(ValueError):
+    def test_empty_rejected_with_library_error(self):
+        with pytest.raises(ConfigurationError):
+            summarize_timings([])
+
+    def test_empty_error_is_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
             summarize_timings([])

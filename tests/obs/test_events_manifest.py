@@ -1,0 +1,90 @@
+"""Tests for structured event logging and run manifests."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.events import EventLog, JsonLinesSink, MemorySink
+from repro.obs.manifest import RunManifest
+
+
+class TestEventLog:
+    def test_records_reach_every_sink(self):
+        log = EventLog()
+        first, second = MemorySink(), MemorySink()
+        log.add_sink(first)
+        log.add_sink(second)
+        log.emit("config_result", map=0.5)
+        assert len(first.records) == len(second.records) == 1
+        assert first.records[0]["event"] == "config_result"
+        assert first.records[0]["map"] == 0.5
+        assert "ts" in first.records[0]
+
+    def test_remove_sink_stops_delivery(self):
+        log = EventLog()
+        sink = MemorySink()
+        log.add_sink(sink)
+        log.remove_sink(sink)
+        log.emit("ignored")
+        assert sink.records == []
+
+    def test_memory_sink_filters_by_event(self):
+        log = EventLog()
+        sink = log.add_sink(MemorySink())
+        log.emit("a", n=1)
+        log.emit("b")
+        log.emit("a", n=2)
+        assert [r["n"] for r in sink.of("a")] == [1, 2]
+
+    def test_jsonl_sink_writes_one_valid_json_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog()
+        sink = JsonLinesSink(path)
+        log.add_sink(sink)
+        log.emit("sweep_start", configurations=9)
+        log.emit("config_result", label="TN(n=3)", map=0.61)
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert records[0]["event"] == "sweep_start"
+        assert records[1]["label"] == "TN(n=3)"
+
+    def test_jsonl_sink_creates_parent_directories(self, tmp_path):
+        sink = JsonLinesSink(tmp_path / "deep" / "dir" / "e.jsonl")
+        sink({"event": "x"})
+        sink.close()
+        assert (tmp_path / "deep" / "dir" / "e.jsonl").exists()
+
+
+class TestRunManifest:
+    def test_create_stamps_environment(self):
+        manifest = RunManifest.create(
+            seed=7, dataset={"n_users": 40}, models=["TN", "LDA"], command="sweep"
+        )
+        assert manifest.seed == 7
+        assert manifest.package_version
+        assert manifest.python_version
+        assert manifest.platform
+        assert manifest.started_at
+        assert manifest.wall_seconds is None
+
+    def test_finish_records_wall_clock(self):
+        manifest = RunManifest.create(seed=0)
+        manifest.finish()
+        assert manifest.wall_seconds is not None
+        assert manifest.wall_seconds >= 0.0
+
+    def test_round_trip_through_dict(self):
+        manifest = RunManifest.create(
+            seed=3, dataset={"n_users": 16}, models=["TN"], command="evaluate",
+            note="smoke",
+        ).finish()
+        payload = manifest.to_dict()
+        json.dumps(payload)  # must be JSON-serialisable
+        restored = RunManifest.from_dict(payload)
+        assert restored.seed == 3
+        assert restored.dataset == {"n_users": 16}
+        assert restored.models == ["TN"]
+        assert restored.extra == {"note": "smoke"}
+        assert restored.wall_seconds == manifest.wall_seconds

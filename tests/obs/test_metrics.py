@@ -1,0 +1,64 @@
+"""Tests for the metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.counter("hits").value == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("hits").inc(-1)
+
+
+class TestGauge:
+    def test_keeps_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("ll").set(-120.5)
+        registry.gauge("ll").set(-80.25)
+        assert registry.gauge("ll").value == -80.25
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for value in (1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 3.0
+        assert histogram.mean == pytest.approx(2.0)
+
+    def test_empty_mean_is_none(self):
+        assert MetricsRegistry().histogram("latency").mean is None
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_is_json_ready_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.gauge("a").set(1.5)
+        registry.histogram("c").observe(0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a", "b", "c"]
+        assert snapshot["b"] == {"type": "counter", "value": 2}
+        assert snapshot["a"]["type"] == "gauge"
+        assert snapshot["c"]["count"] == 1

@@ -1,0 +1,118 @@
+"""Tests for hierarchical spans and the Stopwatch-compatible adapter."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.eval.timing import Stopwatch
+from repro.obs.tracing import Span, SpanStopwatch, Tracer
+
+
+class TestSpanNesting:
+    def test_nested_spans_build_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("sweep"):
+            with tracer.span("config", label="TN"):
+                with tracer.span("fit"):
+                    pass
+                with tracer.span("rank"):
+                    pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "sweep"
+        (config,) = root.children
+        assert config.attributes == {"label": "TN"}
+        assert [c.name for c in config.children] == ["fit", "rank"]
+
+    def test_sibling_spans_stay_siblings(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.roots] == ["a", "b"]
+        assert tracer.current is None
+
+    def test_durations_cover_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.01)
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert inner.duration >= 0.01
+        assert outer.duration >= inner.duration
+
+    def test_duration_recorded_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("boom")
+        assert tracer.roots[0].duration is not None
+        assert tracer.current is None
+
+    def test_total_aggregates_across_the_tree(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            for _ in range(3):
+                with tracer.span("step"):
+                    pass
+        total = tracer.total("step")
+        assert total == pytest.approx(
+            sum(c.duration for c in tracer.roots[0].children)
+        )
+
+    def test_round_trip_through_dict(self):
+        tracer = Tracer()
+        with tracer.span("outer", model="TN"):
+            with tracer.span("inner"):
+                pass
+        restored = Span.from_dict(tracer.roots[0].to_dict())
+        assert restored.name == "outer"
+        assert restored.attributes == {"model": "TN"}
+        assert restored.children[0].name == "inner"
+        assert restored.duration == tracer.roots[0].duration
+
+
+class TestSpanStopwatch:
+    def test_is_a_stopwatch(self):
+        watch = Tracer().stopwatch("fit")
+        assert isinstance(watch, Stopwatch)
+        assert isinstance(watch, SpanStopwatch)
+
+    def test_elapsed_equals_span_total_exactly(self):
+        tracer = Tracer()
+        watch = tracer.stopwatch("fit")
+        for _ in range(5):
+            with watch.measure():
+                time.sleep(0.002)
+        assert watch.elapsed == tracer.total("fit")
+
+    def test_measures_even_on_exception(self):
+        tracer = Tracer()
+        watch = tracer.stopwatch("fit")
+        with pytest.raises(RuntimeError):
+            with watch.measure():
+                time.sleep(0.005)
+                raise RuntimeError("boom")
+        assert watch.elapsed >= 0.005
+        assert watch.elapsed == tracer.total("fit")
+
+    def test_segments_nest_under_the_active_span(self):
+        tracer = Tracer()
+        watch = tracer.stopwatch("fit")
+        with tracer.span("evaluate"):
+            with watch.measure():
+                pass
+        assert [c.name for c in tracer.roots[0].children] == ["fit"]
+
+    def test_reset_keeps_recorded_spans(self):
+        tracer = Tracer()
+        watch = tracer.stopwatch("fit")
+        with watch.measure():
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert len(tracer.roots) == 1  # the span record is history, not state

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -38,6 +40,28 @@ class TestEvaluate:
         out = capsys.readouterr().out
         assert "MAP" in out and "RAN" in out and "CHR" in out
 
+    def test_trace_out_writes_a_trace_and_log_json_streams_events(
+        self, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "trace.json"
+        log_path = tmp_path / "events.jsonl"
+        code = main([
+            "evaluate", "--model", "TN", "--source", "R", *SMALL,
+            "--trace-out", str(trace_path), "--log-json", str(log_path),
+        ])
+        assert code == 0
+        assert "trace written to" in capsys.readouterr().out
+
+        trace = json.loads(trace_path.read_text())
+        assert trace["version"] == 1
+        assert trace["manifest"]["command"] == "evaluate"
+        assert trace["manifest"]["wall_seconds"] is not None
+        assert trace["spans"][0]["name"] == "evaluate"
+        assert "doc_cache.miss" in trace["metrics"]
+
+        events = [json.loads(line) for line in log_path.read_text().splitlines()]
+        assert any(e["event"] == "evaluate_done" for e in events)
+
 
 class TestSweepAndReport:
     def test_roundtrip(self, tmp_path, capsys):
@@ -56,6 +80,29 @@ class TestSweepAndReport:
         assert main(["report", "--sweep", str(sweep_path), "--artifact", "figure7"]) == 0
         out = capsys.readouterr().out
         assert "TTime" in out
+
+    def test_traced_sweep_embeds_manifest_and_reports_breakdown(
+        self, tmp_path, capsys
+    ):
+        sweep_path = tmp_path / "sweep.json"
+        trace_path = tmp_path / "trace.json"
+        code = main([
+            "sweep", "--out", str(sweep_path), "--sources", "R", "--fast",
+            *SMALL, "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+        payload = json.loads(sweep_path.read_text())
+        assert payload["manifest"]["command"] == "sweep"
+        assert "TN" in payload["manifest"]["models"]
+        assert payload["rows"][0]["phase_seconds"]
+
+        assert main([
+            "report", "--artifact", "timing-breakdown", "--trace", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out and "TTime (fit + profiles)" in out
 
 
 class TestSuggest:
