@@ -12,6 +12,13 @@ Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
 * ``full``  -- the full 223-configuration grid and a larger corpus;
   expect hours (the paper's own sweep ran for days on a 32-core server).
 
+``REPRO_BENCH_JOBS=N`` fans the sweep cells out to N worker processes
+through the same :class:`~repro.experiments.executors.ProcessCellExecutor`
+the CLI's ``--jobs`` uses; rows are identical to a serial run, so the
+cache files it writes are interchangeable. Leave it unset (serial) when
+timing results matter -- Figure 7's TTime/ETime are only meaningful
+without process contention.
+
 Reproduced tables are printed and also written to ``results/<name>.txt``.
 """
 
@@ -25,6 +32,12 @@ from pathlib import Path
 from repro.core.pipeline import ExperimentPipeline
 from repro.core.sources import ALL_SOURCES, RepresentationSource
 from repro.experiments.configs import ConfigGrid, ModelConfig
+from repro.experiments.executors import (
+    GridSpec,
+    PipelineSpec,
+    ProcessCellExecutor,
+    SweepSpec,
+)
 from repro.experiments.runner import SweepResult, SweepRunner
 from repro.experiments.standard import FIGURE_SOURCES
 from repro.twitter.dataset import DatasetConfig, generate_dataset, select_user_groups
@@ -72,6 +85,36 @@ def current_scale() -> BenchScale:
     if name not in SCALES:
         raise ValueError(f"unknown REPRO_BENCH_SCALE={name!r}; pick from {sorted(SCALES)}")
     return SCALES[name]
+
+
+def bench_jobs() -> int:
+    """Worker-process count from ``REPRO_BENCH_JOBS`` (default serial)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+def _bench_executor(grid: ConfigGrid) -> ProcessCellExecutor | None:
+    """A process-pool executor for the bench pipeline, or None for serial.
+
+    ``grid`` must be the grid that enumerated the configurations being
+    swept -- the figure sweeps use this module's scale-derived grid while
+    Table 6 uses the standard bench grid, and workers can only resolve a
+    cell's configuration within the grid that produced it.
+    """
+    jobs = bench_jobs()
+    if jobs <= 1:
+        return None
+    scale = current_scale()
+    spec = SweepSpec(
+        pipeline=PipelineSpec(
+            dataset=DatasetConfig(
+                n_users=scale.n_users, n_ticks=scale.n_ticks, seed=scale.seed
+            ),
+            seed=scale.seed,
+            max_train_docs_per_user=scale.max_train_docs,
+        ),
+        grid=GridSpec.from_grid(grid),
+    )
+    return ProcessCellExecutor(spec, jobs=jobs)
 
 
 @lru_cache(maxsize=1)
@@ -153,12 +196,15 @@ def _cache_dir() -> Path:
     return path
 
 
-def _cached_run(name: str, configs, sources) -> SweepResult:
+def _cached_run(name: str, configs, sources, grid: ConfigGrid | None = None) -> SweepResult:
     """Run a sweep slice, or load it from the on-disk cache.
 
     Sweeps are the expensive part of the harness; caching them per model
     lets the bench suite be precomputed incrementally and rerun cheaply.
-    Delete ``results/_sweep_cache`` to force recomputation.
+    Delete ``results/_sweep_cache`` to force recomputation. ``grid`` is
+    the grid that enumerated ``configs``; when ``REPRO_BENCH_JOBS`` asks
+    for parallelism, the cells are farmed out to workers that resolve
+    configurations within that grid.
     """
     from repro.experiments.persistence import load_sweep, save_sweep
     from repro.obs import RunManifest
@@ -177,7 +223,8 @@ def _cached_run(name: str, configs, sources) -> SweepResult:
         bench_scale=os.environ.get("REPRO_BENCH_SCALE", "quick"),
     )
     _, _, _, runner = bench_environment()
-    result = runner.run(configs, sources, groups=_ALL_GROUPS)
+    executor = _bench_executor(grid) if grid is not None else None
+    result = runner.run(configs, sources, groups=_ALL_GROUPS, executor=executor)
     manifest.finish()
     save_sweep(result, path, manifest=manifest)
     return result
@@ -190,8 +237,11 @@ def figure_sweep() -> SweepResult:
     for config in sweep_configurations():
         by_model.setdefault(config.model, []).append(config)
     rows = []
+    grid = bench_grid()
     for model_name, configs in by_model.items():
-        part = _cached_run(f"figure_{model_name}", configs, list(FIGURE_SOURCES))
+        part = _cached_run(
+            f"figure_{model_name}", configs, list(FIGURE_SOURCES), grid=grid
+        )
         rows.extend(part.rows)
     return SweepResult(rows)
 
@@ -199,11 +249,17 @@ def figure_sweep() -> SweepResult:
 @lru_cache(maxsize=1)
 def source_sweep() -> SweepResult:
     """The 13-source sweep behind Table 6 (one config per model)."""
+    from repro.experiments.standard import bench_grid as standard_grid
     from repro.experiments.standard import fast_grid
 
     rows = []
+    # fast_grid enumerates from the *standard* bench grid, not this
+    # module's scale-derived one; workers must search the same grid.
+    grid = standard_grid(seed=current_scale().seed)
     for config in fast_grid(seed=current_scale().seed):
-        part = _cached_run(f"table6_{config.model}", [config], list(ALL_SOURCES))
+        part = _cached_run(
+            f"table6_{config.model}", [config], list(ALL_SOURCES), grid=grid
+        )
         rows.extend(part.rows)
     return SweepResult(rows)
 

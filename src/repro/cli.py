@@ -33,12 +33,19 @@ import argparse
 import sys
 from collections.abc import Sequence
 from functools import lru_cache
+from pathlib import Path
 
 from repro.core.pipeline import ExperimentPipeline
 from repro.core.sources import ALL_SOURCES, RepresentationSource
 from repro.eval.metrics import mean_average_precision
 from repro.experiments.configs import MODEL_NAMES, ConfigGrid, ModelConfig
-from repro.experiments.persistence import load_sweep, save_sweep
+from repro.experiments.executors import (
+    GridSpec,
+    PipelineSpec,
+    ProcessCellExecutor,
+    SweepSpec,
+)
+from repro.experiments.persistence import SweepJournal, load_sweep, save_sweep
 from repro.experiments.report import (
     format_figure7,
     format_figure_map,
@@ -47,7 +54,7 @@ from repro.experiments.report import (
     format_table7,
 )
 from repro.experiments.runner import SweepRunner
-from repro.experiments.standard import fast_grid
+from repro.experiments.standard import bench_grid, fast_grid
 from repro.obs import (
     JsonLinesSink,
     RunManifest,
@@ -184,8 +191,25 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _journal_path(args: argparse.Namespace) -> Path | None:
+    """Resolve the journal path from ``--journal`` / ``--resume``.
+
+    ``--journal`` without a PATH (and plain ``--resume``) derive it from
+    the output file, so ``--out sweep.json`` journals to
+    ``sweep.journal.jsonl``.
+    """
+    if args.journal is not None:
+        return Path(args.journal) if args.journal else Path(args.out).with_suffix(
+            ".journal.jsonl"
+        )
+    if args.resume:
+        return Path(args.out).with_suffix(".journal.jsonl")
+    return None
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     if args.fast:
+        grid = bench_grid(seed=args.seed)
         configs = fast_grid(seed=args.seed)
     else:
         grid = ConfigGrid(
@@ -219,7 +243,43 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     runner = SweepRunner(pipeline, groups, telemetry=telemetry)
     sources = [RepresentationSource(s) for s in args.sources]
-    result = runner.run(configs, sources, progress=args.progress)
+    executor = None
+    if args.jobs > 1:
+        spec = SweepSpec(
+            pipeline=PipelineSpec(
+                dataset=DatasetConfig(
+                    n_users=args.users, n_ticks=args.ticks, seed=args.seed
+                ),
+                seed=args.seed,
+                max_train_docs_per_user=args.max_train_docs,
+            ),
+            grid=GridSpec.from_grid(grid),
+        )
+        executor = ProcessCellExecutor(spec, jobs=args.jobs)
+    journal_path = _journal_path(args)
+    journal = (
+        SweepJournal(journal_path, resume=args.resume) if journal_path else None
+    )
+    if journal is not None and journal.restored:
+        print(f"resuming: {journal.restored} cells restored from {journal.path}")
+    try:
+        result = runner.run(
+            configs, sources, progress=args.progress,
+            executor=executor, journal=journal,
+        )
+    except KeyboardInterrupt:
+        if journal is not None:
+            journal.close()
+            print(
+                f"\ninterrupted; {len(journal)} completed cells journaled to "
+                f"{journal.path} -- rerun with --resume to continue"
+            )
+        else:
+            print("\ninterrupted (no journal; rerun with --journal to make "
+                  "sweeps resumable)")
+        return 130
+    if journal is not None:
+        journal.close()
     manifest.finish()
     path = save_sweep(result, args.out, manifest=manifest)
     print(f"{len(result.rows)} rows saved to {path}")
@@ -314,6 +374,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--iteration-scale", type=float, default=0.02)
     p_sweep.add_argument("--max-train-docs", type=int, default=100)
     p_sweep.add_argument("--progress", action="store_true")
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="evaluate (config, source) cells on N worker processes; "
+             "rows are identical to a serial run",
+    )
+    p_sweep.add_argument(
+        "--journal", metavar="PATH", nargs="?", const="", default=None,
+        help="journal completed cells to PATH as JSON lines "
+             "(default: OUT with a .journal.jsonl suffix)",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="restore completed cells from the journal instead of re-running them",
+    )
     _add_telemetry_arguments(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 

@@ -17,12 +17,28 @@ from repro.core.sources import (
     retweeted_original_ids,
 )
 from repro.core.split import UserSplit, split_user, train_tweets
+from repro.core.stages import (
+    ArtifactCache,
+    FittedModel,
+    PreparedCorpus,
+    RankingOutcome,
+    UserProfiles,
+    artifact_key,
+    canonical_params,
+)
 
 __all__ = [
     "ALL_SOURCES",
     "ATOMIC_SOURCES",
+    "ArtifactCache",
     "COMPOSITE_SOURCES",
     "DocumentFactory",
+    "FittedModel",
+    "PreparedCorpus",
+    "RankingOutcome",
+    "UserProfiles",
+    "artifact_key",
+    "canonical_params",
     "FolloweeRecommender",
     "HashtagRecommender",
     "ScoredCandidate",

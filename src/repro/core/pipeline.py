@@ -15,6 +15,16 @@ the pipeline:
 
 Training time (steps 3-4) and testing time (step 5) accumulate into the
 paper's TTime and ETime measures.
+
+``evaluate`` composes four explicit stages (see
+:mod:`repro.core.stages`): :meth:`~ExperimentPipeline.prepare_corpus`,
+:meth:`~ExperimentPipeline.fit_model`,
+:meth:`~ExperimentPipeline.build_profiles` and
+:meth:`~ExperimentPipeline.rank_users`. Each stage returns a typed
+artifact with a deterministic cache key; the prepared corpus is cached
+per (source, user set), so a sweep over many configurations prepares
+each source's corpus exactly once (``corpus_cache.hit`` /
+``corpus_cache.miss`` counters record the sharing).
 """
 
 from __future__ import annotations
@@ -30,8 +40,17 @@ from repro.core.documents import DocumentFactory
 from repro.core.recommender import RankingRecommender
 from repro.core.sources import RepresentationSource
 from repro.core.split import UserSplit, split_user, train_tweets
+from repro.core.stages import (
+    ArtifactCache,
+    FittedModel,
+    PreparedCorpus,
+    RankingOutcome,
+    UserProfiles,
+    artifact_key,
+)
 from repro.errors import ConfigurationError, DataGenerationError
 from repro.eval.metrics import average_precision, mean_average_precision
+from repro.eval.timing import Stopwatch
 from repro.models.aggregation import AggregationFunction
 from repro.models.base import RepresentationModel, TextDoc
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
@@ -62,12 +81,25 @@ class EvaluationResult:
 
 
 @dataclass
+class _PreprocessContext:
+    """One user set's fitted preprocessing: factory plus its doc cache.
+
+    Documents depend on the factory's stop words, which depend on the
+    evaluated user set, so each user set owns its own cache -- a doc
+    tokenized under one stop-word cut is never served to another.
+    """
+
+    factory: DocumentFactory
+    doc_cache: dict[int, TextDoc] = field(default_factory=dict)
+
+
+@dataclass
 class ExperimentPipeline:
     """Shared evaluation machinery over one dataset.
 
-    Splits and preprocessed documents are cached, so evaluating many
-    (model, source) combinations over the same users re-tokenises
-    nothing.
+    Splits, preprocessed documents and per-source prepared corpora are
+    cached, so evaluating many (model, source) combinations over the
+    same users re-tokenises nothing and re-assembles no corpus.
 
     Parameters
     ----------
@@ -84,10 +116,10 @@ class ExperimentPipeline:
     telemetry:
         Optional :class:`~repro.obs.telemetry.Telemetry`. When set, every
         evaluation records a span tree (``evaluate`` > ``prepare`` /
-        ``fit`` / ``profiles`` / ``rank``), doc-cache and eligibility
-        metrics, and per-iteration Gibbs progress events. When unset the
-        same code path runs with plain stopwatches, so results are
-        bit-identical either way.
+        ``fit`` / ``profiles`` / ``rank``), doc-cache, corpus-cache and
+        eligibility metrics, and per-iteration Gibbs progress events.
+        When unset the same code path runs with plain stopwatches, so
+        results are bit-identical either way.
     """
 
     dataset: MicroblogDataset
@@ -99,8 +131,12 @@ class ExperimentPipeline:
     telemetry: Telemetry | None = None
 
     _splits: dict[int, UserSplit] = field(default_factory=dict, repr=False)
-    _factory: DocumentFactory | None = field(default=None, repr=False)
-    _doc_cache: dict[int, TextDoc] = field(default_factory=dict, repr=False)
+    _contexts: dict[tuple[int, ...], _PreprocessContext] = field(
+        default_factory=dict, repr=False
+    )
+    _corpus_cache: ArtifactCache = field(
+        default_factory=lambda: ArtifactCache("corpus_cache"), repr=False
+    )
 
     # -- splits and preprocessing ------------------------------------------
 
@@ -131,32 +167,41 @@ class ExperimentPipeline:
             eligible.append(uid)
         return eligible
 
-    def _factory_for(self, user_ids: Sequence[int]) -> DocumentFactory:
-        """Document factory fitted on all training-phase tweets.
+    def _context_for(self, users: tuple[int, ...]) -> _PreprocessContext:
+        """The preprocessing context fitted for exactly this user set.
 
         The paper's stop-word cut uses "all training tweets"; we gather
         every tweet that falls in *some* evaluated user's training phase
-        (her outgoing and incoming streams before her cutoff).
+        (her outgoing and incoming streams before her cutoff). Contexts
+        are keyed on the user set, so evaluating a different set fits a
+        fresh factory instead of silently reusing the first one.
         """
-        if self._factory is None:
+        context = self._contexts.get(users)
+        if context is None:
             training: dict[int, Tweet] = {}
-            for uid in user_ids:
+            for uid in users:
                 cutoff = self.split_for(uid).cutoff
                 for tweet in self.dataset.outgoing(uid) + self.dataset.incoming(uid):
                     if tweet.timestamp < cutoff:
                         training[tweet.tweet_id] = tweet
             if not training:
                 raise DataGenerationError("no training tweets for any evaluated user")
-            self._factory = DocumentFactory(self.top_k_stop_words).fit(training.values())
-            self._doc_cache.clear()
-        return self._factory
+            context = _PreprocessContext(
+                factory=DocumentFactory(self.top_k_stop_words).fit(training.values())
+            )
+            self._contexts[users] = context
+        return context
 
-    def _doc(self, tweet: Tweet, factory: DocumentFactory) -> TextDoc:
-        doc = self._doc_cache.get(tweet.tweet_id)
+    def _factory_for(self, user_ids: Sequence[int]) -> DocumentFactory:
+        """Document factory fitted on this user set's training tweets."""
+        return self._context_for(tuple(user_ids)).factory
+
+    def _doc(self, tweet: Tweet, context: _PreprocessContext) -> TextDoc:
+        doc = context.doc_cache.get(tweet.tweet_id)
         tel = self.telemetry
         if doc is None:
-            doc = factory.to_doc(tweet)
-            self._doc_cache[tweet.tweet_id] = doc
+            doc = context.factory.to_doc(tweet)
+            context.doc_cache[tweet.tweet_id] = doc
             if tel is not None:
                 tel.count("doc_cache.miss")
                 tel.count("docs.tokenized")
@@ -171,6 +216,137 @@ class ExperimentPipeline:
         if self.max_train_docs_per_user is not None:
             tweets = tweets[-self.max_train_docs_per_user :]
         return tweets
+
+    # -- the four evaluation stages ----------------------------------------
+
+    def corpus_key(self, source: RepresentationSource, users: Sequence[int]) -> str:
+        """Deterministic cache key of one source's prepared corpus."""
+        return artifact_key(
+            stage="prepare_corpus",
+            seed=self.seed,
+            test_fraction=self.test_fraction,
+            negatives_per_positive=self.negatives_per_positive,
+            max_train_docs_per_user=self.max_train_docs_per_user,
+            top_k_stop_words=self.top_k_stop_words,
+            source=source.value,
+            users=list(users),
+        )
+
+    def prepare_corpus(
+        self, source: RepresentationSource, users: Sequence[int]
+    ) -> PreparedCorpus:
+        """Stage 1: the source's training corpus over the user set.
+
+        The artifact depends only on the split protocol, the source and
+        the user set -- never on the model -- so it is cached and shared
+        across every configuration of a sweep.
+        """
+        users = tuple(users)
+        key = self.corpus_key(source, users)
+
+        def build() -> PreparedCorpus:
+            context = self._context_for(users)
+            per_user_tweets: dict[int, tuple[Tweet, ...]] = {
+                uid: tuple(self._train_tweets_for(uid, source)) for uid in users
+            }
+            corpus_tweets: dict[int, Tweet] = {}
+            corpus_authors: dict[int, str] = {}
+            for tweets in per_user_tweets.values():
+                for tweet in tweets:
+                    corpus_tweets[tweet.tweet_id] = tweet
+                    corpus_authors[tweet.tweet_id] = str(tweet.author_id)
+            corpus_ids = sorted(corpus_tweets)
+            return PreparedCorpus(
+                key=key,
+                source=source,
+                users=users,
+                per_user_tweets=per_user_tweets,
+                corpus_ids=tuple(corpus_ids),
+                corpus_docs=tuple(
+                    self._doc(corpus_tweets[i], context) for i in corpus_ids
+                ),
+                author_ids=tuple(corpus_authors[i] for i in corpus_ids),
+            )
+
+        return self._corpus_cache.get_or_build(key, build, self.telemetry)
+
+    def fit_model(
+        self, model: RepresentationModel, corpus: PreparedCorpus
+    ) -> FittedModel:
+        """Stage 2: fit the representation model on the prepared corpus."""
+        tel = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
+        recommender = RankingRecommender(model)
+        self._install_iteration_hook(model, tel)
+        try:
+            recommender.fit(corpus.corpus_docs, user_ids=corpus.author_ids)
+        finally:
+            self._clear_iteration_hook(model)
+        return FittedModel(
+            key=artifact_key(
+                stage="fit",
+                corpus=corpus.key,
+                model=model.name,
+                params=model.describe(),
+            ),
+            recommender=recommender,
+            corpus=corpus,
+        )
+
+    def build_profiles(
+        self, fitted: FittedModel, stopwatch: Stopwatch | None = None
+    ) -> UserProfiles:
+        """Stage 3: one user model per evaluated user.
+
+        ``stopwatch`` (when given) measures each profile build
+        individually, reproducing the per-user ``profiles`` spans of the
+        trace tree.
+        """
+        if stopwatch is None:
+            stopwatch = Stopwatch()
+        corpus = fitted.corpus
+        source = corpus.source
+        aggregation = getattr(fitted.model, "aggregation", None)
+        uses_rocchio = aggregation is AggregationFunction.ROCCHIO
+        context = self._context_for(corpus.users)
+        profiles: dict[int, object] = {}
+        for uid in corpus.users:
+            tweets = corpus.per_user_tweets[uid]
+            docs = [self._doc(t, context) for t in tweets]
+            labels = (
+                source.labels_for(self.dataset, uid, list(tweets))
+                if uses_rocchio
+                else None
+            )
+            with stopwatch.measure():
+                profiles[uid] = fitted.recommender.build_profile(docs, labels=labels)
+        return UserProfiles(
+            key=artifact_key(stage="profiles", fit=fitted.key), profiles=profiles
+        )
+
+    def rank_users(
+        self,
+        fitted: FittedModel,
+        profiles: UserProfiles,
+        stopwatch: Stopwatch | None = None,
+    ) -> RankingOutcome:
+        """Stage 4: rank every user's test set and compute her AP."""
+        if stopwatch is None:
+            stopwatch = Stopwatch()
+        context = self._context_for(fitted.corpus.users)
+        per_user_ap: dict[int, float] = {}
+        for uid in fitted.corpus.users:
+            split = self.split_for(uid)
+            candidates = list(split.test_set)
+            docs = [self._doc(t, context) for t in candidates]
+            relevant = split.relevant_ids
+            with stopwatch.measure():
+                ranking = fitted.recommender.rank(profiles.profiles[uid], docs)
+            flags = [candidates[item.position].tweet_id in relevant for item in ranking]
+            per_user_ap[uid] = average_precision(flags)
+        return RankingOutcome(
+            key=artifact_key(stage="rank", profiles=profiles.key),
+            per_user_ap=per_user_ap,
+        )
 
     # -- model evaluation ------------------------------------------------------
 
@@ -193,59 +369,23 @@ class ExperimentPipeline:
             users = self.eligible_users(user_ids)
             if not users:
                 raise DataGenerationError("no eligible users to evaluate")
-            factory = self._factory_for(users)
             prepare_time = tel.stopwatch("prepare")
             fit_time = tel.stopwatch("fit")
             profile_time = tel.stopwatch("profiles")
             rank_time = tel.stopwatch("rank")
-            recommender = RankingRecommender(model)
 
-            # Training corpus: the union of all users' source train sets.
             with prepare_time.measure():
-                per_user_tweets: dict[int, list[Tweet]] = {
-                    uid: self._train_tweets_for(uid, source) for uid in users
-                }
-                corpus_tweets: dict[int, Tweet] = {}
-                corpus_authors: dict[int, str] = {}
-                for tweets in per_user_tweets.values():
-                    for tweet in tweets:
-                        corpus_tweets[tweet.tweet_id] = tweet
-                        corpus_authors[tweet.tweet_id] = str(tweet.author_id)
-                corpus_ids = sorted(corpus_tweets)
-                corpus_docs = [self._doc(corpus_tweets[i], factory) for i in corpus_ids]
-                author_ids = [corpus_authors[i] for i in corpus_ids]
-
-            self._install_iteration_hook(model, tel)
-            try:
-                with fit_time.measure():
-                    recommender.fit(corpus_docs, user_ids=author_ids)
-            finally:
-                self._clear_iteration_hook(model)
-
-            user_models: dict[int, object] = {}
-            for uid in users:
-                tweets = per_user_tweets[uid]
-                docs = [self._doc(t, factory) for t in tweets]
-                labels = source.labels_for(self.dataset, uid, tweets) if uses_rocchio else None
-                with profile_time.measure():
-                    user_models[uid] = recommender.build_profile(docs, labels=labels)
-
-            per_user_ap: dict[int, float] = {}
-            for uid in users:
-                split = self.split_for(uid)
-                candidates = list(split.test_set)
-                docs = [self._doc(t, factory) for t in candidates]
-                relevant = split.relevant_ids
-                with rank_time.measure():
-                    ranking = recommender.rank(user_models[uid], docs)
-                flags = [candidates[item.position].tweet_id in relevant for item in ranking]
-                per_user_ap[uid] = average_precision(flags)
+                prepared = self.prepare_corpus(source, users)
+            with fit_time.measure():
+                fitted = self.fit_model(model, prepared)
+            user_profiles = self.build_profiles(fitted, stopwatch=profile_time)
+            ranked = self.rank_users(fitted, user_profiles, stopwatch=rank_time)
 
             result = EvaluationResult(
                 model=model.name,
                 configuration=model.describe(),
                 source=source,
-                per_user_ap=per_user_ap,
+                per_user_ap=dict(ranked.per_user_ap),
                 training_seconds=fit_time.elapsed + profile_time.elapsed,
                 testing_seconds=rank_time.elapsed,
                 phase_seconds={

@@ -1,0 +1,163 @@
+"""Staged evaluation: typed artifacts with deterministic cache keys.
+
+The evaluation of one (model, source, user set) combination decomposes
+into four explicit stages:
+
+1. **corpus preparation** -- gather every user's source training tweets
+   and convert them to deduplicated, model-ready documents
+   (:class:`PreparedCorpus`);
+2. **model fit**          -- fit the representation model on the
+   prepared corpus (:class:`FittedModel`);
+3. **profile building**   -- build one user model per evaluated user
+   (:class:`UserProfiles`);
+4. **ranking**            -- rank every user's test set and compute her
+   Average Precision (:class:`RankingOutcome`).
+
+Every artifact carries a deterministic key derived from the inputs that
+produced it (dataset seed, split protocol, source, model parameters),
+computed by :func:`artifact_key` over a canonical JSON serialisation
+(:func:`canonical_params`). Keys make artifacts shareable: the prepared
+corpus of a source depends only on the split protocol and the user set,
+never on the model, so a 223-configuration sweep prepares each source's
+corpus exactly once (see :class:`ArtifactCache`) instead of 223 times.
+
+The same canonical serialisation is the grouping key for
+"same configuration, different group" rows in
+:meth:`repro.experiments.runner.SweepResult.best_configuration` and the
+cell identity in the sweep journal -- one spelling of "these parameters"
+shared across the whole stack.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.recommender import RankingRecommender
+from repro.core.sources import RepresentationSource
+from repro.models.base import TextDoc
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.twitter.entities import Tweet
+
+__all__ = [
+    "ArtifactCache",
+    "FittedModel",
+    "PreparedCorpus",
+    "RankingOutcome",
+    "UserProfiles",
+    "artifact_key",
+    "canonical_params",
+]
+
+
+def canonical_params(params: Mapping[str, Any]) -> str:
+    """One canonical JSON spelling of a parameter mapping.
+
+    Key order is normalised and non-JSON values (enums, paths) fall back
+    to ``str``, so two dicts describing the same configuration always
+    serialise identically -- the property cache keys, journal cell ids
+    and configuration grouping all rely on.
+    """
+    return json.dumps(dict(params), sort_keys=True, separators=(",", ":"), default=str)
+
+
+def artifact_key(**components: Any) -> str:
+    """Deterministic digest of a stage's identifying inputs.
+
+    Components are canonically serialised and hashed, so the key is
+    stable across processes and sessions -- equal inputs yield equal
+    keys in a sweep worker, a resumed run, or a later report.
+    """
+    digest = hashlib.sha256(canonical_params(components).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class PreparedCorpus:
+    """Stage-1 artifact: one source's training corpus over a user set.
+
+    ``corpus_ids`` / ``corpus_docs`` / ``author_ids`` are parallel and
+    deduplicated by tweet id in ascending id order; ``per_user_tweets``
+    keeps each user's own (possibly overlapping) training stream for the
+    profile-building stage.
+    """
+
+    key: str
+    source: RepresentationSource
+    users: tuple[int, ...]
+    per_user_tweets: Mapping[int, tuple[Tweet, ...]] = field(hash=False)
+    corpus_ids: tuple[int, ...] = field(hash=False)
+    corpus_docs: tuple[TextDoc, ...] = field(hash=False)
+    author_ids: tuple[str, ...] = field(hash=False)
+
+    def __len__(self) -> int:
+        return len(self.corpus_docs)
+
+
+@dataclass(frozen=True)
+class FittedModel:
+    """Stage-2 artifact: a recommender fitted on a prepared corpus."""
+
+    key: str
+    recommender: RankingRecommender = field(hash=False)
+    corpus: PreparedCorpus = field(hash=False)
+
+    @property
+    def model(self):
+        return self.recommender.model
+
+
+@dataclass(frozen=True)
+class UserProfiles:
+    """Stage-3 artifact: one user model per evaluated user."""
+
+    key: str
+    profiles: Mapping[int, object] = field(hash=False)
+
+
+@dataclass(frozen=True)
+class RankingOutcome:
+    """Stage-4 artifact: per-user Average Precision."""
+
+    key: str
+    per_user_ap: Mapping[int, float] = field(hash=False)
+
+
+class ArtifactCache:
+    """In-memory artifact store keyed by deterministic stage keys.
+
+    ``name`` prefixes the hit/miss counters (``<name>.hit`` /
+    ``<name>.miss``) recorded against the telemetry passed to
+    :meth:`get_or_build`, so a trace shows exactly how often each stage
+    was recomputed versus shared.
+    """
+
+    def __init__(self, name: str = "artifact_cache"):
+        self.name = name
+        self._store: dict[str, Any] = {}
+
+    def get_or_build(
+        self,
+        key: str,
+        build: Callable[[], Any],
+        telemetry: Telemetry | None = None,
+    ) -> Any:
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        if key in self._store:
+            tel.count(f"{self.name}.hit")
+        else:
+            tel.count(f"{self.name}.miss")
+            self._store[key] = build()
+        return self._store[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()

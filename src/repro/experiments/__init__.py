@@ -1,7 +1,17 @@
 """Experiment harness: configuration grids, sweep runner, reports."""
 
 from repro.experiments.configs import MODEL_NAMES, ConfigGrid, ModelConfig
-from repro.experiments.persistence import load_sweep, save_sweep
+from repro.experiments.executors import (
+    Cell,
+    CellOutcome,
+    GridSpec,
+    PipelineSpec,
+    ProcessCellExecutor,
+    SerialCellExecutor,
+    SweepSpec,
+    evaluate_cell,
+)
+from repro.experiments.persistence import SweepJournal, load_sweep, save_sweep
 from repro.experiments.report import (
     format_figure7,
     format_figure_map,
@@ -27,18 +37,27 @@ from repro.experiments.standard import (
 
 __all__ = [
     "BenchSetup",
+    "Cell",
+    "CellOutcome",
     "compare_models",
+    "evaluate_cell",
     "format_significance_matrix",
     "load_sweep",
     "save_sweep",
     "significance_matrix",
     "ConfigGrid",
     "FIGURE_SOURCES",
+    "GridSpec",
     "MODEL_NAMES",
     "ModelConfig",
+    "PipelineSpec",
+    "ProcessCellExecutor",
+    "SerialCellExecutor",
+    "SweepJournal",
     "SweepResult",
     "SweepRow",
     "SweepRunner",
+    "SweepSpec",
     "bench_dataset",
     "bench_grid",
     "bench_setup",

@@ -1,0 +1,303 @@
+"""Pluggable sweep executors: serial default, process-pool fan-out.
+
+A sweep is a grid of *cells* -- one (configuration, source) pair
+evaluated over the union of the user groups. :class:`SerialCellExecutor`
+walks them in-process on the runner's own pipeline (the historical
+behaviour). :class:`ProcessCellExecutor` farms them out to a process
+pool: each worker reconstructs an equivalent pipeline from a picklable
+:class:`SweepSpec` (dataset config + split protocol + grid scaling),
+evaluates its cells, and ships the result -- plus its telemetry spans,
+events and metric snapshots -- back to the parent, which merges them
+into its own stream.
+
+Both executors yield ``(cell, outcome)`` pairs in *submission order*
+regardless of completion order, and every model is seeded through the
+grid spec, so the rows a sweep produces are bit-identical whichever
+executor ran them.
+
+``ModelConfig`` factories are closures and cannot cross a process
+boundary; instead a cell names its configuration by (model, canonical
+parameter JSON) and the worker rebuilds the grid from the
+:class:`GridSpec` and looks the configuration up. The grid spec must
+therefore describe the *same* grid the parent enumerated -- including
+scaling knobs that do not appear in the parameters, like
+``infer_iterations``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import ExperimentPipeline
+from repro.core.sources import RepresentationSource
+from repro.core.stages import canonical_params
+from repro.errors import ConfigurationError
+from repro.experiments.configs import ConfigGrid, ModelConfig
+from repro.obs.events import MemorySink
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.twitter.dataset import DatasetConfig, generate_dataset
+
+__all__ = [
+    "Cell",
+    "CellOutcome",
+    "GridSpec",
+    "PipelineSpec",
+    "ProcessCellExecutor",
+    "SerialCellExecutor",
+    "SweepSpec",
+    "evaluate_cell",
+]
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Picklable description of a :class:`ConfigGrid`."""
+
+    topic_scale: float = 1.0
+    iteration_scale: float = 1.0
+    infer_iterations: int = 20
+    btm_max_biterms: int | None = None
+    seed: int = 0
+
+    @classmethod
+    def from_grid(cls, grid: ConfigGrid) -> "GridSpec":
+        return cls(
+            topic_scale=grid.topic_scale,
+            iteration_scale=grid.iteration_scale,
+            infer_iterations=grid.infer_iterations,
+            btm_max_biterms=grid.btm_max_biterms,
+            seed=grid.seed,
+        )
+
+    def build(self) -> ConfigGrid:
+        return ConfigGrid(
+            topic_scale=self.topic_scale,
+            iteration_scale=self.iteration_scale,
+            infer_iterations=self.infer_iterations,
+            btm_max_biterms=self.btm_max_biterms,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Picklable recipe for reconstructing an equivalent pipeline."""
+
+    dataset: DatasetConfig
+    test_fraction: float = 0.2
+    negatives_per_positive: int = 4
+    seed: int = 0
+    max_train_docs_per_user: int | None = None
+    top_k_stop_words: int = 100
+
+    def build(self, telemetry: Telemetry | None = None) -> ExperimentPipeline:
+        return ExperimentPipeline(
+            generate_dataset(self.dataset),
+            test_fraction=self.test_fraction,
+            negatives_per_positive=self.negatives_per_positive,
+            seed=self.seed,
+            max_train_docs_per_user=self.max_train_docs_per_user,
+            top_k_stop_words=self.top_k_stop_words,
+            telemetry=telemetry,
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Everything a worker needs to evaluate any cell of one sweep."""
+
+    pipeline: PipelineSpec
+    grid: GridSpec
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (configuration, source) evaluation unit of a sweep."""
+
+    model: str
+    params: dict = field(hash=False)
+    label: str = field(hash=False)
+    source: str = field(hash=False)
+    users: tuple[int, ...] = field(hash=False)
+
+    @property
+    def params_key(self) -> str:
+        return canonical_params(self.params)
+
+    @property
+    def key(self) -> str:
+        """Stable cell identity: journal key and event correlation id."""
+        return f"{self.model}|{self.source}|{self.params_key}"
+
+
+@dataclass
+class CellOutcome:
+    """What one cell evaluation produced (or why it was skipped)."""
+
+    model: str
+    params: dict
+    source: str
+    skipped: str | None = None
+    per_user_ap: dict[int, float] = field(default_factory=dict)
+    training_seconds: float = 0.0
+    testing_seconds: float = 0.0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Worker telemetry to merge at join time: {"spans": [...],
+    #: "events": [...], "metrics": {...}}. None for in-process cells,
+    #: whose telemetry flowed to the parent stream directly.
+    telemetry: dict | None = None
+
+
+#: One pipeline / config index per worker process, keyed by spec; a
+#: worker evaluates many cells of the same sweep and must prepare each
+#: source's corpus only once (the whole point of the staged engine).
+_WORKER_PIPELINES: dict[PipelineSpec, ExperimentPipeline] = {}
+_WORKER_INDEXES: dict[GridSpec, dict[tuple[str, str], ModelConfig]] = {}
+
+
+def _worker_pipeline(spec: PipelineSpec) -> ExperimentPipeline:
+    pipeline = _WORKER_PIPELINES.get(spec)
+    if pipeline is None:
+        pipeline = spec.build()
+        _WORKER_PIPELINES[spec] = pipeline
+    return pipeline
+
+
+def _worker_index(spec: GridSpec) -> dict[tuple[str, str], ModelConfig]:
+    index = _WORKER_INDEXES.get(spec)
+    if index is None:
+        index = {
+            (config.model, canonical_params(config.params)): config
+            for config in spec.build().iter_all()
+        }
+        _WORKER_INDEXES[spec] = index
+    return index
+
+
+def evaluate_cell(
+    spec: SweepSpec, cell: Cell, collect_telemetry: bool = False
+) -> CellOutcome:
+    """Evaluate one cell against a worker-local pipeline.
+
+    Runs in a pool worker (but is an ordinary function: the serial
+    parity tests call it in-process). The pipeline and the grid's
+    configuration index are cached per process, so corpus preparation
+    and preprocessing amortise across all cells a worker receives.
+    """
+    telemetry = Telemetry() if collect_telemetry else None
+    events = MemorySink()
+    if telemetry is not None:
+        telemetry.events.add_sink(events)
+    pipeline = _worker_pipeline(spec.pipeline)
+    pipeline.telemetry = telemetry
+    config = _worker_index(spec.grid).get((cell.model, cell.params_key))
+    if config is None:
+        raise ConfigurationError(
+            f"cell {cell.key} has no matching configuration in the worker grid; "
+            "the sweep spec's GridSpec must describe the grid the parent enumerated"
+        )
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    outcome = CellOutcome(model=cell.model, params=dict(cell.params), source=cell.source)
+    try:
+        with tel.span("config", label=cell.label, source=cell.source):
+            try:
+                result = pipeline.evaluate(
+                    config.build(), RepresentationSource(cell.source), list(cell.users)
+                )
+            except ConfigurationError as error:
+                outcome.skipped = str(error)
+            else:
+                outcome.per_user_ap = dict(result.per_user_ap)
+                outcome.training_seconds = result.training_seconds
+                outcome.testing_seconds = result.testing_seconds
+                outcome.phase_seconds = dict(result.phase_seconds)
+    finally:
+        pipeline.telemetry = None
+    if telemetry is not None:
+        outcome.telemetry = {
+            "spans": telemetry.tracer.to_payload(),
+            "events": list(events.records),
+            "metrics": telemetry.metrics.snapshot(),
+        }
+    return outcome
+
+
+#: A unit of executor work: the picklable cell plus (for in-process
+#: executors) the parent's own ModelConfig, whose factory closure cannot
+#: cross a process boundary.
+CellTask = tuple[Cell, ModelConfig | None]
+
+
+class SerialCellExecutor:
+    """Default executor: evaluates cells in-process, in order.
+
+    Uses the runner's own pipeline, so split/document/corpus caches and
+    live telemetry behave exactly as they always have.
+    """
+
+    jobs = 1
+
+    def __init__(self, pipeline: ExperimentPipeline, telemetry: Telemetry | None = None):
+        self.pipeline = pipeline
+        self.telemetry = telemetry
+
+    def run_cells(
+        self, tasks: Sequence[CellTask], collect_telemetry: bool = False
+    ) -> Iterator[tuple[Cell, CellOutcome]]:
+        tel = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
+        for cell, config in tasks:
+            if config is None:
+                raise ConfigurationError(
+                    f"serial executor needs the ModelConfig for cell {cell.key}"
+                )
+            outcome = CellOutcome(
+                model=cell.model, params=dict(cell.params), source=cell.source
+            )
+            with tel.span("config", label=cell.label, source=cell.source):
+                try:
+                    result = self.pipeline.evaluate(
+                        config.build(),
+                        RepresentationSource(cell.source),
+                        list(cell.users),
+                    )
+                except ConfigurationError as error:
+                    outcome.skipped = str(error)
+                else:
+                    outcome.per_user_ap = dict(result.per_user_ap)
+                    outcome.training_seconds = result.training_seconds
+                    outcome.testing_seconds = result.testing_seconds
+                    outcome.phase_seconds = dict(result.phase_seconds)
+            yield cell, outcome
+
+
+class ProcessCellExecutor:
+    """Farms cells out to a process pool, preserving submission order.
+
+    Workers rebuild the pipeline from ``spec`` (synthetic datasets are
+    deterministic in their config, so every worker sees the same data)
+    and return outcomes whose rows are bit-identical to a serial run.
+    All cells are submitted up front; results are joined in submission
+    order so downstream row assembly is deterministic.
+    """
+
+    def __init__(self, spec: SweepSpec, jobs: int):
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.spec = spec
+        self.jobs = jobs
+
+    def run_cells(
+        self, tasks: Sequence[CellTask], collect_telemetry: bool = False
+    ) -> Iterator[tuple[Cell, CellOutcome]]:
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            submitted: list[tuple[Cell, Future]] = [
+                (cell, pool.submit(evaluate_cell, self.spec, cell, collect_telemetry))
+                for cell, _config in tasks
+            ]
+            for cell, future in submitted:
+                yield cell, future.result()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)

@@ -1,9 +1,17 @@
-"""Saving and loading sweep results.
+"""Saving and loading sweep results; the resumable sweep journal.
 
 Sweeps are expensive (the paper's ran for days), so their results should
 be durable. :func:`save_sweep` writes a :class:`~repro.experiments.runner.SweepResult`
 to JSON; :func:`load_sweep` restores it with full fidelity, so reports
 can be regenerated and extended without re-running a single evaluation.
+
+Durability *during* a run comes from :class:`SweepJournal`: the sweep
+runner appends one JSON line per completed (configuration, source) cell
+as it finishes, flushed immediately, so a killed sweep loses at most the
+cell in flight. Reopening the journal with ``resume=True`` restores the
+completed cells and the runner skips them -- that is what
+``repro sweep --resume`` does. A partially-written final line (the
+typical residue of a hard kill) is tolerated and ignored on load.
 
 Sweep files are self-describing: they embed the run's provenance
 manifest (seed, dataset configuration, model grid, package version --
@@ -17,17 +25,66 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import IO
 
 from repro.core.sources import RepresentationSource
+from repro.experiments.executors import Cell, CellOutcome
 from repro.experiments.runner import SweepResult, SweepRow
 from repro.obs.manifest import RunManifest
 from repro.twitter.entities import UserType
 
-__all__ = ["save_sweep", "load_sweep"]
+__all__ = ["SweepJournal", "save_sweep", "load_sweep"]
 
 #: Format marker for forward compatibility. The manifest and
 #: ``phase_seconds`` fields are optional additions within version 1.
 _FORMAT_VERSION = 1
+
+#: Journal header markers (first line of every journal file).
+_JOURNAL_FORMAT = "repro-sweep-journal"
+_JOURNAL_VERSION = 1
+
+
+def _row_to_dict(row: SweepRow) -> dict:
+    return {
+        "model": row.model,
+        "params": row.params,
+        "source": row.source.value,
+        "group": row.group.value,
+        "map_score": row.map_score,
+        "per_user_ap": {str(uid): ap for uid, ap in row.per_user_ap.items()},
+        "training_seconds": row.training_seconds,
+        "testing_seconds": row.testing_seconds,
+        "phase_seconds": row.phase_seconds,
+    }
+
+
+def _per_user_ap_from_dict(payload: dict) -> dict[int, float]:
+    """Rebuild a per-user AP map in ascending user-id order.
+
+    JSON object keys are strings, and the journal/sweep files sort them
+    lexicographically ("10" before "2"); restoring in numeric order
+    keeps dict iteration -- and therefore float summation in MAP
+    computations -- identical to the original evaluation's.
+    """
+    return {uid: float(payload[key]) for uid, key in sorted(
+        (int(key), key) for key in payload
+    )}
+
+
+def _row_from_dict(entry: dict) -> SweepRow:
+    return SweepRow(
+        model=entry["model"],
+        params=dict(entry["params"]),
+        source=RepresentationSource(entry["source"]),
+        group=UserType(entry["group"]),
+        map_score=float(entry["map_score"]),
+        per_user_ap=_per_user_ap_from_dict(entry["per_user_ap"]),
+        training_seconds=float(entry["training_seconds"]),
+        testing_seconds=float(entry["testing_seconds"]),
+        phase_seconds={
+            str(k): float(v) for k, v in entry.get("phase_seconds", {}).items()
+        },
+    )
 
 
 def save_sweep(
@@ -50,20 +107,7 @@ def save_sweep(
     payload = {
         "version": _FORMAT_VERSION,
         "manifest": manifest_dict,
-        "rows": [
-            {
-                "model": row.model,
-                "params": row.params,
-                "source": row.source.value,
-                "group": row.group.value,
-                "map_score": row.map_score,
-                "per_user_ap": {str(uid): ap for uid, ap in row.per_user_ap.items()},
-                "training_seconds": row.training_seconds,
-                "testing_seconds": row.testing_seconds,
-                "phase_seconds": row.phase_seconds,
-            }
-            for row in result.rows
-        ],
+        "rows": [_row_to_dict(row) for row in result.rows],
     }
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=1, sort_keys=True))
@@ -76,21 +120,140 @@ def load_sweep(path: str | Path) -> SweepResult:
     version = payload.get("version")
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported sweep file version: {version!r}")
-    rows = [
-        SweepRow(
-            model=entry["model"],
-            params=dict(entry["params"]),
-            source=RepresentationSource(entry["source"]),
-            group=UserType(entry["group"]),
-            map_score=float(entry["map_score"]),
-            per_user_ap={int(k): float(v) for k, v in entry["per_user_ap"].items()},
-            training_seconds=float(entry["training_seconds"]),
-            testing_seconds=float(entry["testing_seconds"]),
-            phase_seconds={
-                str(k): float(v)
-                for k, v in entry.get("phase_seconds", {}).items()
-            },
-        )
-        for entry in payload["rows"]
-    ]
+    rows = [_row_from_dict(entry) for entry in payload["rows"]]
     return SweepResult(rows, manifest=payload.get("manifest"))
+
+
+def _outcome_to_dict(cell: Cell, outcome: CellOutcome) -> dict:
+    return {
+        "cell": cell.key,
+        "model": outcome.model,
+        "params": outcome.params,
+        "source": outcome.source,
+        "skipped": outcome.skipped,
+        "per_user_ap": {str(uid): ap for uid, ap in outcome.per_user_ap.items()},
+        "training_seconds": outcome.training_seconds,
+        "testing_seconds": outcome.testing_seconds,
+        "phase_seconds": outcome.phase_seconds,
+    }
+
+
+def _outcome_from_dict(entry: dict) -> CellOutcome:
+    return CellOutcome(
+        model=entry["model"],
+        params=dict(entry["params"]),
+        source=entry["source"],
+        skipped=entry.get("skipped"),
+        per_user_ap=_per_user_ap_from_dict(entry["per_user_ap"]),
+        training_seconds=float(entry["training_seconds"]),
+        testing_seconds=float(entry["testing_seconds"]),
+        phase_seconds={
+            str(k): float(v) for k, v in entry.get("phase_seconds", {}).items()
+        },
+    )
+
+
+class SweepJournal:
+    """Append-only JSONL record of completed sweep cells.
+
+    The first line is a header identifying the format; each further line
+    is one completed cell's outcome, written and flushed the moment the
+    cell finishes. Opening with ``resume=True`` loads the completed
+    cells from an existing file (tolerating a torn final line from a
+    hard kill) and appends new cells after them; the default truncates
+    and starts a fresh journal.
+
+    Usage::
+
+        with SweepJournal(path, resume=True) as journal:
+            result = runner.run(configs, sources, journal=journal)
+    """
+
+    def __init__(self, path: str | Path, resume: bool = False):
+        self.path = Path(path)
+        self._outcomes: dict[str, CellOutcome] = {}
+        self._stream: IO[str] | None = None
+        self._restored = 0
+        if resume and self.path.exists():
+            self._load()
+            self._restored = len(self._outcomes)
+            self._stream = self.path.open("a", encoding="utf-8")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = self.path.open("w", encoding="utf-8")
+            self._write_line(
+                {"format": _JOURNAL_FORMAT, "version": _JOURNAL_VERSION}
+            )
+
+    def _load(self) -> None:
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        entries: list[dict] = []
+        good: list[str] = []
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    # Torn final line: the record in flight when the
+                    # previous run was killed. Drop it; its cell simply
+                    # re-runs.
+                    break
+                raise ValueError(
+                    f"corrupt journal line {index + 1} in {self.path}"
+                ) from None
+            good.append(line)
+        if not entries:
+            raise ValueError(f"journal {self.path} has no header line")
+        header = entries[0]
+        if (
+            header.get("format") != _JOURNAL_FORMAT
+            or header.get("version") != _JOURNAL_VERSION
+        ):
+            raise ValueError(f"{self.path} is not a version-{_JOURNAL_VERSION} sweep journal")
+        for entry in entries[1:]:
+            self._outcomes[entry["cell"]] = _outcome_from_dict(entry)
+        # Truncate the torn tail (and normalise the trailing newline)
+        # before appending, or the next record would concatenate onto
+        # the half-written fragment and corrupt the file for good.
+        sanitized = "\n".join(good) + "\n"
+        if sanitized != self.path.read_text(encoding="utf-8"):
+            self.path.write_text(sanitized, encoding="utf-8")
+
+    def _write_line(self, payload: dict) -> None:
+        assert self._stream is not None
+        self._stream.write(json.dumps(payload, sort_keys=True, default=str) + "\n")
+        self._stream.flush()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._outcomes
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    @property
+    def restored(self) -> int:
+        """How many completed cells were loaded from disk at open."""
+        return self._restored
+
+    def outcome(self, key: str) -> CellOutcome:
+        return self._outcomes[key]
+
+    def record(self, cell: Cell, outcome: CellOutcome) -> None:
+        """Append one completed cell, flushing immediately."""
+        if self._stream is None:
+            raise ValueError(f"journal {self.path} is closed")
+        self._write_line(_outcome_to_dict(cell, outcome))
+        self._outcomes[cell.key] = outcome
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -2,11 +2,19 @@
 
 One :class:`SweepRunner` owns an
 :class:`~repro.core.pipeline.ExperimentPipeline` and a user-group mapping.
-``run`` walks (model config x source) pairs, evaluates each over every
-requested group, and collects :class:`SweepRow` records. The aggregation
-helpers then answer the paper's questions: Mean/Min/Max MAP per (model,
-source, group) for Figures 3-6 and Table 6, the best configuration per
-(model, source) for Table 7, and timing summaries for Figure 7.
+``run`` decomposes the (model config x source) grid into *cells*, hands
+them to a pluggable executor (serial in-process by default, or a process
+pool via :class:`~repro.experiments.executors.ProcessCellExecutor`), and
+assembles :class:`SweepRow` records in canonical cell order -- so row
+ordering and values are identical whichever executor ran the cells. A
+:class:`~repro.experiments.persistence.SweepJournal` makes runs durable:
+each completed cell is appended to a JSONL journal as it finishes, and a
+resumed run restores journaled cells instead of re-evaluating them.
+
+The aggregation helpers then answer the paper's questions: Mean/Min/Max
+MAP per (model, source, group) for Figures 3-6 and Table 6, the best
+configuration per (model, source) for Table 7, and timing summaries for
+Figure 7.
 """
 
 from __future__ import annotations
@@ -16,10 +24,11 @@ from dataclasses import dataclass, field
 
 from repro.core.pipeline import ExperimentPipeline
 from repro.core.sources import RepresentationSource
-from repro.errors import ConfigurationError
+from repro.core.stages import canonical_params
 from repro.eval.metrics import MapSummary, mean_average_precision, summarize_maps
 from repro.eval.timing import TimingSummary, summarize_timings
 from repro.experiments.configs import ModelConfig
+from repro.experiments.executors import Cell, CellOutcome, SerialCellExecutor
 from repro.obs.events import EventLog
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.twitter.entities import UserType
@@ -90,9 +99,12 @@ class SweepResult:
         rows = self.filtered(model=model, source=source)
         if not rows:
             raise KeyError(f"no rows for {model} on {source}")
+        # Group the per-group rows of one configuration under the same
+        # canonical JSON key the staged engine uses for artifacts and
+        # journal cells, so key equality is exactly parameter equality.
         by_params: dict[str, list[SweepRow]] = {}
         for row in rows:
-            by_params.setdefault(repr(sorted(row.params.items())), []).append(row)
+            by_params.setdefault(canonical_params(row.params), []).append(row)
         best_rows = max(
             by_params.values(),
             key=lambda rs: mean_average_precision([r.map_score for r in rs]),
@@ -121,6 +133,8 @@ def _console_progress(record: dict) -> None:  # pragma: no cover - console side 
         )
     elif record.get("event") == "config_skipped":
         print(f"  {record['label']} on {record['source']}: skipped ({record['reason']})")
+    elif record.get("event") == "cell_restored":
+        print(f"  {record['label']} on {record['source']}: restored from journal")
 
 
 class SweepRunner:
@@ -162,17 +176,32 @@ class SweepRunner:
         sources: Sequence[RepresentationSource],
         groups: Sequence[UserType] | None = None,
         progress: bool = False,
+        executor=None,
+        journal=None,
     ) -> SweepResult:
         """Evaluate every (configuration, source) over the user groups.
 
         Configurations invalid for a source (Rocchio without negative
         examples) are skipped, exactly as in the paper's protocol. The
-        per-user APs are computed once per (config, source) on the union
-        of all groups' users, then sliced per group -- the groups share
-        users with the All-Users group, so this avoids recomputation.
+        per-user APs are computed once per (config, source) cell on the
+        union of all groups' users, then sliced per group -- the groups
+        share users with the All-Users group, so this avoids
+        recomputation.
+
+        ``executor`` selects how cells run: in-process and serial by
+        default, or a :class:`~repro.experiments.executors.ProcessCellExecutor`
+        for parallel fan-out. Rows are assembled in canonical
+        (configuration, source) order whatever the executor's completion
+        order, so serial and parallel sweeps produce identical results.
+
+        ``journal`` (a :class:`~repro.experiments.persistence.SweepJournal`)
+        records each completed cell as it finishes; cells already in the
+        journal are restored without re-evaluation, which is how
+        ``--resume`` picks up an interrupted sweep.
 
         Progress is reported as a structured event stream
-        (``sweep_start`` / ``config_result`` / ``config_skipped`` /
+        (``sweep_start`` / ``cell_dispatched`` / ``cell_joined`` /
+        ``cell_restored`` / ``config_result`` / ``config_skipped`` /
         ``sweep_done``); ``progress=True`` attaches a console sink to
         that stream for the duration of the run.
         """
@@ -182,12 +211,16 @@ class SweepRunner:
         # With telemetry disabled events still flow to the progress
         # console sink through a throwaway local log.
         events = tel.events if tel.enabled else EventLog()
-        rows: list[SweepRow] = []
         # Group membership is immutable during a sweep: materialise each
         # group's member set once instead of per (config, source, group).
         membership = {g: frozenset(self.groups[g]) for g in groups}
-        union_users = sorted({uid for members in membership.values() for uid in members})
+        union_users = tuple(
+            sorted({uid for members in membership.values() for uid in members})
+        )
         configurations = list(configurations)
+        if executor is None:
+            executor = SerialCellExecutor(self.pipeline, telemetry=tel)
+        jobs = getattr(executor, "jobs", 1)
 
         if progress:
             events.add_sink(_console_progress)
@@ -198,7 +231,13 @@ class SweepRunner:
                 sources=[s.value for s in sources],
                 groups=[g.value for g in groups],
                 users=len(union_users),
+                jobs=jobs,
             )
+            # Decompose the grid into cells in canonical order; restore
+            # journaled ones, dispatch the rest.
+            ordered: list[Cell] = []
+            pending: list[tuple[Cell, ModelConfig]] = []
+            outcomes: dict[str, CellOutcome] = {}
             for config in configurations:
                 for source in sources:
                     if config.uses_rocchio and not source.has_negative_examples:
@@ -210,52 +249,113 @@ class SweepRunner:
                             reason="rocchio needs negative examples",
                         )
                         continue
-                    model = config.build()
-                    with tel.span("config", label=config.label(), source=source.value):
-                        try:
-                            result = self.pipeline.evaluate(model, source, union_users)
-                        except ConfigurationError as error:
-                            tel.count("sweep.configs.skipped_invalid")
-                            events.emit(
-                                "config_skipped",
-                                label=config.label(),
-                                source=source.value,
-                                reason=str(error),
-                            )
-                            continue
-                    tel.count("sweep.configs.evaluated")
-                    events.emit(
-                        "config_result",
-                        label=config.label(),
+                    cell = Cell(
                         model=config.model,
+                        params=dict(config.params),
+                        label=config.label(),
                         source=source.value,
-                        map=result.map_score,
-                        training_seconds=result.training_seconds,
-                        testing_seconds=result.testing_seconds,
+                        users=union_users,
                     )
-                    for group in groups:
-                        members = membership[group]
-                        member_ap = {
-                            uid: ap
-                            for uid, ap in result.per_user_ap.items()
-                            if uid in members
-                        }
-                        if not member_ap:
-                            continue
-                        rows.append(
-                            SweepRow(
-                                model=config.model,
-                                params=dict(config.params),
-                                source=source,
-                                group=group,
-                                map_score=mean_average_precision(list(member_ap.values())),
-                                per_user_ap=member_ap,
-                                training_seconds=result.training_seconds,
-                                testing_seconds=result.testing_seconds,
-                                phase_seconds=dict(result.phase_seconds),
-                            )
+                    ordered.append(cell)
+                    if journal is not None and cell.key in journal:
+                        outcomes[cell.key] = journal.outcome(cell.key)
+                        tel.count("sweep.cells.restored")
+                        events.emit(
+                            "cell_restored",
+                            cell=cell.key,
+                            label=cell.label,
+                            source=cell.source,
                         )
-            events.emit("sweep_done", rows=len(rows))
+                        continue
+                    pending.append((cell, config))
+
+            with tel.span("sweep", jobs=jobs, cells=len(pending)):
+                for cell, _config in pending:
+                    tel.count("sweep.cells.dispatched")
+                    events.emit(
+                        "cell_dispatched",
+                        cell=cell.key,
+                        label=cell.label,
+                        source=cell.source,
+                    )
+                for cell, outcome in executor.run_cells(
+                    pending, collect_telemetry=tel.enabled
+                ):
+                    if outcome.telemetry is not None:
+                        tel.absorb(outcome.telemetry)
+                    tel.count("sweep.cells.joined")
+                    events.emit(
+                        "cell_joined",
+                        cell=cell.key,
+                        label=cell.label,
+                        source=cell.source,
+                    )
+                    if outcome.skipped is not None:
+                        tel.count("sweep.configs.skipped_invalid")
+                        events.emit(
+                            "config_skipped",
+                            label=cell.label,
+                            source=cell.source,
+                            reason=outcome.skipped,
+                        )
+                    else:
+                        tel.count("sweep.configs.evaluated")
+                        events.emit(
+                            "config_result",
+                            label=cell.label,
+                            model=cell.model,
+                            source=cell.source,
+                            map=mean_average_precision(
+                                list(outcome.per_user_ap.values())
+                            ),
+                            training_seconds=outcome.training_seconds,
+                            testing_seconds=outcome.testing_seconds,
+                        )
+                    if journal is not None:
+                        journal.record(cell, outcome)
+                    outcomes[cell.key] = outcome
+
+            # Assemble rows in canonical cell order: results are
+            # position-independent of executor completion order and of
+            # how many cells came back from the journal.
+            rows: list[SweepRow] = []
+            for cell in ordered:
+                outcome = outcomes.get(cell.key)
+                if outcome is None or outcome.skipped is not None:
+                    continue
+                source = RepresentationSource(cell.source)
+                for group in groups:
+                    members = membership[group]
+                    # Ascending user-id order, so the float summation in
+                    # MAP is identical whether the outcome came from the
+                    # evaluation (already sorted), a worker, or the
+                    # journal.
+                    member_ap = {
+                        uid: outcome.per_user_ap[uid]
+                        for uid in sorted(outcome.per_user_ap)
+                        if uid in members
+                    }
+                    if not member_ap:
+                        continue
+                    rows.append(
+                        SweepRow(
+                            model=cell.model,
+                            params=dict(cell.params),
+                            source=source,
+                            group=group,
+                            map_score=mean_average_precision(list(member_ap.values())),
+                            per_user_ap=member_ap,
+                            training_seconds=outcome.training_seconds,
+                            testing_seconds=outcome.testing_seconds,
+                            phase_seconds=dict(outcome.phase_seconds),
+                        )
+                    )
+            events.emit(
+                "sweep_done",
+                rows=len(rows),
+                evaluated=len(pending),
+                restored=len(ordered) - len(pending),
+            )
         finally:
             if progress:
                 events.remove_sink(_console_progress)

@@ -49,6 +49,16 @@ class EventLog:
             sink(record)
         return record
 
+    def forward(self, record: dict) -> dict:
+        """Deliver an already-built record to every sink.
+
+        Used when joining worker telemetry: the record keeps its
+        original timestamp and fields instead of being re-stamped.
+        """
+        for sink in self._sinks:
+            sink(record)
+        return record
+
 
 class MemorySink:
     """Collects records in a list; the test / in-process sink."""

@@ -111,3 +111,40 @@ class MetricsRegistry:
             name: self._instruments[name].to_dict()
             for name in sorted(self._instruments)
         }
+
+    def merge(self, snapshot: dict[str, dict[str, object]]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, histograms combine their streaming summaries, and
+        gauges keep the incoming value (last writer wins) -- the
+        semantics a parent process wants when joining worker telemetry.
+        """
+        for name, payload in snapshot.items():
+            kind = payload.get("type")
+            if kind == "counter":
+                self.counter(name).inc(int(payload.get("value", 0)))
+            elif kind == "gauge":
+                value = payload.get("value")
+                if value is not None:
+                    self.gauge(name).set(float(value))
+            elif kind == "histogram":
+                histogram = self.histogram(name)
+                count = int(payload.get("count", 0))
+                if count:
+                    histogram.count += count
+                    histogram.total += float(payload.get("total", 0.0))
+                    low, high = payload.get("min"), payload.get("max")
+                    if low is not None:
+                        histogram.minimum = (
+                            float(low)
+                            if histogram.minimum is None
+                            else min(histogram.minimum, float(low))
+                        )
+                    if high is not None:
+                        histogram.maximum = (
+                            float(high)
+                            if histogram.maximum is None
+                            else max(histogram.maximum, float(high))
+                        )
+            else:
+                raise ValueError(f"metric {name!r} has unknown type {kind!r}")

@@ -24,7 +24,7 @@ from repro.eval.timing import Stopwatch
 from repro.obs.events import EventLog
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracing import Tracer
+from repro.obs.tracing import Span, Tracer
 
 __all__ = ["NULL_TELEMETRY", "NullTelemetry", "Telemetry", "load_trace"]
 
@@ -68,6 +68,21 @@ class Telemetry:
 
     def emit(self, event: str, **fields: object) -> None:
         self.events.emit(event, **fields)
+
+    def absorb(self, payload: dict) -> None:
+        """Merge a worker's telemetry payload into this stream.
+
+        ``payload`` carries up to three keys: ``spans`` (a list of span
+        dicts, re-attached to the current span), ``events`` (records
+        forwarded to the sinks with their original timestamps) and
+        ``metrics`` (a registry snapshot, folded in via
+        :meth:`~repro.obs.metrics.MetricsRegistry.merge`).
+        """
+        for span in payload.get("spans", ()):
+            self.tracer.attach(Span.from_dict(span))
+        for record in payload.get("events", ()):
+            self.events.forward(record)
+        self.metrics.merge(payload.get("metrics", {}))
 
     # -- persistence --------------------------------------------------------
 
@@ -113,6 +128,9 @@ class NullTelemetry(Telemetry):
         pass
 
     def emit(self, event: str, **fields: object) -> None:
+        pass
+
+    def absorb(self, payload: dict) -> None:
         pass
 
 

@@ -101,6 +101,17 @@ class Tracer:
         """A Stopwatch-compatible timer whose segments become spans."""
         return SpanStopwatch(self, name, **attributes)
 
+    def attach(self, span: Span) -> None:
+        """Graft an externally-recorded span tree into this tracer.
+
+        Sweep workers trace their cells in their own process; at join
+        time the parent re-attaches the deserialised trees (as children
+        of the currently open span, or as roots), so a parallel run's
+        trace has the same shape as a serial one.
+        """
+        parent = self.current
+        (parent.children if parent is not None else self.roots).append(span)
+
     def total(self, name: str) -> float:
         """Summed duration of every finished span named ``name``."""
         return sum(root.total(name) for root in self.roots)

@@ -1,0 +1,148 @@
+"""Tests for the resumable sweep journal.
+
+The contract under test: an interrupted sweep resumed from its journal
+re-evaluates no journaled cell, loses no cell, and ends with exactly the
+rows an uninterrupted run would have produced.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.pipeline import ExperimentPipeline
+from repro.core.sources import RepresentationSource
+from repro.experiments.configs import ConfigGrid
+from repro.experiments.persistence import SweepJournal
+from repro.experiments.runner import SweepRunner
+from repro.obs.events import MemorySink
+from repro.obs.telemetry import Telemetry
+from repro.twitter.entities import UserType
+
+SOURCES = [RepresentationSource.R, RepresentationSource.E]
+
+
+def _configs():
+    grid = ConfigGrid(topic_scale=0.05, iteration_scale=0.003, infer_iterations=2)
+    return grid.all_configurations()["TN"][:3]
+
+
+def _runner(small_dataset, small_groups, telemetry=None):
+    pipeline = ExperimentPipeline(
+        small_dataset, seed=1, max_train_docs_per_user=60, telemetry=telemetry
+    )
+    return SweepRunner(pipeline, small_groups, telemetry=telemetry)
+
+
+def _row_fingerprint(row):
+    return (row.model, tuple(sorted(row.params.items())), row.source, row.group,
+            row.map_score, tuple(sorted(row.per_user_ap.items())))
+
+
+class TestJournalFile:
+    def test_records_header_and_cells(self, tmp_path, small_dataset, small_groups):
+        path = tmp_path / "sweep.journal.jsonl"
+        with SweepJournal(path) as journal:
+            _runner(small_dataset, small_groups).run(
+                _configs(), SOURCES, groups=[UserType.ALL], journal=journal
+            )
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0] == {"format": "repro-sweep-journal", "version": 1}
+        assert len(lines) == 1 + len(_configs()) * len(SOURCES)
+        assert all("cell" in entry and "per_user_ap" in entry for entry in lines[1:])
+
+    def test_record_after_close_raises(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.close()
+        with pytest.raises(ValueError, match="closed"):
+            journal.record(None, None)
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            '{"format":"repro-sweep-journal","version":1}\nnot json\n{"cell":"x"}\n'
+        )
+        with pytest.raises(ValueError, match="corrupt journal"):
+            SweepJournal(path, resume=True)
+
+    def test_wrong_header_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"format":"something-else","version":9}\n')
+        with pytest.raises(ValueError, match="sweep journal"):
+            SweepJournal(path, resume=True)
+
+    def test_resume_missing_file_starts_fresh(self, tmp_path):
+        journal = SweepJournal(tmp_path / "new.jsonl", resume=True)
+        assert journal.restored == 0
+        assert len(journal) == 0
+        journal.close()
+
+
+class TestResume:
+    def test_interrupted_sweep_resumes_without_rerunning(
+        self, tmp_path, small_dataset, small_groups
+    ):
+        configs = _configs()
+        path = tmp_path / "sweep.journal.jsonl"
+
+        # The uninterrupted reference run (journaled, so we can tear it).
+        with SweepJournal(path) as journal:
+            full = _runner(small_dataset, small_groups).run(
+                configs, SOURCES, groups=[UserType.ALL], journal=journal
+            )
+
+        # Simulate a kill after two cells: keep header + 2 records and a
+        # torn, half-written third record.
+        lines = path.read_text().splitlines()
+        completed = 2
+        path.write_text(
+            "\n".join(lines[: 1 + completed]) + "\n" + lines[1 + completed][:37]
+        )
+
+        telemetry = Telemetry()
+        sink = MemorySink()
+        telemetry.events.add_sink(sink)
+        with SweepJournal(path, resume=True) as journal:
+            assert journal.restored == completed
+            resumed = _runner(small_dataset, small_groups, telemetry=telemetry).run(
+                configs, SOURCES, groups=[UserType.ALL], journal=journal
+            )
+
+        total_cells = len(configs) * len(SOURCES)
+        # No journaled cell re-evaluated, none lost.
+        assert len(sink.of("cell_restored")) == completed
+        assert len(sink.of("cell_dispatched")) == total_cells - completed
+        metrics = telemetry.metrics.snapshot()
+        assert metrics["sweep.cells.restored"]["value"] == completed
+        assert metrics["sweep.configs.evaluated"]["value"] == total_cells - completed
+
+        # The resumed result equals the uninterrupted one, rows in order.
+        assert [_row_fingerprint(r) for r in resumed.rows] == [
+            _row_fingerprint(r) for r in full.rows
+        ]
+
+        # And the journal is whole again: a second resume restores all.
+        with SweepJournal(path, resume=True) as journal:
+            assert journal.restored == total_cells
+
+    def test_completed_journal_short_circuits_everything(
+        self, tmp_path, small_dataset, small_groups
+    ):
+        configs = _configs()
+        path = tmp_path / "sweep.journal.jsonl"
+        with SweepJournal(path) as journal:
+            full = _runner(small_dataset, small_groups).run(
+                configs, SOURCES, groups=[UserType.ALL], journal=journal
+            )
+        telemetry = Telemetry()
+        sink = MemorySink()
+        telemetry.events.add_sink(sink)
+        with SweepJournal(path, resume=True) as journal:
+            resumed = _runner(small_dataset, small_groups, telemetry=telemetry).run(
+                configs, SOURCES, groups=[UserType.ALL], journal=journal
+            )
+        assert not sink.of("cell_dispatched")
+        assert [_row_fingerprint(r) for r in resumed.rows] == [
+            _row_fingerprint(r) for r in full.rows
+        ]

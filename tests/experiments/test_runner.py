@@ -7,7 +7,7 @@ import pytest
 from repro.core.pipeline import ExperimentPipeline
 from repro.core.sources import RepresentationSource
 from repro.experiments.configs import ConfigGrid
-from repro.experiments.runner import SweepRunner
+from repro.experiments.runner import SweepResult, SweepRow, SweepRunner
 from repro.twitter.entities import UserType
 
 
@@ -82,6 +82,29 @@ class TestAggregations:
         ttime, etime = result.timing_summary("TN")
         assert ttime.minimum <= ttime.average <= ttime.maximum
         assert etime.average >= 0.0
+
+    def test_best_configuration_groups_by_canonical_params(self):
+        # Two groups of the same configuration whose params dicts have
+        # different insertion orders must be averaged together; the
+        # winner is the config with the best *group-mean* MAP, and the
+        # key is canonical JSON (not a repr of the dict's items).
+        def row(params, group, map_score):
+            return SweepRow(
+                model="TN", params=params, source=RepresentationSource.R,
+                group=group, map_score=map_score, per_user_ap={1: map_score},
+                training_seconds=0.0, testing_seconds=0.0,
+            )
+
+        result = SweepResult([
+            # Config A: spectacular on one group, terrible on the other.
+            row({"n": 1, "weighting": "TF"}, UserType.ALL, 0.9),
+            row({"weighting": "TF", "n": 1}, UserType.INFORMATION_SEEKER, 0.1),
+            # Config B: solid on both -> higher mean, the winner.
+            row({"n": 2, "weighting": "TF"}, UserType.ALL, 0.6),
+            row({"weighting": "TF", "n": 2}, UserType.INFORMATION_SEEKER, 0.6),
+        ])
+        best = result.best_configuration("TN", RepresentationSource.R)
+        assert best.params["n"] == 2
 
 
 class TestRunnerProtocol:

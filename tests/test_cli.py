@@ -105,6 +105,47 @@ class TestSweepAndReport:
         assert "sweep" in out and "TTime (fit + profiles)" in out
 
 
+def _strip_timings(rows):
+    """Row values minus wall-clock fields, which vary run to run."""
+    return [
+        {k: v for k, v in row.items()
+         if k not in ("training_seconds", "testing_seconds", "phase_seconds")}
+        for row in rows
+    ]
+
+
+class TestParallelAndResume:
+    def test_jobs_2_matches_serial(self, tmp_path, capsys):
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        base = ["sweep", "--sources", "R", "--fast", *SMALL]
+        assert main([*base, "--out", str(serial_path)]) == 0
+        assert main([*base, "--out", str(parallel_path), "--jobs", "2"]) == 0
+        capsys.readouterr()
+
+        serial = json.loads(serial_path.read_text())
+        parallel = json.loads(parallel_path.read_text())
+        assert _strip_timings(parallel["rows"]) == _strip_timings(serial["rows"])
+
+    def test_journal_written_and_resume_restores(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        journal = tmp_path / "sweep.journal.jsonl"
+        base = ["sweep", "--sources", "R", "--fast", *SMALL, "--out", str(out)]
+        assert main([*base, "--journal"]) == 0
+        assert journal.exists()
+        first = json.loads(out.read_text())
+        capsys.readouterr()
+
+        # Tear the journal as a kill would, then resume.
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(lines[:4]) + "\n" + lines[4][:25])
+        assert main([*base, "--resume"]) == 0
+        captured = capsys.readouterr().out
+        assert "resuming: 3 cells restored" in captured
+        resumed = json.loads(out.read_text())
+        assert _strip_timings(resumed["rows"]) == _strip_timings(first["rows"])
+
+
 class TestSuggest:
     def test_hashtag_for_text(self, capsys):
         code = main([
