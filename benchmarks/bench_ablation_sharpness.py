@@ -14,7 +14,7 @@ from __future__ import annotations
 from benchmarks._common import write_result
 from repro.core.pipeline import ExperimentPipeline
 from repro.core.sources import RepresentationSource
-from repro.eval.metrics import mean_average_precision
+from repro.eval.metrics import map_over_users
 from repro.models.bag import TokenNGramModel
 from repro.twitter.behavior import RetweetPolicy
 from repro.twitter.dataset import DatasetConfig, generate_dataset, select_user_groups
@@ -34,9 +34,7 @@ def _gap_for(sharpness: float) -> tuple[float, float]:
     users = pipeline.eligible_users(groups[UserType.ALL])
     model = TokenNGramModel(n=1, weighting="TF-IDF")
     tn_map = pipeline.evaluate(model, RepresentationSource.R, users).map_score
-    ran_map = mean_average_precision(
-        list(pipeline.evaluate_random(users, iterations=100).values())
-    )
+    ran_map = map_over_users(pipeline.evaluate_random(users, iterations=100))
     return tn_map, ran_map
 
 

@@ -1,0 +1,193 @@
+"""The ``reprolint`` engine: file collection, pragmas, rule dispatch.
+
+:func:`lint_paths` walks the given files/directories in sorted order,
+parses each ``*.py`` once, runs every applicable rule over the shared
+:class:`~repro.analysis.base.FileContext`, and applies per-line
+suppression pragmas::
+
+    rng = np.random.default_rng()  # repro: allow[RPR001] -- caller seeds later
+
+A pragma names one or more rules (``allow[RPR002,RPR003]``) and
+suppresses matching violations whose flagged statement covers the
+pragma's line. A pragma that suppresses nothing is itself reported as
+``RPR900`` (unused-suppression-pragma), so stale allowances cannot
+accumulate.
+
+Exit-code semantics (:attr:`LintReport.exit_code`) are CI-ready:
+0 clean, 1 violations found, 2 engine errors (unreadable or unparsable
+input).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.base import (
+    UNUSED_PRAGMA_RULE,
+    FileContext,
+    Rule,
+    Violation,
+    default_rules,
+)
+
+__all__ = ["LintReport", "Pragma", "find_pragmas", "lint_paths", "lint_source"]
+
+#: Matches suppression comments: allow[...] with one or more rule ids
+#: and an optional ``-- justification`` tail.
+_PRAGMA_RE = re.compile(r"repro:\s*allow\[\s*(RPR\d{3}(?:\s*,\s*RPR\d{3})*)\s*\]")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One suppression comment: the line it sits on and the rules it allows."""
+
+    line: int
+    rules: frozenset[str]
+
+
+def find_pragmas(source: str) -> list[Pragma]:
+    """Extract suppression pragmas from real comment tokens.
+
+    Tokenising (rather than regexing raw lines) means pragma text inside
+    string literals -- such as this engine's own docstrings and the
+    linter's test fixtures -- is never misread as a live pragma.
+    """
+    pragmas: list[Pragma] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if match:
+                rules = frozenset(
+                    rule.strip() for rule in match.group(1).split(",")
+                )
+                pragmas.append(Pragma(line=token.start[0], rules=rules))
+    except tokenize.TokenError:
+        pass  # a parse error is reported by lint_source
+    return pragmas
+
+
+@dataclass
+class LintReport:
+    """Aggregated lint outcome over a set of files."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.violations else 0
+
+    def extend(self, other: "LintReport") -> None:
+        self.violations.extend(other.violations)
+        self.files_checked += other.files_checked
+        self.errors.extend(other.errors)
+
+
+def lint_source(
+    source: str,
+    path: str | Path,
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Lint one in-memory source text as if it lived at ``path``."""
+    report = LintReport(files_checked=1)
+    active_rules = list(rules) if rules is not None else default_rules()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        report.errors.append(f"{path}:{error.lineno or 0}: syntax error: {error.msg}")
+        return report
+
+    ctx = FileContext(path, source, tree)
+    raw: list[Violation] = []
+    for rule in active_rules:
+        raw.extend(rule.run(ctx))
+
+    pragmas = find_pragmas(source)
+    used: set[Pragma] = set()
+    for violation in sorted(raw):
+        pragma = _matching_pragma(violation, pragmas)
+        if pragma is not None:
+            used.add(pragma)
+        else:
+            report.violations.append(violation)
+    for pragma in pragmas:
+        if pragma not in used:
+            report.violations.append(
+                Violation(
+                    path=str(path),
+                    line=pragma.line,
+                    col=0,
+                    rule=UNUSED_PRAGMA_RULE,
+                    message=(
+                        "suppression pragma allows "
+                        f"[{', '.join(sorted(pragma.rules))}] but suppresses "
+                        "nothing on this line -- remove it"
+                    ),
+                )
+            )
+    report.violations.sort()
+    return report
+
+
+def _matching_pragma(
+    violation: Violation, pragmas: Iterable[Pragma]
+) -> Pragma | None:
+    for pragma in pragmas:
+        if (
+            violation.rule in pragma.rules
+            and violation.line <= pragma.line <= violation.end_line
+        ):
+            return pragma
+    return None
+
+
+def collect_files(paths: Sequence[str | Path]) -> tuple[list[Path], list[str]]:
+    """Expand files/directories into a sorted, deduplicated ``*.py`` list."""
+    files: list[Path] = []
+    errors: list[str] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            errors.append(f"{path}: no such file or directory")
+            continue
+        for candidate in candidates:
+            if candidate.suffix == ".py" and candidate not in seen:
+                seen.add(candidate)
+                files.append(candidate)
+    return files, errors
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Lint every ``*.py`` under ``paths`` and aggregate one report."""
+    active_rules = list(rules) if rules is not None else default_rules()
+    files, errors = collect_files(paths)
+    report = LintReport(errors=errors)
+    for file in files:
+        try:
+            source = file.read_text(encoding="utf-8")
+        except OSError as error:
+            report.errors.append(f"{file}: {error}")
+            continue
+        report.extend(lint_source(source, file, active_rules))
+    report.violations.sort()
+    return report

@@ -1,0 +1,308 @@
+"""Determinism rules: RPR001 seeded-rng, RPR002 ordered-accumulation,
+RPR003 wall-clock discipline.
+
+All three protect the same property: a sweep re-run with the same
+configuration must be bit-identical, whether it runs serially, on a
+process pool, or resumed from a journal. The paper's robustness claims
+(MAP deviations in Tables 4-5) are only meaningful on top of that.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.base import FileContext, Rule, Violation, register_rule
+
+__all__ = ["OrderedAccumulationRule", "SeededRngRule", "WallClockRule"]
+
+#: RNG factories that take the seed as their first argument / keyword.
+_SEEDED_FACTORIES = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "random.Random",
+}
+
+#: Legacy module-level RNG calls: they draw from hidden global state, so
+#: results depend on everything else that touched that state first.
+_GLOBAL_STATE_RNG = {
+    f"numpy.random.{fn}"
+    for fn in (
+        "seed", "random", "rand", "randn", "randint", "random_sample",
+        "choice", "shuffle", "permutation", "normal", "uniform", "beta",
+        "binomial", "poisson", "exponential", "standard_normal",
+    )
+} | {
+    f"random.{fn}"
+    for fn in (
+        "seed", "random", "randint", "randrange", "getrandbits", "choice",
+        "choices", "shuffle", "sample", "uniform", "gauss", "betavariate",
+        "expovariate", "normalvariate", "triangular", "vonmisesvariate",
+    )
+}
+
+
+@register_rule
+class SeededRngRule(Rule):
+    id = "RPR001"
+    name = "seeded-rng"
+    summary = "RNG construction without an explicit seed, or global-state RNG calls"
+    invariant = (
+        "every random draw in the library is reproducible: generators are "
+        "constructed from an explicit seed or passed in by the caller"
+    )
+    library_only = True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.imports.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved in _SEEDED_FACTORIES:
+                seeded = bool(node.args) or any(
+                    kw.arg == "seed" for kw in node.keywords
+                )
+                if not seeded:
+                    yield ctx.violation(
+                        self, node,
+                        f"{resolved}() without an explicit seed: pass a seed "
+                        "or accept a caller-supplied numpy Generator",
+                    )
+            elif resolved in _GLOBAL_STATE_RNG:
+                yield ctx.violation(
+                    self, node,
+                    f"{resolved}() draws from hidden global RNG state; "
+                    "thread a seeded numpy Generator through instead",
+                )
+
+
+def _is_set_expr(node: ast.expr | None) -> bool:
+    """Set displays, set comprehensions and set()/frozenset() calls."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _is_values_call(node: ast.expr | None) -> bool:
+    """A bare ``<expr>.values()`` call."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "values"
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _contains(tree: ast.AST, predicate) -> bool:
+    return any(predicate(sub) for sub in ast.walk(tree))
+
+
+@register_rule
+class OrderedAccumulationRule(Rule):
+    id = "RPR002"
+    name = "ordered-accumulation"
+    summary = "float accumulation over a set or over unsorted dict values"
+    invariant = (
+        "float summation happens in one deterministic order -- summing an "
+        "unordered iterable makes the total depend on iteration order "
+        "(the MAP-over-restored-per-user-AP class of bug)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, ast.For):
+                yield from self._check_loop(ctx, node)
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Violation]:
+        if isinstance(node.func, ast.Name) and node.func.id == "sum" and node.args:
+            arg = node.args[0]
+            if _is_set_expr(arg):
+                yield ctx.violation(
+                    self, node,
+                    "sum() over a set: iteration order is unspecified, so a "
+                    "float total is not reproducible -- sort first",
+                )
+            elif _is_values_call(arg):
+                yield ctx.violation(
+                    self, node,
+                    "sum() over dict.values(): the total inherits insertion "
+                    "order -- sum over sorted keys instead",
+                )
+            elif isinstance(arg, (ast.GeneratorExp, ast.ListComp)) and _is_set_expr(
+                arg.generators[0].iter
+            ):
+                yield ctx.violation(
+                    self, node,
+                    "sum() over a comprehension iterating a set: order is "
+                    "unspecified, so a float total is not reproducible",
+                )
+        # The historical bug: MAP computed straight off dict values whose
+        # order came from wherever the dict was deserialised.
+        name = node.func.id if isinstance(node.func, ast.Name) else (
+            node.func.attr if isinstance(node.func, ast.Attribute) else None
+        )
+        if name == "mean_average_precision":
+            for arg in node.args:
+                if _contains(arg, _is_values_call) and not _contains(
+                    arg,
+                    lambda sub: isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "sorted",
+                ):
+                    yield ctx.violation(
+                        self, node,
+                        "mean_average_precision over dict values relies on "
+                        "insertion order; use map_over_users() (sorts user "
+                        "ids) so MAP summation order is pinned",
+                    )
+
+    def _check_loop(self, ctx: FileContext, node: ast.For) -> Iterator[Violation]:
+        if not (_is_set_expr(node.iter) or _is_values_call(node.iter)):
+            return
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.AugAssign) and isinstance(stmt.op, ast.Add):
+                yield ctx.violation(
+                    self, stmt,
+                    "+= accumulation while iterating an unordered collection: "
+                    "sort the iterable so float totals are reproducible",
+                )
+
+
+#: Wall-clock reads. perf_counter/monotonic are durations, not wall
+#: time, and are deliberately allowed.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Function names treated as cache-key constructors: wall-clock reads
+#: reachable from these poison artifact identity.
+_KEY_FUNCTION_NAMES = ("artifact_key", "canonical_params")
+
+
+def _is_key_function(name: str) -> bool:
+    return (
+        name in _KEY_FUNCTION_NAMES
+        or "cache_key" in name
+        or name.endswith("_key")
+        or name == "key"
+    )
+
+
+@register_rule
+class WallClockRule(Rule):
+    id = "RPR003"
+    name = "wall-clock"
+    summary = "wall-clock reads in library code; fatal when reachable from cache keys"
+    invariant = (
+        "artifact cache keys and journal cell ids are pure functions of run "
+        "configuration; wall-clock time may only appear in telemetry "
+        "timestamps, explicitly pragma'd"
+    )
+    library_only = True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        key_reachable = self._functions_reachable_from_key_constructors(ctx.tree)
+        for func, wall_calls in self._wall_clock_calls_by_function(ctx):
+            for node, resolved in wall_calls:
+                if func is not None and func in key_reachable:
+                    yield ctx.violation(
+                        self, node,
+                        f"{resolved}() is reachable from cache-key "
+                        f"construction (via {func.name!r}): keys must be "
+                        "pure functions of the run configuration",
+                    )
+                else:
+                    yield ctx.violation(
+                        self, node,
+                        f"{resolved}() reads the wall clock; use "
+                        "time.perf_counter() for durations, or pragma this "
+                        "line if it is an intentional telemetry timestamp",
+                    )
+
+    def _wall_clock_calls_by_function(self, ctx: FileContext):
+        """Yield (enclosing function def or None, [(call, resolved)])."""
+        tree, imports = ctx.tree, ctx.imports
+        functions = [
+            n for n in ast.walk(tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        # Innermost first: a nested def's span is strictly smaller than
+        # its enclosing def's, so sorting by span size attributes each
+        # call to its innermost enclosing function.
+        functions.sort(key=lambda f: (f.end_lineno or f.lineno) - f.lineno)
+        claimed: set[int] = set()
+        for func in functions:
+            calls = []
+            for node in ast.walk(func):
+                if isinstance(node, ast.Call) and id(node) not in claimed:
+                    resolved = imports.resolve(node.func)
+                    if resolved in _WALL_CLOCK:
+                        calls.append((node, resolved))
+            if calls:
+                yield func, calls
+                claimed.update(id(c) for c, _ in calls)
+        # Module-level calls outside any function.
+        module_calls = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and id(node) not in claimed:
+                resolved = imports.resolve(node.func)
+                if resolved in _WALL_CLOCK:
+                    module_calls.append((node, resolved))
+        if module_calls:
+            yield None, module_calls
+
+    def _functions_reachable_from_key_constructors(
+        self, tree: ast.Module
+    ) -> set[ast.AST]:
+        """Intra-module closure of functions called by key constructors.
+
+        Edges are matched by bare name (``helper(...)`` and
+        ``self.helper(...)`` both link to ``def helper``), which is
+        deliberately conservative: over-approximating reachability only
+        produces a sterner message, never a missed read.
+        """
+        by_name: dict[str, list[ast.AST]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                by_name.setdefault(node.name, []).append(node)
+
+        def callees(func: ast.AST) -> set[str]:
+            names = set()
+            for node in ast.walk(func):
+                if isinstance(node, ast.Call):
+                    if isinstance(node.func, ast.Name):
+                        names.add(node.func.id)
+                    elif isinstance(node.func, ast.Attribute):
+                        names.add(node.func.attr)
+            return names
+
+        frontier = [
+            f for name, funcs in by_name.items() if _is_key_function(name)
+            for f in funcs
+        ]
+        reachable: set[ast.AST] = set(frontier)
+        while frontier:
+            func = frontier.pop()
+            for callee_name in callees(func):
+                for callee in by_name.get(callee_name, ()):
+                    if callee not in reachable:
+                        reachable.add(callee)
+                        frontier.append(callee)
+        return reachable

@@ -1,0 +1,113 @@
+"""RPR006: process-pool specs stay picklable.
+
+``SweepSpec`` / ``PipelineSpec`` / ``GridSpec`` dataclasses cross the
+process-pool boundary: a worker reconstructs the pipeline from them.
+Lambdas, closures and locally-defined classes do not pickle, so a spec
+that grows such a field works in serial runs and explodes only under
+``--jobs N`` -- the worst kind of regression, because the serial parity
+tests cannot see it.
+
+The rule covers every dataclass whose name ends in ``Spec`` (the repo's
+convention for process-boundary payloads): fields annotated as
+``Callable``, fields defaulted to a ``lambda``, and ``*Spec`` classes
+defined inside a function body (local classes cannot pickle at all).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.base import FileContext, Rule, Violation, register_rule
+
+__all__ = ["PicklableSpecRule"]
+
+
+def _is_dataclass_decorator(node: ast.expr) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Name):
+        return target.id == "dataclass"
+    return isinstance(target, ast.Attribute) and target.attr == "dataclass"
+
+
+def _mentions_callable(annotation: ast.expr) -> bool:
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return "Callable" in annotation.value
+    for sub in ast.walk(annotation):
+        if isinstance(sub, ast.Name) and sub.id == "Callable":
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "Callable":
+            return True
+    return False
+
+
+@register_rule
+class PicklableSpecRule(Rule):
+    id = "RPR006"
+    name = "picklable-spec"
+    summary = "unpicklable fields (Callable/lambda) or local classes in *Spec dataclasses"
+    invariant = (
+        "*Spec dataclasses cross the process-pool boundary, so every field "
+        "must pickle: no lambdas, no Callable fields, no local classes"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        yield from self._walk(ctx, ctx.tree, inside_function=False)
+
+    def _walk(
+        self, ctx: FileContext, node: ast.AST, inside_function: bool
+    ) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if self._is_spec_dataclass(child):
+                    yield from self._check_spec(ctx, child, inside_function)
+                yield from self._walk(ctx, child, inside_function)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._walk(ctx, child, inside_function=True)
+            else:
+                yield from self._walk(ctx, child, inside_function)
+
+    def _is_spec_dataclass(self, node: ast.ClassDef) -> bool:
+        return node.name.endswith("Spec") and any(
+            _is_dataclass_decorator(d) for d in node.decorator_list
+        )
+
+    def _check_spec(
+        self, ctx: FileContext, node: ast.ClassDef, inside_function: bool
+    ) -> Iterator[Violation]:
+        if inside_function:
+            yield ctx.violation(
+                self, node,
+                f"dataclass {node.name} is defined inside a function: local "
+                "classes cannot pickle, so this spec cannot reach a worker",
+            )
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign):
+                field_name = (
+                    stmt.target.id if isinstance(stmt.target, ast.Name) else "?"
+                )
+                if _mentions_callable(stmt.annotation):
+                    yield ctx.violation(
+                        self, stmt,
+                        f"field {field_name!r} of {node.name} is annotated "
+                        "Callable: function objects do not reliably pickle "
+                        "across the process-pool boundary",
+                    )
+                if isinstance(stmt.value, ast.Lambda):
+                    yield ctx.violation(
+                        self, stmt,
+                        f"field {field_name!r} of {node.name} defaults to a "
+                        "lambda: lambdas cannot pickle",
+                    )
+                if (
+                    isinstance(stmt.value, ast.Call)
+                    and isinstance(stmt.value.func, ast.Name)
+                    and stmt.value.func.id == "field"
+                ):
+                    for kw in stmt.value.keywords:
+                        if kw.arg == "default" and isinstance(kw.value, ast.Lambda):
+                            yield ctx.violation(
+                                self, stmt,
+                                f"field {field_name!r} of {node.name} "
+                                "defaults to a lambda: lambdas cannot pickle",
+                            )

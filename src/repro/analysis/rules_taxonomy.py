@@ -1,0 +1,61 @@
+"""RPR004: the library raises its own exception taxonomy.
+
+Every deliberate failure in ``src/repro`` derives from
+:class:`repro.errors.ReproError`, so callers can catch library failures
+without catching unrelated bugs. Raising a bare builtin breaks that
+contract -- a sweep executor that wants to skip invalid configurations
+but crash on real bugs cannot tell the two apart.
+
+Backwards compatibility lives in ``repro.errors``: taxonomy types that
+replace builtin raises (``ValidationError``, ``PersistenceError``)
+multiple-inherit from the builtin they replace, so ``except ValueError``
+continues to work.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.base import FileContext, Rule, Violation, register_rule
+
+__all__ = ["ErrorTaxonomyRule"]
+
+#: Builtins that must not be raised directly by library code, and the
+#: taxonomy type that replaces each.
+_BANNED_RAISES = {
+    "ValueError": "ValidationError (or ConfigurationError)",
+    "RuntimeError": "a ReproError subclass such as DataGenerationError",
+    "Exception": "a ReproError subclass",
+}
+
+
+@register_rule
+class ErrorTaxonomyRule(Rule):
+    id = "RPR004"
+    name = "error-taxonomy"
+    summary = "raising bare ValueError/RuntimeError/Exception in library code"
+    invariant = (
+        "every deliberate library failure derives from repro.errors."
+        "ReproError, so callers can catch library errors as one family"
+    )
+    library_only = True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name_node = exc.func if isinstance(exc, ast.Call) else exc
+            if not isinstance(name_node, ast.Name):
+                continue
+            # A name bound by an import is not the builtin.
+            if name_node.id in ctx.imports.aliases:
+                continue
+            replacement = _BANNED_RAISES.get(name_node.id)
+            if replacement is not None:
+                yield ctx.violation(
+                    self, node,
+                    f"raise {name_node.id} in library code: use "
+                    f"{replacement} so callers can catch ReproError",
+                )

@@ -1,0 +1,68 @@
+"""RPR005: spans are entered via ``with``.
+
+``Tracer.span`` is a context manager: the duration is stamped and the
+span stack unwound in its ``finally``. Calling it without entering it
+leaks an un-timed span into the tree (or silently does nothing), and the
+trace's per-phase rollups -- the Figure 7 TTime/ETime decomposition --
+stop adding up.
+
+Delegation wrappers are allowed: a ``return ....span(...)`` inside a
+function itself named ``span`` (``Telemetry.span`` forwarding to its
+tracer) is the facade pattern, not a leak.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.base import FileContext, Rule, Violation, register_rule
+
+__all__ = ["SpanHygieneRule"]
+
+#: Enclosing function names whose ``.span(...)`` calls are delegation.
+_DELEGATION_NAMES = ("span", "stopwatch")
+
+
+@register_rule
+class SpanHygieneRule(Rule):
+    id = "RPR005"
+    name = "span-hygiene"
+    summary = "Tracer.span(...) called outside a `with` statement"
+    invariant = (
+        "every span is opened and closed by a `with` block, so durations "
+        "are always stamped and the span stack always unwinds"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        allowed: set[int] = set()
+        self._collect_allowed(ctx.tree, allowed, in_delegation=False)
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and id(node) not in allowed
+            ):
+                yield ctx.violation(
+                    self, node,
+                    ".span(...) outside a `with` statement: enter spans as "
+                    "`with tracer.span(name):` so the duration is stamped "
+                    "and the stack unwinds",
+                )
+
+    def _collect_allowed(
+        self, node: ast.AST, allowed: set[int], in_delegation: bool
+    ) -> None:
+        """Mark span calls used as with-items or returned by delegators."""
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Call):
+                    allowed.add(id(item.context_expr))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            in_delegation = node.name in _DELEGATION_NAMES
+        elif isinstance(node, ast.Return) and in_delegation:
+            if isinstance(node.value, ast.Call):
+                allowed.add(id(node.value))
+        for child in ast.iter_child_nodes(node):
+            self._collect_allowed(child, allowed, in_delegation)

@@ -7,6 +7,7 @@ Commands
 ``sweep``      run a configuration sweep and save it as JSON
 ``report``     render a saved sweep as the paper's figures/tables
 ``suggest``    followee / hashtag recommendations (the extension tasks)
+``lint``       run reprolint, the repo's AST-based invariant linter
 
 ``evaluate`` and ``sweep`` accept observability flags: ``--trace-out
 trace.json`` saves a span trace (manifest + per-phase timing tree +
@@ -25,6 +26,7 @@ Examples
     python -m repro report --sweep sweep.json --artifact figure --group "All Users"
     python -m repro report --artifact timing-breakdown --trace trace.json
     python -m repro suggest --kind hashtag --text "word1 word2"
+    python -m repro lint src benchmarks tests --format json
 """
 
 from __future__ import annotations
@@ -37,7 +39,7 @@ from pathlib import Path
 
 from repro.core.pipeline import ExperimentPipeline
 from repro.core.sources import ALL_SOURCES, RepresentationSource
-from repro.eval.metrics import mean_average_precision
+from repro.eval.metrics import map_over_users
 from repro.experiments.configs import MODEL_NAMES, ConfigGrid, ModelConfig
 from repro.experiments.executors import (
     GridSpec,
@@ -176,12 +178,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     model = _build_model(args.model)
     source = RepresentationSource(args.source)
     result = pipeline.evaluate(model, source, users)
-    ran = mean_average_precision(
-        list(pipeline.evaluate_random(users, iterations=200).values())
-    )
-    chrono = mean_average_precision(
-        list(pipeline.evaluate_chronological(users).values())
-    )
+    ran = map_over_users(pipeline.evaluate_random(users, iterations=200))
+    chrono = map_over_users(pipeline.evaluate_chronological(users))
     print(f"model {args.model} on source {source.value} over {len(users)} users")
     print(f"  MAP  = {result.map_score:.3f}")
     print(f"  RAN  = {ran:.3f}")
@@ -343,6 +341,30 @@ def cmd_suggest(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    # Lazy import: the linter is stdlib-only and must stay importable
+    # (and fast) even where the numeric stack is broken.
+    from repro.analysis import default_rules, lint_paths
+    from repro.analysis.reporting import format_json, format_rules, format_text
+
+    rules = default_rules()
+    if args.list_rules:
+        print(format_rules(rules))
+        return 0
+    if args.select:
+        known = {rule.id for rule in rules}
+        unknown = sorted(set(args.select) - known)
+        if unknown:
+            raise SystemExit(
+                f"unknown rule id(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        rules = [rule for rule in rules if rule.id in args.select]
+    report = lint_paths(args.paths, rules=rules)
+    print(format_json(report) if args.format == "json" else format_text(report))
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -402,6 +424,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--sources", nargs="*",
                           choices=[s.value for s in ALL_SOURCES])
     p_report.set_defaults(func=cmd_report)
+
+    p_lint = sub.add_parser(
+        "lint", help="run reprolint (determinism / taxonomy / telemetry rules)"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument("--format", choices=["text", "json"], default="text")
+    p_lint.add_argument(
+        "--select", nargs="+", metavar="RPRnnn",
+        help="run only these rule ids",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="describe every registered rule and exit",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_suggest = sub.add_parser("suggest", help="followee / hashtag suggestions")
     _add_dataset_arguments(p_suggest)

@@ -49,7 +49,7 @@ from repro.core.stages import (
     artifact_key,
 )
 from repro.errors import ConfigurationError, DataGenerationError
-from repro.eval.metrics import average_precision, mean_average_precision
+from repro.eval.metrics import average_precision, map_over_users
 from repro.eval.timing import Stopwatch
 from repro.models.aggregation import AggregationFunction
 from repro.models.base import RepresentationModel, TextDoc
@@ -77,7 +77,7 @@ class EvaluationResult:
     @property
     def map_score(self) -> float:
         """Mean Average Precision over the evaluated users."""
-        return mean_average_precision(list(self.per_user_ap.values()))
+        return map_over_users(self.per_user_ap)
 
 
 @dataclass

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.sources import RepresentationSource, retweeted_original_ids
-from repro.errors import DataGenerationError
+from repro.errors import DataGenerationError, ValidationError
 from repro.twitter.dataset import MicroblogDataset
 from repro.twitter.entities import Tweet
 
@@ -79,9 +79,9 @@ def split_user(
         stream (nothing to test on).
     """
     if not 0.0 < test_fraction < 1.0:
-        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+        raise ValidationError(f"test_fraction must be in (0, 1), got {test_fraction}")
     if negatives_per_positive < 0:
-        raise ValueError(
+        raise ValidationError(
             f"negatives_per_positive must be >= 0, got {negatives_per_positive}"
         )
 

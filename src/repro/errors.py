@@ -2,7 +2,10 @@
 
 Every error raised on purpose by this library derives from
 :class:`ReproError`, so callers can catch library failures without
-catching unrelated bugs.
+catching unrelated bugs. Types that replaced historical builtin raises
+(:class:`ValidationError`, :class:`PersistenceError`) also inherit the
+builtin they replaced, so pre-taxonomy ``except ValueError`` call sites
+keep working.
 """
 
 from __future__ import annotations
@@ -10,6 +13,25 @@ from __future__ import annotations
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A single parameter or argument failed validation.
+
+    Inherits :class:`ValueError` so historical ``except ValueError``
+    call sites (and tests) keep working, while new code can catch the
+    :class:`ReproError` family. Reprolint rule RPR004 enforces that the
+    library raises taxonomy types instead of bare builtins.
+    """
+
+
+class PersistenceError(ReproError, ValueError):
+    """A saved artifact (sweep JSON, trace, journal) is unusable.
+
+    Raised for unsupported format versions, torn/foreign journal files
+    and writes to closed journals. Inherits :class:`ValueError` for
+    backwards compatibility with callers that caught the old raises.
+    """
 
 
 class ConfigurationError(ReproError):

@@ -14,13 +14,16 @@ The paper's definitions (Section 4, "Performance Measures"):
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
+
+from repro.errors import ValidationError
 
 __all__ = [
     "precision_at",
     "average_precision",
     "mean_average_precision",
+    "map_over_users",
     "MapSummary",
     "summarize_maps",
 ]
@@ -29,7 +32,7 @@ __all__ = [
 def precision_at(relevance: Sequence[bool], n: int) -> float:
     """P@n: fraction of the first ``n`` ranked items that are relevant."""
     if n < 1:
-        raise ValueError(f"n must be >= 1, got {n}")
+        raise ValidationError(f"n must be >= 1, got {n}")
     head = relevance[:n]
     if not head:
         return 0.0
@@ -61,6 +64,18 @@ def mean_average_precision(aps: Sequence[float]) -> float:
     return sum(aps) / len(aps)
 
 
+def map_over_users(per_user_ap: Mapping[int, float]) -> float:
+    """MAP over a per-user AP mapping, summed in ascending user-id order.
+
+    Float addition is not associative, so a MAP computed straight off
+    ``dict.values()`` inherits the mapping's insertion order -- which
+    differs between a live evaluation and a journal-restored one. Pinning
+    the summation order to sorted user ids makes the figure identical
+    wherever the mapping came from (reprolint rule RPR002).
+    """
+    return mean_average_precision([per_user_ap[uid] for uid in sorted(per_user_ap)])
+
+
 @dataclass(frozen=True)
 class MapSummary:
     """Min / mean / max MAP over a set of configurations.
@@ -80,5 +95,5 @@ class MapSummary:
 def summarize_maps(maps: Sequence[float]) -> MapSummary:
     """Aggregate per-configuration MAP values into a summary."""
     if not maps:
-        raise ValueError("cannot summarise zero MAP values")
+        raise ValidationError("cannot summarise zero MAP values")
     return MapSummary(minimum=min(maps), mean=sum(maps) / len(maps), maximum=max(maps))

@@ -14,6 +14,8 @@ import math
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.errors import ValidationError
+
 __all__ = ["TestResult", "paired_t_test", "wilcoxon_signed_rank"]
 
 
@@ -40,7 +42,7 @@ def _t_sf(t: float, df: int) -> float:
     accurate to ~1e-10 for the df encountered in practice.
     """
     if df < 1:
-        raise ValueError(f"df must be >= 1, got {df}")
+        raise ValidationError(f"df must be >= 1, got {df}")
     x = df / (df + t * t)
     prob = 0.5 * _reg_incomplete_beta(df / 2.0, 0.5, x)
     return prob if t > 0 else 1.0 - prob
@@ -101,10 +103,10 @@ def _reg_incomplete_beta(a: float, b: float, x: float) -> float:
 def paired_t_test(sample_a: Sequence[float], sample_b: Sequence[float]) -> TestResult:
     """Two-sided paired t-test on matched samples."""
     if len(sample_a) != len(sample_b):
-        raise ValueError(f"sample sizes differ: {len(sample_a)} vs {len(sample_b)}")
+        raise ValidationError(f"sample sizes differ: {len(sample_a)} vs {len(sample_b)}")
     n = len(sample_a)
     if n < 2:
-        raise ValueError("need at least 2 pairs")
+        raise ValidationError("need at least 2 pairs")
     diffs = [a - b for a, b in zip(sample_a, sample_b)]
     mean = sum(diffs) / n
     var = sum((d - mean) ** 2 for d in diffs) / (n - 1)
@@ -128,7 +130,7 @@ def wilcoxon_signed_rank(
     correction in the variance.
     """
     if len(sample_a) != len(sample_b):
-        raise ValueError(f"sample sizes differ: {len(sample_a)} vs {len(sample_b)}")
+        raise ValidationError(f"sample sizes differ: {len(sample_a)} vs {len(sample_b)}")
     diffs = [a - b for a, b in zip(sample_a, sample_b) if a != b]
     n = len(diffs)
     if n == 0:

@@ -33,6 +33,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
+from repro.errors import ValidationError
 from repro.models.aggregation import AggregationFunction
 from repro.models.bag import CharacterNGramModel, TokenNGramModel
 from repro.models.base import RepresentationModel
@@ -106,7 +107,7 @@ class ConfigGrid:
         seed: int = 0,
     ):
         if topic_scale <= 0 or iteration_scale <= 0:
-            raise ValueError("scales must be positive")
+            raise ValidationError("scales must be positive")
         self.topic_scale = topic_scale
         self.iteration_scale = iteration_scale
         self.infer_iterations = infer_iterations

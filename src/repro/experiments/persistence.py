@@ -27,6 +27,7 @@ import json
 from pathlib import Path
 from typing import IO
 
+from repro.errors import PersistenceError
 from repro.core.sources import RepresentationSource
 from repro.experiments.executors import Cell, CellOutcome
 from repro.experiments.runner import SweepResult, SweepRow
@@ -119,7 +120,7 @@ def load_sweep(path: str | Path) -> SweepResult:
     payload = json.loads(Path(path).read_text())
     version = payload.get("version")
     if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported sweep file version: {version!r}")
+        raise PersistenceError(f"unsupported sweep file version: {version!r}")
     rows = [_row_from_dict(entry) for entry in payload["rows"]]
     return SweepResult(rows, manifest=payload.get("manifest"))
 
@@ -200,18 +201,18 @@ class SweepJournal:
                     # previous run was killed. Drop it; its cell simply
                     # re-runs.
                     break
-                raise ValueError(
+                raise PersistenceError(
                     f"corrupt journal line {index + 1} in {self.path}"
                 ) from None
             good.append(line)
         if not entries:
-            raise ValueError(f"journal {self.path} has no header line")
+            raise PersistenceError(f"journal {self.path} has no header line")
         header = entries[0]
         if (
             header.get("format") != _JOURNAL_FORMAT
             or header.get("version") != _JOURNAL_VERSION
         ):
-            raise ValueError(f"{self.path} is not a version-{_JOURNAL_VERSION} sweep journal")
+            raise PersistenceError(f"{self.path} is not a version-{_JOURNAL_VERSION} sweep journal")
         for entry in entries[1:]:
             self._outcomes[entry["cell"]] = _outcome_from_dict(entry)
         # Truncate the torn tail (and normalise the trailing newline)
@@ -243,7 +244,7 @@ class SweepJournal:
     def record(self, cell: Cell, outcome: CellOutcome) -> None:
         """Append one completed cell, flushing immediately."""
         if self._stream is None:
-            raise ValueError(f"journal {self.path} is closed")
+            raise PersistenceError(f"journal {self.path} is closed")
         self._write_line(_outcome_to_dict(cell, outcome))
         self._outcomes[cell.key] = outcome
 

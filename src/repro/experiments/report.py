@@ -67,7 +67,7 @@ def format_table2(stats: dict[UserType, GroupStats]) -> str:
 
 def format_table3(census: dict[str, int], top_k: int = 10) -> str:
     """Table 3: the most frequent languages."""
-    total = sum(census.values())
+    total = sum(census.values())  # repro: allow[RPR002] -- integer tweet counts: exact in any order
     ranked = sorted(census.items(), key=lambda kv: -kv[1])[:top_k]
     lines = ["Table 3: most frequent languages"]
     widths = [14, 12, 10]

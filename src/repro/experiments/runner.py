@@ -25,7 +25,12 @@ from dataclasses import dataclass, field
 from repro.core.pipeline import ExperimentPipeline
 from repro.core.sources import RepresentationSource
 from repro.core.stages import canonical_params
-from repro.eval.metrics import MapSummary, mean_average_precision, summarize_maps
+from repro.eval.metrics import (
+    MapSummary,
+    map_over_users,
+    mean_average_precision,
+    summarize_maps,
+)
 from repro.eval.timing import TimingSummary, summarize_timings
 from repro.experiments.configs import ModelConfig
 from repro.experiments.executors import Cell, CellOutcome, SerialCellExecutor
@@ -305,9 +310,7 @@ class SweepRunner:
                             label=cell.label,
                             model=cell.model,
                             source=cell.source,
-                            map=mean_average_precision(
-                                list(outcome.per_user_ap.values())
-                            ),
+                            map=map_over_users(outcome.per_user_ap),
                             training_seconds=outcome.training_seconds,
                             testing_seconds=outcome.testing_seconds,
                         )
@@ -343,7 +346,7 @@ class SweepRunner:
                             params=dict(cell.params),
                             source=source,
                             group=group,
-                            map_score=mean_average_precision(list(member_ap.values())),
+                            map_score=map_over_users(member_ap),
                             per_user_ap=member_ap,
                             training_seconds=outcome.training_seconds,
                             testing_seconds=outcome.testing_seconds,
@@ -374,7 +377,7 @@ class SweepRunner:
             chr_ap = self.pipeline.evaluate_chronological(users)
             ran_ap = self.pipeline.evaluate_random(users, iterations=random_iterations)
             result[group] = {
-                "CHR": mean_average_precision(list(chr_ap.values())),
-                "RAN": mean_average_precision(list(ran_ap.values())),
+                "CHR": map_over_users(chr_ap),
+                "RAN": map_over_users(ran_ap),
             }
         return result

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.errors import ValidationError
 from repro.core.sources import RepresentationSource
 from repro.eval.significance import TestResult, wilcoxon_signed_rank
 from repro.experiments.runner import SweepResult
@@ -47,7 +48,7 @@ def compare_models(
     ap_b = _best_row_ap(result, model_b, source, group)
     shared = sorted(set(ap_a) & set(ap_b))
     if len(shared) < 2:
-        raise ValueError(
+        raise ValidationError(
             f"models {model_a} and {model_b} share only {len(shared)} users"
         )
     return wilcoxon_signed_rank([ap_a[u] for u in shared], [ap_b[u] for u in shared])

@@ -17,7 +17,7 @@ import enum
 import math
 from collections.abc import Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ValidationError
 
 __all__ = [
     "AggregationFunction",
@@ -79,7 +79,7 @@ def rocchio_aggregate(
     nothing, which degrades gracefully to a (scaled) centroid.
     """
     if len(vectors) != len(labels):
-        raise ValueError(f"{len(vectors)} vectors but {len(labels)} labels")
+        raise ValidationError(f"{len(vectors)} vectors but {len(labels)} labels")
     if not math.isclose(alpha + beta, 1.0, abs_tol=1e-9):
         raise ConfigurationError(f"Rocchio requires alpha + beta == 1, got {alpha} + {beta}")
     positives = [_normalised(v) for v, l in zip(vectors, labels) if l == 1]

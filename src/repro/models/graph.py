@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 from collections.abc import Iterator, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ValidationError
 from repro.models.base import Doc, RepresentationModel
 from repro.text.ngrams import char_ngrams, token_ngrams
 
@@ -69,7 +69,7 @@ class NGramGraph:
         kept -- they carry repetition information.
         """
         if window < 1:
-            raise ValueError(f"window must be >= 1, got {window}")
+            raise ValidationError(f"window must be >= 1, got {window}")
         edges: dict[Edge, float] = {}
         for i, gram in enumerate(grams):
             for j in range(i + 1, min(i + window + 1, len(grams))):
@@ -111,7 +111,7 @@ class NGramGraph:
         in ``self`` are kept unchanged.
         """
         if not 0.0 < learning_factor <= 1.0:
-            raise ValueError(f"learning factor must be in (0, 1], got {learning_factor}")
+            raise ValidationError(f"learning factor must be in (0, 1], got {learning_factor}")
         merged = dict(self._edges)
         for key, w_other in other._edges.items():
             w_self = merged.get(key, 0.0)

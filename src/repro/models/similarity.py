@@ -18,6 +18,8 @@ import enum
 import math
 from collections.abc import Callable, Mapping
 
+from repro.errors import ValidationError
+
 __all__ = [
     "VectorSimilarity",
     "cosine_similarity",
@@ -79,7 +81,7 @@ def generalized_jaccard_similarity(u: SparseVector, v: SparseVector) -> float:
         wu = u.get(g, 0.0)
         wv = v.get(g, 0.0)
         if wu < 0.0 or wv < 0.0:
-            raise ValueError("generalized Jaccard requires non-negative weights")
+            raise ValidationError("generalized Jaccard requires non-negative weights")
         num += min(wu, wv)
         den += max(wu, wv)
     if den == 0.0:

@@ -23,7 +23,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError, EmptyCorpusError, NotFittedError
+from repro.errors import ConfigurationError, EmptyCorpusError, NotFittedError, ValidationError
 from repro.models.aggregation import AggregationFunction
 from repro.models.base import Doc, RepresentationModel
 from repro.models.topic.gibbs import IterationHook
@@ -62,7 +62,7 @@ def dense_rocchio(
 ) -> np.ndarray:
     """Rocchio combination of dense positive and negative vectors."""
     if len(vectors) != len(labels):
-        raise ValueError(f"{len(vectors)} vectors but {len(labels)} labels")
+        raise ValidationError(f"{len(vectors)} vectors but {len(labels)} labels")
     if not vectors:
         raise EmptyCorpusError("cannot build a Rocchio model from zero vectors")
     model = np.zeros_like(vectors[0], dtype=float)

@@ -22,6 +22,8 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Sequence
 
+from repro.errors import ValidationError
+
 __all__ = ["LabelExtractor", "EMOTICON_CLASSES"]
 
 #: The nine emoticon classes and their member tokens (tokenizer output
@@ -59,7 +61,7 @@ class LabelExtractor:
 
     def __init__(self, min_hashtag_count: int = 30, n_variations: int = _N_VARIATIONS):
         if n_variations < 1:
-            raise ValueError(f"n_variations must be >= 1, got {n_variations}")
+            raise ValidationError(f"n_variations must be >= 1, got {n_variations}")
         self.min_hashtag_count = min_hashtag_count
         self.n_variations = n_variations
         self._emoticon_to_class = {

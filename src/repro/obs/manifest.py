@@ -73,7 +73,9 @@ class RunManifest:
             package_version=_package_version(),
             python_version=sys.version.split()[0],
             platform=_platform.platform(),
-            started_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            started_at=datetime.now(  # repro: allow[RPR003] -- provenance stamp: manifests record when a run happened
+                timezone.utc
+            ).isoformat(timespec="seconds"),
             extra=dict(extra),
         )
         manifest._start_clock = time.perf_counter()

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ValidationError
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 
@@ -23,7 +25,7 @@ class Counter:
 
     def inc(self, n: int = 1) -> None:
         if n < 0:
-            raise ValueError(f"counters only increase; got increment {n}")
+            raise ValidationError(f"counters only increase; got increment {n}")
         self.value += n
 
     def to_dict(self) -> dict[str, object]:
@@ -147,4 +149,4 @@ class MetricsRegistry:
                             else max(histogram.maximum, float(high))
                         )
             else:
-                raise ValueError(f"metric {name!r} has unknown type {kind!r}")
+                raise ValidationError(f"metric {name!r} has unknown type {kind!r}")

@@ -20,6 +20,7 @@ import json
 from contextlib import contextmanager
 from pathlib import Path
 
+from repro.errors import PersistenceError
 from repro.eval.timing import Stopwatch
 from repro.obs.events import EventLog
 from repro.obs.manifest import RunManifest
@@ -144,5 +145,5 @@ def load_trace(path: str | Path) -> dict:
     payload = json.loads(Path(path).read_text())
     version = payload.get("version")
     if version != TRACE_FORMAT_VERSION:
-        raise ValueError(f"unsupported trace file version: {version!r}")
+        raise PersistenceError(f"unsupported trace file version: {version!r}")
     return payload

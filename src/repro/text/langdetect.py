@@ -18,7 +18,7 @@ import math
 from collections import Counter
 from collections.abc import Iterable, Mapping
 
-from repro.errors import EmptyCorpusError, NotFittedError
+from repro.errors import EmptyCorpusError, NotFittedError, ValidationError
 from repro.text.ngrams import char_ngrams
 
 __all__ = ["LanguageDetector"]
@@ -51,9 +51,9 @@ class LanguageDetector:
 
     def __init__(self, n: int = 2, smoothing: float = 1.0):
         if n < 1:
-            raise ValueError(f"n must be >= 1, got {n}")
+            raise ValidationError(f"n must be >= 1, got {n}")
         if smoothing <= 0:
-            raise ValueError(f"smoothing must be > 0, got {smoothing}")
+            raise ValidationError(f"smoothing must be > 0, got {smoothing}")
         self.n = n
         self.smoothing = smoothing
         self._log_probs: dict[str, dict[str, float]] = {}
@@ -85,7 +85,10 @@ class LanguageDetector:
         self._log_probs = {}
         self._fallback = {}
         for lang, counts in counts_by_lang.items():
-            total = sum(counts.values()) + self.smoothing * (vocab_size + 1)
+            total = (
+                sum(counts.values())  # repro: allow[RPR002] -- integer counts: exact in any order
+                + self.smoothing * (vocab_size + 1)
+            )
             self._log_probs[lang] = {
                 gram: math.log((c + self.smoothing) / total)
                 for gram, c in counts.items()

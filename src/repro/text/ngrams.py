@@ -15,6 +15,8 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Iterable, Sequence
 
+from repro.errors import ValidationError
+
 __all__ = ["token_ngrams", "char_ngrams", "ngram_counts"]
 
 
@@ -27,7 +29,7 @@ def token_ngrams(tokens: Sequence[str], n: int) -> list[str]:
     A sequence shorter than ``n`` yields no n-grams.
     """
     if n < 1:
-        raise ValueError(f"n must be >= 1, got {n}")
+        raise ValidationError(f"n must be >= 1, got {n}")
     if n == 1:
         return list(tokens)
     return [" ".join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
@@ -44,7 +46,7 @@ def char_ngrams(text: str, n: int) -> list[str]:
     the normalised string.
     """
     if n < 1:
-        raise ValueError(f"n must be >= 1, got {n}")
+        raise ValidationError(f"n must be >= 1, got {n}")
     return [text[i : i + n] for i in range(len(text) - n + 1)]
 
 

@@ -21,6 +21,8 @@ from collections import defaultdict
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.errors import ValidationError
+
 __all__ = ["PoolingScheme", "PooledDocument", "pool_documents"]
 
 
@@ -85,9 +87,9 @@ def pool_documents(
 
     if scheme is PoolingScheme.USER:
         if user_ids is None:
-            raise ValueError("user pooling requires user_ids")
+            raise ValidationError("user pooling requires user_ids")
         if len(user_ids) != len(documents):
-            raise ValueError(
+            raise ValidationError(
                 f"user_ids length {len(user_ids)} != documents length {len(documents)}"
             )
         by_user: dict[str, list[int]] = defaultdict(list)
@@ -126,4 +128,4 @@ def pool_documents(
         )
         return pools
 
-    raise ValueError(f"unknown pooling scheme: {scheme!r}")
+    raise ValidationError(f"unknown pooling scheme: {scheme!r}")

@@ -14,6 +14,7 @@ from collections import Counter
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
+from repro.errors import ValidationError
 from repro.text.tokenizer import EMOTICONS, TweetTokenizer
 
 __all__ = ["StopWordFilter", "clean_for_langdetect", "Preprocessor"]
@@ -30,7 +31,7 @@ class StopWordFilter:
 
     def __init__(self, top_k: int = 100):
         if top_k < 0:
-            raise ValueError(f"top_k must be >= 0, got {top_k}")
+            raise ValidationError(f"top_k must be >= 0, got {top_k}")
         self.top_k = top_k
         self._stop_words: frozenset[str] = frozenset()
 

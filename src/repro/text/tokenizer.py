@@ -22,6 +22,8 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
+from repro.errors import ValidationError
+
 __all__ = ["TweetTokenizer", "TOKEN_PATTERN", "squeeze_repeats", "EMOTICONS"]
 
 #: Emoticons recognised as atomic tokens. The nine classes used for the
@@ -55,7 +57,7 @@ def squeeze_repeats(token: str, max_run: int = 2) -> str:
     'good'
     """
     if max_run < 1:
-        raise ValueError(f"max_run must be >= 1, got {max_run}")
+        raise ValidationError(f"max_run must be >= 1, got {max_run}")
     return re.sub(r"(\w)\1{%d,}" % max_run, r"\1" * max_run, token)
 
 

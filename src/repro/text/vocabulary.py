@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Iterable, Iterator
 
-from repro.errors import EmptyCorpusError
+from repro.errors import EmptyCorpusError, ValidationError
 
 __all__ = ["Vocabulary"]
 
@@ -33,7 +33,7 @@ class Vocabulary:
         self._terms: tuple[str, ...] = tuple(terms)
         self._index: dict[str, int] = {t: i for i, t in enumerate(self._terms)}
         if len(self._index) != len(self._terms):
-            raise ValueError("duplicate terms passed to Vocabulary")
+            raise ValidationError("duplicate terms passed to Vocabulary")
 
     @classmethod
     def from_documents(

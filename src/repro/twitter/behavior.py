@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.twitter.entities import UserProfile
 
 __all__ = ["RetweetPolicy"]
@@ -58,11 +59,11 @@ class RetweetPolicy:
 
     def __post_init__(self) -> None:
         if not 0.0 < self.base_probability <= 1.0:
-            raise ValueError(f"base_probability must be in (0, 1], got {self.base_probability}")
+            raise ValidationError(f"base_probability must be in (0, 1], got {self.base_probability}")
         if self.sharpness < 0.0:
-            raise ValueError(f"sharpness must be >= 0, got {self.sharpness}")
+            raise ValidationError(f"sharpness must be >= 0, got {self.sharpness}")
         if not 0.0 <= self.social_noise <= 1.0:
-            raise ValueError(f"social_noise must be in [0, 1], got {self.social_noise}")
+            raise ValidationError(f"social_noise must be in [0, 1], got {self.social_noise}")
 
     def match_score(self, profile: UserProfile, topic_mix: np.ndarray) -> float:
         """Normalised interest/content match in ``[0, 1]``."""

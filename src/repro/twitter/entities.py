@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import ValidationError
+
 __all__ = ["Tweet", "UserProfile", "UserType"]
 
 
@@ -113,5 +115,5 @@ class UserProfile:
     def __post_init__(self) -> None:
         total = float(np.sum(self.interests))
         if total <= 0:
-            raise ValueError(f"user {self.user_id}: interests must have positive mass")
+            raise ValidationError(f"user {self.user_id}: interests must have positive mass")
         self.interests = np.asarray(self.interests, dtype=float) / total

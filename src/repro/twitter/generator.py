@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.twitter.entities import UserProfile
 from repro.twitter.language import LanguageInventory
 
@@ -47,7 +48,7 @@ class NoiseChannel:
     def __post_init__(self) -> None:
         total = self.misspell_rate + self.lengthen_rate + self.abbreviate_rate
         if not 0.0 <= total <= 1.0:
-            raise ValueError(f"noise rates must sum to <= 1, got {total}")
+            raise ValidationError(f"noise rates must sum to <= 1, got {total}")
 
     def corrupt(self, word: str, rng: np.random.Generator) -> str:
         """Return ``word``, possibly damaged by one noise channel."""
@@ -138,7 +139,7 @@ class TweetComposer:
         phrase_rate: float = 0.25,
     ):
         if not 1 <= min_words <= max_words:
-            raise ValueError(f"need 1 <= min_words <= max_words, got {min_words}, {max_words}")
+            raise ValidationError(f"need 1 <= min_words <= max_words, got {min_words}, {max_words}")
         self.inventory = inventory
         self.noise = noise if noise is not None else NoiseChannel()
         self.min_words = min_words

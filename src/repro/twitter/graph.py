@@ -20,7 +20,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import DataGenerationError
+from repro.errors import DataGenerationError, ValidationError
 
 __all__ = ["SocialGraph", "generate_follow_graph"]
 
@@ -30,7 +30,7 @@ class SocialGraph:
 
     def __init__(self, n_users: int):
         if n_users < 0:
-            raise ValueError(f"n_users must be >= 0, got {n_users}")
+            raise ValidationError(f"n_users must be >= 0, got {n_users}")
         self._n_users = n_users
         self._followees: list[set[int]] = [set() for _ in range(n_users)]
         self._followers: list[set[int]] = [set() for _ in range(n_users)]
@@ -42,7 +42,7 @@ class SocialGraph:
     def add_follow(self, follower: int, followee: int) -> None:
         """Record that ``follower`` follows ``followee``."""
         if follower == followee:
-            raise ValueError(f"user {follower} cannot follow themselves")
+            raise ValidationError(f"user {follower} cannot follow themselves")
         self._check(follower)
         self._check(followee)
         self._followees[follower].add(followee)

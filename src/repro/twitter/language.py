@@ -29,6 +29,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import DataGenerationError, ValidationError
+
 __all__ = ["SyntheticLanguage", "LanguageInventory", "DEFAULT_LANGUAGES", "default_inventory"]
 
 
@@ -144,11 +146,11 @@ class LanguageInventory:
         seed: int = 0,
     ):
         if n_topics < 1:
-            raise ValueError(f"n_topics must be >= 1, got {n_topics}")
+            raise ValidationError(f"n_topics must be >= 1, got {n_topics}")
         if words_per_topic < 1:
-            raise ValueError(f"words_per_topic must be >= 1, got {words_per_topic}")
+            raise ValidationError(f"words_per_topic must be >= 1, got {words_per_topic}")
         if not 0.0 <= shared_word_fraction < 1.0:
-            raise ValueError(
+            raise ValidationError(
                 f"shared_word_fraction must be in [0, 1), got {shared_word_fraction}"
             )
         self.n_topics = n_topics
@@ -185,7 +187,7 @@ class LanguageInventory:
                     if word not in seen:
                         seen.add(word)
                         return word
-                raise RuntimeError(
+                raise DataGenerationError(
                     f"language {lang.name!r}: could not generate enough distinct words"
                 )
 
@@ -264,7 +266,7 @@ class LanguageInventory:
         list is shuffled.
         """
         if n_users < 0:
-            raise ValueError(f"n_users must be >= 0, got {n_users}")
+            raise ValidationError(f"n_users must be >= 0, got {n_users}")
         quotas = self._probabilities * n_users
         counts = np.floor(quotas).astype(int)
         remainder = n_users - int(counts.sum())

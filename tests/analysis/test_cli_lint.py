@@ -1,0 +1,59 @@
+"""The ``repro lint`` subcommand: exit codes, output formats, rule
+selection and the rule catalogue."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "dirty.py").write_text(
+        'import time\nstamp = time.time()\nraise ValueError("x")\n'
+    )
+    return tmp_path
+
+
+class TestLintCommand:
+    def test_clean_directory_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_one_with_locations(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR003" in out
+        assert "RPR004" in out
+        assert "dirty.py:2:8" in out
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert main(["lint", str(tmp_path / "missing")]) == 2
+
+    def test_json_format(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert [v["rule"] for v in payload["violations"]] == ["RPR003", "RPR004"]
+
+    def test_select_restricts_rules(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree), "--select", "RPR004"]) == 1
+        out = capsys.readouterr().out
+        assert "RPR004" in out
+        assert "RPR003" not in out
+
+    def test_select_unknown_rule_rejected(self, dirty_tree):
+        with pytest.raises(SystemExit):
+            main(["lint", str(dirty_tree), "--select", "RPR999"])
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"):
+            assert rule_id in out

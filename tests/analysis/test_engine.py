@@ -1,0 +1,144 @@
+"""Engine behaviour: pragmas, unused-pragma reporting, file collection,
+exit codes and error handling."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.engine import find_pragmas
+
+LIB_PATH = "src/repro/fake_module.py"
+
+
+def lint(source: str, path: str = LIB_PATH):
+    return lint_source(textwrap.dedent(source), path)
+
+
+class TestFindPragmas:
+    def test_single_rule(self):
+        (pragma,) = find_pragmas("x = 1  # repro: allow[RPR001]\n")
+        assert pragma.line == 1
+        assert pragma.rules == frozenset({"RPR001"})
+
+    def test_multiple_rules_and_justification(self):
+        (pragma,) = find_pragmas(
+            "x = 1  # repro: allow[RPR002, RPR003] -- intentional timestamp\n"
+        )
+        assert pragma.rules == frozenset({"RPR002", "RPR003"})
+
+    def test_pragma_text_inside_string_is_ignored(self):
+        # Tokenising means pragma-shaped text in literals is inert --
+        # otherwise this very test file would suppress rules.
+        assert find_pragmas('x = "repro: allow[RPR001]"\n') == []
+
+    def test_plain_comments_ignored(self):
+        assert find_pragmas("x = 1  # ordinary comment\n") == []
+
+
+class TestSuppression:
+    def test_pragma_suppresses_matching_violation(self):
+        report = lint(
+            """
+            import numpy as np
+            rng = np.random.default_rng()  # repro: allow[RPR001] -- seeded by caller
+            """
+        )
+        assert report.violations == []
+        assert report.exit_code == 0
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        report = lint(
+            """
+            import numpy as np
+            rng = np.random.default_rng()  # repro: allow[RPR004]
+            """
+        )
+        rules = {v.rule for v in report.violations}
+        # The original violation survives AND the pragma is unused.
+        assert rules == {"RPR001", "RPR900"}
+
+    def test_pragma_on_any_line_of_multiline_statement(self):
+        report = lint(
+            """
+            import time
+            stamp = time.time(  # repro: allow[RPR003] -- telemetry timestamp
+            )
+            """
+        )
+        assert report.violations == []
+
+    def test_unused_pragma_reported_as_rpr900(self):
+        report = lint("x = 1  # repro: allow[RPR001]\n")
+        (violation,) = report.violations
+        assert violation.rule == "RPR900"
+        assert violation.line == 1
+        assert "suppresses nothing" in violation.message
+
+    def test_round_trip_fix_then_remove_pragma(self):
+        # The workflow RPR900 enforces: once the violation is fixed, the
+        # stale pragma itself becomes a violation until removed.
+        dirty = "total = sum(scores.values())  # repro: allow[RPR002]\n"
+        assert lint_source(dirty, LIB_PATH).exit_code == 0
+        fixed_but_stale = (
+            "total = sum(scores[k] for k in sorted(scores))"
+            "  # repro: allow[RPR002]\n"
+        )
+        report = lint_source(fixed_but_stale, LIB_PATH)
+        assert [v.rule for v in report.violations] == ["RPR900"]
+        clean = "total = sum(scores[k] for k in sorted(scores))\n"
+        assert lint_source(clean, LIB_PATH).exit_code == 0
+
+
+class TestExitCodes:
+    def test_clean_source_exits_zero(self):
+        assert lint("x = 1\n").exit_code == 0
+
+    def test_violations_exit_one(self):
+        assert lint("total = sum(s.values())\n").exit_code == 1
+
+    def test_syntax_error_exits_two(self):
+        report = lint("def broken(:\n")
+        assert report.exit_code == 2
+        assert report.violations == []
+        assert "syntax error" in report.errors[0]
+
+    def test_missing_path_exits_two(self, tmp_path):
+        report = lint_paths([tmp_path / "nope.py"])
+        assert report.exit_code == 2
+        assert "no such file" in report.errors[0]
+
+
+class TestLintPaths:
+    def test_walks_directories_and_counts_files(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "clean.py").write_text("x = 1\n")
+        (pkg / "dirty.py").write_text('raise ValueError("x")\n')
+        (tmp_path / "notes.txt").write_text("not python\n")
+        report = lint_paths([tmp_path])
+        assert report.files_checked == 2
+        assert [v.rule for v in report.violations] == ["RPR004"]
+
+    def test_library_only_scoping_follows_path(self, tmp_path):
+        outside = tmp_path / "tools"
+        outside.mkdir()
+        (outside / "script.py").write_text('raise ValueError("fine here")\n')
+        assert lint_paths([outside]).exit_code == 0
+
+    def test_duplicate_paths_deduplicated(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("x = 1\n")
+        report = lint_paths([target, target, tmp_path])
+        assert report.files_checked == 1
+
+    def test_violations_sorted_by_position(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "b.py").write_text('raise ValueError("late")\n')
+        (pkg / "a.py").write_text(
+            'import time\nt = time.time()\nraise ValueError("x")\n'
+        )
+        report = lint_paths([tmp_path])
+        keys = [(v.path, v.line) for v in report.violations]
+        assert keys == sorted(keys)

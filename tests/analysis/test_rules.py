@@ -1,0 +1,362 @@
+"""Per-rule fixtures: each rule fires on the bug it protects against
+(with the right rule id, file and line) and stays quiet on clean code.
+
+These are the mutation smoke-tests promised by docs/LINT.md: every
+fixture in a ``flags_*`` test is a minimal reintroduction of the class
+of bug the rule exists to block.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.base import RULE_REGISTRY, default_rules
+
+LIB_PATH = "src/repro/fake_module.py"  # library-only rules apply here
+APP_PATH = "scripts/fake_script.py"  # ... and not here
+
+
+def lint(source: str, path: str = LIB_PATH):
+    return lint_source(textwrap.dedent(source), path)
+
+
+def rules_hit(source: str, path: str = LIB_PATH) -> list[str]:
+    return [v.rule for v in lint(source, path).violations]
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        expected = {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"}
+        assert expected <= set(RULE_REGISTRY)
+
+    def test_default_rules_sorted_by_id(self):
+        ids = [rule.id for rule in default_rules()]
+        assert ids == sorted(ids)
+
+    def test_rule_metadata_complete(self):
+        for rule in default_rules():
+            assert rule.id.startswith("RPR")
+            assert rule.name and rule.summary and rule.invariant
+
+
+class TestSeededRng:
+    def test_flags_unseeded_default_rng(self):
+        report = lint(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """
+        )
+        (violation,) = report.violations
+        assert violation.rule == "RPR001"
+        assert violation.path == LIB_PATH
+        assert violation.line == 3
+        assert "seed" in violation.message
+
+    def test_flags_global_state_calls(self):
+        assert rules_hit(
+            """
+            import numpy as np
+            import random
+            x = np.random.shuffle([1, 2])
+            y = random.randint(0, 5)
+            """
+        ) == ["RPR001", "RPR001"]
+
+    def test_seeded_constructions_are_clean(self):
+        assert rules_hit(
+            """
+            import numpy as np
+            from numpy.random import default_rng
+            a = np.random.default_rng(42)
+            b = np.random.default_rng(seed=7)
+            c = default_rng(0)
+            """
+        ) == []
+
+    def test_resolves_through_aliases(self):
+        assert rules_hit(
+            """
+            from numpy.random import default_rng as make_rng
+            rng = make_rng()
+            """
+        ) == ["RPR001"]
+
+    def test_library_only(self):
+        source = """
+        import numpy as np
+        rng = np.random.default_rng()
+        """
+        assert rules_hit(source, path=APP_PATH) == []
+
+
+class TestOrderedAccumulation:
+    def test_flags_sum_over_set(self):
+        (violation,) = lint("total = sum({1.0, 2.0, 3.0})\n").violations
+        assert violation.rule == "RPR002"
+        assert violation.line == 1
+
+    def test_flags_sum_over_dict_values(self):
+        assert rules_hit("total = sum(scores.values())\n") == ["RPR002"]
+
+    def test_flags_comprehension_over_set(self):
+        assert rules_hit("total = sum(x * 2 for x in {1.0, 2.0})\n") == ["RPR002"]
+
+    def test_flags_augmented_loop_over_values(self):
+        assert rules_hit(
+            """
+            total = 0.0
+            for ap in scores.values():
+                total += ap
+            """
+        ) == ["RPR002"]
+
+    def test_flags_map_over_raw_dict_values(self):
+        # The historical bug: MAP off a journal-restored dict's values.
+        assert rules_hit(
+            "score = mean_average_precision(list(per_user.values()))\n"
+        ) == ["RPR002"]
+
+    def test_sorted_values_are_clean(self):
+        assert rules_hit(
+            """
+            total = sum(scores[k] for k in sorted(scores))
+            score = mean_average_precision(sorted(per_user.values()))
+            """
+        ) == []
+
+    def test_applies_outside_library_too(self):
+        assert rules_hit("total = sum(scores.values())\n", path=APP_PATH) == [
+            "RPR002"
+        ]
+
+
+class TestWallClock:
+    def test_flags_time_time(self):
+        (violation,) = lint(
+            """
+            import time
+            stamp = time.time()
+            """
+        ).violations
+        assert violation.rule == "RPR003"
+        assert violation.line == 3
+
+    def test_flags_datetime_now(self):
+        assert rules_hit(
+            """
+            from datetime import datetime
+            stamp = datetime.now()
+            """
+        ) == ["RPR003"]
+
+    def test_perf_counter_allowed(self):
+        assert rules_hit(
+            """
+            import time
+            t0 = time.perf_counter()
+            """
+        ) == []
+
+    def test_reachable_from_cache_key_gets_stern_message(self):
+        report = lint(
+            """
+            import time
+
+            def _stamp():
+                return time.time()
+
+            def artifact_key(params):
+                return (params, _stamp())
+            """
+        )
+        (violation,) = report.violations
+        assert violation.rule == "RPR003"
+        assert "cache-key" in violation.message
+        assert "_stamp" in violation.message
+
+    def test_unreachable_read_gets_plain_message(self):
+        report = lint(
+            """
+            import time
+
+            def emit():
+                return time.time()
+            """
+        )
+        (violation,) = report.violations
+        assert "cache-key" not in violation.message
+
+    def test_library_only(self):
+        source = """
+        import time
+        stamp = time.time()
+        """
+        assert rules_hit(source, path=APP_PATH) == []
+
+
+class TestErrorTaxonomy:
+    def test_flags_bare_value_error(self):
+        (violation,) = lint(
+            """
+            def f(n):
+                if n < 0:
+                    raise ValueError("negative")
+            """
+        ).violations
+        assert violation.rule == "RPR004"
+        assert violation.line == 4
+        assert "ValidationError" in violation.message
+
+    def test_flags_runtime_error_and_exception(self):
+        assert rules_hit(
+            """
+            raise RuntimeError("boom")
+            raise Exception("worse")
+            """
+        ) == ["RPR004", "RPR004"]
+
+    def test_taxonomy_types_are_clean(self):
+        assert rules_hit(
+            """
+            from repro.errors import ValidationError
+
+            def f(n):
+                raise ValidationError("negative")
+            """
+        ) == []
+
+    def test_imported_name_shadowing_builtin_is_clean(self):
+        # A name bound by an import is not the builtin.
+        assert rules_hit(
+            """
+            from mypkg.errors import ValueError
+            raise ValueError("actually a custom type")
+            """
+        ) == []
+
+    def test_bare_reraise_is_clean(self):
+        assert rules_hit(
+            """
+            try:
+                f()
+            except KeyError:
+                raise
+            """
+        ) == []
+
+    def test_library_only(self):
+        assert rules_hit('raise ValueError("x")\n', path=APP_PATH) == []
+
+
+class TestSpanHygiene:
+    def test_flags_span_outside_with(self):
+        (violation,) = lint(
+            """
+            def run(tracer):
+                tracer.span("train")
+            """
+        ).violations
+        assert violation.rule == "RPR005"
+        assert violation.line == 3
+
+    def test_with_statement_is_clean(self):
+        assert rules_hit(
+            """
+            def run(tracer):
+                with tracer.span("train"):
+                    pass
+            """
+        ) == []
+
+    def test_delegating_span_facade_is_clean(self):
+        # Telemetry.span forwards to its tracer: allowed.
+        assert rules_hit(
+            """
+            class Telemetry:
+                def span(self, name):
+                    return self.tracer.span(name)
+            """
+        ) == []
+
+    def test_non_delegating_return_still_flagged(self):
+        assert rules_hit(
+            """
+            def start(tracer):
+                return tracer.span("leaked")
+            """
+        ) == ["RPR005"]
+
+
+class TestPicklableSpec:
+    def test_flags_callable_field(self):
+        (violation,) = lint(
+            """
+            from dataclasses import dataclass
+            from typing import Callable
+
+            @dataclass
+            class SweepSpec:
+                scorer: Callable[[int], float]
+            """
+        ).violations
+        assert violation.rule == "RPR006"
+        assert violation.line == 7
+        assert "scorer" in violation.message
+
+    def test_flags_string_annotation(self):
+        assert rules_hit(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class JobSpec:
+                hook: "Callable[[], None]"
+            """
+        ) == ["RPR006"]
+
+    def test_flags_lambda_default(self):
+        assert rules_hit(
+            """
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class GridSpec:
+                a: object = lambda: 1
+                b: object = field(default=lambda: 2)
+            """
+        ) == ["RPR006", "RPR006"]
+
+    def test_flags_local_spec_class(self):
+        report = lint(
+            """
+            from dataclasses import dataclass
+
+            def build():
+                @dataclass
+                class LocalSpec:
+                    n: int
+                return LocalSpec(1)
+            """
+        )
+        (violation,) = report.violations
+        assert violation.rule == "RPR006"
+        assert "local" in violation.message
+
+    def test_plain_fields_and_non_spec_classes_clean(self):
+        assert rules_hit(
+            """
+            from dataclasses import dataclass
+            from typing import Callable
+
+            @dataclass
+            class SweepSpec:
+                name: str
+                seeds: tuple
+
+            @dataclass
+            class NotASpecHolder:
+                fn: Callable[[], None]
+            """
+        ) == []

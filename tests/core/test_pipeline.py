@@ -47,14 +47,15 @@ class TestEvaluate:
     def test_map_is_mean_of_aps(self, pipeline, users):
         model = TokenNGramModel(n=1, weighting="TF")
         result = pipeline.evaluate(model, RepresentationSource.R, users)
-        expected = sum(result.per_user_ap.values()) / len(result.per_user_ap)
+        aps = result.per_user_ap
+        expected = sum(aps[u] for u in sorted(aps)) / len(aps)
         assert result.map_score == pytest.approx(expected)
 
     def test_content_model_beats_random(self, pipeline, users):
         model = TokenNGramModel(n=1, weighting="TF-IDF")
         result = pipeline.evaluate(model, RepresentationSource.R, users)
         ran = pipeline.evaluate_random(users, iterations=100)
-        ran_map = sum(ran.values()) / len(ran)
+        ran_map = sum(ran[u] for u in sorted(ran)) / len(ran)
         assert result.map_score > ran_map
 
     def test_rocchio_on_source_without_negatives_rejected(self, pipeline, users):
@@ -99,7 +100,7 @@ class TestBaselines:
 
     def test_random_near_class_prevalence(self, pipeline, users):
         aps = pipeline.evaluate_random(users, iterations=200)
-        mean_ap = sum(aps.values()) / len(aps)
+        mean_ap = sum(aps[u] for u in sorted(aps)) / len(aps)
         # 1 positive per 5 candidates gives an expected AP well below 0.5
         # and above the positive rate 0.2.
         assert 0.15 < mean_ap < 0.55

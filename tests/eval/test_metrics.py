@@ -11,6 +11,7 @@ from hypothesis import strategies as st
 from repro.eval.metrics import (
     MapSummary,
     average_precision,
+    map_over_users,
     mean_average_precision,
     precision_at,
     summarize_maps,
@@ -77,6 +78,22 @@ class TestMeanAveragePrecision:
 
     def test_empty_group(self):
         assert mean_average_precision([]) == 0.0
+
+
+class TestMapOverUsers:
+    def test_matches_plain_mean(self):
+        aps = {3: 0.2, 1: 0.4, 2: 0.6}
+        assert map_over_users(aps) == pytest.approx(0.4)
+
+    def test_insertion_order_is_irrelevant(self):
+        # The point of the helper: a live-evaluated dict and a
+        # journal-restored one produce bit-identical MAP.
+        live = {1: 0.1, 2: 0.2, 3: 0.3}
+        restored = {3: 0.3, 1: 0.1, 2: 0.2}
+        assert map_over_users(live) == map_over_users(restored)
+
+    def test_empty_group(self):
+        assert map_over_users({}) == 0.0
 
 
 class TestMapSummary:

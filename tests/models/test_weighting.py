@@ -28,14 +28,14 @@ class TestTermFrequency:
 
     def test_weights_sum_to_one(self):
         vec = tf_vector(["x", "y", "y", "z"])
-        assert math.isclose(sum(vec.values()), 1.0)
+        assert math.isclose(sum(sorted(vec.values())), 1.0)
 
     def test_empty(self):
         assert tf_vector([]) == {}
 
     @given(st.lists(st.sampled_from("abc"), min_size=1, max_size=20))
     def test_sum_is_one_property(self, grams):
-        assert math.isclose(sum(tf_vector(grams).values()), 1.0)
+        assert math.isclose(sum(sorted(tf_vector(grams).values())), 1.0)
 
 
 class TestIdfTable:

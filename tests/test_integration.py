@@ -10,7 +10,7 @@ from repro import (
     TokenNGramModel,
     UserType,
 )
-from repro.eval.metrics import mean_average_precision
+from repro.eval.metrics import map_over_users
 from repro.eval.significance import wilcoxon_signed_rank
 from repro.experiments.configs import ConfigGrid
 from repro.experiments.runner import SweepRunner
@@ -32,12 +32,8 @@ class TestHeadlineFindings:
     def test_content_model_beats_both_baselines(self, pipeline, all_users):
         model = TokenNGramModel(n=1, weighting="TF-IDF")
         result = pipeline.evaluate(model, RepresentationSource.R, all_users)
-        chr_map = mean_average_precision(
-            list(pipeline.evaluate_chronological(all_users).values())
-        )
-        ran_map = mean_average_precision(
-            list(pipeline.evaluate_random(all_users, iterations=200).values())
-        )
+        chr_map = map_over_users(pipeline.evaluate_chronological(all_users))
+        ran_map = map_over_users(pipeline.evaluate_random(all_users, iterations=200))
         assert result.map_score > ran_map
         assert result.map_score > chr_map
 

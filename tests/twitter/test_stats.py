@@ -54,7 +54,8 @@ class TestLanguageCensus:
             len(small_dataset.outgoing(u.user_id)) for u in small_dataset.users
             if small_dataset.outgoing(u.user_id)
         )
-        assert sum(census.values()) == expected
+        # integer tweet counts: exact in any order
+        assert sum(census.values()) == expected  # repro: allow[RPR002]
 
     def test_english_dominates(self, census):
         # The inventory assigns ~83% of users to English.
@@ -71,7 +72,8 @@ class TestLanguageCensus:
         for user in small_dataset.users:
             truth[user.language] += len(small_dataset.outgoing(user.user_id))
         # The detected English share should be within 10 points of truth.
-        total = sum(truth.values())
+        total = sum(truth.values())  # repro: allow[RPR002] -- integer counts
         t_share = truth["english"] / total
-        c_share = census.get("english", 0) / sum(census.values())
+        # integer counts: exact in any order
+        c_share = census.get("english", 0) / sum(census.values())  # repro: allow[RPR002]
         assert abs(t_share - c_share) < 0.10
