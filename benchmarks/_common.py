@@ -92,6 +92,19 @@ def bench_jobs() -> int:
     return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
 
 
+def bench_trials() -> int:
+    """Pedantic rounds for the figure benches.
+
+    Honours the same ``REPRO_BENCH_TRIALS`` knob as ``repro bench run``
+    but defaults to 1: the figure sweeps are cached per session, so
+    extra rounds only re-time the (cheap) cache path unless the cache
+    is cleared between rounds.
+    """
+    from repro.experiments.bench import default_trials
+
+    return default_trials(fallback=1)
+
+
 def _bench_executor(grid: ConfigGrid) -> ProcessCellExecutor | None:
     """A process-pool executor for the bench pipeline, or None for serial.
 
@@ -276,6 +289,49 @@ def write_result(name: str, text: str) -> Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+def write_timing_baseline(name: str, result: SweepResult) -> Path:
+    """Persist a sweep's timing rows as ``results/BENCH_<name>.json``.
+
+    The machine-readable companion to :func:`write_result`'s text
+    tables: each ALL-group row contributes one sample per (model,
+    source) cell -- ``ttime``/``etime`` from the row's training and
+    testing clocks plus one entry per recorded pipeline phase -- so the
+    baseline's median/IQR captures the spread *across configurations*
+    of the same model. The file uses the ``repro bench`` baseline
+    schema, so ``repro bench compare`` can diff two figure runs
+    directly.
+    """
+    from repro.obs import Baseline, SampleStats, baseline_path
+
+    by_cell: dict[str, dict[str, list[float]]] = {}
+    for row in result.rows:
+        if row.group is not UserType.ALL:
+            continue
+        cell = by_cell.setdefault(f"{row.model}/{row.source.value}", {})
+        cell.setdefault("ttime", []).append(row.training_seconds)
+        cell.setdefault("etime", []).append(row.testing_seconds)
+        for phase, seconds in row.phase_seconds.items():
+            cell.setdefault(phase, []).append(seconds)
+
+    phases = {
+        f"{prefix}/{phase}": {"wall_seconds": SampleStats.from_samples(values)}
+        for prefix, cell in sorted(by_cell.items())
+        for phase, values in sorted(cell.items())
+    }
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    baseline = Baseline(
+        label=name,
+        phases=phases,
+        counters={"rows": float(len(result.rows))},
+        manifest=result.manifest,
+        config={"source": "figure-sweep", "scale": scale, "group": UserType.ALL.value},
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = baseline.save(baseline_path(RESULTS_DIR, name))
+    print(f"[timing baseline written to {path}]")
     return path
 
 

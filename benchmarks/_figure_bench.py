@@ -5,9 +5,11 @@ from __future__ import annotations
 from benchmarks._common import (
     FIGURE_SOURCE_LIST,
     bench_environment,
+    bench_trials,
     figure_baselines,
     figure_sweep,
     write_result,
+    write_timing_baseline,
 )
 from repro.experiments.report import format_figure_map
 from repro.twitter.entities import UserType
@@ -17,12 +19,13 @@ def run_figure_bench(benchmark, group: UserType, name: str, title: str) -> None:
     """Evaluate the shared sweep, render one group's MAP matrix, and
     check the figure's defining shape (content models beat RAN)."""
     bench_environment()
-    result = benchmark.pedantic(figure_sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(figure_sweep, rounds=bench_trials(), iterations=1)
     baselines = figure_baselines().get(group, {})
     text = format_figure_map(
         result, group, FIGURE_SOURCE_LIST, baselines=baselines, title=title
     )
     write_result(name, text)
+    write_timing_baseline(name, result)
 
     rows = result.filtered(group=group)
     if not rows:  # tiny corpora may leave a group empty (e.g. no IP users)

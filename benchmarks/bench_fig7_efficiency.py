@@ -10,15 +10,22 @@ and the nonparametric HLDA the slowest at test time.
 
 from __future__ import annotations
 
-from benchmarks._common import bench_environment, figure_sweep, write_result
+from benchmarks._common import (
+    bench_environment,
+    bench_trials,
+    figure_sweep,
+    write_result,
+    write_timing_baseline,
+)
 from repro.experiments.report import format_figure7
 
 
 def test_fig7_time_efficiency(benchmark):
     bench_environment()
-    result = benchmark.pedantic(figure_sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(figure_sweep, rounds=bench_trials(), iterations=1)
     text = format_figure7(result)
     write_result("fig7_efficiency", text)
+    write_timing_baseline("fig7_efficiency", result)
 
     tn_ttime, _ = result.timing_summary("TN")
     lda_ttime, _ = result.timing_summary("LDA")

@@ -5,16 +5,25 @@ Commands
 ``generate``   simulate a corpus and print its statistics (Table 2 style)
 ``evaluate``   evaluate one model on one source and print MAP vs baselines
 ``sweep``      run a configuration sweep and save it as JSON
+``bench``      run the calibrated resource suite / compare two baselines
 ``report``     render a saved sweep as the paper's figures/tables
 ``suggest``    followee / hashtag recommendations (the extension tasks)
 ``lint``       run reprolint, the repo's AST-based invariant linter
 
 ``evaluate`` and ``sweep`` accept observability flags: ``--trace-out
 trace.json`` saves a span trace (manifest + per-phase timing tree +
-metrics), and ``--log-json [PATH]`` streams structured JSON-lines
-events (to stderr when no path is given). A saved trace renders as a
-per-phase tree with ``report --artifact timing-breakdown --trace
-trace.json``.
+metrics), ``--log-json [PATH]`` streams structured JSON-lines events
+(to stderr when no path is given), and ``--profile-resources`` runs a
+background RSS/CPU sampler so every span also records its memory cost.
+A saved trace renders as a per-phase tree with ``report --artifact
+timing-breakdown --trace trace.json`` (or ``resource-breakdown`` for
+the memory columns).
+
+``bench run`` executes the calibrated suite (one bag, one graph, one
+topic model across three sources) with warmup and repeated trials and
+writes a timestamp-free ``BENCH_<label>.json`` baseline; ``bench
+compare OLD NEW [--gate]`` flags noise-adjusted regressions between two
+baselines.
 
 Examples
 --------
@@ -23,8 +32,10 @@ Examples
     python -m repro generate --users 40 --ticks 150 --seed 7
     python -m repro evaluate --model TN --source R --users 40 --trace-out trace.json
     python -m repro sweep --out sweep.json --sources R T --fast --log-json
+    python -m repro bench run --label main --scale quick --trials 5
+    python -m repro bench compare results/BENCH_main.json results/BENCH_pr.json --gate
     python -m repro report --sweep sweep.json --artifact figure --group "All Users"
-    python -m repro report --artifact timing-breakdown --trace trace.json
+    python -m repro report --artifact resource-breakdown --trace trace.json
     python -m repro suggest --kind hashtag --text "word1 word2"
     python -m repro lint src benchmarks tests --format json
 """
@@ -33,13 +44,16 @@ from __future__ import annotations
 
 import argparse
 import sys
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
+from contextlib import ExitStack, contextmanager
 from functools import lru_cache
 from pathlib import Path
 
 from repro.core.pipeline import ExperimentPipeline
 from repro.core.sources import ALL_SOURCES, RepresentationSource
+from repro.errors import PersistenceError
 from repro.eval.metrics import map_over_users
+from repro.experiments.bench import SUITE_SCALES, run_bench_suite
 from repro.experiments.configs import MODEL_NAMES, ConfigGrid, ModelConfig
 from repro.experiments.executors import (
     GridSpec,
@@ -59,9 +73,16 @@ from repro.experiments.runner import SweepRunner
 from repro.experiments.standard import bench_grid, fast_grid
 from repro.obs import (
     JsonLinesSink,
+    ResourceSampler,
     RunManifest,
     Telemetry,
+    baseline_path,
+    compare_baselines,
+    format_baseline,
+    format_comparison,
+    format_resource_breakdown,
     format_timing_breakdown,
+    load_baseline,
     load_trace,
 )
 from repro.twitter.dataset import DatasetConfig, generate_dataset, select_user_groups
@@ -115,48 +136,56 @@ def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
         "--log-json", metavar="PATH", nargs="?", const="-", default=None,
         help="stream structured JSON-lines events (to stderr without PATH)",
     )
-
-
-def _make_telemetry(
-    args: argparse.Namespace, command: str, models: Sequence[str]
-) -> tuple[Telemetry | None, JsonLinesSink | None]:
-    """Telemetry wired from ``--trace-out`` / ``--log-json``, if requested."""
-    if not (args.trace_out or args.log_json):
-        return None, None
-    manifest = RunManifest.create(
-        seed=args.seed,
-        dataset={
-            "n_users": args.users,
-            "n_ticks": args.ticks,
-            "group_size": args.group_size,
-            "min_retweets": args.min_retweets,
-        },
-        models=list(models),
-        command=command,
+    parser.add_argument(
+        "--profile-resources", action="store_true",
+        help="sample RSS/CPU per span so the trace carries memory columns "
+             "(render with report --artifact resource-breakdown)",
     )
-    telemetry = Telemetry(manifest=manifest)
-    sink = None
-    if args.log_json:
-        sink = JsonLinesSink(args.log_json)
-        telemetry.events.add_sink(sink)
-    return telemetry, sink
 
 
-def _finish_telemetry(
-    args: argparse.Namespace,
-    telemetry: Telemetry | None,
-    sink: JsonLinesSink | None,
-) -> None:
-    """Stamp the wall clock, save the trace, release the log sink."""
-    if telemetry is None:
+@contextmanager
+def _telemetry_scope(
+    args: argparse.Namespace, command: str, models: Sequence[str]
+) -> Iterator[Telemetry | None]:
+    """Telemetry wired from the observability flags, for one command run.
+
+    Yields None when no flag asked for telemetry. Otherwise the scope
+    owns the whole lifecycle: the resource sampler (from
+    ``--profile-resources``) starts before and stops after the command
+    body, the manifest's wall clock is stamped, the trace is saved and
+    the JSON-lines sink is closed -- also on error, so an interrupted
+    run still leaves a readable partial trace.
+    """
+    if not (args.trace_out or args.log_json or args.profile_resources):
+        yield None
         return
-    if telemetry.manifest is not None:
-        telemetry.manifest.finish()
-    if args.trace_out:
-        path = telemetry.save_trace(args.trace_out)
-        print(f"trace written to {path}")
-    if sink is not None:
-        sink.close()
+    with ExitStack() as stack:
+        sampler = (
+            stack.enter_context(ResourceSampler()) if args.profile_resources else None
+        )
+        manifest = RunManifest.create(
+            seed=args.seed,
+            dataset={
+                "n_users": args.users,
+                "n_ticks": args.ticks,
+                "group_size": args.group_size,
+                "min_retweets": args.min_retweets,
+            },
+            models=list(models),
+            command=command,
+        )
+        telemetry = Telemetry(manifest=manifest, resources=sampler)
+        if args.log_json:
+            sink = JsonLinesSink(args.log_json)
+            stack.callback(sink.close)
+            telemetry.events.add_sink(sink)
+        try:
+            yield telemetry
+        finally:
+            manifest.finish()
+            if args.trace_out:
+                path = telemetry.save_trace(args.trace_out)
+                print(f"trace written to {path}")
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -168,24 +197,23 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    telemetry, sink = _make_telemetry(args, "evaluate", [args.model])
-    dataset, groups = _make_dataset(args)
-    pipeline = ExperimentPipeline(
-        dataset, seed=args.seed, max_train_docs_per_user=args.max_train_docs,
-        telemetry=telemetry,
-    )
-    users = pipeline.eligible_users(groups[UserType.ALL])
-    model = _build_model(args.model)
-    source = RepresentationSource(args.source)
-    result = pipeline.evaluate(model, source, users)
-    ran = map_over_users(pipeline.evaluate_random(users, iterations=200))
-    chrono = map_over_users(pipeline.evaluate_chronological(users))
-    print(f"model {args.model} on source {source.value} over {len(users)} users")
-    print(f"  MAP  = {result.map_score:.3f}")
-    print(f"  RAN  = {ran:.3f}")
-    print(f"  CHR  = {chrono:.3f}")
-    print(f"  TTime = {result.training_seconds:.2f}s  ETime = {result.testing_seconds:.3f}s")
-    _finish_telemetry(args, telemetry, sink)
+    with _telemetry_scope(args, "evaluate", [args.model]) as telemetry:
+        dataset, groups = _make_dataset(args)
+        pipeline = ExperimentPipeline(
+            dataset, seed=args.seed, max_train_docs_per_user=args.max_train_docs,
+            telemetry=telemetry,
+        )
+        users = pipeline.eligible_users(groups[UserType.ALL])
+        model = _build_model(args.model)
+        source = RepresentationSource(args.source)
+        result = pipeline.evaluate(model, source, users)
+        ran = map_over_users(pipeline.evaluate_random(users, iterations=200))
+        chrono = map_over_users(pipeline.evaluate_chronological(users))
+        print(f"model {args.model} on source {source.value} over {len(users)} users")
+        print(f"  MAP  = {result.map_score:.3f}")
+        print(f"  RAN  = {ran:.3f}")
+        print(f"  CHR  = {chrono:.3f}")
+        print(f"  TTime = {result.training_seconds:.2f}s  ETime = {result.testing_seconds:.3f}s")
     return 0
 
 
@@ -217,79 +245,82 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         configs = list(grid.iter_all())
     models = sorted({c.model for c in configs})
-    telemetry, sink = _make_telemetry(args, "sweep", models)
-    # Sweep JSON always embeds a manifest, even without tracing enabled.
-    manifest = (
-        telemetry.manifest
-        if telemetry is not None
-        else RunManifest.create(
-            seed=args.seed,
-            dataset={
-                "n_users": args.users,
-                "n_ticks": args.ticks,
-                "group_size": args.group_size,
-                "min_retweets": args.min_retweets,
-            },
-            models=models,
-            command="sweep",
-        )
-    )
-    dataset, groups = _make_dataset(args)
-    pipeline = ExperimentPipeline(
-        dataset, seed=args.seed, max_train_docs_per_user=args.max_train_docs,
-        telemetry=telemetry,
-    )
-    runner = SweepRunner(pipeline, groups, telemetry=telemetry)
-    sources = [RepresentationSource(s) for s in args.sources]
-    executor = None
-    if args.jobs > 1:
-        spec = SweepSpec(
-            pipeline=PipelineSpec(
-                dataset=DatasetConfig(
-                    n_users=args.users, n_ticks=args.ticks, seed=args.seed
-                ),
+    with _telemetry_scope(args, "sweep", models) as telemetry:
+        # Sweep JSON always embeds a manifest, even without tracing enabled.
+        manifest = (
+            telemetry.manifest
+            if telemetry is not None
+            else RunManifest.create(
                 seed=args.seed,
-                max_train_docs_per_user=args.max_train_docs,
-            ),
-            grid=GridSpec.from_grid(grid),
+                dataset={
+                    "n_users": args.users,
+                    "n_ticks": args.ticks,
+                    "group_size": args.group_size,
+                    "min_retweets": args.min_retweets,
+                },
+                models=models,
+                command="sweep",
+            )
         )
-        executor = ProcessCellExecutor(spec, jobs=args.jobs)
-    journal_path = _journal_path(args)
-    journal = (
-        SweepJournal(journal_path, resume=args.resume) if journal_path else None
-    )
-    if journal is not None and journal.restored:
-        print(f"resuming: {journal.restored} cells restored from {journal.path}")
-    try:
-        result = runner.run(
-            configs, sources, progress=args.progress,
-            executor=executor, journal=journal,
+        dataset, groups = _make_dataset(args)
+        pipeline = ExperimentPipeline(
+            dataset, seed=args.seed, max_train_docs_per_user=args.max_train_docs,
+            telemetry=telemetry,
         )
-    except KeyboardInterrupt:
+        runner = SweepRunner(pipeline, groups, telemetry=telemetry)
+        sources = [RepresentationSource(s) for s in args.sources]
+        executor = None
+        if args.jobs > 1:
+            spec = SweepSpec(
+                pipeline=PipelineSpec(
+                    dataset=DatasetConfig(
+                        n_users=args.users, n_ticks=args.ticks, seed=args.seed
+                    ),
+                    seed=args.seed,
+                    max_train_docs_per_user=args.max_train_docs,
+                ),
+                grid=GridSpec.from_grid(grid),
+            )
+            executor = ProcessCellExecutor(spec, jobs=args.jobs)
+        journal_path = _journal_path(args)
+        journal = (
+            SweepJournal(journal_path, resume=args.resume) if journal_path else None
+        )
+        if journal is not None and journal.restored:
+            print(f"resuming: {journal.restored} cells restored from {journal.path}")
+        try:
+            result = runner.run(
+                configs, sources, progress=args.progress,
+                executor=executor, journal=journal,
+            )
+        except KeyboardInterrupt:
+            if journal is not None:
+                journal.close()
+                print(
+                    f"\ninterrupted; {len(journal)} completed cells journaled to "
+                    f"{journal.path} -- rerun with --resume to continue"
+                )
+            else:
+                print("\ninterrupted (no journal; rerun with --journal to make "
+                      "sweeps resumable)")
+            return 130
         if journal is not None:
             journal.close()
-            print(
-                f"\ninterrupted; {len(journal)} completed cells journaled to "
-                f"{journal.path} -- rerun with --resume to continue"
-            )
-        else:
-            print("\ninterrupted (no journal; rerun with --journal to make "
-                  "sweeps resumable)")
-        return 130
-    if journal is not None:
-        journal.close()
-    manifest.finish()
-    path = save_sweep(result, args.out, manifest=manifest)
-    print(f"{len(result.rows)} rows saved to {path}")
-    _finish_telemetry(args, telemetry, sink)
+        manifest.finish()
+        path = save_sweep(result, args.out, manifest=manifest)
+        print(f"{len(result.rows)} rows saved to {path}")
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    if args.artifact == "timing-breakdown":
+    if args.artifact in ("timing-breakdown", "resource-breakdown"):
         if not args.trace:
-            raise SystemExit("--trace is required for the timing-breakdown artifact")
-        print(format_timing_breakdown(load_trace(args.trace)))
+            raise SystemExit(f"--trace is required for the {args.artifact} artifact")
+        trace = load_trace(args.trace)
+        if args.artifact == "timing-breakdown":
+            print(format_timing_breakdown(trace))
+        else:
+            print(format_resource_breakdown(trace))
         return 0
     if not args.sweep:
         raise SystemExit(f"--sweep is required for the {args.artifact} artifact")
@@ -309,6 +340,38 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(format_table7(result, sources))
     else:
         print(format_figure7(result))
+    return 0
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    baseline = run_bench_suite(
+        scale=args.scale,
+        trials=args.trials,
+        warmup=args.warmup,
+        jobs=args.jobs,
+        seed=args.seed,
+        label=args.label,
+        trace_allocations=args.trace_allocations,
+    )
+    path = baseline.save(baseline_path(args.out_dir, args.label))
+    print(format_baseline(baseline))
+    print(f"baseline written to {path}")
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    try:
+        old = load_baseline(args.old)
+        new = load_baseline(args.new)
+        comparison = compare_baselines(
+            old, new, rel_threshold=args.rel_threshold, iqr_factor=args.iqr_factor
+        )
+    except PersistenceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_comparison(comparison, fmt=args.format))
+    if args.gate and comparison.regressions:
+        return 1
     return 0
 
 
@@ -413,12 +476,59 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_arguments(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
+    p_bench = sub.add_parser(
+        "bench", help="resource benchmark baselines (run the suite / compare)"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bench_run = bench_sub.add_parser(
+        "run", help="run the calibrated suite, write BENCH_<label>.json"
+    )
+    p_bench_run.add_argument(
+        "--label", default="run",
+        help="baseline label; the file is BENCH_<label>.json (timestamp-free)",
+    )
+    p_bench_run.add_argument("--out-dir", default="results", metavar="DIR")
+    p_bench_run.add_argument(
+        "--scale", default="quick", choices=sorted(SUITE_SCALES)
+    )
+    p_bench_run.add_argument(
+        "--trials", type=int, default=None, metavar="N",
+        help="measured trials (default: REPRO_BENCH_TRIALS, else 3)",
+    )
+    p_bench_run.add_argument("--warmup", type=int, default=1, metavar="N")
+    p_bench_run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run cells on N worker processes; worker samplers report "
+             "true per-cell peaks through the telemetry merge",
+    )
+    p_bench_run.add_argument("--seed", type=int, default=7)
+    p_bench_run.add_argument(
+        "--trace-allocations", action="store_true",
+        help="also capture tracemalloc allocation peaks (slow)",
+    )
+    p_bench_run.set_defaults(func=cmd_bench_run)
+    p_bench_compare = bench_sub.add_parser(
+        "compare", help="noise-aware regression check between two baselines"
+    )
+    p_bench_compare.add_argument("old", help="reference BENCH_*.json")
+    p_bench_compare.add_argument("new", help="candidate BENCH_*.json")
+    p_bench_compare.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 when regressions are flagged (2 on schema errors)",
+    )
+    p_bench_compare.add_argument(
+        "--format", choices=["text", "json", "markdown"], default="text"
+    )
+    p_bench_compare.add_argument("--rel-threshold", type=float, default=0.10)
+    p_bench_compare.add_argument("--iqr-factor", type=float, default=1.0)
+    p_bench_compare.set_defaults(func=cmd_bench_compare)
+
     p_report = sub.add_parser("report", help="render a saved sweep or trace")
     p_report.add_argument("--sweep", help="sweep JSON path")
-    p_report.add_argument("--trace", help="trace JSON path (timing-breakdown)")
+    p_report.add_argument("--trace", help="trace JSON path (*-breakdown artifacts)")
     p_report.add_argument("--artifact", default="figure",
                           choices=["figure", "table6", "table7", "figure7",
-                                   "timing-breakdown"])
+                                   "timing-breakdown", "resource-breakdown"])
     p_report.add_argument("--group", default=UserType.ALL.value,
                           choices=[g.value for g in UserType])
     p_report.add_argument("--sources", nargs="*",

@@ -416,12 +416,17 @@ class ExperimentPipeline:
             tel.count("gibbs.iterations")
             if progress.log_likelihood is not None:
                 tel.gauge("gibbs.log_likelihood", progress.log_likelihood)
+            if progress.rss_bytes is not None:
+                # A histogram, not a gauge: its max survives the
+                # worker-merge path, so --jobs runs report true peaks.
+                tel.observe("gibbs.rss_bytes", progress.rss_bytes)
             tel.emit(
                 "gibbs_iteration",
                 model=progress.model,
                 iteration=progress.iteration,
                 total=progress.total,
                 log_likelihood=progress.log_likelihood,
+                rss_bytes=progress.rss_bytes,
             )
 
         model.set_iteration_hook(hook)

@@ -150,7 +150,11 @@ class ArtifactCache:
             tel.count(f"{self.name}.hit")
         else:
             tel.count(f"{self.name}.miss")
-            self._store[key] = build()
+            # A dedicated span separates the (one-off) artifact build
+            # cost from the enclosing phase's cache-hit fast path, and
+            # gives the build its own resource window.
+            with tel.span(f"{self.name}.build", key=key):
+                self._store[key] = build()
         return self._store[key]
 
     def __contains__(self, key: str) -> bool:

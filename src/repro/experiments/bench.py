@@ -1,0 +1,320 @@
+"""The calibrated ``repro bench`` suite.
+
+One bag model (TN), one graph model (TNG) and one topic model (LDA) --
+the three model families whose cost profiles differ most -- evaluated
+across three representation sources (R, T, TR) with warmup and repeated
+measured trials. Every trial runs under a
+:class:`~repro.obs.resources.ResourceSampler`, so each pipeline stage
+records peak RSS and CPU time alongside wall time; the per-trial
+samples are then summarised into a durable
+:class:`~repro.obs.baseline.Baseline` (median/IQR per phase) that
+``repro bench compare`` can gate future runs against.
+
+Serial trials run the cells in-process; ``jobs > 1`` fans them out
+through the :class:`~repro.experiments.executors.ProcessCellExecutor`,
+whose workers run their *own* samplers -- the resource snapshots ride
+back through ``Telemetry.absorb``, so the resulting baseline has the
+same schema either way and reports true per-cell peaks.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.sources import RepresentationSource
+from repro.errors import ConfigurationError
+from repro.experiments.configs import ModelConfig
+from repro.experiments.executors import (
+    Cell,
+    CellTask,
+    GridSpec,
+    PipelineSpec,
+    ProcessCellExecutor,
+    SerialCellExecutor,
+    SweepSpec,
+)
+from repro.experiments.standard import bench_grid, fast_grid
+from repro.obs.baseline import Baseline, SampleStats
+from repro.obs.manifest import RunManifest
+from repro.obs.resources import ResourceSampler
+from repro.obs.telemetry import Telemetry
+from repro.obs.tracing import Span
+from repro.twitter.dataset import DatasetConfig, generate_dataset, select_user_groups
+from repro.twitter.entities import UserType
+
+__all__ = [
+    "BENCH_MODELS",
+    "BENCH_SOURCES",
+    "SUITE_SCALES",
+    "SuiteScale",
+    "collect_phase_samples",
+    "default_trials",
+    "run_bench_suite",
+]
+
+#: One representative model per family: bag, graph, topic.
+BENCH_MODELS = ("TN", "TNG", "LDA")
+#: The three sources of the calibrated suite (two atomic + one pair).
+BENCH_SOURCES = (
+    RepresentationSource.R,
+    RepresentationSource.T,
+    RepresentationSource.TR,
+)
+
+#: Environment knob overriding the number of measured trials.
+TRIALS_ENV = "REPRO_BENCH_TRIALS"
+
+
+@dataclass(frozen=True)
+class SuiteScale:
+    """Dataset/group sizing of one calibrated suite scale."""
+
+    n_users: int
+    n_ticks: int
+    group_size: int
+    min_retweets: int
+    max_train_docs_per_user: int
+
+
+SUITE_SCALES: dict[str, SuiteScale] = {
+    "tiny": SuiteScale(
+        n_users=16, n_ticks=40, group_size=3, min_retweets=3, max_train_docs_per_user=30
+    ),
+    "quick": SuiteScale(
+        n_users=40, n_ticks=120, group_size=8, min_retweets=8, max_train_docs_per_user=60
+    ),
+}
+
+
+def default_trials(fallback: int = 3) -> int:
+    """Measured trial count: ``REPRO_BENCH_TRIALS`` or ``fallback``."""
+    raw = os.environ.get(TRIALS_ENV)
+    if raw is None:
+        return fallback
+    try:
+        trials = int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(f"{TRIALS_ENV} must be an integer, got {raw!r}") from exc
+    if trials < 1:
+        raise ConfigurationError(f"{TRIALS_ENV} must be >= 1, got {trials}")
+    return trials
+
+
+def _suite_spec(scale: SuiteScale, seed: int) -> SweepSpec:
+    return SweepSpec(
+        pipeline=PipelineSpec(
+            dataset=DatasetConfig(n_users=scale.n_users, n_ticks=scale.n_ticks, seed=seed),
+            seed=seed,
+            max_train_docs_per_user=scale.max_train_docs_per_user,
+        ),
+        grid=GridSpec.from_grid(bench_grid(seed=seed)),
+    )
+
+
+def _suite_tasks(
+    spec: SweepSpec,
+    scale: SuiteScale,
+    seed: int,
+    models: tuple[str, ...],
+    sources: tuple[RepresentationSource, ...],
+) -> list[CellTask]:
+    configs: dict[str, ModelConfig] = {
+        c.model: c for c in fast_grid(seed=seed) if c.model in models
+    }
+    missing = sorted(set(models) - set(configs))
+    if missing:
+        raise ConfigurationError(f"no fast-grid configuration for models: {missing}")
+    dataset = generate_dataset(spec.pipeline.dataset)
+    groups = select_user_groups(
+        dataset, group_size=scale.group_size, min_retweets=scale.min_retweets
+    )
+    users = tuple(sorted(groups[UserType.ALL]))
+    tasks: list[CellTask] = []
+    for model in models:
+        config = configs[model]
+        for source in sources:
+            tasks.append(
+                (
+                    Cell(
+                        model=config.model,
+                        params=dict(config.params),
+                        label=config.label(),
+                        source=source.value,
+                        users=users,
+                    ),
+                    config,
+                )
+            )
+    return tasks
+
+
+def _run_trial(
+    spec: SweepSpec,
+    tasks: list[CellTask],
+    jobs: int,
+    sample_interval: float,
+    trace_allocations: bool,
+) -> Telemetry:
+    """One full pass over the suite's cells, freshly built.
+
+    Every trial starts from a cold pipeline (serial) or cold worker
+    pool (parallel), so trials are independent samples of the same
+    work, not progressively warmer cache states.
+    """
+    if jobs > 1:
+        telemetry = Telemetry()
+        executor = ProcessCellExecutor(spec, jobs=jobs)
+        for _cell, outcome in executor.run_cells(
+            tasks, collect_telemetry=True, sample_resources=True
+        ):
+            if outcome.telemetry is not None:
+                telemetry.absorb(outcome.telemetry)
+        return telemetry
+    with ResourceSampler(
+        interval=sample_interval, trace_allocations=trace_allocations
+    ) as sampler:
+        telemetry = Telemetry(resources=sampler)
+        pipeline = spec.pipeline.build(telemetry)
+        executor = SerialCellExecutor(pipeline, telemetry=telemetry)
+        for _cell, _outcome in executor.run_cells(tasks, collect_telemetry=True):
+            pass
+    return telemetry
+
+
+def _fold_phase(
+    phases: dict[str, dict[str, float]], key: str, span: Span
+) -> None:
+    entry = phases.setdefault(key, {})
+    entry["wall_seconds"] = entry.get("wall_seconds", 0.0) + (span.duration or 0.0)
+    cpu = span.resources.get("cpu_seconds")
+    if cpu is not None:
+        entry["cpu_seconds"] = entry.get("cpu_seconds", 0.0) + float(cpu)
+    for peak_metric in ("peak_rss_bytes", "alloc_peak_bytes"):
+        value = span.resources.get(peak_metric)
+        if value is not None:
+            entry[peak_metric] = max(entry.get(peak_metric, 0.0), float(value))
+
+
+def collect_phase_samples(roots: list[Span]) -> dict[str, dict[str, float]]:
+    """One trial's per-phase measurements, keyed ``MODEL/SOURCE/phase``.
+
+    Walks the span forest for ``evaluate`` spans carrying ``model`` and
+    ``source`` attributes (they sit under per-cell ``config`` spans at
+    any depth, so serial and absorbed worker traces read identically)
+    and folds each evaluate child -- the pipeline stages -- into one
+    entry: wall and CPU seconds add up, RSS/allocation peaks take the
+    max.
+    """
+    phases: dict[str, dict[str, float]] = {}
+
+    def visit(span: Span) -> None:
+        attrs = span.attributes
+        if span.name == "evaluate" and "model" in attrs and "source" in attrs:
+            prefix = f"{attrs['model']}/{attrs['source']}"
+            _fold_phase(phases, f"{prefix}/total", span)
+            for child in span.children:
+                _fold_phase(phases, f"{prefix}/{child.name}", child)
+        for child in span.children:
+            visit(child)
+
+    for root in roots:
+        visit(root)
+    return phases
+
+
+def run_bench_suite(
+    scale: str = "quick",
+    trials: int | None = None,
+    warmup: int = 1,
+    jobs: int = 1,
+    seed: int = 7,
+    label: str = "run",
+    sample_interval: float = 0.005,
+    trace_allocations: bool = False,
+    models: tuple[str, ...] | None = None,
+    sources: tuple[RepresentationSource, ...] | None = None,
+) -> Baseline:
+    """Run the calibrated suite; returns the summarised baseline.
+
+    ``trials`` defaults to :func:`default_trials` (the
+    ``REPRO_BENCH_TRIALS`` environment knob, else 3). Warmup trials run
+    the identical work and are discarded -- they absorb first-touch
+    costs (imports, allocator growth) that would otherwise skew the
+    first measured sample.
+    """
+    suite_scale = SUITE_SCALES.get(scale)
+    if suite_scale is None:
+        raise ConfigurationError(
+            f"unknown bench scale {scale!r}; expected one of {sorted(SUITE_SCALES)}"
+        )
+    if trials is None:
+        trials = default_trials()
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if warmup < 0:
+        raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+    suite_models = tuple(models) if models is not None else BENCH_MODELS
+    suite_sources = tuple(sources) if sources is not None else BENCH_SOURCES
+
+    spec = _suite_spec(suite_scale, seed)
+    tasks = _suite_tasks(spec, suite_scale, seed, suite_models, suite_sources)
+
+    manifest = RunManifest.create(
+        seed=seed,
+        dataset={
+            "n_users": suite_scale.n_users,
+            "n_ticks": suite_scale.n_ticks,
+            "max_train_docs_per_user": suite_scale.max_train_docs_per_user,
+        },
+        models=suite_models,
+        command="bench",
+        scale=scale,
+        jobs=jobs,
+        trials=trials,
+        warmup=warmup,
+    )
+
+    per_trial: list[dict[str, dict[str, float]]] = []
+    counters: dict[str, float] = {}
+    for index in range(warmup + trials):
+        telemetry = _run_trial(spec, tasks, jobs, sample_interval, trace_allocations)
+        if index < warmup:
+            continue
+        per_trial.append(collect_phase_samples(telemetry.tracer.roots))
+        counters = {
+            name: float(payload["value"])
+            for name, payload in telemetry.metrics.snapshot().items()
+            if payload.get("type") == "counter"
+        }
+
+    phases: dict[str, dict[str, SampleStats]] = {}
+    for key in sorted({phase for trial in per_trial for phase in trial}):
+        metrics: dict[str, SampleStats] = {}
+        for metric in ("wall_seconds", "cpu_seconds", "peak_rss_bytes", "alloc_peak_bytes"):
+            samples = [
+                trial[key][metric]
+                for trial in per_trial
+                if key in trial and metric in trial[key]
+            ]
+            if samples:
+                metrics[metric] = SampleStats.from_samples(samples)
+        phases[key] = metrics
+
+    manifest.finish()
+    return Baseline(
+        label=label,
+        phases=phases,
+        counters=counters,
+        manifest=manifest.to_dict(),
+        config={
+            "scale": scale,
+            "trials": trials,
+            "warmup": warmup,
+            "jobs": jobs,
+            "seed": seed,
+            "models": list(suite_models),
+            "sources": [s.value for s in suite_sources],
+            "trace_allocations": trace_allocations,
+        },
+    )

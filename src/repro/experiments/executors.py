@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
 from concurrent.futures import Future, ProcessPoolExecutor
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 from repro.core.pipeline import ExperimentPipeline
@@ -36,6 +37,7 @@ from repro.core.stages import canonical_params
 from repro.errors import ConfigurationError
 from repro.experiments.configs import ConfigGrid, ModelConfig
 from repro.obs.events import MemorySink
+from repro.obs.resources import ResourceSampler
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.twitter.dataset import DatasetConfig, generate_dataset
 
@@ -177,7 +179,10 @@ def _worker_index(spec: GridSpec) -> dict[tuple[str, str], ModelConfig]:
 
 
 def evaluate_cell(
-    spec: SweepSpec, cell: Cell, collect_telemetry: bool = False
+    spec: SweepSpec,
+    cell: Cell,
+    collect_telemetry: bool = False,
+    sample_resources: bool = False,
 ) -> CellOutcome:
     """Evaluate one cell against a worker-local pipeline.
 
@@ -185,42 +190,56 @@ def evaluate_cell(
     parity tests call it in-process). The pipeline and the grid's
     configuration index are cached per process, so corpus preparation
     and preprocessing amortise across all cells a worker receives.
+
+    With ``sample_resources`` a worker-local
+    :class:`~repro.obs.resources.ResourceSampler` runs for the duration
+    of the cell, so the spans shipped back in ``outcome.telemetry``
+    carry this *worker process's* RSS peaks -- the parent's own sampler
+    cannot see across the process boundary.
     """
-    telemetry = Telemetry() if collect_telemetry else None
-    events = MemorySink()
-    if telemetry is not None:
-        telemetry.events.add_sink(events)
-    pipeline = _worker_pipeline(spec.pipeline)
-    pipeline.telemetry = telemetry
-    config = _worker_index(spec.grid).get((cell.model, cell.params_key))
-    if config is None:
-        raise ConfigurationError(
-            f"cell {cell.key} has no matching configuration in the worker grid; "
-            "the sweep spec's GridSpec must describe the grid the parent enumerated"
+    with ExitStack() as stack:
+        telemetry = None
+        if collect_telemetry:
+            sampler = (
+                stack.enter_context(ResourceSampler()) if sample_resources else None
+            )
+            telemetry = Telemetry(resources=sampler)
+        events = MemorySink()
+        if telemetry is not None:
+            telemetry.events.add_sink(events)
+        pipeline = _worker_pipeline(spec.pipeline)
+        pipeline.telemetry = telemetry
+        config = _worker_index(spec.grid).get((cell.model, cell.params_key))
+        if config is None:
+            raise ConfigurationError(
+                f"cell {cell.key} has no matching configuration in the worker grid; "
+                "the sweep spec's GridSpec must describe the grid the parent enumerated"
+            )
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        outcome = CellOutcome(
+            model=cell.model, params=dict(cell.params), source=cell.source
         )
-    tel = telemetry if telemetry is not None else NULL_TELEMETRY
-    outcome = CellOutcome(model=cell.model, params=dict(cell.params), source=cell.source)
-    try:
-        with tel.span("config", label=cell.label, source=cell.source):
-            try:
-                result = pipeline.evaluate(
-                    config.build(), RepresentationSource(cell.source), list(cell.users)
-                )
-            except ConfigurationError as error:
-                outcome.skipped = str(error)
-            else:
-                outcome.per_user_ap = dict(result.per_user_ap)
-                outcome.training_seconds = result.training_seconds
-                outcome.testing_seconds = result.testing_seconds
-                outcome.phase_seconds = dict(result.phase_seconds)
-    finally:
-        pipeline.telemetry = None
-    if telemetry is not None:
-        outcome.telemetry = {
-            "spans": telemetry.tracer.to_payload(),
-            "events": list(events.records),
-            "metrics": telemetry.metrics.snapshot(),
-        }
+        try:
+            with tel.span("config", label=cell.label, source=cell.source):
+                try:
+                    result = pipeline.evaluate(
+                        config.build(), RepresentationSource(cell.source), list(cell.users)
+                    )
+                except ConfigurationError as error:
+                    outcome.skipped = str(error)
+                else:
+                    outcome.per_user_ap = dict(result.per_user_ap)
+                    outcome.training_seconds = result.training_seconds
+                    outcome.testing_seconds = result.testing_seconds
+                    outcome.phase_seconds = dict(result.phase_seconds)
+        finally:
+            pipeline.telemetry = None
+        if telemetry is not None:
+            outcome.telemetry = {
+                "spans": telemetry.tracer.to_payload(),
+                "events": list(events.records),
+                "metrics": telemetry.metrics.snapshot(),
+            }
     return outcome
 
 
@@ -244,8 +263,14 @@ class SerialCellExecutor:
         self.telemetry = telemetry
 
     def run_cells(
-        self, tasks: Sequence[CellTask], collect_telemetry: bool = False
+        self,
+        tasks: Sequence[CellTask],
+        collect_telemetry: bool = False,
+        sample_resources: bool = False,
     ) -> Iterator[tuple[Cell, CellOutcome]]:
+        # ``sample_resources`` is accepted for executor-interface parity
+        # but needs no action here: in-process cells record through the
+        # parent tracer, whose own sampler (if any) already covers them.
         tel = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
         for cell, config in tasks:
             if config is None:
@@ -289,12 +314,24 @@ class ProcessCellExecutor:
         self.jobs = jobs
 
     def run_cells(
-        self, tasks: Sequence[CellTask], collect_telemetry: bool = False
+        self,
+        tasks: Sequence[CellTask],
+        collect_telemetry: bool = False,
+        sample_resources: bool = False,
     ) -> Iterator[tuple[Cell, CellOutcome]]:
         pool = ProcessPoolExecutor(max_workers=self.jobs)
         try:
             submitted: list[tuple[Cell, Future]] = [
-                (cell, pool.submit(evaluate_cell, self.spec, cell, collect_telemetry))
+                (
+                    cell,
+                    pool.submit(
+                        evaluate_cell,
+                        self.spec,
+                        cell,
+                        collect_telemetry,
+                        sample_resources,
+                    ),
+                )
                 for cell, _config in tasks
             ]
             for cell, future in submitted:

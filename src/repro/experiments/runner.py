@@ -284,7 +284,9 @@ class SweepRunner:
                         source=cell.source,
                     )
                 for cell, outcome in executor.run_cells(
-                    pending, collect_telemetry=tel.enabled
+                    pending,
+                    collect_telemetry=tel.enabled,
+                    sample_resources=tel.resources is not None,
                 ):
                     if outcome.telemetry is not None:
                         tel.absorb(outcome.telemetry)

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.resources import read_rss_bytes
+
 __all__ = [
     "GibbsIteration",
     "IterationHook",
@@ -37,6 +39,9 @@ class GibbsIteration:
     iteration: int  # 1-based
     total: int
     log_likelihood: float | None = None
+    #: Resident set size right after the sweep; None when no hook was
+    #: installed (the read is skipped) or no RSS source exists.
+    rss_bytes: int | None = None
 
 
 #: Observer of sampler progress; see :func:`notify_iteration`.
@@ -50,13 +55,18 @@ def notify_iteration(
     total: int,
     log_likelihood: float | None = None,
 ) -> None:
-    """Deliver one :class:`GibbsIteration` to ``hook`` if one is set."""
+    """Deliver one :class:`GibbsIteration` to ``hook`` if one is set.
+
+    The RSS read happens only when a hook is installed, so untraced
+    training loops pay nothing for the memory dimension.
+    """
     if hook is not None:
         hook(GibbsIteration(
             model=model,
             iteration=iteration,
             total=total,
             log_likelihood=log_likelihood,
+            rss_bytes=read_rss_bytes(),
         ))
 
 

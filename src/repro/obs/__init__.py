@@ -1,6 +1,6 @@
 """repro.obs -- observability for the sweep pipeline.
 
-Four primitives, one facade:
+Six primitives, one facade:
 
 * :mod:`repro.obs.tracing`   -- hierarchical wall-clock spans
   (:class:`Tracer`), with :class:`SpanStopwatch` keeping the legacy
@@ -11,6 +11,11 @@ Four primitives, one facade:
   with pluggable sinks;
 * :mod:`repro.obs.manifest`  -- :class:`RunManifest` provenance records
   (seed, dataset, grid, version, wall clock);
+* :mod:`repro.obs.resources` -- :class:`ResourceSampler` background RSS
+  / CPU / allocation sampling that attaches cost measurements to spans;
+* :mod:`repro.obs.baseline`  -- durable ``BENCH_*.json``
+  :class:`Baseline` records and noise-aware
+  :func:`compare_baselines` regression detection;
 * :mod:`repro.obs.telemetry` -- the :class:`Telemetry` facade the
   pipeline is instrumented against, and its zero-overhead
   :data:`NULL_TELEMETRY` twin.
@@ -19,10 +24,22 @@ Everything is pure stdlib; with telemetry disabled the pipeline runs
 the exact same code path with plain stopwatches.
 """
 
+from repro.obs.baseline import (
+    Baseline,
+    BaselineComparison,
+    MetricDelta,
+    SampleStats,
+    baseline_path,
+    compare_baselines,
+    format_baseline,
+    format_comparison,
+    load_baseline,
+)
 from repro.obs.events import EventLog, JsonLinesSink, MemorySink, Sink
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.report import format_timing_breakdown
+from repro.obs.report import format_resource_breakdown, format_timing_breakdown
+from repro.obs.resources import ResourceSampler, ResourceWatch, read_rss_bytes
 from repro.obs.telemetry import (
     NULL_TELEMETRY,
     NullTelemetry,
@@ -32,21 +49,34 @@ from repro.obs.telemetry import (
 from repro.obs.tracing import Span, SpanStopwatch, Tracer
 
 __all__ = [
+    "Baseline",
+    "BaselineComparison",
     "Counter",
     "EventLog",
     "Gauge",
     "Histogram",
     "JsonLinesSink",
     "MemorySink",
+    "MetricDelta",
     "MetricsRegistry",
     "NULL_TELEMETRY",
     "NullTelemetry",
+    "ResourceSampler",
+    "ResourceWatch",
     "RunManifest",
+    "SampleStats",
     "Sink",
     "Span",
     "SpanStopwatch",
     "Telemetry",
     "Tracer",
+    "baseline_path",
+    "compare_baselines",
+    "format_baseline",
+    "format_comparison",
+    "format_resource_breakdown",
     "format_timing_breakdown",
+    "load_baseline",
     "load_trace",
+    "read_rss_bytes",
 ]

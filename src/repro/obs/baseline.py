@@ -1,0 +1,408 @@
+"""Benchmark baselines: durable ``BENCH_*.json`` files and comparison.
+
+A :class:`Baseline` is the machine-readable record of one benchmark
+run: per-phase wall/CPU/RSS sample statistics (median and IQR over the
+measured trials), metric counters and the run's provenance manifest.
+``repro bench run`` writes one; ``repro bench compare`` loads two and
+performs *noise-aware* regression detection -- a phase is flagged only
+when its median shift exceeds **both** a relative threshold and the
+pooled inter-quartile range, so ordinary trial-to-trial jitter never
+trips the gate while a real slowdown (or memory blow-up, the paper's
+PLSA problem) always does.
+
+File names are timestamp-free by design (``BENCH_<label>.json``): the
+label names *what* was measured, the embedded manifest records *when*,
+and re-running overwrites in place so diffs against a checked-in seed
+baseline stay meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError, PersistenceError
+
+__all__ = [
+    "Baseline",
+    "BaselineComparison",
+    "MetricDelta",
+    "SampleStats",
+    "baseline_path",
+    "compare_baselines",
+    "format_baseline",
+    "format_comparison",
+    "load_baseline",
+]
+
+#: Format marker for baseline files.
+BASELINE_FORMAT_VERSION = 1
+#: File-name prefix shared by all baseline files.
+BASELINE_PREFIX = "BENCH_"
+#: Metrics the regression gate inspects (others are informational).
+GATE_METRICS = ("wall_seconds", "peak_rss_bytes")
+
+_LABEL_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+#: Per-metric absolute floors: a median shift below the floor is noise
+#: regardless of ratios (sub-5ms wall deltas, sub-4MiB RSS deltas).
+_ABSOLUTE_FLOORS = {
+    "wall_seconds": 0.005,
+    "cpu_seconds": 0.005,
+    "peak_rss_bytes": 4 * 1024 * 1024,
+    "alloc_peak_bytes": 4 * 1024 * 1024,
+}
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolation quantile of an ascending sample list."""
+    if not ordered:
+        raise ConfigurationError("cannot take a quantile of an empty sample")
+    position = (len(ordered) - 1) * q
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Median/IQR summary of one metric's samples across trials."""
+
+    median: float
+    iqr: float
+    minimum: float
+    maximum: float
+    samples: tuple[float, ...]
+
+    @classmethod
+    def from_samples(cls, values: list[float] | tuple[float, ...]) -> "SampleStats":
+        if not values:
+            raise ConfigurationError("SampleStats needs at least one sample")
+        ordered = sorted(float(v) for v in values)
+        return cls(
+            median=_quantile(ordered, 0.5),
+            iqr=_quantile(ordered, 0.75) - _quantile(ordered, 0.25),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            samples=tuple(float(v) for v in values),
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "median": self.median,
+            "iqr": self.iqr,
+            "min": self.minimum,
+            "max": self.maximum,
+            "samples": list(self.samples),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SampleStats":
+        try:
+            return cls(
+                median=float(payload["median"]),
+                iqr=float(payload["iqr"]),
+                minimum=float(payload["min"]),
+                maximum=float(payload["max"]),
+                samples=tuple(float(v) for v in payload.get("samples", ())),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistenceError(f"malformed sample stats: {payload!r}") from exc
+
+
+@dataclass
+class Baseline:
+    """One benchmark run's durable record.
+
+    ``phases`` maps ``"MODEL/SOURCE/phase"`` keys to per-metric
+    :class:`SampleStats` (``wall_seconds`` always; ``cpu_seconds``,
+    ``peak_rss_bytes`` and ``alloc_peak_bytes`` when measured).
+    """
+
+    label: str
+    phases: dict[str, dict[str, SampleStats]]
+    counters: dict[str, float] = field(default_factory=dict)
+    manifest: dict | None = None
+    config: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "version": BASELINE_FORMAT_VERSION,
+            "label": self.label,
+            "manifest": self.manifest,
+            "config": dict(self.config),
+            "phases": {
+                phase: {metric: stats.to_dict() for metric, stats in sorted(metrics.items())}
+                for phase, metrics in sorted(self.phases.items())
+            },
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Baseline":
+        if not isinstance(payload, dict):
+            raise PersistenceError("baseline document must be a JSON object")
+        version = payload.get("version")
+        if version != BASELINE_FORMAT_VERSION:
+            raise PersistenceError(f"unsupported baseline version: {version!r}")
+        label = payload.get("label")
+        if not isinstance(label, str) or not label:
+            raise PersistenceError("baseline is missing its label")
+        raw_phases = payload.get("phases")
+        if not isinstance(raw_phases, dict):
+            raise PersistenceError("baseline is missing its phases mapping")
+        phases: dict[str, dict[str, SampleStats]] = {}
+        for phase, metrics in raw_phases.items():
+            if not isinstance(metrics, dict) or not metrics:
+                raise PersistenceError(f"phase {phase!r} has no metrics")
+            phases[phase] = {
+                metric: SampleStats.from_dict(stats) for metric, stats in metrics.items()
+            }
+        counters = payload.get("counters", {})
+        if not isinstance(counters, dict):
+            raise PersistenceError("baseline counters must be a mapping")
+        manifest = payload.get("manifest")
+        if manifest is not None and not isinstance(manifest, dict):
+            raise PersistenceError("baseline manifest must be a mapping or null")
+        return cls(
+            label=label,
+            phases=phases,
+            counters={str(k): float(v) for k, v in counters.items()},
+            manifest=manifest,
+            config=dict(payload.get("config", {})),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True))
+        return path
+
+
+def baseline_path(directory: str | Path, label: str) -> Path:
+    """``<directory>/BENCH_<label>.json`` with a validated label."""
+    if not _LABEL_PATTERN.match(label):
+        raise ConfigurationError(
+            f"baseline label must match {_LABEL_PATTERN.pattern}, got {label!r}"
+        )
+    return Path(directory) / f"{BASELINE_PREFIX}{label}.json"
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read back a baseline file; :class:`PersistenceError` on bad schema."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise PersistenceError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"baseline {path} is not valid JSON: {exc}") from exc
+    return Baseline.from_dict(payload)
+
+
+# -- comparison --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One phase metric's old-vs-new verdict."""
+
+    phase: str
+    metric: str
+    old_median: float
+    new_median: float
+    delta: float
+    pooled_iqr: float
+    noise_floor: float
+    classification: str  # "regression" | "improvement" | "stable"
+
+    @property
+    def ratio(self) -> float | None:
+        return self.new_median / self.old_median if self.old_median else None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "phase": self.phase,
+            "metric": self.metric,
+            "old_median": self.old_median,
+            "new_median": self.new_median,
+            "delta": self.delta,
+            "ratio": self.ratio,
+            "pooled_iqr": self.pooled_iqr,
+            "noise_floor": self.noise_floor,
+            "classification": self.classification,
+        }
+
+
+@dataclass
+class BaselineComparison:
+    """Every gated metric's verdict plus phase coverage deltas."""
+
+    old_label: str
+    new_label: str
+    deltas: list[MetricDelta]
+    missing_phases: list[str] = field(default_factory=list)
+    added_phases: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.classification == "regression"]
+
+    @property
+    def improvements(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.classification == "improvement"]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "old": self.old_label,
+            "new": self.new_label,
+            "deltas": [d.to_dict() for d in self.deltas],
+            "missing_phases": list(self.missing_phases),
+            "added_phases": list(self.added_phases),
+            "regressions": len(self.regressions),
+            "improvements": len(self.improvements),
+        }
+
+
+def compare_baselines(
+    old: Baseline,
+    new: Baseline,
+    rel_threshold: float = 0.10,
+    iqr_factor: float = 1.0,
+) -> BaselineComparison:
+    """Noise-aware comparison of two baselines.
+
+    A metric regresses only when the median shift exceeds **all** of:
+    ``rel_threshold`` of the old median, ``iqr_factor`` times the pooled
+    IQR (``(old.iqr + new.iqr) / 2`` -- the shared noise estimate), and
+    the metric's absolute floor. Improvements mirror the same test with
+    the sign flipped; everything else is stable.
+    """
+    if rel_threshold <= 0.0:
+        raise ConfigurationError(f"rel_threshold must be positive, got {rel_threshold}")
+    deltas: list[MetricDelta] = []
+    for phase in sorted(set(old.phases) & set(new.phases)):
+        old_metrics, new_metrics = old.phases[phase], new.phases[phase]
+        for metric in sorted(set(old_metrics) & set(new_metrics)):
+            if metric not in GATE_METRICS:
+                continue
+            old_stats, new_stats = old_metrics[metric], new_metrics[metric]
+            delta = new_stats.median - old_stats.median
+            pooled_iqr = (old_stats.iqr + new_stats.iqr) / 2.0
+            noise_floor = max(
+                rel_threshold * abs(old_stats.median),
+                iqr_factor * pooled_iqr,
+                _ABSOLUTE_FLOORS.get(metric, 0.0),
+            )
+            if delta > noise_floor:
+                classification = "regression"
+            elif delta < -noise_floor:
+                classification = "improvement"
+            else:
+                classification = "stable"
+            deltas.append(
+                MetricDelta(
+                    phase=phase,
+                    metric=metric,
+                    old_median=old_stats.median,
+                    new_median=new_stats.median,
+                    delta=delta,
+                    pooled_iqr=pooled_iqr,
+                    noise_floor=noise_floor,
+                    classification=classification,
+                )
+            )
+    return BaselineComparison(
+        old_label=old.label,
+        new_label=new.label,
+        deltas=deltas,
+        missing_phases=sorted(set(old.phases) - set(new.phases)),
+        added_phases=sorted(set(new.phases) - set(old.phases)),
+    )
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def _format_value(metric: str, value: float) -> str:
+    if metric.endswith("_bytes"):
+        return f"{value / (1024 * 1024):.1f}MiB"
+    return f"{value:.3f}s"
+
+
+def format_baseline(baseline: Baseline) -> str:
+    """Human-readable per-phase summary of one baseline."""
+    lines = [f"baseline {baseline.label!r}"]
+    if baseline.config:
+        lines.append(
+            "config: " + ", ".join(f"{k}={v}" for k, v in sorted(baseline.config.items()))
+        )
+    for phase, metrics in sorted(baseline.phases.items()):
+        cells = [
+            f"{metric}={_format_value(metric, stats.median)} (iqr {_format_value(metric, stats.iqr)})"
+            for metric, stats in sorted(metrics.items())
+        ]
+        lines.append(f"  {phase:<32} " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def _comparison_rows(comparison: BaselineComparison) -> list[tuple[str, ...]]:
+    rows = []
+    for delta in comparison.deltas:
+        ratio = f"{delta.ratio:.2f}x" if delta.ratio is not None else "-"
+        rows.append(
+            (
+                delta.phase,
+                delta.metric,
+                _format_value(delta.metric, delta.old_median),
+                _format_value(delta.metric, delta.new_median),
+                ratio,
+                delta.classification,
+            )
+        )
+    return rows
+
+
+def format_comparison(comparison: BaselineComparison, fmt: str = "text") -> str:
+    """Render a comparison as ``text``, ``json`` or ``markdown``."""
+    if fmt == "json":
+        return json.dumps(comparison.to_dict(), indent=1, sort_keys=True)
+    header = ("phase", "metric", "old", "new", "ratio", "verdict")
+    rows = _comparison_rows(comparison)
+    lines: list[str]
+    if fmt == "markdown":
+        lines = [
+            f"## bench compare: `{comparison.old_label}` vs `{comparison.new_label}`",
+            "",
+            "| " + " | ".join(header) + " |",
+            "| " + " | ".join("---" for _ in header) + " |",
+        ]
+        lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    elif fmt == "text":
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"bench compare: {comparison.old_label} vs {comparison.new_label}"]
+        lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+        lines.extend(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(header))) for row in rows
+        )
+    else:
+        raise ConfigurationError(f"unknown comparison format: {fmt!r}")
+    if comparison.missing_phases:
+        lines.append("")
+        lines.append("phases missing from new run: " + ", ".join(comparison.missing_phases))
+    if comparison.added_phases:
+        lines.append("")
+        lines.append("phases new in this run: " + ", ".join(comparison.added_phases))
+    lines.append("")
+    lines.append(
+        f"{len(comparison.regressions)} regression(s), "
+        f"{len(comparison.improvements)} improvement(s), "
+        f"{len(comparison.deltas)} metric(s) compared"
+    )
+    return "\n".join(lines)

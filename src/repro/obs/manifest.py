@@ -10,6 +10,7 @@ self-describing.
 
 from __future__ import annotations
 
+import os
 import platform as _platform
 import sys
 import time
@@ -41,6 +42,7 @@ class RunManifest:
         platform: str = "",
         started_at: str = "",
         wall_seconds: float | None = None,
+        cpu_count: int | None = None,
         extra: dict | None = None,
     ):
         self.seed = seed
@@ -52,6 +54,7 @@ class RunManifest:
         self.platform = platform
         self.started_at = started_at
         self.wall_seconds = wall_seconds
+        self.cpu_count = cpu_count
         self.extra = dict(extra or {})
         self._start_clock: float | None = None
 
@@ -76,6 +79,7 @@ class RunManifest:
             started_at=datetime.now(  # repro: allow[RPR003] -- provenance stamp: manifests record when a run happened
                 timezone.utc
             ).isoformat(timespec="seconds"),
+            cpu_count=os.cpu_count(),
             extra=dict(extra),
         )
         manifest._start_clock = time.perf_counter()
@@ -98,6 +102,7 @@ class RunManifest:
             "platform": self.platform,
             "started_at": self.started_at,
             "wall_seconds": self.wall_seconds,
+            "cpu_count": self.cpu_count,
         }
         if self.extra:
             payload["extra"] = dict(self.extra)
@@ -115,5 +120,6 @@ class RunManifest:
             platform=payload.get("platform", ""),
             started_at=payload.get("started_at", ""),
             wall_seconds=payload.get("wall_seconds"),
+            cpu_count=payload.get("cpu_count"),
             extra=payload.get("extra"),
         )

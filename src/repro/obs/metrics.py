@@ -42,7 +42,11 @@ class Gauge:
         self.value = float(value)
 
     def to_dict(self) -> dict[str, object]:
-        return {"type": "gauge", "value": self.value}
+        # A never-written gauge serialises with an explicit marker: the
+        # snapshot stays schema-valid JSON (value is null, not NaN or a
+        # missing key) and merge/compare consumers can distinguish "was
+        # written to None-like zero" from "never written".
+        return {"type": "gauge", "value": self.value, "written": self.value is not None}
 
 
 @dataclass

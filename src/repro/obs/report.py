@@ -7,13 +7,19 @@ line with a call count and summed duration, so a 20-user run shows
 ``profiles ×20`` rather than twenty lines. The footer restates the
 paper's two efficiency measures (TTime = fit + profiles, ETime = rank)
 as rolled up from the span tree.
+
+``--artifact resource-breakdown`` renders the same merged tree with
+the memory and CPU columns recorded by a
+:class:`~repro.obs.resources.ResourceSampler` (``--profile-resources``
+runs): per-phase CPU seconds and peak RSS, the dimension behind the
+paper's PLSA-memory exclusion.
 """
 
 from __future__ import annotations
 
 from repro.obs.tracing import Span
 
-__all__ = ["format_timing_breakdown"]
+__all__ = ["format_resource_breakdown", "format_timing_breakdown"]
 
 #: Span names whose rollup forms the paper's TTime measure.
 TRAINING_PHASES = ("fit", "profiles")
@@ -52,24 +58,28 @@ def _render(spans: list[Span], indent: int, lines: list[str]) -> None:
         _render(children, indent + 1, lines)
 
 
+def _manifest_line(trace: dict, lines: list[str]) -> None:
+    manifest = trace.get("manifest")
+    if not manifest:
+        return
+    bits = []
+    if manifest.get("command"):
+        bits.append(str(manifest["command"]))
+    if manifest.get("seed") is not None:
+        bits.append(f"seed={manifest['seed']}")
+    if manifest.get("package_version"):
+        bits.append(f"repro {manifest['package_version']}")
+    if manifest.get("started_at"):
+        bits.append(f"started {manifest['started_at']}")
+    if bits:
+        lines.append("run: " + ", ".join(bits))
+
+
 def format_timing_breakdown(trace: dict) -> str:
     """Per-phase timing tree plus TTime/ETime rollups for one trace."""
     spans = [Span.from_dict(p) for p in trace.get("spans", [])]
     lines = ["timing breakdown (wall-clock seconds)"]
-
-    manifest = trace.get("manifest")
-    if manifest:
-        bits = []
-        if manifest.get("command"):
-            bits.append(str(manifest["command"]))
-        if manifest.get("seed") is not None:
-            bits.append(f"seed={manifest['seed']}")
-        if manifest.get("package_version"):
-            bits.append(f"repro {manifest['package_version']}")
-        if manifest.get("started_at"):
-            bits.append(f"started {manifest['started_at']}")
-        if bits:
-            lines.append("run: " + ", ".join(bits))
+    _manifest_line(trace, lines)
 
     if not spans:
         lines.append("(no spans recorded)")
@@ -82,4 +92,58 @@ def format_timing_breakdown(trace: dict) -> str:
     lines.append("")
     lines.append(f"TTime (fit + profiles) = {training:.3f}s")
     lines.append(f"ETime (rank)           = {testing:.3f}s")
+    return "\n".join(lines)
+
+
+def _peak_rss(span: Span) -> float | None:
+    """Deep maximum ``peak_rss_bytes`` over a span and its descendants."""
+    candidates = [value for c in span.children if (value := _peak_rss(c)) is not None]
+    own = span.resources.get("peak_rss_bytes")
+    if own is not None:
+        candidates.append(float(own))
+    return max(candidates) if candidates else None
+
+
+def _render_resources(spans: list[Span], indent: int, lines: list[str]) -> None:
+    for exemplar, count, total, children in _merge_siblings(spans):
+        members = [exemplar] if count == 1 else None
+        calls = f" x{count}" if count > 1 else ""
+        label = f"{'  ' * indent}{exemplar.name}{calls}"
+        # Merged siblings: wall and CPU add up, RSS peaks take the max.
+        group = [s for s in spans if s.name == exemplar.name] if members is None else members
+        cpu_values = [s.resources.get("cpu_seconds") for s in group]
+        cpu = (
+            sum(float(v) for v in cpu_values if v is not None)
+            if any(v is not None for v in cpu_values)
+            else None
+        )
+        rss_values = [value for s in group if (value := _peak_rss(s)) is not None]
+        rss = max(rss_values) if rss_values else None
+        cpu_cell = f"{cpu:>9.3f}s" if cpu is not None else f"{'-':>10}"
+        rss_cell = f"{rss / (1024 * 1024):>9.1f}M" if rss is not None else f"{'-':>10}"
+        lines.append(f"{label:<48}{total:>10.3f}s{cpu_cell}{rss_cell}")
+        _render_resources(children, indent + 1, lines)
+
+
+def format_resource_breakdown(trace: dict) -> str:
+    """The merged span tree with wall, CPU and peak-RSS columns."""
+    spans = [Span.from_dict(p) for p in trace.get("spans", [])]
+    lines = ["resource breakdown (wall / cpu / peak RSS)"]
+    _manifest_line(trace, lines)
+
+    if not spans:
+        lines.append("(no spans recorded)")
+        return "\n".join(lines)
+
+    lines.append(f"{'span':<48}{'wall':>11}{'cpu':>10}{'rss':>10}")
+    _render_resources(spans, 0, lines)
+
+    overall = [value for s in spans if (value := _peak_rss(s)) is not None]
+    lines.append("")
+    if overall:
+        lines.append(f"peak RSS = {max(overall) / (1024 * 1024):.1f} MiB")
+    else:
+        lines.append(
+            "(no resource samples recorded; rerun with --profile-resources)"
+        )
     return "\n".join(lines)

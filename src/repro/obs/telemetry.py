@@ -25,6 +25,7 @@ from repro.eval.timing import Stopwatch
 from repro.obs.events import EventLog
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.resources import ResourceSampler
 from repro.obs.tracing import Span, Tracer
 
 __all__ = ["NULL_TELEMETRY", "NullTelemetry", "Telemetry", "load_trace"]
@@ -44,11 +45,19 @@ class Telemetry:
         metrics: MetricsRegistry | None = None,
         events: EventLog | None = None,
         manifest: RunManifest | None = None,
+        resources: ResourceSampler | None = None,
     ):
-        self.tracer = tracer if tracer is not None else Tracer()
+        self.tracer = tracer if tracer is not None else Tracer(resources=resources)
+        if resources is not None:
+            self.tracer.resources = resources
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = events if events is not None else EventLog()
         self.manifest = manifest
+
+    @property
+    def resources(self) -> ResourceSampler | None:
+        """The sampler feeding span resource windows, if any."""
+        return self.tracer.resources
 
     # -- recording ----------------------------------------------------------
 

@@ -21,19 +21,32 @@ from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.eval.timing import Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs.resources import ResourceSampler
 
 __all__ = ["Span", "SpanStopwatch", "Tracer"]
 
 
 @dataclass
 class Span:
-    """One timed region: name, attributes, duration, children."""
+    """One timed region: name, attributes, duration, children.
+
+    When the tracer has a :class:`~repro.obs.resources.ResourceSampler`
+    attached, ``resources`` carries the span's cost measurements
+    (``peak_rss_bytes``, ``cpu_seconds`` and opt-in
+    ``alloc_peak_bytes``); it stays empty otherwise and is omitted from
+    the serialised form.
+    """
 
     name: str
     attributes: dict[str, object] = field(default_factory=dict)
     duration: float | None = None
     children: list["Span"] = field(default_factory=list)
+    resources: dict[str, float] = field(default_factory=dict)
 
     def total(self, name: str) -> float:
         """Summed duration of this span's descendants named ``name``.
@@ -55,6 +68,8 @@ class Span:
             payload["duration"] = self.duration
         if self.children:
             payload["children"] = [c.to_dict() for c in self.children]
+        if self.resources:
+            payload["resources"] = dict(self.resources)
         return payload
 
     @classmethod
@@ -64,6 +79,7 @@ class Span:
             attributes=dict(payload.get("attributes", {})),
             duration=payload.get("duration"),
             children=[cls.from_dict(c) for c in payload.get("children", [])],
+            resources=dict(payload.get("resources", {})),
         )
 
 
@@ -74,9 +90,11 @@ class Tracer:
     spans opened at the top level collect in :attr:`roots`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, resources: "ResourceSampler | None" = None) -> None:
         self.roots: list[Span] = []
         self._stack: list[Span] = []
+        #: Optional sampler; when set, every span gets a resource watch.
+        self.resources = resources
 
     @property
     def current(self) -> Span | None:
@@ -90,11 +108,14 @@ class Tracer:
         parent = self.current
         (parent.children if parent is not None else self.roots).append(span)
         self._stack.append(span)
+        watch = self.resources.watch() if self.resources is not None else None
         start = time.perf_counter()
         try:
             yield span
         finally:
             span.duration = time.perf_counter() - start
+            if watch is not None:
+                span.resources.update(watch.stop())
             self._stack.pop()
 
     def stopwatch(self, name: str, **attributes: object) -> "SpanStopwatch":

@@ -289,6 +289,74 @@ class TestSpanHygiene:
         ) == ["RPR005"]
 
 
+class TestResourceSpanLeak:
+    def test_flags_sampler_outside_with(self):
+        (violation,) = lint(
+            """
+            from repro.obs.resources import ResourceSampler
+
+            def run():
+                sampler = ResourceSampler()
+                return sampler
+            """
+        ).violations
+        assert violation.rule == "RPR007"
+        assert violation.line == 5
+
+    def test_with_statement_is_clean(self):
+        assert rules_hit(
+            """
+            from repro.obs import ResourceSampler
+
+            def run():
+                with ResourceSampler(interval=0.01) as sampler:
+                    return sampler.watch()
+            """
+        ) == []
+
+    def test_enter_context_is_clean(self):
+        assert rules_hit(
+            """
+            from repro.obs.resources import ResourceSampler
+
+            def run(stack):
+                return stack.enter_context(ResourceSampler())
+            """
+        ) == []
+
+    def test_aliased_import_still_flagged(self):
+        assert rules_hit(
+            """
+            from repro.obs import resources
+
+            def run():
+                return resources.ResourceSampler()
+            """
+        ) == ["RPR007"]
+
+    def test_delegating_factory_is_clean(self):
+        # Mirrors RPR005: a function named for delegation may return an
+        # un-entered sampler for its caller to enter.
+        assert rules_hit(
+            """
+            from repro.obs.resources import ResourceSampler
+
+            def resource_sampler(interval):
+                return ResourceSampler(interval=interval)
+            """
+        ) == []
+
+    def test_non_delegating_return_still_flagged(self):
+        assert rules_hit(
+            """
+            from repro.obs.resources import ResourceSampler
+
+            def start():
+                return ResourceSampler()
+            """
+        ) == ["RPR007"]
+
+
 class TestPicklableSpec:
     def test_flags_callable_field(self):
         (violation,) = lint(

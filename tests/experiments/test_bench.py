@@ -1,0 +1,144 @@
+"""Tests for the calibrated ``repro bench`` suite.
+
+The load-bearing property is schema stability: a serial suite and a
+``--jobs 2`` suite must produce baselines with identical phase keys and
+metric names, every phase carrying wall-clock and peak-RSS statistics,
+so baselines recorded on different machines/configurations stay
+comparable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import benchmarks._common as bench_common
+from repro.core.sources import RepresentationSource
+from repro.errors import ConfigurationError
+from repro.experiments.bench import (
+    SUITE_SCALES,
+    TRIALS_ENV,
+    default_trials,
+    run_bench_suite,
+)
+from repro.experiments.runner import SweepResult, SweepRow
+from repro.obs.baseline import compare_baselines, load_baseline
+from repro.twitter.entities import UserType
+
+#: Fastest possible suite slice: one bag model, one source, tiny corpus.
+#: One warmup trial is load-bearing for the comparison tests: the very
+#: first trial in a process pays import/allocator warmup, which shows
+#: up as a spurious median shift between two same-seed runs.
+FAST = dict(
+    scale="tiny", trials=1, warmup=1, models=("TN",), sources=(RepresentationSource.R,)
+)
+
+
+class TestTrialsKnob:
+    def test_defaults_to_fallback(self, monkeypatch):
+        monkeypatch.delenv(TRIALS_ENV, raising=False)
+        assert default_trials() == 3
+        assert default_trials(fallback=1) == 1
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv(TRIALS_ENV, "7")
+        assert default_trials() == 7
+        assert default_trials(fallback=1) == 7
+
+    @pytest.mark.parametrize("bad", ["zero-ish", "0", "-3"])
+    def test_invalid_values_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv(TRIALS_ENV, bad)
+        with pytest.raises(ConfigurationError):
+            default_trials()
+
+
+class TestSuiteValidation:
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_bench_suite(scale="galactic")
+
+    def test_trials_and_warmup_bounds(self):
+        with pytest.raises(ConfigurationError):
+            run_bench_suite(scale="tiny", trials=0)
+        with pytest.raises(ConfigurationError):
+            run_bench_suite(scale="tiny", warmup=-1)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_bench_suite(scale="tiny", models=("NOPE",))
+
+    def test_scales_are_ordered_small_to_large(self):
+        assert SUITE_SCALES["tiny"].n_users < SUITE_SCALES["quick"].n_users
+
+
+class TestSuiteBaselines:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_bench_suite(label="serial", **{**FAST, "trials": 2})
+
+    def test_every_phase_has_wall_and_rss(self, serial):
+        assert serial.phases  # non-empty
+        for phase, metrics in serial.phases.items():
+            assert "wall_seconds" in metrics, phase
+            assert "peak_rss_bytes" in metrics, phase
+            assert len(metrics["wall_seconds"].samples) == 2
+
+    def test_pipeline_stages_are_present(self, serial):
+        assert "TN/R/total" in serial.phases
+        for stage in ("prepare", "fit", "profiles", "rank"):
+            assert f"TN/R/{stage}" in serial.phases
+
+    def test_manifest_and_config_record_the_run(self, serial):
+        assert serial.manifest["command"] == "bench"
+        assert serial.manifest["extra"]["scale"] == "tiny"
+        assert serial.config["models"] == ["TN"]
+        assert serial.counters  # e.g. docs.tokenized
+
+    def test_parallel_schema_matches_serial(self, serial):
+        parallel = run_bench_suite(label="parallel", jobs=2, **FAST)
+        assert set(parallel.phases) == set(serial.phases)
+        for phase in serial.phases:
+            assert set(parallel.phases[phase]) == set(serial.phases[phase]), phase
+
+    def test_same_seed_runs_compare_clean(self, serial, tmp_path):
+        # Save/load round trip plus the acceptance gate: two runs of the
+        # same suite at the same seed must report zero regressions.
+        again = run_bench_suite(label="again", **{**FAST, "trials": 2})
+        path = again.save(tmp_path / "BENCH_again.json")
+        comparison = compare_baselines(serial, load_baseline(path))
+        assert comparison.regressions == []
+        assert comparison.missing_phases == []
+
+
+class TestFigureBenchBaselines:
+    def _result(self):
+        rows = [
+            SweepRow(
+                model="TN", params={"n": n}, source=RepresentationSource.R,
+                group=group, map_score=0.5, per_user_ap={1: 0.5},
+                training_seconds=0.3 * n, testing_seconds=0.1 * n,
+                phase_seconds={"fit": 0.2 * n, "rank": 0.1 * n},
+            )
+            for n in (1, 2)
+            for group in (UserType.ALL, UserType.INFORMATION_SEEKER)
+        ]
+        return SweepResult(rows, manifest={"seed": 7})
+
+    def test_write_timing_baseline_uses_all_group_rows(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(bench_common, "RESULTS_DIR", tmp_path)
+        path = bench_common.write_timing_baseline("fig_test", self._result())
+        baseline = load_baseline(path)
+        assert path.name == "BENCH_fig_test.json"
+        assert set(baseline.phases) == {
+            "TN/R/ttime", "TN/R/etime", "TN/R/fit", "TN/R/rank"
+        }
+        # One sample per configuration, ALL-group rows only.
+        ttime = baseline.phases["TN/R/ttime"]["wall_seconds"]
+        assert ttime.samples == (0.3, 0.6)
+        assert baseline.counters["rows"] == 4.0
+        assert baseline.manifest == {"seed": 7}
+
+    def test_bench_trials_honours_the_env_knob(self, monkeypatch):
+        monkeypatch.delenv(TRIALS_ENV, raising=False)
+        assert bench_common.bench_trials() == 1
+        monkeypatch.setenv(TRIALS_ENV, "4")
+        assert bench_common.bench_trials() == 4

@@ -1,0 +1,196 @@
+"""Tests for benchmark baselines and noise-aware comparison.
+
+The contract under test: a baseline round-trips through its JSON file
+unchanged; comparing a run against itself never flags a regression;
+a genuine slowdown flags exactly the slowed phase; and jitter inside
+the pooled IQR stays classified as noise.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, PersistenceError
+from repro.obs.baseline import (
+    Baseline,
+    SampleStats,
+    baseline_path,
+    compare_baselines,
+    format_baseline,
+    format_comparison,
+    load_baseline,
+)
+
+
+def make_baseline(label: str = "seed", scale: float = 1.0, **overrides) -> Baseline:
+    """A three-phase baseline; ``overrides`` scales named phases' wall time."""
+    phases = {}
+    for phase, wall in (("TN/R/fit", 0.5), ("TN/R/rank", 0.2), ("TN/R/total", 0.8)):
+        factor = overrides.get(phase, scale)
+        walls = [wall * factor * (1 + jitter) for jitter in (-0.01, 0.0, 0.01)]
+        phases[phase] = {
+            "wall_seconds": SampleStats.from_samples(walls),
+            "peak_rss_bytes": SampleStats.from_samples([64e6, 65e6, 66e6]),
+        }
+    return Baseline(label=label, phases=phases, counters={"rows": 9.0})
+
+
+class TestSampleStats:
+    def test_median_and_iqr(self):
+        stats = SampleStats.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert stats.median == pytest.approx(2.5)
+        assert stats.iqr == pytest.approx(1.5)
+        assert (stats.minimum, stats.maximum) == (1.0, 4.0)
+
+    def test_needs_at_least_one_sample(self):
+        with pytest.raises(ConfigurationError):
+            SampleStats.from_samples([])
+
+    def test_malformed_payload_raises_persistence_error(self):
+        with pytest.raises(PersistenceError):
+            SampleStats.from_dict({"median": "not-a-number"})
+
+
+class TestBaselineFiles:
+    def test_round_trip(self, tmp_path):
+        baseline = make_baseline()
+        path = baseline.save(baseline_path(tmp_path, "seed"))
+        assert path.name == "BENCH_seed.json"
+        restored = load_baseline(path)
+        assert restored.label == "seed"
+        assert restored.phases.keys() == baseline.phases.keys()
+        assert restored.phases["TN/R/fit"]["wall_seconds"] == (
+            baseline.phases["TN/R/fit"]["wall_seconds"]
+        )
+        assert restored.counters == {"rows": 9.0}
+
+    def test_label_validation(self, tmp_path):
+        assert baseline_path(tmp_path, "fig7_efficiency").name == "BENCH_fig7_efficiency.json"
+        with pytest.raises(ConfigurationError):
+            baseline_path(tmp_path, "bad label")
+        with pytest.raises(ConfigurationError):
+            baseline_path(tmp_path, "../escape")
+
+    def test_missing_file_raises_persistence_error(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_baseline(tmp_path / "BENCH_nope.json")
+
+    def test_invalid_json_raises_persistence_error(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json")
+        with pytest.raises(PersistenceError):
+            load_baseline(path)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda doc: doc.update(version=99),
+            lambda doc: doc.pop("label"),
+            lambda doc: doc.update(phases="not-a-mapping"),
+            lambda doc: doc.update(phases={"TN/R/fit": {}}),
+            lambda doc: doc.update(counters=[1, 2]),
+        ],
+    )
+    def test_schema_violations_raise_persistence_error(self, tmp_path, mutate):
+        doc = make_baseline().to_dict()
+        mutate(doc)
+        path = tmp_path / "BENCH_broken.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(PersistenceError):
+            load_baseline(path)
+
+
+class TestComparison:
+    def test_same_run_has_zero_regressions(self):
+        comparison = compare_baselines(make_baseline("old"), make_baseline("new"))
+        assert comparison.regressions == []
+        assert comparison.improvements == []
+        assert all(d.classification == "stable" for d in comparison.deltas)
+
+    def test_slowdown_flags_exactly_the_slowed_phase(self):
+        # fit gets 3x slower; rank and total stay put (total's own span
+        # is a separate phase entry here, so only fit should trip).
+        slowed = make_baseline("new", **{"TN/R/fit": 3.0})
+        comparison = compare_baselines(make_baseline("old"), slowed)
+        assert [(d.phase, d.metric) for d in comparison.regressions] == [
+            ("TN/R/fit", "wall_seconds")
+        ]
+
+    def test_jitter_inside_pooled_iqr_is_noise(self):
+        # A 30% shift on a tiny absolute value (1ms) sits under the
+        # absolute floor; a shift smaller than the pooled IQR is noise
+        # even when it clears the relative threshold.
+        old = Baseline(
+            label="old",
+            phases={
+                "x/tiny": {"wall_seconds": SampleStats.from_samples([0.001, 0.001])},
+                "x/noisy": {"wall_seconds": SampleStats.from_samples([1.0, 2.0, 3.0])},
+            },
+        )
+        new = Baseline(
+            label="new",
+            phases={
+                "x/tiny": {"wall_seconds": SampleStats.from_samples([0.0013, 0.0013])},
+                "x/noisy": {"wall_seconds": SampleStats.from_samples([1.4, 2.4, 3.4])},
+            },
+        )
+        comparison = compare_baselines(old, new)
+        assert comparison.regressions == []
+
+    def test_memory_blowup_is_gated_too(self):
+        old = make_baseline("old")
+        new = make_baseline("new")
+        new.phases["TN/R/fit"]["peak_rss_bytes"] = SampleStats.from_samples(
+            [640e6, 650e6, 660e6]
+        )
+        comparison = compare_baselines(old, new)
+        assert [(d.phase, d.metric) for d in comparison.regressions] == [
+            ("TN/R/fit", "peak_rss_bytes")
+        ]
+
+    def test_improvements_mirror_regressions(self):
+        faster = make_baseline("new", **{"TN/R/rank": 0.2})
+        comparison = compare_baselines(make_baseline("old"), faster)
+        assert [d.phase for d in comparison.improvements] == ["TN/R/rank"]
+        assert comparison.regressions == []
+
+    def test_phase_coverage_deltas(self):
+        old, new = make_baseline("old"), make_baseline("new")
+        del new.phases["TN/R/rank"]
+        new.phases["TN/T/fit"] = {"wall_seconds": SampleStats.from_samples([0.1])}
+        comparison = compare_baselines(old, new)
+        assert comparison.missing_phases == ["TN/R/rank"]
+        assert comparison.added_phases == ["TN/T/fit"]
+
+    def test_rel_threshold_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            compare_baselines(make_baseline(), make_baseline(), rel_threshold=0.0)
+
+
+class TestRendering:
+    def test_format_baseline_lists_every_phase(self):
+        text = format_baseline(make_baseline())
+        assert "baseline 'seed'" in text
+        for phase in ("TN/R/fit", "TN/R/rank", "TN/R/total"):
+            assert phase in text
+        assert "MiB" in text  # byte metrics are humanised
+
+    def test_text_and_markdown_and_json_outputs(self):
+        comparison = compare_baselines(
+            make_baseline("old"), make_baseline("new", **{"TN/R/fit": 3.0})
+        )
+        text = format_comparison(comparison, "text")
+        assert "regression" in text and "1 regression(s)" in text
+        markdown = format_comparison(comparison, "markdown")
+        assert markdown.startswith("## bench compare")
+        assert "| TN/R/fit |" in markdown
+        payload = json.loads(format_comparison(comparison, "json"))
+        assert payload["regressions"] == 1
+        assert payload["old"] == "old" and payload["new"] == "new"
+
+    def test_unknown_format_rejected(self):
+        comparison = compare_baselines(make_baseline(), make_baseline())
+        with pytest.raises(ConfigurationError):
+            format_comparison(comparison, "yaml")

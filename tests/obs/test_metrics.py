@@ -26,6 +26,26 @@ class TestGauge:
         registry.gauge("ll").set(-80.25)
         assert registry.gauge("ll").value == -80.25
 
+    def test_never_written_gauge_serialises_stably(self):
+        # Regression: a gauge that was registered but never set used to
+        # emit {"value": None} with nothing marking it unwritten, which
+        # downstream schema checks read as a written null.
+        registry = MetricsRegistry()
+        payload = registry.gauge("ll").to_dict()
+        assert payload == {"type": "gauge", "value": None, "written": False}
+        registry.gauge("ll").set(-80.25)
+        assert registry.gauge("ll").to_dict() == {
+            "type": "gauge",
+            "value": -80.25,
+            "written": True,
+        }
+
+    def test_unwritten_gauge_merges_as_a_no_op(self):
+        registry = MetricsRegistry()
+        registry.gauge("ll").set(-1.0)
+        registry.merge({"ll": {"type": "gauge", "value": None, "written": False}})
+        assert registry.gauge("ll").value == -1.0
+
 
 class TestHistogram:
     def test_summary_statistics(self):

@@ -1,0 +1,142 @@
+"""Tests for the trace-report renderers.
+
+Covers the tree shapes the pipeline actually produces: deeply nested
+span chains, same-named sibling runs that merge into one ``xN`` line,
+and parallel (``--jobs``) traces where worker span forests were
+absorbed into the parent -- plus the resource-breakdown columns.
+"""
+
+from __future__ import annotations
+
+from repro.obs.report import format_resource_breakdown, format_timing_breakdown
+from repro.obs.telemetry import Telemetry
+
+
+def span(name, duration, children=(), resources=None, **attributes):
+    payload = {"name": name, "duration": duration}
+    if attributes:
+        payload["attributes"] = dict(attributes)
+    if children:
+        payload["children"] = list(children)
+    if resources:
+        payload["resources"] = dict(resources)
+    return payload
+
+
+def trace(*spans, manifest=None):
+    return {"version": 1, "manifest": manifest, "spans": list(spans)}
+
+
+class TestTimingBreakdown:
+    def test_deeply_nested_chain_indents_per_level(self):
+        doc = trace(
+            span(
+                "evaluate",
+                4.0,
+                [span("fit", 3.0, [span("gibbs", 2.5, [span("sweep", 2.0)])])],
+            )
+        )
+        text = format_timing_breakdown(doc)
+        lines = text.splitlines()
+        evaluate = next(line for line in lines if line.startswith("evaluate"))
+        sweep = next(line for line in lines if "sweep" in line)
+        assert evaluate.index("evaluate") == 0
+        assert sweep.index("sweep") == 6  # three levels down, two spaces each
+
+    def test_same_named_siblings_merge_with_count_and_sum(self):
+        doc = trace(
+            span(
+                "evaluate",
+                4.0,
+                [
+                    span("profiles", 1.0, [span("user", 0.5)]),
+                    span("profiles", 2.0, [span("user", 1.5)]),
+                ],
+            )
+        )
+        text = format_timing_breakdown(doc)
+        assert "profiles x2" in text
+        merged = next(line for line in text.splitlines() if "profiles" in line)
+        assert "3.000s" in merged
+        # Children of all merged members roll up under the one line.
+        user = next(line for line in text.splitlines() if "user" in line)
+        assert "x2" in user and "2.000s" in user
+
+    def test_parallel_trace_rolls_up_all_workers(self):
+        # Two workers evaluated one cell each; the parent absorbed both
+        # forests. TTime/ETime must sum across the workers' trees.
+        parent = Telemetry()
+        for model, fit, rank in (("TN", 1.0, 0.25), ("LDA", 2.0, 0.5)):
+            worker = trace(
+                span(
+                    "evaluate",
+                    fit + rank,
+                    [span("fit", fit), span("profiles", 0.0), span("rank", rank)],
+                    model=model,
+                    source="R",
+                )
+            )
+            parent.absorb({"spans": worker["spans"]})
+        text = format_timing_breakdown(parent.trace_payload())
+        assert "evaluate x2" in text
+        assert "TTime (fit + profiles) = 3.000s" in text
+        assert "ETime (rank)           = 0.750s" in text
+
+    def test_empty_trace_reports_no_spans(self):
+        assert "(no spans recorded)" in format_timing_breakdown(trace())
+
+    def test_manifest_line_renders_provenance(self):
+        doc = trace(
+            span("evaluate", 1.0),
+            manifest={"command": "evaluate", "seed": 7, "package_version": "1.0.0"},
+        )
+        text = format_timing_breakdown(doc)
+        assert "run: evaluate, seed=7, repro 1.0.0" in text
+
+
+class TestResourceBreakdown:
+    def test_columns_render_cpu_and_rss(self):
+        doc = trace(
+            span(
+                "evaluate",
+                1.0,
+                [span("fit", 0.8, resources={"cpu_seconds": 0.7, "peak_rss_bytes": 96e6})],
+                resources={"cpu_seconds": 0.9, "peak_rss_bytes": 100e6},
+            )
+        )
+        text = format_resource_breakdown(doc)
+        assert "wall" in text and "cpu" in text and "rss" in text
+        fit = next(line for line in text.splitlines() if "fit" in line)
+        assert "0.700s" in fit and "91.6M" in fit
+        assert "peak RSS = 95.4 MiB" in text
+
+    def test_merged_siblings_sum_cpu_and_max_rss(self):
+        doc = trace(
+            span("rank", 1.0, resources={"cpu_seconds": 0.4, "peak_rss_bytes": 50e6}),
+            span("rank", 2.0, resources={"cpu_seconds": 0.6, "peak_rss_bytes": 80e6}),
+        )
+        text = format_resource_breakdown(doc)
+        merged = next(line for line in text.splitlines() if "rank x2" in line)
+        assert "3.000s" in merged  # wall adds up
+        assert "1.000s" in merged  # cpu adds up
+        assert "76.3M" in merged  # rss takes the max (80e6 bytes)
+
+    def test_parent_without_samples_inherits_deep_peak(self):
+        # Absorbed parallel traces often have bare wrapper spans above
+        # resource-carrying worker spans: the deep max must surface.
+        doc = trace(
+            span(
+                "config",
+                3.0,
+                [span("evaluate", 2.9, resources={"peak_rss_bytes": 70e6})],
+            )
+        )
+        text = format_resource_breakdown(doc)
+        config = next(line for line in text.splitlines() if line.startswith("config"))
+        assert "66.8M" in config  # deep peak, not a dash
+        assert "-" in config  # but no cpu samples of its own
+
+    def test_unsampled_trace_suggests_the_flag(self):
+        doc = trace(span("evaluate", 1.0))
+        text = format_resource_breakdown(doc)
+        assert "--profile-resources" in text

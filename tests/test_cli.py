@@ -146,6 +146,88 @@ class TestParallelAndResume:
         assert _strip_timings(resumed["rows"]) == _strip_timings(first["rows"])
 
 
+class TestBench:
+    @pytest.fixture(scope="class")
+    def baseline_file(self, tmp_path_factory):
+        out_dir = tmp_path_factory.mktemp("bench")
+        code = main([
+            "bench", "run", "--label", "seed", "--scale", "tiny",
+            "--trials", "1", "--warmup", "0", "--out-dir", str(out_dir),
+        ])
+        assert code == 0
+        return out_dir / "BENCH_seed.json"
+
+    def test_run_writes_a_schema_valid_baseline(self, baseline_file):
+        doc = json.loads(baseline_file.read_text())
+        assert doc["version"] == 1 and doc["label"] == "seed"
+        assert doc["manifest"]["command"] == "bench"
+        for model in ("TN", "TNG", "LDA"):
+            for source in ("R", "T", "TR"):
+                assert f"{model}/{source}/total" in doc["phases"]
+        for phase, metrics in doc["phases"].items():
+            assert "wall_seconds" in metrics, phase
+            assert "peak_rss_bytes" in metrics, phase
+
+    def test_compare_against_itself_is_clean(self, baseline_file, capsys):
+        code = main([
+            "bench", "compare", str(baseline_file), str(baseline_file), "--gate",
+        ])
+        assert code == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_gate_flags_exactly_the_slowed_phase(
+        self, baseline_file, tmp_path, capsys
+    ):
+        doc = json.loads(baseline_file.read_text())
+        slowed = doc["phases"]["TN/R/fit"]["wall_seconds"]
+        for key in ("median", "min", "max"):
+            slowed[key] = slowed[key] * 10 + 1.0
+        slowed["samples"] = [v * 10 + 1.0 for v in slowed["samples"]]
+        slowed_path = tmp_path / "BENCH_slowed.json"
+        slowed_path.write_text(json.dumps(doc))
+
+        code = main([
+            "bench", "compare", str(baseline_file), str(slowed_path),
+            "--gate", "--format", "json",
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        flagged = [
+            (d["phase"], d["metric"]) for d in payload["deltas"]
+            if d["classification"] == "regression"
+        ]
+        assert flagged == [("TN/R/fit", "wall_seconds")]
+
+    def test_markdown_output(self, baseline_file, capsys):
+        code = main([
+            "bench", "compare", str(baseline_file), str(baseline_file),
+            "--format", "markdown",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out.startswith("## bench compare")
+
+    def test_schema_error_exits_2(self, baseline_file, tmp_path, capsys):
+        broken = tmp_path / "BENCH_broken.json"
+        broken.write_text("{\"version\": 99}")
+        code = main(["bench", "compare", str(baseline_file), str(broken)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_profiled_evaluate_renders_resource_breakdown(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "evaluate", "--model", "TN", "--source", "R", *SMALL,
+            "--trace-out", str(trace_path), "--profile-resources",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "report", "--artifact", "resource-breakdown", "--trace", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "resource breakdown" in out
+        assert "peak RSS" in out and "--profile-resources" not in out
+
+
 class TestSuggest:
     def test_hashtag_for_text(self, capsys):
         code = main([
