@@ -16,6 +16,7 @@ RPR004    error-taxonomy           bare builtin raises in the library
 RPR005    span-hygiene             spans not entered via ``with``
 RPR006    picklable-spec           unpicklable process-pool specs
 RPR007    resource-span-leak       samplers not entered via ``with``
+RPR008    unbounded-wait           executor waits without a timeout
 RPR900    unused-pragma            stale ``repro: allow[...]`` comment
 ========  =======================  ==================================
 
@@ -50,6 +51,7 @@ from repro.analysis import rules_taxonomy  # noqa: E402,F401  isort: skip
 from repro.analysis import rules_telemetry  # noqa: E402,F401  isort: skip
 from repro.analysis import rules_pickle  # noqa: E402,F401  isort: skip
 from repro.analysis import rules_resources  # noqa: E402,F401  isort: skip
+from repro.analysis import rules_concurrency  # noqa: E402,F401  isort: skip
 
 __all__ = [
     "JSON_FORMAT_VERSION",

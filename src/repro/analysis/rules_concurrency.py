@@ -1,0 +1,70 @@
+"""RPR008: waits in the sweep executors carry a timeout.
+
+The sweep engine's fault-tolerance story rests on one discipline: the
+supervising process never blocks forever on a worker. An unbounded
+``Queue.get()``, ``Process.join()`` or ``future.result()`` in the
+executor layer turns a crashed or hung worker into a hung *sweep* --
+exactly the failure class the supervision machinery
+(:mod:`repro.experiments.supervision`) exists to contain. This rule
+scopes to ``src/repro/experiments`` (the only package that talks to
+worker processes) and flags zero-argument calls to those methods; a
+bounded wait passes a ``timeout=`` keyword, and non-blocking drains use
+``get_nowait``/``put_nowait``, which are fine.
+
+The zero-positional-argument restriction keeps the heuristic honest:
+``mapping.get(key)`` and ``", ".join(parts)`` share method names with
+the blocking calls but always take arguments, so they never trip it.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.base import FileContext, Rule, Violation, register_rule
+
+__all__ = ["UnboundedWaitRule"]
+
+#: Method names that block without bound when called bare.
+_BLOCKING_ATTRS = ("get", "join", "result")
+
+#: Keywords that bound the wait (``block=False`` makes ``get`` a poll).
+_BOUNDING_KEYWORDS = ("timeout", "block")
+
+#: The package this rule patrols, as a posix path fragment.
+_SCOPE = "src/repro/experiments"
+
+
+@register_rule
+class UnboundedWaitRule(Rule):
+    id = "RPR008"
+    name = "unbounded-wait"
+    summary = "unbounded Queue.get / Process.join / future.result in the executors"
+    invariant = (
+        "every wait in the sweep-executor layer is bounded, so a crashed or "
+        "hung worker can cost a cell but never hang the sweep"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if _SCOPE not in ctx.path.as_posix():
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _BLOCKING_ATTRS:
+                continue
+            if node.args:
+                continue  # mapping.get(key), sep.join(parts), ...
+            if any(
+                kw.arg in _BOUNDING_KEYWORDS for kw in node.keywords if kw.arg
+            ):
+                continue
+            yield ctx.violation(
+                self, node,
+                f".{func.attr}() without a timeout in the executor layer: "
+                f"pass timeout=... (or use the _nowait variant) so a dead "
+                f"worker cannot hang the sweep",
+            )

@@ -19,6 +19,14 @@ A saved trace renders as a per-phase tree with ``report --artifact
 timing-breakdown --trace trace.json`` (or ``resource-breakdown`` for
 the memory columns).
 
+``sweep`` supervises its cells: ``--cell-timeout`` bounds each attempt's
+wall clock (with ``--jobs``), ``--max-attempts``/``--retry-backoff``
+shape the retry policy, and cells that exhaust their attempts are
+*quarantined* -- the sweep completes, reports them, exits 3, and a
+``--resume`` run retries exactly those cells. ``--inject-faults
+plan.json`` (or the ``REPRO_FAULT_PLAN`` variable) arms deterministic
+fault injection for testing those paths; see ``repro.faults``.
+
 ``bench run`` executes the calibrated suite (one bag, one graph, one
 topic model across three sources) with warmup and repeated trials and
 writes a timestamp-free ``BENCH_<label>.json`` baseline; ``bench
@@ -59,9 +67,12 @@ from repro.experiments.executors import (
     GridSpec,
     PipelineSpec,
     ProcessCellExecutor,
+    SerialCellExecutor,
     SweepSpec,
 )
 from repro.experiments.persistence import SweepJournal, load_sweep, save_sweep
+from repro.experiments.supervision import RetryPolicy, SupervisionPolicy
+from repro.faults import FaultPlan
 from repro.experiments.report import (
     format_figure7,
     format_figure_map,
@@ -269,7 +280,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         runner = SweepRunner(pipeline, groups, telemetry=telemetry)
         sources = [RepresentationSource(s) for s in args.sources]
-        executor = None
+        policy = SupervisionPolicy(
+            timeout_seconds=args.cell_timeout,
+            retry=RetryPolicy(
+                max_attempts=args.max_attempts,
+                backoff_seconds=args.retry_backoff,
+                seed=args.seed,
+            ),
+        )
+        # --inject-faults beats the ambient REPRO_FAULT_PLAN variable.
+        fault_plan = (
+            FaultPlan.parse(args.inject_faults)
+            if args.inject_faults
+            else FaultPlan.from_env()
+        )
         if args.jobs > 1:
             spec = SweepSpec(
                 pipeline=PipelineSpec(
@@ -281,13 +305,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 ),
                 grid=GridSpec.from_grid(grid),
             )
-            executor = ProcessCellExecutor(spec, jobs=args.jobs)
+            executor = ProcessCellExecutor(
+                spec, jobs=args.jobs, policy=policy, fault_plan=fault_plan
+            )
+        else:
+            executor = SerialCellExecutor(
+                pipeline, policy=policy, fault_plan=fault_plan
+            )
         journal_path = _journal_path(args)
         journal = (
             SweepJournal(journal_path, resume=args.resume) if journal_path else None
         )
         if journal is not None and journal.restored:
             print(f"resuming: {journal.restored} cells restored from {journal.path}")
+            quarantined = journal.quarantined()
+            if quarantined:
+                print(f"retrying {len(quarantined)} quarantined cells")
         try:
             result = runner.run(
                 configs, sources, progress=args.progress,
@@ -309,6 +342,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         manifest.finish()
         path = save_sweep(result, args.out, manifest=manifest)
         print(f"{len(result.rows)} rows saved to {path}")
+        if result.failures:
+            print(
+                f"{len(result.failures)}/{result.cell_count()} cells quarantined:",
+                file=sys.stderr,
+            )
+            for failed in result.failures:
+                print(
+                    f"  {failed.model} on {failed.source.value}: "
+                    f"{failed.failure.kind} ({failed.failure.error}) after "
+                    f"{failed.failure.attempts} attempt(s)",
+                    file=sys.stderr,
+                )
+            print(
+                "rerun with --resume to retry quarantined cells", file=sys.stderr
+            )
+            return 3
     return 0
 
 
@@ -471,7 +520,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--resume", action="store_true",
-        help="restore completed cells from the journal instead of re-running them",
+        help="restore completed cells from the journal instead of re-running "
+             "them; quarantined cells are retried",
+    )
+    p_sweep.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock budget for one cell; overruns are "
+             "terminated and retried (needs --jobs > 1 to preempt)",
+    )
+    p_sweep.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="supervised attempts per cell before it is quarantined",
+    )
+    p_sweep.add_argument(
+        "--retry-backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base of the exponential retry backoff (seeded jitter on top)",
+    )
+    p_sweep.add_argument(
+        "--inject-faults", metavar="PLAN", default=None,
+        help="fault-injection plan: a JSON file path or inline JSON "
+             "(testing; overrides the REPRO_FAULT_PLAN variable)",
     )
     _add_telemetry_arguments(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)

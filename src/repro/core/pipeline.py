@@ -47,6 +47,7 @@ from repro.core.stages import (
     RankingOutcome,
     UserProfiles,
     artifact_key,
+    stage_checkpoint,
 )
 from repro.errors import ConfigurationError, DataGenerationError
 from repro.eval.metrics import average_precision, map_over_users
@@ -241,6 +242,7 @@ class ExperimentPipeline:
         the user set -- never on the model -- so it is cached and shared
         across every configuration of a sweep.
         """
+        stage_checkpoint("prepare")
         users = tuple(users)
         key = self.corpus_key(source, users)
 
@@ -274,6 +276,7 @@ class ExperimentPipeline:
         self, model: RepresentationModel, corpus: PreparedCorpus
     ) -> FittedModel:
         """Stage 2: fit the representation model on the prepared corpus."""
+        stage_checkpoint("fit")
         tel = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
         recommender = RankingRecommender(model)
         self._install_iteration_hook(model, tel)
@@ -301,6 +304,7 @@ class ExperimentPipeline:
         individually, reproducing the per-user ``profiles`` spans of the
         trace tree.
         """
+        stage_checkpoint("profiles")
         if stopwatch is None:
             stopwatch = Stopwatch()
         corpus = fitted.corpus
@@ -330,6 +334,7 @@ class ExperimentPipeline:
         stopwatch: Stopwatch | None = None,
     ) -> RankingOutcome:
         """Stage 4: rank every user's test set and compute her AP."""
+        stage_checkpoint("rank")
         if stopwatch is None:
             stopwatch = Stopwatch()
         context = self._context_for(fitted.corpus.users)

@@ -32,7 +32,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Iterator, Mapping
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -50,7 +51,46 @@ __all__ = [
     "UserProfiles",
     "artifact_key",
     "canonical_params",
+    "stage_checkpoint",
+    "stage_gate",
 ]
+
+
+#: Installed stage-boundary hooks, called by :func:`stage_checkpoint`.
+#: Empty in normal operation; the fault-injection layer
+#: (:mod:`repro.faults`) installs a gate here for the duration of one
+#: armed evaluation, which is how a fault plan reaches stage code
+#: without the stages knowing anything about faults.
+_STAGE_GATES: list[Callable[[str], None]] = []
+
+
+@contextmanager
+def stage_gate(gate: Callable[[str], None]) -> Iterator[None]:
+    """Install ``gate`` as a stage-boundary hook for one ``with`` block.
+
+    Every :func:`stage_checkpoint` reached inside the block calls
+    ``gate(stage_name)`` before the stage's own work starts. Gates may
+    raise (or never return) -- that is the point: they are how the
+    fault injector makes a stage fail, stall or bloat on demand.
+    """
+    _STAGE_GATES.append(gate)
+    try:
+        yield
+    finally:
+        _STAGE_GATES.remove(gate)
+
+
+def stage_checkpoint(stage: str) -> None:
+    """Announce a stage boundary to any installed gates.
+
+    Called by the pipeline at the entry of each of the four evaluation
+    stages (``prepare`` / ``fit`` / ``profiles`` / ``rank``). A no-op
+    (one truthiness check) when no gate is installed, so the hot path
+    pays nothing for the capability.
+    """
+    if _STAGE_GATES:
+        for gate in tuple(_STAGE_GATES):
+            gate(stage)
 
 
 def canonical_params(params: Mapping[str, Any]) -> str:

@@ -44,6 +44,27 @@ class ConfigurationError(ReproError):
     """
 
 
+class InjectedFaultError(ReproError):
+    """A deliberately injected fault fired (see :mod:`repro.faults`).
+
+    Raised by ``raise``-kind fault specs so chaos tests and CI can tell
+    an exercised failure path from a genuine defect. Quarantine records
+    carry this class name in their error taxonomy field.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A sweep worker process died mid-cell (non-zero exit, OOM kill).
+
+    The supervisor raises/records this on behalf of the dead worker --
+    the worker itself never gets to raise anything.
+    """
+
+
+class CellTimeoutError(ReproError):
+    """A sweep cell exceeded its wall-clock budget and was terminated."""
+
+
 class NotFittedError(ReproError):
     """A model was used before it was trained/fitted."""
 

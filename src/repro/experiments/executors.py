@@ -1,19 +1,29 @@
-"""Pluggable sweep executors: serial default, process-pool fan-out.
+"""Pluggable sweep executors: serial default, supervised process fan-out.
 
 A sweep is a grid of *cells* -- one (configuration, source) pair
 evaluated over the union of the user groups. :class:`SerialCellExecutor`
 walks them in-process on the runner's own pipeline (the historical
-behaviour). :class:`ProcessCellExecutor` farms them out to a process
-pool: each worker reconstructs an equivalent pipeline from a picklable
-:class:`SweepSpec` (dataset config + split protocol + grid scaling),
-evaluates its cells, and ships the result -- plus its telemetry spans,
-events and metric snapshots -- back to the parent, which merges them
-into its own stream.
+behaviour). :class:`ProcessCellExecutor` farms them out to a supervised
+pool of worker processes: each worker reconstructs an equivalent
+pipeline from a picklable :class:`SweepSpec` (dataset config + split
+protocol + grid scaling), evaluates its cells, and ships the result --
+plus its telemetry spans, events and metric snapshots -- back to the
+parent, which merges them into its own stream.
 
 Both executors yield ``(cell, outcome)`` pairs in *submission order*
 regardless of completion order, and every model is seeded through the
 grid spec, so the rows a sweep produces are bit-identical whichever
 executor ran them.
+
+Both executors also *supervise* their cells (see
+:mod:`repro.experiments.supervision`): a failed attempt is retried with
+seeded-jitter exponential backoff, and a cell that exhausts its attempts
+comes back as a quarantined outcome carrying a typed
+:class:`~repro.experiments.supervision.CellFailure` instead of raising.
+The process executor additionally enforces per-attempt wall-clock
+timeouts and detects dead workers -- each worker has its own task and
+result queues, so a crash or a terminated hang loses one cell attempt,
+never the run, and the pool replaces the casualty with a fresh process.
 
 ``ModelConfig`` factories are closures and cannot cross a process
 boundary; instead a cell names its configuration by (model, canonical
@@ -26,8 +36,12 @@ scaling knobs that do not appear in the parameters, like
 
 from __future__ import annotations
 
+import heapq
+import multiprocessing
+import pickle
+import queue
+import time
 from collections.abc import Iterator, Sequence
-from concurrent.futures import Future, ProcessPoolExecutor
 from contextlib import ExitStack
 from dataclasses import dataclass, field
 
@@ -36,9 +50,13 @@ from repro.core.sources import RepresentationSource
 from repro.core.stages import canonical_params
 from repro.errors import ConfigurationError
 from repro.experiments.configs import ConfigGrid, ModelConfig
-from repro.obs.events import MemorySink
+from repro.experiments.supervision import CellFailure, SupervisionPolicy
+from repro.faults.injector import maybe_armed
+from repro.faults.plan import FaultPlan
+from repro.obs.events import EventLog, MemorySink
 from repro.obs.resources import ResourceSampler
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+
 from repro.twitter.dataset import DatasetConfig, generate_dataset
 
 __all__ = [
@@ -136,7 +154,7 @@ class Cell:
 
 @dataclass
 class CellOutcome:
-    """What one cell evaluation produced (or why it was skipped)."""
+    """What one cell evaluation produced (or why it didn't produce)."""
 
     model: str
     params: dict
@@ -150,6 +168,11 @@ class CellOutcome:
     #: "events": [...], "metrics": {...}}. None for in-process cells,
     #: whose telemetry flowed to the parent stream directly.
     telemetry: dict | None = None
+    #: How many supervised attempts the cell took (1 = first try).
+    attempts: int = 1
+    #: Set when the cell was quarantined: every attempt failed, and this
+    #: records the final attempt's taxonomy class and post-mortem.
+    failure: CellFailure | None = None
 
 
 #: One pipeline / config index per worker process, keyed by spec; a
@@ -183,6 +206,8 @@ def evaluate_cell(
     cell: Cell,
     collect_telemetry: bool = False,
     sample_resources: bool = False,
+    attempt: int = 1,
+    fault_plan: FaultPlan | None = None,
 ) -> CellOutcome:
     """Evaluate one cell against a worker-local pipeline.
 
@@ -196,7 +221,15 @@ def evaluate_cell(
     of the cell, so the spans shipped back in ``outcome.telemetry``
     carry this *worker process's* RSS peaks -- the parent's own sampler
     cannot see across the process boundary.
+
+    ``attempt`` and ``fault_plan`` belong to supervision: the attempt
+    number flows from the supervisor (it survives worker replacement, so
+    ``times``-bounded flaky faults recover deterministically), and the
+    plan -- explicit, or ambient via ``REPRO_FAULT_PLAN`` -- is armed
+    around the evaluation so stage checkpoints can fire its faults.
     """
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
     with ExitStack() as stack:
         telemetry = None
         if collect_telemetry:
@@ -217,14 +250,20 @@ def evaluate_cell(
             )
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
         outcome = CellOutcome(
-            model=cell.model, params=dict(cell.params), source=cell.source
+            model=cell.model,
+            params=dict(cell.params),
+            source=cell.source,
+            attempts=attempt,
         )
         try:
             with tel.span("config", label=cell.label, source=cell.source):
                 try:
-                    result = pipeline.evaluate(
-                        config.build(), RepresentationSource(cell.source), list(cell.users)
-                    )
+                    with maybe_armed(
+                        fault_plan, cell.model, cell.source, cell.params_key, attempt
+                    ):
+                        result = pipeline.evaluate(
+                            config.build(), RepresentationSource(cell.source), list(cell.users)
+                        )
                 except ConfigurationError as error:
                     outcome.skipped = str(error)
                 else:
@@ -253,14 +292,26 @@ class SerialCellExecutor:
     """Default executor: evaluates cells in-process, in order.
 
     Uses the runner's own pipeline, so split/document/corpus caches and
-    live telemetry behave exactly as they always have.
+    live telemetry behave exactly as they always have. Supervision is
+    retry-only: an in-process cell cannot be preempted, so the policy's
+    ``timeout_seconds`` is not enforced here (run with ``--jobs`` when
+    hangs are on the menu), and an injected ``crash`` fault genuinely
+    takes the process down, exactly as a real crash would.
     """
 
     jobs = 1
 
-    def __init__(self, pipeline: ExperimentPipeline, telemetry: Telemetry | None = None):
+    def __init__(
+        self,
+        pipeline: ExperimentPipeline,
+        telemetry: Telemetry | None = None,
+        policy: SupervisionPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+    ):
         self.pipeline = pipeline
         self.telemetry = telemetry
+        self.policy = policy if policy is not None else SupervisionPolicy()
+        self.fault_plan = fault_plan
 
     def run_cells(
         self,
@@ -272,46 +323,195 @@ class SerialCellExecutor:
         # but needs no action here: in-process cells record through the
         # parent tracer, whose own sampler (if any) already covers them.
         tel = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
+        events = tel.events if tel.enabled else EventLog()
+        plan = self.fault_plan if self.fault_plan is not None else FaultPlan.from_env()
         for cell, config in tasks:
             if config is None:
                 raise ConfigurationError(
                     f"serial executor needs the ModelConfig for cell {cell.key}"
                 )
+            yield cell, self._supervised(cell, config, tel, events, plan)
+
+    def _supervised(
+        self,
+        cell: Cell,
+        config: ModelConfig,
+        tel: Telemetry,
+        events: EventLog,
+        plan: FaultPlan | None,
+    ) -> CellOutcome:
+        retry = self.policy.retry
+        started = time.monotonic()
+        for attempt in range(1, retry.max_attempts + 1):
             outcome = CellOutcome(
-                model=cell.model, params=dict(cell.params), source=cell.source
+                model=cell.model,
+                params=dict(cell.params),
+                source=cell.source,
+                attempts=attempt,
             )
             with tel.span("config", label=cell.label, source=cell.source):
                 try:
-                    result = self.pipeline.evaluate(
-                        config.build(),
-                        RepresentationSource(cell.source),
-                        list(cell.users),
-                    )
+                    with maybe_armed(plan, cell.model, cell.source, cell.params_key, attempt):
+                        result = self.pipeline.evaluate(
+                            config.build(),
+                            RepresentationSource(cell.source),
+                            list(cell.users),
+                        )
                 except ConfigurationError as error:
+                    # Invalid (config, source) pairings are protocol
+                    # skips, not faults: no retry, no quarantine.
                     outcome.skipped = str(error)
+                    return outcome
+                except Exception as error:
+                    if attempt < retry.max_attempts:
+                        tel.count("sweep.cell.retry")
+                        events.emit(
+                            "cell_retry",
+                            cell=cell.key,
+                            attempt=attempt,
+                            kind="error",
+                            error=type(error).__name__,
+                            message=str(error),
+                        )
+                        time.sleep(retry.delay(cell.key, attempt))
+                        continue
+                    outcome.failure = CellFailure(
+                        kind="error",
+                        error=type(error).__name__,
+                        message=str(error),
+                        attempts=attempt,
+                        elapsed_seconds=time.monotonic() - started,
+                    )
+                    return outcome
                 else:
                     outcome.per_user_ap = dict(result.per_user_ap)
                     outcome.training_seconds = result.training_seconds
                     outcome.testing_seconds = result.testing_seconds
                     outcome.phase_seconds = dict(result.phase_seconds)
-            yield cell, outcome
+                    return outcome
+        raise AssertionError("unreachable: retry loop always returns")
+
+
+def _pool_worker(task_queue, result_queue) -> None:
+    """Worker main loop: unpickle task, evaluate, ship outcome.
+
+    Plain function at module scope so it survives any start method. The
+    loop polls with a bounded timeout (never an unbounded ``get``) and
+    exits on the empty-bytes sentinel; any evaluation error is reported
+    as a typed tuple, never allowed to kill the worker -- only a hard
+    crash (``os._exit``, OOM kill, segfault) takes it down, and the
+    supervisor detects that through ``is_alive``/``exitcode``.
+    """
+    while True:
+        try:
+            blob = task_queue.get(timeout=1.0)
+        except queue.Empty:
+            continue
+        if blob == b"":
+            break
+        try:
+            index, attempt, spec, cell, collect_telemetry, sample_resources, plan = (
+                pickle.loads(blob)
+            )
+        except Exception as error:
+            result_queue.put(("error", -1, type(error).__name__, str(error)))
+            continue
+        try:
+            outcome = evaluate_cell(
+                spec,
+                cell,
+                collect_telemetry,
+                sample_resources,
+                attempt=attempt,
+                fault_plan=plan,
+            )
+        except Exception as error:
+            result_queue.put(("error", index, type(error).__name__, str(error)))
+        else:
+            result_queue.put(("ok", index, outcome))
+
+
+class _PoolWorker:
+    """One supervised worker process with private task/result queues.
+
+    Private queues are the crash-isolation boundary: terminating a
+    process that shares a queue with its siblings can corrupt the
+    queue's pipe mid-message, so each worker gets its own pair and a
+    replacement worker gets fresh ones.
+    """
+
+    __slots__ = ("process", "tasks", "results", "current")
+
+    def __init__(self) -> None:
+        context = multiprocessing.get_context()
+        self.tasks = context.Queue()
+        self.results = context.Queue()
+        self.process = context.Process(
+            target=_pool_worker, args=(self.tasks, self.results), daemon=True
+        )
+        self.process.start()
+        #: (cell index, attempt, monotonic start) of the in-flight task.
+        self.current: tuple[int, int, float] | None = None
+
+    def submit(self, blob: bytes, index: int, attempt: int) -> None:
+        self.tasks.put(blob)
+        self.current = (index, attempt, time.monotonic())
+
+    def stop(self, grace_seconds: float = 1.0) -> None:
+        """Best-effort orderly exit, escalating to terminate then kill."""
+        try:
+            self.tasks.put_nowait(b"")
+        except (queue.Full, ValueError, OSError):
+            pass
+        self.process.join(timeout=grace_seconds)
+        self.discard()
+
+    def discard(self) -> None:
+        """Force the process down and release its queues."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=1.0)
+        for channel in (self.tasks, self.results):
+            channel.close()
+            channel.cancel_join_thread()
 
 
 class ProcessCellExecutor:
-    """Farms cells out to a process pool, preserving submission order.
+    """Farms cells out to a supervised worker pool, preserving order.
 
     Workers rebuild the pipeline from ``spec`` (synthetic datasets are
     deterministic in their config, so every worker sees the same data)
     and return outcomes whose rows are bit-identical to a serial run.
-    All cells are submitted up front; results are joined in submission
-    order so downstream row assembly is deterministic.
+    Results are joined in submission order so downstream row assembly is
+    deterministic.
+
+    Supervision: every attempt gets the policy's wall-clock budget (the
+    worker is terminated and replaced on overrun), a dead worker --
+    detected via ``is_alive``/``exitcode`` after its result queue drains
+    empty -- costs one attempt of one cell, and failed attempts retry
+    with seeded-jitter backoff until the policy's budget is exhausted,
+    at which point the cell is quarantined behind a
+    :class:`~repro.experiments.supervision.CellFailure` outcome.
     """
 
-    def __init__(self, spec: SweepSpec, jobs: int):
+    def __init__(
+        self,
+        spec: SweepSpec,
+        jobs: int,
+        policy: SupervisionPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        telemetry: Telemetry | None = None,
+    ):
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.spec = spec
         self.jobs = jobs
+        self.policy = policy if policy is not None else SupervisionPolicy()
+        self.fault_plan = fault_plan
+        self.telemetry = telemetry
 
     def run_cells(
         self,
@@ -319,22 +519,216 @@ class ProcessCellExecutor:
         collect_telemetry: bool = False,
         sample_resources: bool = False,
     ) -> Iterator[tuple[Cell, CellOutcome]]:
-        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        cells = [cell for cell, _config in tasks]
+        if not cells:
+            return
+        plan = self.fault_plan if self.fault_plan is not None else FaultPlan.from_env()
+        # Pickle every payload before a single worker exists: a cell
+        # whose params cannot cross the process boundary fails loudly
+        # here, with no pool spawned and nothing to leak.
+        for cell in cells:
+            try:
+                pickle.dumps(cell)
+            except Exception as error:
+                raise ConfigurationError(
+                    f"cell {cell.key} is not picklable and cannot be shipped "
+                    f"to a worker process: {error}"
+                ) from error
+        supervisor = _Supervisor(
+            executor=self,
+            cells=cells,
+            collect_telemetry=collect_telemetry,
+            sample_resources=sample_resources,
+            plan=plan,
+        )
+        workers = [_PoolWorker() for _ in range(min(self.jobs, len(cells)))]
         try:
-            submitted: list[tuple[Cell, Future]] = [
-                (
-                    cell,
-                    pool.submit(
-                        evaluate_cell,
-                        self.spec,
-                        cell,
-                        collect_telemetry,
-                        sample_resources,
-                    ),
-                )
-                for cell, _config in tasks
-            ]
-            for cell, future in submitted:
-                yield cell, future.result()
+            yield from supervisor.run(workers)
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            # The happy path, a raise, and an abandoned generator all
+            # land here: no worker may outlive its sweep.
+            for worker in workers:
+                worker.stop()
+
+
+class _Supervisor:
+    """The scheduling state of one ``run_cells`` call."""
+
+    def __init__(self, executor, cells, collect_telemetry, sample_resources, plan):
+        self.executor = executor
+        self.cells = cells
+        self.collect_telemetry = collect_telemetry
+        self.sample_resources = sample_resources
+        self.plan = plan
+        tel = executor.telemetry if executor.telemetry is not None else NULL_TELEMETRY
+        self.tel = tel
+        self.events = tel.events if tel.enabled else EventLog()
+        #: Min-heap of (not-before monotonic time, cell index, attempt).
+        self.ready: list[tuple[float, int, int]] = [
+            (0.0, index, 1) for index in range(len(cells))
+        ]
+        self.completed: dict[int, CellOutcome] = {}
+        #: Wall-clock already spent per cell across failed attempts.
+        self.elapsed: dict[int, float] = {}
+
+    def _payload(self, index: int, attempt: int) -> bytes:
+        return pickle.dumps(
+            (
+                index,
+                attempt,
+                self.executor.spec,
+                self.cells[index],
+                self.collect_telemetry,
+                self.sample_resources,
+                self.plan,
+            )
+        )
+
+    def run(self, workers: list[_PoolWorker]) -> Iterator[tuple[Cell, CellOutcome]]:
+        next_yield = 0
+        while next_yield < len(self.cells):
+            progress = self._assign(workers)
+            for slot, worker in enumerate(workers):
+                if worker.current is None:
+                    continue
+                if self._poll(worker):
+                    progress = True
+                    continue
+                replacement = self._check_dead(worker) or self._check_timeout(worker)
+                if replacement is not None:
+                    workers[slot] = replacement
+                    progress = True
+            while next_yield in self.completed:
+                yield self.cells[next_yield], self.completed.pop(next_yield)
+                next_yield += 1
+                progress = True
+            if not progress:
+                time.sleep(0.02)
+
+    def _assign(self, workers: list[_PoolWorker]) -> bool:
+        assigned = False
+        now = time.monotonic()
+        for worker in workers:
+            if worker.current is not None or not self.ready:
+                continue
+            if self.ready[0][0] > now:
+                break  # heap is time-ordered: nothing is due yet
+            _not_before, index, attempt = heapq.heappop(self.ready)
+            worker.submit(self._payload(index, attempt), index, attempt)
+            assigned = True
+        return assigned
+
+    def _poll(self, worker: _PoolWorker) -> bool:
+        try:
+            message = worker.results.get_nowait()
+        except queue.Empty:
+            return False
+        self._handle(worker, message)
+        return True
+
+    def _check_dead(self, worker: _PoolWorker) -> _PoolWorker | None:
+        if worker.process.is_alive():
+            return None
+        # The result may still be in the queue's feeder pipe; give it a
+        # bounded grace period before declaring the attempt lost.
+        try:
+            message = worker.results.get(timeout=0.2)
+        except queue.Empty:
+            message = None
+        if message is not None:
+            self._handle(worker, message)
+        else:
+            index, attempt, started = worker.current
+            self._attempt_failed(
+                index,
+                attempt,
+                time.monotonic() - started,
+                kind="crash",
+                error="WorkerCrashError",
+                message=(
+                    f"worker process died with exit code "
+                    f"{worker.process.exitcode} during attempt {attempt}"
+                ),
+            )
+        worker.discard()
+        return _PoolWorker()
+
+    def _check_timeout(self, worker: _PoolWorker) -> _PoolWorker | None:
+        budget = self.executor.policy.timeout_seconds
+        if budget is None:
+            return None
+        index, attempt, started = worker.current
+        overrun = time.monotonic() - started
+        if overrun <= budget:
+            return None
+        self.tel.count("sweep.cell.timeout")
+        worker.discard()
+        self._attempt_failed(
+            index,
+            attempt,
+            overrun,
+            kind="timeout",
+            error="CellTimeoutError",
+            message=(
+                f"cell exceeded its {budget:g}s wall-clock budget on "
+                f"attempt {attempt}; worker terminated"
+            ),
+        )
+        return _PoolWorker()
+
+    def _handle(self, worker: _PoolWorker, message: tuple) -> None:
+        index, attempt, started = worker.current
+        worker.current = None
+        if message[0] == "ok":
+            self.completed[index] = message[2]
+            return
+        _kind, _index, error_name, error_message = message
+        self._attempt_failed(
+            index,
+            attempt,
+            time.monotonic() - started,
+            kind="error",
+            error=error_name,
+            message=error_message,
+        )
+
+    def _attempt_failed(
+        self,
+        index: int,
+        attempt: int,
+        attempt_seconds: float,
+        kind: str,
+        error: str,
+        message: str,
+    ) -> None:
+        cell = self.cells[index]
+        self.elapsed[index] = self.elapsed.get(index, 0.0) + attempt_seconds
+        retry = self.executor.policy.retry
+        if attempt < retry.max_attempts:
+            self.tel.count("sweep.cell.retry")
+            self.events.emit(
+                "cell_retry",
+                cell=cell.key,
+                attempt=attempt,
+                kind=kind,
+                error=error,
+                message=message,
+            )
+            heapq.heappush(
+                self.ready,
+                (time.monotonic() + retry.delay(cell.key, attempt), index, attempt + 1),
+            )
+            return
+        self.completed[index] = CellOutcome(
+            model=cell.model,
+            params=dict(cell.params),
+            source=cell.source,
+            attempts=attempt,
+            failure=CellFailure(
+                kind=kind,
+                error=error,
+                message=message,
+                attempts=attempt,
+                elapsed_seconds=self.elapsed[index],
+            ),
+        )

@@ -30,7 +30,8 @@ from typing import IO
 from repro.errors import PersistenceError
 from repro.core.sources import RepresentationSource
 from repro.experiments.executors import Cell, CellOutcome
-from repro.experiments.runner import SweepResult, SweepRow
+from repro.experiments.runner import FailedCell, SweepResult, SweepRow
+from repro.experiments.supervision import CellFailure
 from repro.obs.manifest import RunManifest
 from repro.twitter.entities import UserType
 
@@ -43,6 +44,21 @@ _FORMAT_VERSION = 1
 #: Journal header markers (first line of every journal file).
 _JOURNAL_FORMAT = "repro-sweep-journal"
 _JOURNAL_VERSION = 1
+
+#: Keys every complete journal cell record carries. A line that parses
+#: as JSON but lacks one of these is *not* a completed cell -- it is
+#: either a torn tail (tolerable, last line only) or corruption.
+_RECORD_REQUIRED_KEYS = frozenset(
+    {
+        "cell",
+        "model",
+        "params",
+        "source",
+        "per_user_ap",
+        "training_seconds",
+        "testing_seconds",
+    }
+)
 
 
 def _row_to_dict(row: SweepRow) -> dict:
@@ -109,6 +125,15 @@ def save_sweep(
         "version": _FORMAT_VERSION,
         "manifest": manifest_dict,
         "rows": [_row_to_dict(row) for row in result.rows],
+        "failures": [
+            {
+                "model": failed.model,
+                "params": failed.params,
+                "source": failed.source.value,
+                "failure": failed.failure.to_dict(),
+            }
+            for failed in result.failures
+        ],
     }
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=1, sort_keys=True))
@@ -122,7 +147,16 @@ def load_sweep(path: str | Path) -> SweepResult:
     if version != _FORMAT_VERSION:
         raise PersistenceError(f"unsupported sweep file version: {version!r}")
     rows = [_row_from_dict(entry) for entry in payload["rows"]]
-    return SweepResult(rows, manifest=payload.get("manifest"))
+    failures = [
+        FailedCell(
+            model=entry["model"],
+            params=dict(entry["params"]),
+            source=RepresentationSource(entry["source"]),
+            failure=CellFailure.from_dict(entry["failure"]),
+        )
+        for entry in payload.get("failures", [])
+    ]
+    return SweepResult(rows, manifest=payload.get("manifest"), failures=failures)
 
 
 def _outcome_to_dict(cell: Cell, outcome: CellOutcome) -> dict:
@@ -136,10 +170,13 @@ def _outcome_to_dict(cell: Cell, outcome: CellOutcome) -> dict:
         "training_seconds": outcome.training_seconds,
         "testing_seconds": outcome.testing_seconds,
         "phase_seconds": outcome.phase_seconds,
+        "attempts": outcome.attempts,
+        "failure": None if outcome.failure is None else outcome.failure.to_dict(),
     }
 
 
 def _outcome_from_dict(entry: dict) -> CellOutcome:
+    failure = entry.get("failure")
     return CellOutcome(
         model=entry["model"],
         params=dict(entry["params"]),
@@ -151,6 +188,8 @@ def _outcome_from_dict(entry: dict) -> CellOutcome:
         phase_seconds={
             str(k): float(v) for k, v in entry.get("phase_seconds", {}).items()
         },
+        attempts=int(entry.get("attempts", 1)),
+        failure=None if failure is None else CellFailure.from_dict(failure),
     )
 
 
@@ -187,16 +226,29 @@ class SweepJournal:
             )
 
     def _load(self) -> None:
-        lines = self.path.read_text(encoding="utf-8").splitlines()
-        entries: list[dict] = []
+        """Scan the journal with an explicit two-state machine.
+
+        State 1 expects the header; state 2 expects complete cell
+        records. A cell counts as complete only if its line parses as
+        JSON *and* carries every key in ``_RECORD_REQUIRED_KEYS`` --
+        a torn tail that happens to truncate into valid JSON (or an
+        interrupted writer that got the key out before the result) must
+        re-run its cell, not masquerade as a finished one. Torn tails
+        are tolerated on the final line only; anywhere else they are
+        corruption and refuse to load.
+        """
+        text = self.path.read_text(encoding="utf-8")
+        lines = text.splitlines()
         good: list[str] = []
+        header_seen = False
         for index, line in enumerate(lines):
             if not line.strip():
                 continue
+            is_last = index == len(lines) - 1
             try:
-                entries.append(json.loads(line))
+                entry = json.loads(line)
             except json.JSONDecodeError:
-                if index == len(lines) - 1:
+                if is_last:
                     # Torn final line: the record in flight when the
                     # previous run was killed. Drop it; its cell simply
                     # re-runs.
@@ -204,22 +256,34 @@ class SweepJournal:
                 raise PersistenceError(
                     f"corrupt journal line {index + 1} in {self.path}"
                 ) from None
-            good.append(line)
-        if not entries:
-            raise PersistenceError(f"journal {self.path} has no header line")
-        header = entries[0]
-        if (
-            header.get("format") != _JOURNAL_FORMAT
-            or header.get("version") != _JOURNAL_VERSION
-        ):
-            raise PersistenceError(f"{self.path} is not a version-{_JOURNAL_VERSION} sweep journal")
-        for entry in entries[1:]:
+            if not header_seen:
+                if (
+                    not isinstance(entry, dict)
+                    or entry.get("format") != _JOURNAL_FORMAT
+                    or entry.get("version") != _JOURNAL_VERSION
+                ):
+                    raise PersistenceError(
+                        f"{self.path} is not a version-{_JOURNAL_VERSION} sweep journal"
+                    )
+                header_seen = True
+                good.append(line)
+                continue
+            if not isinstance(entry, dict) or not _RECORD_REQUIRED_KEYS <= entry.keys():
+                if is_last:
+                    break
+                raise PersistenceError(
+                    f"incomplete cell record at journal line {index + 1} "
+                    f"in {self.path}"
+                )
             self._outcomes[entry["cell"]] = _outcome_from_dict(entry)
+            good.append(line)
+        if not header_seen:
+            raise PersistenceError(f"journal {self.path} has no header line")
         # Truncate the torn tail (and normalise the trailing newline)
         # before appending, or the next record would concatenate onto
         # the half-written fragment and corrupt the file for good.
         sanitized = "\n".join(good) + "\n"
-        if sanitized != self.path.read_text(encoding="utf-8"):
+        if sanitized != text:
             self.path.write_text(sanitized, encoding="utf-8")
 
     def _write_line(self, payload: dict) -> None:
@@ -240,6 +304,15 @@ class SweepJournal:
 
     def outcome(self, key: str) -> CellOutcome:
         return self._outcomes[key]
+
+    def quarantined(self) -> list[str]:
+        """Cell keys whose latest journal record is a quarantine
+        failure -- the cells a ``--resume`` run will retry."""
+        return [
+            key
+            for key, outcome in self._outcomes.items()
+            if outcome.failure is not None
+        ]
 
     def record(self, cell: Cell, outcome: CellOutcome) -> None:
         """Append one completed cell, flushing immediately."""

@@ -29,6 +29,20 @@ def _fmt_row(cells: Sequence[str], widths: Sequence[int]) -> str:
     return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
 
 
+def _annotate(lines: list[str], result: SweepResult) -> list[str]:
+    """Append the result's failure annotation, if it has one.
+
+    Every sweep-derived formatter ends with this, so a table rendered
+    from a partial sweep (quarantined cells -- see
+    :attr:`~repro.experiments.runner.SweepResult.failures`) always says
+    how much of the grid it is missing.
+    """
+    annotation = result.failure_annotation()
+    if annotation:
+        lines.append(annotation)
+    return lines
+
+
 def format_table2(stats: dict[UserType, GroupStats]) -> str:
     """Table 2: per-group dataset statistics."""
     order = [
@@ -105,7 +119,7 @@ def format_figure_map(
     if baselines:
         for name, value in baselines.items():
             lines.append(f"baseline {name}: MAP={value:.3f}")
-    return "\n".join(lines)
+    return "\n".join(_annotate(lines, result))
 
 
 def format_table6(
@@ -132,7 +146,7 @@ def format_table6(
                 cells.append(f"{value:.3f}")
             cells.append(f"{sum(values) / len(values):.3f}" if values else "-")
             lines.append(_fmt_row(cells, widths))
-    return "\n".join(lines)
+    return "\n".join(_annotate(lines, result))
 
 
 def format_table7(
@@ -149,7 +163,7 @@ def format_table7(
                 continue
             params = ", ".join(f"{k}={v}" for k, v in sorted(best.params.items()))
             lines.append(f"  {source.value:>3}: {params}")
-    return "\n".join(lines)
+    return "\n".join(_annotate(lines, result))
 
 
 def format_figure7(result: SweepResult) -> str:
@@ -167,4 +181,4 @@ def format_figure7(result: SweepResult) -> str:
             ],
             widths,
         ))
-    return "\n".join(lines)
+    return "\n".join(_annotate(lines, result))

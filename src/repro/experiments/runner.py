@@ -11,6 +11,13 @@ ordering and values are identical whichever executor ran the cells. A
 each completed cell is appended to a JSONL journal as it finishes, and a
 resumed run restores journaled cells instead of re-evaluating them.
 
+Failure is a first-class outcome: a cell the executor quarantined (every
+supervised attempt failed -- see :mod:`repro.experiments.supervision`)
+lands in :attr:`SweepResult.failures` as a :class:`FailedCell` instead
+of aborting the sweep, is journaled with its post-mortem, and is
+*re-queued* -- not restored -- when the journal is resumed, so
+``--resume`` retries exactly the quarantined cells.
+
 The aggregation helpers then answer the paper's questions: Mean/Min/Max
 MAP per (model, source, group) for Figures 3-6 and Table 6, the best
 configuration per (model, source) for Table 7, and timing summaries for
@@ -34,11 +41,12 @@ from repro.eval.metrics import (
 from repro.eval.timing import TimingSummary, summarize_timings
 from repro.experiments.configs import ModelConfig
 from repro.experiments.executors import Cell, CellOutcome, SerialCellExecutor
+from repro.experiments.supervision import CellFailure
 from repro.obs.events import EventLog
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.twitter.entities import UserType
 
-__all__ = ["SweepRow", "SweepResult", "SweepRunner"]
+__all__ = ["FailedCell", "SweepRow", "SweepResult", "SweepRunner"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +66,18 @@ class SweepRow:
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class FailedCell:
+    """One quarantined (configuration, source) cell of a sweep."""
+
+    model: str
+    params: dict = field(hash=False)
+    source: RepresentationSource = RepresentationSource.R
+    failure: CellFailure = field(
+        default_factory=lambda: CellFailure("error", "", "", 1, 0.0), hash=False
+    )
+
+
 @dataclass
 class SweepResult:
     """All rows of a sweep plus the paper's aggregations."""
@@ -67,6 +87,11 @@ class SweepResult:
     #: populated when the sweep ran under telemetry or was loaded from a
     #: manifest-bearing JSON file.
     manifest: dict | None = None
+    #: Cells quarantined by executor supervision, in canonical order;
+    #: empty for a clean sweep. Their rows are simply absent, and every
+    #: report derived from this result says so (see
+    #: :meth:`failure_annotation`).
+    failures: list[FailedCell] = field(default_factory=list)
 
     def filtered(
         self,
@@ -129,6 +154,29 @@ class SweepResult:
     def models(self) -> tuple[str, ...]:
         return tuple(sorted({r.model for r in self.rows}))
 
+    def cell_count(self) -> int:
+        """Distinct (configuration, source) cells this result covers --
+        evaluated ones plus quarantined ones."""
+        evaluated = {
+            (r.model, canonical_params(r.params), r.source.value) for r in self.rows
+        }
+        return len(evaluated) + len(self.failures)
+
+    def failure_annotation(self) -> str:
+        """One-line health warning for reports; empty when nothing failed.
+
+        Every table and figure formatter appends this, so a rendered
+        report can never silently pass off a partial sweep as complete.
+        """
+        if not self.failures:
+            return ""
+        kinds = sorted({f.failure.kind for f in self.failures})
+        return (
+            f"WARNING: {len(self.failures)}/{self.cell_count()} cells failed "
+            f"({', '.join(kinds)}) and are missing from this report; "
+            "rerun with --resume to retry quarantined cells."
+        )
+
 
 def _console_progress(record: dict) -> None:  # pragma: no cover - console side effect
     """Event sink reproducing the legacy ``progress=True`` console line."""
@@ -140,6 +188,17 @@ def _console_progress(record: dict) -> None:  # pragma: no cover - console side 
         print(f"  {record['label']} on {record['source']}: skipped ({record['reason']})")
     elif record.get("event") == "cell_restored":
         print(f"  {record['label']} on {record['source']}: restored from journal")
+    elif record.get("event") == "cell_requeued":
+        print(
+            f"  {record['label']} on {record['source']}: "
+            f"quarantined last run ({record['kind']}), retrying"
+        )
+    elif record.get("event") == "cell_quarantined":
+        print(
+            f"  {record['label']} on {record['source']}: QUARANTINED "
+            f"({record['kind']}: {record['error']} after "
+            f"{record['attempts']} attempt(s))"
+        )
 
 
 class SweepRunner:
@@ -225,6 +284,13 @@ class SweepRunner:
         configurations = list(configurations)
         if executor is None:
             executor = SerialCellExecutor(self.pipeline, telemetry=tel)
+        elif getattr(executor, "telemetry", None) is None and hasattr(
+            executor, "telemetry"
+        ):
+            # Caller-built executors inherit the runner's telemetry, so
+            # their supervision counters and retry events land in the
+            # same stream as the sweep's own.
+            executor.telemetry = tel
         jobs = getattr(executor, "jobs", 1)
 
         if progress:
@@ -263,15 +329,30 @@ class SweepRunner:
                     )
                     ordered.append(cell)
                     if journal is not None and cell.key in journal:
-                        outcomes[cell.key] = journal.outcome(cell.key)
-                        tel.count("sweep.cells.restored")
+                        restored = journal.outcome(cell.key)
+                        if restored.failure is None:
+                            outcomes[cell.key] = restored
+                            tel.count("sweep.cells.restored")
+                            events.emit(
+                                "cell_restored",
+                                cell=cell.key,
+                                label=cell.label,
+                                source=cell.source,
+                            )
+                            continue
+                        # Quarantined last run: re-queue instead of
+                        # restoring, so --resume is the retry mechanism.
+                        # The journal's last-record-wins semantics let a
+                        # fresh outcome overwrite the failure record.
+                        tel.count("sweep.cells.requeued")
                         events.emit(
-                            "cell_restored",
+                            "cell_requeued",
                             cell=cell.key,
                             label=cell.label,
                             source=cell.source,
+                            kind=restored.failure.kind,
+                            error=restored.failure.error,
                         )
-                        continue
                     pending.append((cell, config))
 
             with tel.span("sweep", jobs=jobs, cells=len(pending)):
@@ -297,7 +378,19 @@ class SweepRunner:
                         label=cell.label,
                         source=cell.source,
                     )
-                    if outcome.skipped is not None:
+                    if outcome.failure is not None:
+                        tel.count("sweep.cell.quarantined")
+                        events.emit(
+                            "cell_quarantined",
+                            cell=cell.key,
+                            label=cell.label,
+                            source=cell.source,
+                            kind=outcome.failure.kind,
+                            error=outcome.failure.error,
+                            message=outcome.failure.message,
+                            attempts=outcome.failure.attempts,
+                        )
+                    elif outcome.skipped is not None:
                         tel.count("sweep.configs.skipped_invalid")
                         events.emit(
                             "config_skipped",
@@ -324,9 +417,20 @@ class SweepRunner:
             # position-independent of executor completion order and of
             # how many cells came back from the journal.
             rows: list[SweepRow] = []
+            failures: list[FailedCell] = []
             for cell in ordered:
                 outcome = outcomes.get(cell.key)
                 if outcome is None or outcome.skipped is not None:
+                    continue
+                if outcome.failure is not None:
+                    failures.append(
+                        FailedCell(
+                            model=cell.model,
+                            params=dict(cell.params),
+                            source=RepresentationSource(cell.source),
+                            failure=outcome.failure,
+                        )
+                    )
                     continue
                 source = RepresentationSource(cell.source)
                 for group in groups:
@@ -360,12 +464,13 @@ class SweepRunner:
                 rows=len(rows),
                 evaluated=len(pending),
                 restored=len(ordered) - len(pending),
+                failed=len(failures),
             )
         finally:
             if progress:
                 events.remove_sink(_console_progress)
         manifest = tel.manifest.to_dict() if tel.enabled and tel.manifest else None
-        return SweepResult(rows, manifest=manifest)
+        return SweepResult(rows, manifest=manifest, failures=failures)
 
     def baselines(
         self, groups: Sequence[UserType] | None = None, random_iterations: int = 1000

@@ -1,0 +1,127 @@
+"""Per-cell supervision policy: timeouts, bounded retries, quarantine.
+
+One hung Gibbs sampler or OOM-killed worker must cost a 223-cell sweep
+exactly one cell, not the run. The executors enforce that through a
+:class:`SupervisionPolicy`: every cell attempt gets a wall-clock budget
+(process executor only -- an in-process hang cannot be preempted), every
+failed attempt is retried up to :attr:`RetryPolicy.max_attempts` with
+exponential backoff and *seeded* jitter (the same cell backs off the
+same way in every run), and a cell that exhausts its attempts is
+quarantined behind a typed :class:`CellFailure` record instead of
+raising -- the sweep completes, reports "n/N cells failed", and
+``--resume`` retries exactly the quarantined cells.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+__all__ = ["FAILURE_KINDS", "CellFailure", "RetryPolicy", "SupervisionPolicy"]
+
+#: How an attempt can fail: an exception in the evaluation (``error``),
+#: a wall-clock budget overrun (``timeout``), or the worker process
+#: dying underneath the cell (``crash``).
+FAILURE_KINDS = ("error", "timeout", "crash")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    Attempt ``k``'s failure waits ``backoff_seconds * 2**(k-1)`` (capped
+    at ``backoff_cap_seconds``) plus up to ``jitter`` of itself, drawn
+    from an RNG seeded on (seed, cell key, attempt) -- deterministic per
+    cell, decorrelated across cells, so a retry stampede cannot
+    synchronise while runs stay reproducible.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.5
+    backoff_cap_seconds: float = 30.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_seconds < 0 or self.backoff_cap_seconds < 0:
+            raise ValidationError("backoff durations must be >= 0")
+        if self.jitter < 0:
+            raise ValidationError(f"jitter must be >= 0, got {self.jitter}")
+
+    def delay(self, cell_key: str, attempt: int) -> float:
+        """Seconds to wait after ``attempt`` (1-based) of ``cell_key`` failed."""
+        base = min(
+            self.backoff_cap_seconds, self.backoff_seconds * (2 ** (attempt - 1))
+        )
+        if self.jitter == 0 or base == 0:
+            return base
+        rng = random.Random(f"{self.seed}:{cell_key}:{attempt}")
+        return base * (1.0 + self.jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How an executor guards its cells.
+
+    ``timeout_seconds`` is the per-attempt wall-clock budget; ``None``
+    disables preemption. Only the process executor can enforce it -- a
+    serial in-process cell cannot be interrupted, which is exactly why
+    hang-sensitive sweeps should run with ``--jobs``.
+    """
+
+    timeout_seconds: float | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValidationError(
+                f"timeout_seconds must be > 0 or None, got {self.timeout_seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Why one cell was quarantined: the typed post-mortem record.
+
+    ``kind`` is the failure taxonomy class of the final attempt (one of
+    :data:`FAILURE_KINDS`), ``error`` the exception class name (e.g.
+    ``InjectedFaultError``, ``WorkerCrashError``, ``CellTimeoutError``),
+    ``attempts`` how many tries the supervisor spent, and
+    ``elapsed_seconds`` the wall-clock cost across all of them.
+    """
+
+    kind: str
+    error: str
+    message: str
+    attempts: int
+    elapsed_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ValidationError(
+                f"unknown failure kind {self.kind!r}; pick from {', '.join(FAILURE_KINDS)}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "error": self.error,
+            "message": self.message,
+            "attempts": self.attempts,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CellFailure":
+        return cls(
+            kind=str(payload["kind"]),
+            error=str(payload["error"]),
+            message=str(payload.get("message", "")),
+            attempts=int(payload.get("attempts", 1)),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        )

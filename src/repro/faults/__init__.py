@@ -1,0 +1,44 @@
+"""``repro.faults`` -- deterministic, seed-driven fault injection.
+
+The sweep engine's failure paths deserve the same test coverage as its
+happy paths, and failure paths only get exercised if failures can be
+produced on demand. This package makes any stage of the staged
+evaluation engine raise, stall, crash the worker or inflate RSS,
+driven by a declarative :class:`FaultPlan`:
+
+* build a plan in code, or load one from JSON
+  (``{"version": 1, "seed": 0, "faults": [{"kind": "crash",
+  "stage": "fit", "model": "TN", "source": "R"}]}``);
+* activate it with ``repro sweep --inject-faults plan.json`` or the
+  :data:`FAULT_PLAN_ENV` (``REPRO_FAULT_PLAN``) environment variable
+  (path or inline JSON);
+* the executors arm a :class:`FaultInjector` around every cell attempt
+  (parent-side for serial runs, worker-side for ``--jobs N``), and the
+  pipeline's stage checkpoints do the rest.
+
+Everything is deterministic: matching is declarative, flakiness is
+bounded by ``times`` (fault the first N attempts, then recover), and
+``probability`` sampling is a pure function of the plan seed and the
+(cell, stage, attempt) site -- the same plan always breaks the same
+cells, which is what lets the chaos suite assert exact quarantine sets
+and bit-identical surviving rows.
+"""
+
+from repro.faults.injector import FaultInjector, maybe_armed
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FAULT_PLAN_ENV,
+    FAULT_STAGES,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "FAULT_STAGES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "maybe_armed",
+]

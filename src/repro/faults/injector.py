@@ -1,0 +1,118 @@
+"""Arming fault plans around one cell evaluation.
+
+A :class:`FaultInjector` turns a declarative
+:class:`~repro.faults.plan.FaultPlan` into live mischief: entering
+:meth:`FaultInjector.armed` installs a stage gate (see
+:func:`repro.core.stages.stage_gate`) scoped to one cell attempt, so
+every stage boundary the pipeline crosses inside the scope consults the
+plan and -- when a spec fires -- raises, stalls, hard-exits the process
+or inflates RSS. Outside an armed scope the pipeline pays a single
+truthiness check per stage, and nothing else.
+
+The injector is deliberately process-agnostic: the serial executor arms
+it around in-process evaluations, while sweep workers arm it inside
+``evaluate_cell`` from the plan shipped with their task (or the ambient
+``REPRO_FAULT_PLAN``), so the same plan file breaks a ``--jobs 8`` run
+and a serial run identically.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from repro.core.stages import stage_gate
+from repro.errors import InjectedFaultError
+from repro.faults.plan import FaultPlan, FaultSpec
+
+__all__ = ["FaultInjector", "maybe_armed"]
+
+#: Touch stride for RSS inflation: one write per page keeps the kernel
+#: from lazily sharing the allocation, so the sampler sees real growth.
+_PAGE = 4096
+
+
+class FaultInjector:
+    """Fires a plan's faults at the stage boundaries of one evaluation."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+
+    @contextmanager
+    def armed(
+        self, model: str, source: str, params_key: str = "", attempt: int = 1
+    ) -> Iterator["_ArmedGate"]:
+        """Arm the plan for one (cell, attempt); fires ``cell`` faults
+        immediately, stage faults as the pipeline reaches them."""
+        gate = _ArmedGate(self.plan, model, source, params_key, attempt)
+        with stage_gate(gate.fire):
+            gate.fire("cell")
+            yield gate
+
+
+class _ArmedGate:
+    """The per-attempt closure installed as a stage gate."""
+
+    __slots__ = ("plan", "model", "source", "params_key", "attempt", "fired")
+
+    def __init__(
+        self, plan: FaultPlan, model: str, source: str, params_key: str, attempt: int
+    ):
+        self.plan = plan
+        self.model = model
+        self.source = source
+        self.params_key = params_key
+        self.attempt = attempt
+        #: (stage, kind) pairs that fired, for tests and telemetry.
+        self.fired: list[tuple[str, str]] = []
+
+    def fire(self, stage: str) -> None:
+        for spec in self.plan.faults:
+            if self.plan.should_fire(
+                spec, stage, self.model, self.source, self.params_key, self.attempt
+            ):
+                self.fired.append((stage, spec.kind))
+                self._trigger(spec, stage)
+
+    def _trigger(self, spec: FaultSpec, stage: str) -> None:
+        if spec.kind == "raise":
+            raise InjectedFaultError(
+                f"injected fault at stage {stage!r} "
+                f"(cell {self.model}|{self.source}, attempt {self.attempt})"
+            )
+        if spec.kind == "hang":
+            time.sleep(spec.seconds)
+            return
+        if spec.kind == "crash":
+            # A hard, unannounced death -- the closest stand-in for an
+            # OOM kill or segfault. Bypasses every handler on purpose;
+            # under the serial executor this takes the whole run down,
+            # exactly as a real crash would.
+            os._exit(spec.exit_code)
+        if spec.kind == "inflate_rss":
+            ballast = bytearray(spec.mib << 20)
+            for offset in range(0, len(ballast), _PAGE):
+                ballast[offset] = 1
+            del ballast
+
+
+@contextmanager
+def maybe_armed(
+    plan: FaultPlan | None,
+    model: str,
+    source: str,
+    params_key: str = "",
+    attempt: int = 1,
+) -> Iterator["_ArmedGate | None"]:
+    """Arm ``plan`` when one is given; a plain no-op scope otherwise.
+
+    The single call site executors use, so the fault-free hot path has
+    no injector object, no gate and no overhead.
+    """
+    if plan is None or not plan:
+        yield None
+        return
+    with FaultInjector(plan).armed(model, source, params_key, attempt) as gate:
+        yield gate

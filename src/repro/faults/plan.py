@@ -1,0 +1,245 @@
+"""Deterministic fault plans: what to break, where, and on which attempt.
+
+A :class:`FaultPlan` is a declarative, JSON-serialisable description of
+the faults to inject into a sweep: *which* cells (matched by model /
+source / canonical params), *where* in the evaluation (one of the four
+pipeline stages, or the whole cell), *what* goes wrong (raise, hang,
+crash, RSS inflation) and *when* (the first N attempts, or a seeded
+pseudo-random subset). Everything is deterministic: the same plan, seed
+and cell always produce the same faults, in the parent process, in any
+worker, and on any retry -- so chaos tests can assert exact quarantine
+sets instead of flaky approximations.
+
+Plans travel two ways: explicitly (``repro sweep --inject-faults
+plan.json`` hands the parsed plan to the executors, which ship it to
+workers inside the task payload) or ambiently via the
+:data:`FAULT_PLAN_ENV` environment variable, whose value is either a
+path to a plan file or the inline JSON itself -- the hook CI and tests
+use to break a run without touching its command line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from collections.abc import Mapping
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import PersistenceError, ValidationError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "FAULT_STAGES",
+    "FaultPlan",
+    "FaultSpec",
+]
+
+#: Environment variable activating a fault plan (path or inline JSON).
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Format marker for plan files.
+PLAN_FORMAT_VERSION = 1
+
+#: What a fault can do to the stage it fires in.
+FAULT_KINDS = ("raise", "hang", "crash", "inflate_rss")
+
+#: Where a fault can fire: the four pipeline stages, or ``cell`` --
+#: fired once when the evaluation of a matching cell begins, before any
+#: stage runs.
+FAULT_STAGES = ("cell", "prepare", "fit", "profiles", "rank")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: a match predicate plus the mischief to perform.
+
+    ``model`` / ``source`` / ``params`` restrict which cells the fault
+    applies to (``None`` matches anything; ``params`` compares against
+    the cell's canonical parameter JSON). ``times`` bounds the faulted
+    attempts: ``times=2`` faults attempts 1 and 2 and lets attempt 3
+    through -- the recipe for a flaky cell that recovers under retry --
+    while the default ``None`` faults every attempt, the recipe for a
+    cell that must end up quarantined. ``probability`` (with the plan
+    seed) faults a deterministic pseudo-random subset of matching
+    (cell, stage, attempt) sites instead of all of them.
+    """
+
+    kind: str
+    stage: str = "cell"
+    model: str | None = None
+    source: str | None = None
+    params: str | None = None
+    times: int | None = None
+    probability: float | None = None
+    #: Hang duration; pick it well above the supervisor's cell timeout.
+    seconds: float = 30.0
+    #: RSS inflation size, mebibytes.
+    mib: int = 64
+    #: Exit code for ``crash`` faults (``os._exit``), distinctive enough
+    #: to recognise in a supervisor log.
+    exit_code: int = 87
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValidationError(
+                f"unknown fault kind {self.kind!r}; pick from {', '.join(FAULT_KINDS)}"
+            )
+        if self.stage not in FAULT_STAGES:
+            raise ValidationError(
+                f"unknown fault stage {self.stage!r}; pick from {', '.join(FAULT_STAGES)}"
+            )
+        if self.times is not None and self.times < 1:
+            raise ValidationError(f"times must be >= 1 or None, got {self.times}")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValidationError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.seconds < 0:
+            raise ValidationError(f"seconds must be >= 0, got {self.seconds}")
+        if self.mib < 1:
+            raise ValidationError(f"mib must be >= 1, got {self.mib}")
+
+    def matches(
+        self, stage: str, model: str, source: str, params_key: str, attempt: int
+    ) -> bool:
+        """Whether this spec applies to one (cell, stage, attempt) site."""
+        if self.stage != stage:
+            return False
+        if self.model is not None and self.model != model:
+            return False
+        if self.source is not None and self.source != source:
+            return False
+        if self.params is not None and self.params != params_key:
+            return False
+        if self.times is not None and attempt > self.times:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        payload: dict = {"kind": self.kind, "stage": self.stage}
+        for key in ("model", "source", "params", "times", "probability"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        for key, default in (("seconds", 30.0), ("mib", 64), ("exit_code", 87)):
+            value = getattr(self, key)
+            if value != default:
+                payload[key] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FaultSpec":
+        known = {
+            "kind", "stage", "model", "source", "params", "times",
+            "probability", "seconds", "mib", "exit_code",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValidationError(f"unknown fault spec field(s): {', '.join(unknown)}")
+        if "kind" not in payload:
+            raise ValidationError("fault spec needs a 'kind'")
+        return cls(**dict(payload))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the fault specs it drives.
+
+    The seed only matters for specs carrying a ``probability``: the
+    decision for each (cell, stage, attempt) site is a pure function of
+    (seed, site), so every process -- parent, worker, resumed run --
+    agrees on exactly which sites fault.
+    """
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def should_fire(
+        self,
+        spec: FaultSpec,
+        stage: str,
+        model: str,
+        source: str,
+        params_key: str,
+        attempt: int,
+    ) -> bool:
+        """Whether ``spec`` fires at this site (match + seeded sampling)."""
+        if not spec.matches(stage, model, source, params_key, attempt):
+            return False
+        if spec.probability is None:
+            return True
+        site = f"{self.seed}:{stage}:{model}:{source}:{params_key}:{attempt}"
+        return random.Random(site).random() < spec.probability
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": PLAN_FORMAT_VERSION,
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FaultPlan":
+        version = payload.get("version", PLAN_FORMAT_VERSION)
+        if version != PLAN_FORMAT_VERSION:
+            raise PersistenceError(f"unsupported fault plan version: {version!r}")
+        faults = payload.get("faults", [])
+        if not isinstance(faults, (list, tuple)):
+            raise ValidationError("fault plan 'faults' must be a list")
+        return cls(
+            faults=tuple(FaultSpec.from_dict(spec) for spec in faults),
+            seed=int(payload.get("seed", 0)),
+        )
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise PersistenceError(f"fault plan is not valid JSON: {error}") from None
+        if not isinstance(payload, Mapping):
+            raise PersistenceError("fault plan must be a JSON object")
+        return cls.from_dict(payload)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.dumps() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        path = Path(path)
+        if not path.exists():
+            raise PersistenceError(f"fault plan file not found: {path}")
+        return cls.loads(path.read_text(encoding="utf-8"))
+
+    @classmethod
+    def parse(cls, value: str) -> "FaultPlan":
+        """Parse a CLI/env plan reference: inline JSON or a file path."""
+        if value.lstrip().startswith("{"):
+            return cls.loads(value)
+        return cls.load(value)
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None) -> "FaultPlan | None":
+        """The ambient plan named by :data:`FAULT_PLAN_ENV`, if any."""
+        source = os.environ if environ is None else environ
+        value = source.get(FAULT_PLAN_ENV)
+        if not value:
+            return None
+        return cls.parse(value)

@@ -428,3 +428,64 @@ class TestPicklableSpec:
                 fn: Callable[[], None]
             """
         ) == []
+
+
+class TestUnboundedWait:
+    EXEC_PATH = "src/repro/experiments/fake_executor.py"
+
+    def test_flags_bare_get_join_result(self):
+        report = lint(
+            """
+            def supervise(task_queue, process, future):
+                blob = task_queue.get()
+                process.join()
+                return future.result()
+            """,
+            path=self.EXEC_PATH,
+        )
+        assert [v.rule for v in report.violations] == ["RPR008"] * 3
+        assert all(v.path == self.EXEC_PATH for v in report.violations)
+        assert "timeout" in report.violations[0].message
+
+    def test_bounded_and_nonblocking_waits_clean(self):
+        assert rules_hit(
+            """
+            def supervise(task_queue, result_queue, process, future):
+                a = task_queue.get(timeout=1.0)
+                b = result_queue.get_nowait()
+                c = result_queue.get(block=False)
+                process.join(timeout=0.5)
+                return future.result(timeout=30), a, b, c
+            """,
+            path=self.EXEC_PATH,
+        ) == []
+
+    def test_lookalike_methods_clean(self):
+        # mapping.get(key) and separator.join(parts) share names with
+        # the blocking calls but always take positional arguments.
+        assert rules_hit(
+            """
+            def render(mapping, parts):
+                value = mapping.get("key")
+                return ", ".join(parts), value
+            """,
+            path=self.EXEC_PATH,
+        ) == []
+
+    def test_scoped_to_the_executor_layer(self):
+        source = """
+            def wait(process):
+                process.join()
+            """
+        assert rules_hit(source, path=LIB_PATH) == []
+        assert rules_hit(source, path=APP_PATH) == []
+        assert rules_hit(source, path=self.EXEC_PATH) == ["RPR008"]
+
+    def test_pragma_suppresses_with_justification(self):
+        assert rules_hit(
+            """
+            def drain(result_queue):
+                return result_queue.get()  # repro: allow[RPR008] -- final drain after all workers joined
+            """,
+            path=self.EXEC_PATH,
+        ) == []

@@ -1,0 +1,98 @@
+"""Property-based tests for the paper's effectiveness metrics.
+
+Hypothesis searches the input space the unit tests sample by hand:
+arbitrary relevance vectors and AP mappings must keep every metric in
+[0, 1], keep ``map_over_users`` independent of dict insertion order
+(the RPR002 invariant the journal-resume parity guarantees rest on),
+and keep AP monotone when a relevant item moves up the ranking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.eval.metrics import (  # noqa: E402
+    average_precision,
+    map_over_users,
+    mean_average_precision,
+    precision_at,
+    summarize_maps,
+)
+
+relevance_lists = st.lists(st.booleans(), max_size=60)
+ap_values = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+ap_mappings = st.dictionaries(
+    st.integers(min_value=0, max_value=10_000), ap_values, min_size=1, max_size=40
+)
+
+
+class TestBounds:
+    @given(relevance=relevance_lists)
+    def test_average_precision_in_unit_interval(self, relevance):
+        assert 0.0 <= average_precision(relevance) <= 1.0
+
+    @given(relevance=relevance_lists, n=st.integers(min_value=1, max_value=80))
+    def test_precision_at_in_unit_interval(self, relevance, n):
+        assert 0.0 <= precision_at(relevance, n) <= 1.0
+
+    @given(aps=st.lists(ap_values, max_size=40))
+    def test_mean_average_precision_in_unit_interval(self, aps):
+        assert 0.0 <= mean_average_precision(aps) <= 1.0
+
+    @given(per_user=ap_mappings)
+    def test_summary_orders_min_mean_max(self, per_user):
+        summary = summarize_maps(list(per_user.values()))
+        # sum(values)/n can land a few ULP outside [min, max] (e.g. three
+        # identical values), so the ordering holds up to rounding only.
+        slack = 1e-12
+        assert summary.minimum - slack <= summary.mean <= summary.maximum + slack
+        assert summary.deviation >= 0.0
+
+
+class TestPermutationInvariance:
+    @given(per_user=ap_mappings, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_map_over_users_ignores_insertion_order(self, per_user, seed):
+        """The invariant journal-restored sweeps rely on: MAP is a pure
+        function of the (user, AP) *set*, not of dict insertion order."""
+        import random
+
+        items = list(per_user.items())
+        random.Random(seed).shuffle(items)
+        shuffled = dict(items)
+        assert map_over_users(shuffled) == map_over_users(per_user)
+
+    @given(per_user=ap_mappings)
+    def test_map_over_users_matches_sorted_mean(self, per_user):
+        expected = mean_average_precision(
+            [per_user[uid] for uid in sorted(per_user)]
+        )
+        assert map_over_users(per_user) == expected
+
+
+class TestMonotonicity:
+    @settings(max_examples=200)
+    @given(relevance=relevance_lists.filter(lambda r: True in r and False in r))
+    def test_promoting_a_relevant_item_never_hurts_ap(self, relevance):
+        """Swapping a relevant item with the irrelevant item directly
+        above it is a strict ranking improvement; AP must not drop."""
+        for index in range(1, len(relevance)):
+            if relevance[index] and not relevance[index - 1]:
+                promoted = list(relevance)
+                promoted[index - 1], promoted[index] = (
+                    promoted[index],
+                    promoted[index - 1],
+                )
+                assert average_precision(promoted) >= average_precision(relevance)
+
+    @given(relevance=relevance_lists)
+    def test_perfect_ranking_maximises_ap(self, relevance):
+        if not any(relevance):
+            return
+        ideal = sorted(relevance, reverse=True)
+        assert average_precision(ideal) >= average_precision(relevance)
+        assert average_precision(ideal) == 1.0

@@ -1,0 +1,317 @@
+"""Chaos harness: sweeps complete, quarantine exactly the planned cells,
+and survivors stay bit-identical under injected crashes, hangs and flakes.
+
+This is the acceptance suite for the fault-tolerance layer: every test
+drives a real sweep through :class:`~repro.faults.FaultPlan` injection
+and asserts the supervised executors' three guarantees -- the run
+finishes, only the faulted cells are quarantined, and every surviving
+row matches the fault-free serial run bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sources import RepresentationSource
+from repro.experiments.executors import (
+    GridSpec,
+    PipelineSpec,
+    ProcessCellExecutor,
+    SerialCellExecutor,
+    SweepSpec,
+)
+from repro.experiments.persistence import SweepJournal
+from repro.experiments.report import format_figure_map, format_table6
+from repro.experiments.runner import SweepRunner
+from repro.experiments.supervision import RetryPolicy, SupervisionPolicy
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs.events import MemorySink
+from repro.obs.telemetry import Telemetry
+from repro.twitter.dataset import DatasetConfig, select_user_groups
+from repro.twitter.entities import UserType
+
+SPEC = SweepSpec(
+    pipeline=PipelineSpec(
+        dataset=DatasetConfig(n_users=24, n_ticks=80, seed=11),
+        seed=1,
+        max_train_docs_per_user=60,
+    ),
+    grid=GridSpec(topic_scale=0.05, iteration_scale=0.003, infer_iterations=2, seed=0),
+)
+
+SOURCES = [RepresentationSource.R]
+
+#: Fast test-sized retry policy: no real backoff sleeps.
+FAST_RETRY = RetryPolicy(max_attempts=2, backoff_seconds=0.01, jitter=0.0)
+
+
+def _configs():
+    grid = SPEC.grid.build()
+    return grid.all_configurations()["TN"][:3] + grid.tng_configurations()[:2]
+
+
+def _runner(telemetry=None):
+    pipeline = SPEC.pipeline.build(telemetry=telemetry)
+    groups = select_user_groups(pipeline.dataset, group_size=5, min_retweets=5)
+    return SweepRunner(pipeline, groups, telemetry=telemetry)
+
+
+def _row_fingerprint(row):
+    """Everything about a row except wall-clock timings."""
+    return (row.model, tuple(sorted(row.params.items())), row.source, row.group,
+            row.map_score, tuple(sorted(row.per_user_ap.items())))
+
+
+@pytest.fixture(scope="module")
+def clean_serial_rows():
+    """The fault-free serial reference every chaos run is compared to."""
+    result = _runner().run(_configs(), SOURCES, groups=[UserType.ALL])
+    assert result.failures == []
+    return [_row_fingerprint(row) for row in result.rows]
+
+
+def _params_key(config) -> str:
+    from repro.core.stages import canonical_params
+
+    return canonical_params(config.params)
+
+
+class TestChaosAcceptance:
+    def test_crash_and_hang_quarantine_then_resume_to_parity(
+        self, clean_serial_rows, tmp_path
+    ):
+        """The issue's acceptance scenario, end to end: a worker crash
+        plus a stage hang under --jobs 2 completes, quarantines exactly
+        the two faulted cells, keeps survivors bit-identical -- and a
+        fault-free resume retries only the quarantined cells, landing on
+        full serial parity."""
+        configs = _configs()
+        crash_victim = configs[0]  # a TN cell: worker dies mid-fit
+        hang_victim = configs[3]  # a TNG cell: stalls in rank until terminated
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    kind="crash",
+                    stage="fit",
+                    model=crash_victim.model,
+                    params=_params_key(crash_victim),
+                ),
+                FaultSpec(
+                    kind="hang",
+                    stage="rank",
+                    model=hang_victim.model,
+                    params=_params_key(hang_victim),
+                    seconds=300.0,
+                ),
+            )
+        )
+        policy = SupervisionPolicy(
+            timeout_seconds=15.0, retry=RetryPolicy(max_attempts=1)
+        )
+        journal_path = tmp_path / "chaos.journal.jsonl"
+        with SweepJournal(journal_path) as journal:
+            chaotic = _runner().run(
+                configs,
+                SOURCES,
+                groups=[UserType.ALL],
+                executor=ProcessCellExecutor(
+                    SPEC, jobs=2, policy=policy, fault_plan=plan
+                ),
+                journal=journal,
+            )
+
+        # Exactly the two planned cells are quarantined, with the right
+        # taxonomy class each.
+        failures = {
+            (f.model, _params_key_from(f.params)): f.failure for f in chaotic.failures
+        }
+        assert set(failures) == {
+            (crash_victim.model, _params_key(crash_victim)),
+            (hang_victim.model, _params_key(hang_victim)),
+        }
+        crash_failure = failures[(crash_victim.model, _params_key(crash_victim))]
+        hang_failure = failures[(hang_victim.model, _params_key(hang_victim))]
+        assert crash_failure.kind == "crash"
+        assert crash_failure.error == "WorkerCrashError"
+        assert "exit code 87" in crash_failure.message
+        assert hang_failure.kind == "timeout"
+        assert hang_failure.error == "CellTimeoutError"
+
+        # Surviving rows are bit-identical to the fault-free serial
+        # reference (same order, minus the quarantined cells' rows).
+        survived = [_row_fingerprint(row) for row in chaotic.rows]
+        expected_survivors = [
+            fp
+            for fp in clean_serial_rows
+            if (fp[0], dict(fp[1])) not in [
+                (crash_victim.model, crash_victim.params),
+                (hang_victim.model, hang_victim.params),
+            ]
+        ]
+        assert survived == expected_survivors
+
+        # Resume with faults disabled: only the quarantined cells rerun,
+        # and the result reaches full bit-identical parity.
+        with SweepJournal(journal_path, resume=True) as journal:
+            assert sorted(journal.quarantined()) == sorted(
+                f"{m}|R|{p}" for m, p in failures
+            )
+            telemetry = Telemetry()
+            recovered = _runner(telemetry=telemetry).run(
+                configs,
+                SOURCES,
+                groups=[UserType.ALL],
+                executor=ProcessCellExecutor(SPEC, jobs=2, policy=policy),
+                journal=journal,
+            )
+        assert recovered.failures == []
+        assert [_row_fingerprint(row) for row in recovered.rows] == clean_serial_rows
+        metrics = telemetry.metrics.snapshot()
+        assert metrics["sweep.cells.requeued"]["value"] == 2
+        assert metrics["sweep.cells.restored"]["value"] == len(configs) - 2
+
+    def test_flaky_cell_recovers_under_retry(self, clean_serial_rows):
+        """A fault bounded by ``times=1`` fails the first attempt only:
+        the supervisor retries, the cell succeeds, nothing is lost."""
+        configs = _configs()
+        flaky = configs[1]
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    kind="raise",
+                    stage="fit",
+                    model=flaky.model,
+                    params=_params_key(flaky),
+                    times=1,
+                ),
+            )
+        )
+        telemetry = Telemetry()
+        result = _runner(telemetry=telemetry).run(
+            configs,
+            SOURCES,
+            groups=[UserType.ALL],
+            executor=ProcessCellExecutor(
+                SPEC, jobs=2, policy=SupervisionPolicy(retry=FAST_RETRY),
+                fault_plan=plan,
+            ),
+        )
+        assert result.failures == []
+        assert [_row_fingerprint(row) for row in result.rows] == clean_serial_rows
+        metrics = telemetry.metrics.snapshot()
+        assert metrics["sweep.cell.retry"]["value"] == 1
+
+
+def _params_key_from(params: dict) -> str:
+    from repro.core.stages import canonical_params
+
+    return canonical_params(params)
+
+
+class TestSerialChaos:
+    def test_raise_fault_quarantines_without_aborting(self):
+        configs = _configs()[:3]
+        victim = configs[2]
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    kind="raise",
+                    stage="profiles",
+                    model=victim.model,
+                    params=_params_key(victim),
+                ),
+            )
+        )
+        telemetry = Telemetry()
+        sink = MemorySink()
+        telemetry.events.add_sink(sink)
+        runner = _runner(telemetry=telemetry)
+        result = runner.run(
+            configs,
+            SOURCES,
+            groups=[UserType.ALL],
+            executor=SerialCellExecutor(
+                runner.pipeline,
+                policy=SupervisionPolicy(retry=FAST_RETRY),
+                fault_plan=plan,
+            ),
+        )
+        (failed,) = result.failures
+        assert failed.model == victim.model
+        assert failed.failure.kind == "error"
+        assert failed.failure.error == "InjectedFaultError"
+        assert failed.failure.attempts == FAST_RETRY.max_attempts
+        metrics = telemetry.metrics.snapshot()
+        assert metrics["sweep.cell.retry"]["value"] == 1
+        assert metrics["sweep.cell.quarantined"]["value"] == 1
+        quarantine_events = sink.of("cell_quarantined")
+        assert len(quarantine_events) == 1
+        assert quarantine_events[0]["kind"] == "error"
+
+    def test_flaky_cell_recovers_serially(self, clean_serial_rows):
+        configs = _configs()
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="raise", stage="fit", model="TN", times=1),)
+        )
+        runner = _runner()
+        result = runner.run(
+            configs,
+            SOURCES,
+            groups=[UserType.ALL],
+            executor=SerialCellExecutor(
+                runner.pipeline,
+                policy=SupervisionPolicy(retry=FAST_RETRY),
+                fault_plan=plan,
+            ),
+        )
+        assert result.failures == []
+        assert [_row_fingerprint(row) for row in result.rows] == clean_serial_rows
+
+
+class TestFailureReporting:
+    @pytest.fixture(scope="class")
+    def partial_result(self):
+        configs = _configs()[:3]
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    kind="raise",
+                    stage="fit",
+                    model=configs[0].model,
+                    params=_params_key(configs[0]),
+                ),
+            )
+        )
+        runner = _runner()
+        return runner.run(
+            configs,
+            SOURCES,
+            groups=[UserType.ALL],
+            executor=SerialCellExecutor(
+                runner.pipeline,
+                policy=SupervisionPolicy(retry=RetryPolicy(max_attempts=1)),
+                fault_plan=plan,
+            ),
+        )
+
+    def test_cell_count_includes_failures(self, partial_result):
+        assert partial_result.cell_count() == 3
+        assert len(partial_result.failures) == 1
+
+    def test_annotation_names_the_damage(self, partial_result):
+        annotation = partial_result.failure_annotation()
+        assert "1/3 cells failed" in annotation
+        assert "error" in annotation
+        assert "--resume" in annotation
+
+    def test_reports_carry_the_annotation(self, partial_result):
+        figure = format_figure_map(partial_result, UserType.ALL, SOURCES)
+        table = format_table6(partial_result, SOURCES, [UserType.ALL])
+        for rendered in (figure, table):
+            assert "1/3 cells failed" in rendered.splitlines()[-1]
+
+    def test_clean_results_have_no_annotation(self, clean_serial_rows):
+        result = _runner().run(_configs()[:1], SOURCES, groups=[UserType.ALL])
+        assert result.failure_annotation() == ""
+        rendered = format_figure_map(result, UserType.ALL, SOURCES)
+        assert "failed" not in rendered

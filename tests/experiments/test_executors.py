@@ -103,6 +103,52 @@ class TestWorkerEvaluation:
         with pytest.raises(ConfigurationError):
             ProcessCellExecutor(SPEC, jobs=0)
 
+    def test_unpicklable_cell_fails_fast_and_leaks_no_workers(self):
+        """Regression: a cell that cannot cross the process boundary
+        used to abandon the half-started pool (shutdown(wait=False))
+        and leak its workers. The supervised executor pickles every
+        payload before spawning anything and tears the pool down in a
+        ``finally``, so the failure is synchronous, typed, and leaves
+        no stray child processes behind."""
+        import multiprocessing
+
+        poisoned = Cell(
+            model="TN",
+            params={"factory": lambda: 1},  # defeats pickle
+            label="TN(poisoned)",
+            source="R",
+            users=(1,),
+        )
+        executor = ProcessCellExecutor(SPEC, jobs=2)
+        with pytest.raises(ConfigurationError, match="not picklable"):
+            list(executor.run_cells([(poisoned, None)]))
+        for child in multiprocessing.active_children():
+            child.join(timeout=5.0)
+        assert multiprocessing.active_children() == []
+
+    def test_abandoned_generator_tears_down_the_pool(self):
+        """Closing the result generator early (the consumer raised, or
+        only wanted the first cell) must still join every worker."""
+        import multiprocessing
+
+        grid = SPEC.grid.build()
+        configs = grid.all_configurations()["TN"][:2]
+        cells = [
+            (
+                Cell(model=c.model, params=dict(c.params), label=c.label(),
+                     source="R", users=(1, 2, 3)),
+                None,
+            )
+            for c in configs
+        ]
+        executor = ProcessCellExecutor(SPEC, jobs=2)
+        results = executor.run_cells(cells)
+        next(results)
+        results.close()
+        for child in multiprocessing.active_children():
+            child.join(timeout=5.0)
+        assert multiprocessing.active_children() == []
+
 
 class TestTelemetryMerge:
     def test_worker_telemetry_joins_parent_stream(self):

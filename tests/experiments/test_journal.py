@@ -79,6 +79,82 @@ class TestJournalFile:
         journal.close()
 
 
+HEADER = '{"format":"repro-sweep-journal","version":1}'
+COMPLETE_RECORD = json.dumps(
+    {
+        "cell": "TN|R|{}",
+        "model": "TN",
+        "params": {},
+        "source": "R",
+        "skipped": None,
+        "per_user_ap": {"1": 0.5},
+        "training_seconds": 1.0,
+        "testing_seconds": 0.1,
+    }
+)
+
+
+class TestTornTailScanner:
+    """Regression: the scanner must treat *record completeness* -- not
+    mere JSON validity -- as the completion criterion. A torn tail that
+    truncates into valid JSON used to be restored as a finished cell,
+    and ``--resume`` silently skipped a cell that never produced rows.
+    """
+
+    def test_valid_json_tail_missing_keys_is_torn_not_complete(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        # The kill landed after the closing brace of a *prefix* of the
+        # record that still parses: a header-only cell announcement.
+        path.write_text(HEADER + "\n" + COMPLETE_RECORD + "\n" + '{"cell": "BTM|R|{}"}')
+        with SweepJournal(path, resume=True) as journal:
+            assert journal.restored == 1
+            assert "TN|R|{}" in journal
+            assert "BTM|R|{}" not in journal  # must re-run, not skip
+        # The torn tail is sanitized away on open.
+        assert path.read_text() == HEADER + "\n" + COMPLETE_RECORD + "\n"
+
+    def test_incomplete_record_mid_file_is_corruption(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            HEADER + "\n" + '{"cell": "BTM|R|{}"}' + "\n" + COMPLETE_RECORD + "\n"
+        )
+        with pytest.raises(ValueError, match="incomplete cell record"):
+            SweepJournal(path, resume=True)
+
+    def test_non_object_tail_is_torn(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(HEADER + "\n" + COMPLETE_RECORD + "\n" + "null")
+        with SweepJournal(path, resume=True) as journal:
+            assert journal.restored == 1
+
+    def test_quarantined_record_round_trips(self, tmp_path):
+        from repro.experiments.executors import Cell, CellOutcome
+        from repro.experiments.supervision import CellFailure
+
+        path = tmp_path / "j.jsonl"
+        cell = Cell(model="TN", params={}, label="TN", source="R", users=(1,))
+        failed = CellOutcome(
+            model="TN",
+            params={},
+            source="R",
+            attempts=3,
+            failure=CellFailure(
+                kind="crash",
+                error="WorkerCrashError",
+                message="worker died",
+                attempts=3,
+                elapsed_seconds=1.25,
+            ),
+        )
+        with SweepJournal(path) as journal:
+            journal.record(cell, failed)
+        with SweepJournal(path, resume=True) as journal:
+            assert journal.quarantined() == [cell.key]
+            restored = journal.outcome(cell.key)
+            assert restored.failure == failed.failure
+            assert restored.attempts == 3
+
+
 class TestResume:
     def test_interrupted_sweep_resumes_without_rerunning(
         self, tmp_path, small_dataset, small_groups

@@ -1,0 +1,96 @@
+"""The injector arms plans around stage checkpoints; faults really fire."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.stages import stage_checkpoint
+from repro.errors import InjectedFaultError, ReproError
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, maybe_armed
+
+
+def plan_of(*specs: FaultSpec) -> FaultPlan:
+    return FaultPlan(faults=tuple(specs))
+
+
+class TestArming:
+    def test_cell_fault_fires_on_arm(self):
+        plan = plan_of(FaultSpec(kind="raise", stage="cell", model="TN"))
+        with pytest.raises(InjectedFaultError, match="stage 'cell'"):
+            with FaultInjector(plan).armed("TN", "R"):
+                raise AssertionError("fault should fire before the body runs")
+
+    def test_stage_fault_fires_at_checkpoint(self):
+        plan = plan_of(FaultSpec(kind="raise", stage="fit"))
+        with FaultInjector(plan).armed("TN", "R") as gate:
+            stage_checkpoint("prepare")  # not the faulted stage
+            with pytest.raises(InjectedFaultError, match="stage 'fit'"):
+                stage_checkpoint("fit")
+        assert gate.fired == [("fit", "raise")]
+
+    def test_injected_fault_is_a_repro_error(self):
+        plan = plan_of(FaultSpec(kind="raise"))
+        with pytest.raises(ReproError):
+            with FaultInjector(plan).armed("TN", "R"):
+                pass
+
+    def test_gate_uninstalled_after_scope(self):
+        plan = plan_of(FaultSpec(kind="raise", stage="fit"))
+        try:
+            with FaultInjector(plan).armed("TN", "R"):
+                stage_checkpoint("fit")
+        except InjectedFaultError:
+            pass
+        stage_checkpoint("fit")  # no armed gate left behind
+
+    def test_non_matching_cell_is_untouched(self):
+        plan = plan_of(FaultSpec(kind="raise", stage="fit", model="BTM"))
+        with FaultInjector(plan).armed("TN", "R") as gate:
+            stage_checkpoint("fit")
+        assert gate.fired == []
+
+    def test_attempt_aware_flakiness(self):
+        plan = plan_of(FaultSpec(kind="raise", stage="fit", times=1))
+        with FaultInjector(plan).armed("TN", "R", attempt=1):
+            with pytest.raises(InjectedFaultError):
+                stage_checkpoint("fit")
+        with FaultInjector(plan).armed("TN", "R", attempt=2):
+            stage_checkpoint("fit")  # recovered
+
+
+class TestFaultKinds:
+    def test_hang_sleeps_for_the_spec_duration(self):
+        plan = plan_of(FaultSpec(kind="hang", stage="fit", seconds=0.05))
+        with FaultInjector(plan).armed("TN", "R") as gate:
+            start = time.monotonic()
+            stage_checkpoint("fit")
+            elapsed = time.monotonic() - start
+        assert elapsed >= 0.05
+        assert gate.fired == [("fit", "hang")]
+
+    def test_inflate_rss_allocates_and_releases(self):
+        plan = plan_of(FaultSpec(kind="inflate_rss", stage="fit", mib=1))
+        with FaultInjector(plan).armed("TN", "R") as gate:
+            stage_checkpoint("fit")
+        assert gate.fired == [("fit", "inflate_rss")]
+
+
+class TestMaybeArmed:
+    def test_none_plan_is_a_noop(self):
+        with maybe_armed(None, "TN", "R") as gate:
+            stage_checkpoint("fit")
+        assert gate is None
+
+    def test_empty_plan_is_a_noop(self):
+        with maybe_armed(FaultPlan(), "TN", "R") as gate:
+            stage_checkpoint("fit")
+        assert gate is None
+
+    def test_real_plan_arms(self):
+        plan = plan_of(FaultSpec(kind="raise", stage="fit"))
+        with maybe_armed(plan, "TN", "R") as gate:
+            with pytest.raises(InjectedFaultError):
+                stage_checkpoint("fit")
+        assert gate is not None and gate.fired

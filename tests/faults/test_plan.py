@@ -1,0 +1,141 @@
+"""Fault plans: validation, matching, determinism, (de)serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import PersistenceError, ValidationError
+from repro.faults import FAULT_PLAN_ENV, FaultPlan, FaultSpec
+
+
+class TestFaultSpecValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValidationError, match="unknown fault kind"):
+            FaultSpec(kind="explode")
+
+    def test_rejects_unknown_stage(self):
+        with pytest.raises(ValidationError, match="unknown fault stage"):
+            FaultSpec(kind="raise", stage="shuffle")
+
+    def test_rejects_bad_times_and_probability(self):
+        with pytest.raises(ValidationError):
+            FaultSpec(kind="raise", times=0)
+        with pytest.raises(ValidationError):
+            FaultSpec(kind="raise", probability=1.5)
+
+    def test_validation_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="nope")
+
+
+class TestMatching:
+    def test_none_fields_match_anything(self):
+        spec = FaultSpec(kind="raise", stage="fit")
+        assert spec.matches("fit", "TN", "R", "{}", attempt=1)
+        assert spec.matches("fit", "BTM", "E", '{"n": 2}', attempt=9)
+
+    def test_model_source_params_restrict(self):
+        spec = FaultSpec(kind="raise", stage="fit", model="TN", source="R")
+        assert spec.matches("fit", "TN", "R", "{}", 1)
+        assert not spec.matches("fit", "TN", "E", "{}", 1)
+        assert not spec.matches("fit", "BTM", "R", "{}", 1)
+        assert not spec.matches("rank", "TN", "R", "{}", 1)
+
+    def test_times_bounds_faulted_attempts(self):
+        flaky = FaultSpec(kind="raise", times=2)
+        assert flaky.matches("cell", "TN", "R", "{}", attempt=1)
+        assert flaky.matches("cell", "TN", "R", "{}", attempt=2)
+        assert not flaky.matches("cell", "TN", "R", "{}", attempt=3)
+
+    def test_times_none_faults_every_attempt(self):
+        always = FaultSpec(kind="raise")
+        assert all(
+            always.matches("cell", "TN", "R", "{}", attempt=k) for k in range(1, 10)
+        )
+
+
+class TestShouldFire:
+    def test_probability_sampling_is_deterministic(self):
+        spec = FaultSpec(kind="raise", stage="fit", probability=0.5)
+        plan = FaultPlan(faults=(spec,), seed=3)
+        decisions = [
+            plan.should_fire(spec, "fit", "TN", "R", f'{{"n": {i}}}', 1)
+            for i in range(50)
+        ]
+        again = [
+            plan.should_fire(spec, "fit", "TN", "R", f'{{"n": {i}}}', 1)
+            for i in range(50)
+        ]
+        assert decisions == again
+        assert True in decisions and False in decisions
+
+    def test_seed_changes_the_sampled_subset(self):
+        spec = FaultSpec(kind="raise", stage="fit", probability=0.5)
+        sites = [("fit", "TN", "R", f'{{"n": {i}}}', 1) for i in range(50)]
+        a = [FaultPlan((spec,), seed=0).should_fire(spec, *s) for s in sites]
+        b = [FaultPlan((spec,), seed=1).should_fire(spec, *s) for s in sites]
+        assert a != b
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(kind="crash", stage="fit", model="TN", exit_code=99),
+                FaultSpec(kind="hang", stage="rank", seconds=120.0),
+                FaultSpec(kind="raise", times=2, probability=0.25),
+            ),
+            seed=7,
+        )
+        assert FaultPlan.loads(plan.dumps()) == plan
+
+    def test_defaults_omitted_from_json(self):
+        payload = FaultSpec(kind="raise").to_dict()
+        assert payload == {"kind": "raise", "stage": "cell"}
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValidationError, match="unknown fault spec field"):
+            FaultSpec.from_dict({"kind": "raise", "surprise": True})
+
+    def test_rejects_bad_json_and_versions(self):
+        with pytest.raises(PersistenceError, match="not valid JSON"):
+            FaultPlan.loads("{nope")
+        with pytest.raises(PersistenceError, match="version"):
+            FaultPlan.loads('{"version": 99, "faults": []}')
+
+    def test_save_load(self, tmp_path):
+        plan = FaultPlan(faults=(FaultSpec(kind="raise", stage="profiles"),))
+        path = plan.save(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError, match="not found"):
+            FaultPlan.load(tmp_path / "nope.json")
+
+
+class TestParseAndEnv:
+    def test_parse_inline_json(self):
+        plan = FaultPlan.parse('{"version": 1, "faults": [{"kind": "raise"}]}')
+        assert plan.faults[0].kind == "raise"
+
+    def test_parse_path(self, tmp_path):
+        path = FaultPlan(faults=(FaultSpec(kind="hang"),)).save(tmp_path / "p.json")
+        assert FaultPlan.parse(str(path)).faults[0].kind == "hang"
+
+    def test_from_env_absent_is_none(self):
+        assert FaultPlan.from_env(environ={}) is None
+
+    def test_from_env_inline(self):
+        environ = {
+            FAULT_PLAN_ENV: json.dumps(
+                {"version": 1, "faults": [{"kind": "raise", "stage": "fit"}]}
+            )
+        }
+        plan = FaultPlan.from_env(environ=environ)
+        assert plan is not None and plan.faults[0].stage == "fit"
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan(faults=(FaultSpec(kind="raise"),))
