@@ -17,6 +17,7 @@ RPR005    span-hygiene             spans not entered via ``with``
 RPR006    picklable-spec           unpicklable process-pool specs
 RPR007    resource-span-leak       samplers not entered via ``with``
 RPR008    unbounded-wait           executor waits without a timeout
+RPR009    eventlog-progress        console writes in the sweep machinery
 RPR900    unused-pragma            stale ``repro: allow[...]`` comment
 ========  =======================  ==================================
 
@@ -52,6 +53,7 @@ from repro.analysis import rules_telemetry  # noqa: E402,F401  isort: skip
 from repro.analysis import rules_pickle  # noqa: E402,F401  isort: skip
 from repro.analysis import rules_resources  # noqa: E402,F401  isort: skip
 from repro.analysis import rules_concurrency  # noqa: E402,F401  isort: skip
+from repro.analysis import rules_progress  # noqa: E402,F401  isort: skip
 
 __all__ = [
     "JSON_FORMAT_VERSION",

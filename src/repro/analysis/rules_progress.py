@@ -1,0 +1,68 @@
+"""RPR009: sweep progress goes through the EventLog, not the console.
+
+``repro monitor``, the journal heartbeats and the ``--log-json`` stream
+all observe a sweep through :class:`repro.obs.events.EventLog` sinks. An
+ad-hoc ``print(...)`` or ``sys.stderr.write(...)`` inside the sweep
+machinery is progress state those observers never see -- and raw console
+writes from pool workers interleave across processes. Executors and the
+runner must emit events; rendering (the console progress sinks in
+:mod:`repro.obs.progress`) subscribes like any other sink.
+
+The rule scopes to ``src/repro/experiments`` only: reports, the CLI and
+the obs sinks themselves legitimately write to the console.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.base import FileContext, Rule, Violation, register_rule
+
+__all__ = ["EventLogProgressRule"]
+
+#: Canonical dotted names of direct console stream writes.
+_STREAM_WRITES = frozenset(
+    {
+        "sys.stdout.write",
+        "sys.stdout.writelines",
+        "sys.stderr.write",
+        "sys.stderr.writelines",
+    }
+)
+
+
+@register_rule
+class EventLogProgressRule(Rule):
+    id = "RPR009"
+    name = "eventlog-progress"
+    summary = "console write inside the sweep machinery (src/repro/experiments)"
+    invariant = (
+        "progress and heartbeat state is emitted through the EventLog API, "
+        "so monitors, journals and JSON logs see everything the console "
+        "would -- and pool workers never interleave raw writes"
+    )
+    library_only = True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if "src/repro/experiments" not in ctx.path.as_posix():
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                yield ctx.violation(
+                    self, node,
+                    "print(...) in the sweep machinery: emit an event via "
+                    "EventLog.emit(...) and let an obs progress sink render it",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and ctx.imports.resolve(node.func) in _STREAM_WRITES
+            ):
+                yield ctx.violation(
+                    self, node,
+                    f"sys stream write in the sweep machinery: emit an event "
+                    f"via EventLog.emit(...) instead of "
+                    f"{ctx.imports.resolve(node.func)}(...)",
+                )

@@ -5,6 +5,8 @@ Commands
 ``generate``   simulate a corpus and print its statistics (Table 2 style)
 ``evaluate``   evaluate one model on one source and print MAP vs baselines
 ``sweep``      run a configuration sweep and save it as JSON
+``monitor``    live progress view of a running sweep (events file or journal)
+``export``     convert saved telemetry: chrome-trace JSON, Prometheus metrics
 ``bench``      run the calibrated resource suite / compare two baselines
 ``report``     render a saved sweep as the paper's figures/tables
 ``suggest``    followee / hashtag recommendations (the extension tasks)
@@ -18,6 +20,20 @@ background RSS/CPU sampler so every span also records its memory cost.
 A saved trace renders as a per-phase tree with ``report --artifact
 timing-breakdown --trace trace.json`` (or ``resource-breakdown`` for
 the memory columns).
+
+A running sweep narrates itself: executors emit heartbeat events (cell
+started/finished with worker id and attempt, EWMA cell rate, ETA) into
+the event stream and, when journaling, into the journal. ``repro
+monitor PATH`` renders that state -- cells done/total, per-worker
+occupancy, quarantine count, ETA -- either once (``--snapshot``, with
+``--json`` for machines) or as a refreshing view. ``repro export trace
+--trace trace.json`` converts a saved span trace to Chrome trace-event
+JSON (open in https://ui.perfetto.dev), ``repro export metrics`` renders
+its metrics in Prometheus text exposition format, and ``repro report
+--artifact critical-path --trace trace.json`` prints the serial
+critical path, per-phase self-times, top straggler cells and parallel
+efficiency. ``sweep --progress`` drives a minimal inline progress line;
+add ``--quiet`` to drop the per-cell lines and keep only that.
 
 ``sweep`` supervises its cells: ``--cell-timeout`` bounds each attempt's
 wall clock (with ``--jobs``), ``--max-attempts``/``--retry-backoff``
@@ -40,6 +56,11 @@ Examples
     python -m repro generate --users 40 --ticks 150 --seed 7
     python -m repro evaluate --model TN --source R --users 40 --trace-out trace.json
     python -m repro sweep --out sweep.json --sources R T --fast --log-json
+    python -m repro sweep --out sweep.json --jobs 4 --journal --progress --quiet
+    python -m repro monitor sweep.journal.jsonl --snapshot
+    python -m repro export trace --trace trace.json --out trace.chrome.json
+    python -m repro export metrics --trace trace.json
+    python -m repro report --artifact critical-path --trace trace.json
     python -m repro bench run --label main --scale quick --trials 5
     python -m repro bench compare results/BENCH_main.json results/BENCH_pr.json --gate
     python -m repro report --sweep sweep.json --artifact figure --group "All Users"
@@ -51,7 +72,9 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from collections.abc import Iterator, Sequence
 from contextlib import ExitStack, contextmanager
 from functools import lru_cache
@@ -90,11 +113,16 @@ from repro.obs import (
     baseline_path,
     compare_baselines,
     format_baseline,
+    format_chrome_trace,
     format_comparison,
+    format_critical_path,
     format_resource_breakdown,
+    format_snapshot,
     format_timing_breakdown,
     load_baseline,
+    load_progress,
     load_trace,
+    prometheus_exposition,
 )
 from repro.twitter.dataset import DatasetConfig, generate_dataset, select_user_groups
 from repro.twitter.entities import UserType
@@ -323,7 +351,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 print(f"retrying {len(quarantined)} quarantined cells")
         try:
             result = runner.run(
-                configs, sources, progress=args.progress,
+                configs, sources,
+                progress=args.progress and not args.quiet,
+                progress_line=args.progress,
                 executor=executor, journal=journal,
             )
         except KeyboardInterrupt:
@@ -361,13 +391,68 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_monitor(args: argparse.Namespace) -> int:
+    path = Path(args.path)
+    if not path.exists():
+        print(f"error: {path} does not exist", file=sys.stderr)
+        return 2
+    if args.snapshot:
+        snapshot = load_progress(path)
+        print(
+            json.dumps(snapshot, indent=1, sort_keys=True)
+            if args.json
+            else format_snapshot(snapshot)
+        )
+        return 0
+    # Refreshing view: re-read the (still growing) file each interval
+    # until its stream says the sweep finished. All timing state comes
+    # from the records' own timestamps; this loop only paces redraws.
+    try:
+        while True:
+            snapshot = load_progress(path)
+            sys.stdout.write("\x1b[2J\x1b[H" + format_snapshot(snapshot) + "\n")
+            sys.stdout.flush()
+            if snapshot.get("finished"):
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 130
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    try:
+        trace = load_trace(args.trace)
+    except (PersistenceError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.export_command == "trace":
+        # --format currently admits only chrome-trace; the flag exists so
+        # more formats can land without breaking invocations.
+        rendered = format_chrome_trace(trace)
+    else:
+        rendered = prometheus_exposition(
+            trace.get("metrics", {}), prefix=args.prefix
+        )
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(rendered + ("" if rendered.endswith("\n") else "\n"))
+        print(f"written to {out}")
+    else:
+        print(rendered)
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
-    if args.artifact in ("timing-breakdown", "resource-breakdown"):
+    if args.artifact in ("timing-breakdown", "resource-breakdown", "critical-path"):
         if not args.trace:
             raise SystemExit(f"--trace is required for the {args.artifact} artifact")
         trace = load_trace(args.trace)
         if args.artifact == "timing-breakdown":
             print(format_timing_breakdown(trace))
+        elif args.artifact == "critical-path":
+            print(format_critical_path(trace, top=args.top))
         else:
             print(format_resource_breakdown(trace))
         return 0
@@ -507,7 +592,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--topic-scale", type=float, default=0.1)
     p_sweep.add_argument("--iteration-scale", type=float, default=0.02)
     p_sweep.add_argument("--max-train-docs", type=int, default=100)
-    p_sweep.add_argument("--progress", action="store_true")
+    p_sweep.add_argument(
+        "--progress", action="store_true",
+        help="show a minimal self-updating progress line (cells done/total, "
+             "ETA, quarantines) plus per-cell result lines",
+    )
+    p_sweep.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-cell result lines; with --progress only the "
+             "inline progress line remains",
+    )
     p_sweep.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="evaluate (config, source) cells on N worker processes; "
@@ -543,6 +637,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_arguments(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_monitor = sub.add_parser(
+        "monitor", help="live progress view of a sweep (events file or journal)"
+    )
+    p_monitor.add_argument(
+        "path",
+        help="a --log-json events file or a --journal sweep journal "
+             "(the kind is detected from the file itself)",
+    )
+    p_monitor.add_argument(
+        "--snapshot", action="store_true",
+        help="print one progress snapshot and exit instead of refreshing",
+    )
+    p_monitor.add_argument(
+        "--json", action="store_true",
+        help="with --snapshot: print the snapshot as JSON for scripting",
+    )
+    p_monitor.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period of the live view (default: 2s)",
+    )
+    p_monitor.set_defaults(func=cmd_monitor)
+
+    p_export = sub.add_parser(
+        "export", help="convert saved telemetry for external tools"
+    )
+    export_sub = p_export.add_subparsers(dest="export_command", required=True)
+    p_export_trace = export_sub.add_parser(
+        "trace", help="span trace -> Chrome trace-event JSON (Perfetto)"
+    )
+    p_export_trace.add_argument(
+        "--trace", required=True, help="trace JSON written by --trace-out"
+    )
+    p_export_trace.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="output path (default: stdout); load it at https://ui.perfetto.dev",
+    )
+    p_export_trace.add_argument(
+        "--format", choices=["chrome-trace"], default="chrome-trace",
+        help="output format (chrome-trace: JSON array of trace events)",
+    )
+    p_export_trace.set_defaults(func=cmd_export)
+    p_export_metrics = export_sub.add_parser(
+        "metrics", help="metrics snapshot -> Prometheus text exposition"
+    )
+    p_export_metrics.add_argument(
+        "--trace", required=True, help="trace JSON written by --trace-out"
+    )
+    p_export_metrics.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="output path (default: stdout)",
+    )
+    p_export_metrics.add_argument(
+        "--prefix", default="repro",
+        help="metric name prefix (default: repro)",
+    )
+    p_export_metrics.set_defaults(func=cmd_export)
 
     p_bench = sub.add_parser(
         "bench", help="resource benchmark baselines (run the suite / compare)"
@@ -596,7 +747,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--trace", help="trace JSON path (*-breakdown artifacts)")
     p_report.add_argument("--artifact", default="figure",
                           choices=["figure", "table6", "table7", "figure7",
-                                   "timing-breakdown", "resource-breakdown"])
+                                   "timing-breakdown", "resource-breakdown",
+                                   "critical-path"])
+    p_report.add_argument("--top", type=int, default=5, metavar="N",
+                          help="straggler cells listed by critical-path "
+                               "(default: 5)")
     p_report.add_argument("--group", default=UserType.ALL.value,
                           choices=[g.value for g in UserType])
     p_report.add_argument("--sources", nargs="*",

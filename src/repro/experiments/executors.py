@@ -349,6 +349,10 @@ class SerialCellExecutor:
                 source=cell.source,
                 attempts=attempt,
             )
+            # Heartbeat attribution: the serial executor is its own,
+            # only worker, so every attempt runs on worker 0.
+            events.emit("cell_started", cell=cell.key, worker=0, attempt=attempt)
+            attempt_started = time.monotonic()
             with tel.span("config", label=cell.label, source=cell.source):
                 try:
                     with maybe_armed(plan, cell.model, cell.source, cell.params_key, attempt):
@@ -361,8 +365,10 @@ class SerialCellExecutor:
                     # Invalid (config, source) pairings are protocol
                     # skips, not faults: no retry, no quarantine.
                     outcome.skipped = str(error)
+                    self._finished(events, cell, attempt, attempt_started, "skipped")
                     return outcome
                 except Exception as error:
+                    self._finished(events, cell, attempt, attempt_started, "error")
                     if attempt < retry.max_attempts:
                         tel.count("sweep.cell.retry")
                         events.emit(
@@ -388,8 +394,22 @@ class SerialCellExecutor:
                     outcome.training_seconds = result.training_seconds
                     outcome.testing_seconds = result.testing_seconds
                     outcome.phase_seconds = dict(result.phase_seconds)
+                    self._finished(events, cell, attempt, attempt_started, "ok")
                     return outcome
         raise AssertionError("unreachable: retry loop always returns")
+
+    @staticmethod
+    def _finished(
+        events: EventLog, cell: Cell, attempt: int, started: float, status: str
+    ) -> None:
+        events.emit(
+            "cell_finished",
+            cell=cell.key,
+            worker=0,
+            attempt=attempt,
+            status=status,
+            seconds=time.monotonic() - started,
+        )
 
 
 def _pool_worker(task_queue, result_queue) -> None:
@@ -591,10 +611,12 @@ class _Supervisor:
             for slot, worker in enumerate(workers):
                 if worker.current is None:
                     continue
-                if self._poll(worker):
+                if self._poll(slot, worker):
                     progress = True
                     continue
-                replacement = self._check_dead(worker) or self._check_timeout(worker)
+                replacement = self._check_dead(slot, worker) or self._check_timeout(
+                    slot, worker
+                )
                 if replacement is not None:
                     workers[slot] = replacement
                     progress = True
@@ -608,25 +630,31 @@ class _Supervisor:
     def _assign(self, workers: list[_PoolWorker]) -> bool:
         assigned = False
         now = time.monotonic()
-        for worker in workers:
+        for slot, worker in enumerate(workers):
             if worker.current is not None or not self.ready:
                 continue
             if self.ready[0][0] > now:
                 break  # heap is time-ordered: nothing is due yet
             _not_before, index, attempt = heapq.heappop(self.ready)
             worker.submit(self._payload(index, attempt), index, attempt)
+            self.events.emit(
+                "cell_started",
+                cell=self.cells[index].key,
+                worker=slot,
+                attempt=attempt,
+            )
             assigned = True
         return assigned
 
-    def _poll(self, worker: _PoolWorker) -> bool:
+    def _poll(self, slot: int, worker: _PoolWorker) -> bool:
         try:
             message = worker.results.get_nowait()
         except queue.Empty:
             return False
-        self._handle(worker, message)
+        self._handle(slot, worker, message)
         return True
 
-    def _check_dead(self, worker: _PoolWorker) -> _PoolWorker | None:
+    def _check_dead(self, slot: int, worker: _PoolWorker) -> _PoolWorker | None:
         if worker.process.is_alive():
             return None
         # The result may still be in the queue's feeder pipe; give it a
@@ -636,9 +664,10 @@ class _Supervisor:
         except queue.Empty:
             message = None
         if message is not None:
-            self._handle(worker, message)
+            self._handle(slot, worker, message)
         else:
             index, attempt, started = worker.current
+            self._finished(slot, index, attempt, started, "crash")
             self._attempt_failed(
                 index,
                 attempt,
@@ -653,7 +682,7 @@ class _Supervisor:
         worker.discard()
         return _PoolWorker()
 
-    def _check_timeout(self, worker: _PoolWorker) -> _PoolWorker | None:
+    def _check_timeout(self, slot: int, worker: _PoolWorker) -> _PoolWorker | None:
         budget = self.executor.policy.timeout_seconds
         if budget is None:
             return None
@@ -663,6 +692,7 @@ class _Supervisor:
             return None
         self.tel.count("sweep.cell.timeout")
         worker.discard()
+        self._finished(slot, index, attempt, started, "timeout")
         self._attempt_failed(
             index,
             attempt,
@@ -676,13 +706,35 @@ class _Supervisor:
         )
         return _PoolWorker()
 
-    def _handle(self, worker: _PoolWorker, message: tuple) -> None:
+    def _finished(
+        self, slot: int, index: int, attempt: int, started: float, status: str
+    ) -> None:
+        self.events.emit(
+            "cell_finished",
+            cell=self.cells[index].key,
+            worker=slot,
+            attempt=attempt,
+            status=status,
+            seconds=time.monotonic() - started,
+        )
+
+    def _handle(self, slot: int, worker: _PoolWorker, message: tuple) -> None:
         index, attempt, started = worker.current
         worker.current = None
         if message[0] == "ok":
-            self.completed[index] = message[2]
+            outcome: CellOutcome = message[2]
+            if outcome.telemetry is not None:
+                # Join-time attribution: the worker process cannot know
+                # its slot, so the supervisor stamps it here and
+                # Telemetry.absorb carries it onto spans and events.
+                outcome.telemetry.setdefault("worker", slot)
+                outcome.telemetry.setdefault("attempt", attempt)
+            status = "skipped" if outcome.skipped is not None else "ok"
+            self._finished(slot, index, attempt, started, status)
+            self.completed[index] = outcome
             return
         _kind, _index, error_name, error_message = message
+        self._finished(slot, index, attempt, started, "error")
         self._attempt_failed(
             index,
             attempt,

@@ -33,6 +33,7 @@ from repro.experiments.executors import Cell, CellOutcome
 from repro.experiments.runner import FailedCell, SweepResult, SweepRow
 from repro.experiments.supervision import CellFailure
 from repro.obs.manifest import RunManifest
+from repro.obs.progress import HEARTBEAT_RECORD
 from repro.twitter.entities import UserType
 
 __all__ = ["SweepJournal", "save_sweep", "load_sweep"]
@@ -268,6 +269,12 @@ class SweepJournal:
                 header_seen = True
                 good.append(line)
                 continue
+            if isinstance(entry, dict) and entry.get("record") == HEARTBEAT_RECORD:
+                # Progress heartbeats are monitoring state, not cells:
+                # keep the line (monitors replay them) but restore
+                # nothing from it.
+                good.append(line)
+                continue
             if not isinstance(entry, dict) or not _RECORD_REQUIRED_KEYS <= entry.keys():
                 if is_last:
                     break
@@ -320,6 +327,18 @@ class SweepJournal:
             raise PersistenceError(f"journal {self.path} is closed")
         self._write_line(_outcome_to_dict(cell, outcome))
         self._outcomes[cell.key] = outcome
+
+    def heartbeat(self, fields: dict) -> None:
+        """Append a progress heartbeat line (monitoring state, not a cell).
+
+        The runner passes the ``sweep_progress`` event record here after
+        each journaled cell, so ``repro monitor <journal>`` can report
+        done/total, worker occupancy and ETA without the event stream.
+        Heartbeats are skipped (not restored) on ``resume=True``.
+        """
+        if self._stream is None:
+            raise PersistenceError(f"journal {self.path} is closed")
+        self._write_line({"record": HEARTBEAT_RECORD, **fields})
 
     def close(self) -> None:
         if self._stream is not None:

@@ -43,6 +43,11 @@ from repro.experiments.configs import ModelConfig
 from repro.experiments.executors import Cell, CellOutcome, SerialCellExecutor
 from repro.experiments.supervision import CellFailure
 from repro.obs.events import EventLog
+from repro.obs.progress import (
+    ProgressLineSink,
+    SweepProgressTracker,
+    console_progress_sink,
+)
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.twitter.entities import UserType
 
@@ -178,29 +183,6 @@ class SweepResult:
         )
 
 
-def _console_progress(record: dict) -> None:  # pragma: no cover - console side effect
-    """Event sink reproducing the legacy ``progress=True`` console line."""
-    if record.get("event") == "config_result":
-        print(
-            f"  {record['label']} on {record['source']}: MAP={record['map']:.3f}"
-        )
-    elif record.get("event") == "config_skipped":
-        print(f"  {record['label']} on {record['source']}: skipped ({record['reason']})")
-    elif record.get("event") == "cell_restored":
-        print(f"  {record['label']} on {record['source']}: restored from journal")
-    elif record.get("event") == "cell_requeued":
-        print(
-            f"  {record['label']} on {record['source']}: "
-            f"quarantined last run ({record['kind']}), retrying"
-        )
-    elif record.get("event") == "cell_quarantined":
-        print(
-            f"  {record['label']} on {record['source']}: QUARANTINED "
-            f"({record['kind']}: {record['error']} after "
-            f"{record['attempts']} attempt(s))"
-        )
-
-
 class SweepRunner:
     """Evaluates configuration grids over sources and user groups.
 
@@ -240,6 +222,7 @@ class SweepRunner:
         sources: Sequence[RepresentationSource],
         groups: Sequence[UserType] | None = None,
         progress: bool = False,
+        progress_line: bool = False,
         executor=None,
         journal=None,
     ) -> SweepResult:
@@ -264,10 +247,19 @@ class SweepRunner:
         ``--resume`` picks up an interrupted sweep.
 
         Progress is reported as a structured event stream
-        (``sweep_start`` / ``cell_dispatched`` / ``cell_joined`` /
-        ``cell_restored`` / ``config_result`` / ``config_skipped`` /
-        ``sweep_done``); ``progress=True`` attaches a console sink to
-        that stream for the duration of the run.
+        (``sweep_start`` / ``cell_dispatched`` / ``cell_started`` /
+        ``cell_finished`` / ``cell_joined`` / ``cell_restored`` /
+        ``config_result`` / ``config_skipped`` / ``sweep_progress`` /
+        ``sweep_done``). The executors attribute ``cell_started`` /
+        ``cell_finished`` to a worker id and attempt, and after every
+        joined cell the runner emits a ``sweep_progress`` heartbeat --
+        cells done/total, per-worker occupancy, EWMA cell interval and
+        ETA -- which also lands in the journal as a heartbeat line, so
+        ``repro monitor`` can tail either artifact.
+
+        ``progress=True`` attaches the verbose per-cell console sink for
+        the duration of the run; ``progress_line=True`` attaches the
+        minimal self-overwriting progress line instead (both may be on).
         """
         if groups is None:
             groups = list(self.groups)
@@ -293,8 +285,14 @@ class SweepRunner:
             executor.telemetry = tel
         jobs = getattr(executor, "jobs", 1)
 
+        # The tracker folds the event stream into live progress state;
+        # its snapshots become the sweep_progress heartbeats below.
+        tracker = events.add_sink(SweepProgressTracker())
+        line_sink = ProgressLineSink() if progress_line else None
         if progress:
-            events.add_sink(_console_progress)
+            events.add_sink(console_progress_sink)
+        if line_sink is not None:
+            events.add_sink(line_sink)
         try:
             events.emit(
                 "sweep_start",
@@ -412,6 +410,9 @@ class SweepRunner:
                     if journal is not None:
                         journal.record(cell, outcome)
                     outcomes[cell.key] = outcome
+                    heartbeat = events.emit("sweep_progress", **tracker.snapshot())
+                    if journal is not None:
+                        journal.heartbeat(heartbeat)
 
             # Assemble rows in canonical cell order: results are
             # position-independent of executor completion order and of
@@ -466,9 +467,17 @@ class SweepRunner:
                 restored=len(ordered) - len(pending),
                 failed=len(failures),
             )
+            if journal is not None:
+                # Final heartbeat: the journal's last word says finished.
+                journal.heartbeat(
+                    events.emit("sweep_progress", **tracker.snapshot())
+                )
         finally:
+            events.remove_sink(tracker)
             if progress:
-                events.remove_sink(_console_progress)
+                events.remove_sink(console_progress_sink)
+            if line_sink is not None:
+                events.remove_sink(line_sink)
         manifest = tel.manifest.to_dict() if tel.enabled and tel.manifest else None
         return SweepResult(rows, manifest=manifest, failures=failures)
 

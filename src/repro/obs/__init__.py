@@ -16,6 +16,13 @@ Six primitives, one facade:
 * :mod:`repro.obs.baseline`  -- durable ``BENCH_*.json``
   :class:`Baseline` records and noise-aware
   :func:`compare_baselines` regression detection;
+* :mod:`repro.obs.progress`  -- :class:`SweepProgressTracker` live
+  sweep state (done/total, worker occupancy, EWMA rate, ETA) computed
+  from the event stream, plus the console progress sinks and the
+  ``repro monitor`` snapshot loaders;
+* :mod:`repro.obs.export`    -- Chrome trace-event
+  (:func:`chrome_trace_events`, Perfetto-loadable) and Prometheus text
+  exposition (:func:`prometheus_exposition`) exporters;
 * :mod:`repro.obs.telemetry` -- the :class:`Telemetry` facade the
   pipeline is instrumented against, and its zero-overhead
   :data:`NULL_TELEMETRY` twin.
@@ -36,9 +43,25 @@ from repro.obs.baseline import (
     load_baseline,
 )
 from repro.obs.events import EventLog, JsonLinesSink, MemorySink, Sink
+from repro.obs.export import (
+    chrome_trace_events,
+    format_chrome_trace,
+    prometheus_exposition,
+)
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.report import format_resource_breakdown, format_timing_breakdown
+from repro.obs.progress import (
+    ProgressLineSink,
+    SweepProgressTracker,
+    console_progress_sink,
+    format_snapshot,
+    load_progress,
+)
+from repro.obs.report import (
+    format_critical_path,
+    format_resource_breakdown,
+    format_timing_breakdown,
+)
 from repro.obs.resources import ResourceSampler, ResourceWatch, read_rss_bytes
 from repro.obs.telemetry import (
     NULL_TELEMETRY,
@@ -61,6 +84,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TELEMETRY",
     "NullTelemetry",
+    "ProgressLineSink",
     "ResourceSampler",
     "ResourceWatch",
     "RunManifest",
@@ -68,15 +92,23 @@ __all__ = [
     "Sink",
     "Span",
     "SpanStopwatch",
+    "SweepProgressTracker",
     "Telemetry",
     "Tracer",
     "baseline_path",
+    "chrome_trace_events",
     "compare_baselines",
+    "console_progress_sink",
     "format_baseline",
+    "format_chrome_trace",
     "format_comparison",
+    "format_critical_path",
     "format_resource_breakdown",
+    "format_snapshot",
     "format_timing_breakdown",
     "load_baseline",
+    "load_progress",
     "load_trace",
+    "prometheus_exposition",
     "read_rss_bytes",
 ]

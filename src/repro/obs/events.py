@@ -1,12 +1,19 @@
 """Structured JSON-lines event logging with pluggable sinks.
 
 An :class:`EventLog` turns instrumented call sites into a stream of
-flat, JSON-serialisable records (``{"event": ..., "ts": ..., **fields}``)
-and fans them out to any number of sinks. A sink is just a callable
-taking the record dict, so tests capture with :class:`MemorySink`, the
-CLI writes JSON lines with :class:`JsonLinesSink`, and the sweep
-runner's ``progress=True`` console output is itself a sink over the
-same stream.
+flat, JSON-serialisable records (``{"event": ..., "ts": ..., "seq":
+..., **fields}``) and fans them out to any number of sinks. A sink is
+just a callable taking the record dict, so tests capture with
+:class:`MemorySink`, the CLI writes JSON lines with
+:class:`JsonLinesSink`, and the sweep runner's ``progress=True``
+console output is itself a sink over the same stream.
+
+Every record carries a per-log monotonic sequence number (``seq``)
+alongside its wall-clock ``ts``: wall clocks tie (and can step
+backwards) across process boundaries, so records joined from worker
+telemetry are totally ordered by ``(seq)`` in the parent's stream --
+:meth:`EventLog.forward` re-stamps a parent sequence number at merge
+time, preserving the worker's own ordinal as ``worker_seq``.
 """
 
 from __future__ import annotations
@@ -29,6 +36,11 @@ class EventLog:
 
     def __init__(self, sinks: tuple[Sink, ...] | list[Sink] = ()):
         self._sinks: list[Sink] = list(sinks)
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
 
     def add_sink(self, sink: Sink) -> Sink:
         self._sinks.append(sink)
@@ -47,6 +59,7 @@ class EventLog:
         record: dict[str, object] = {
             "event": event,
             "ts": time.time(),  # repro: allow[RPR003] -- event records carry real wall-clock timestamps by design
+            "seq": self._next_seq(),
             **fields,
         }
         for sink in self._sinks:
@@ -57,8 +70,14 @@ class EventLog:
         """Deliver an already-built record to every sink.
 
         Used when joining worker telemetry: the record keeps its
-        original timestamp and fields instead of being re-stamped.
+        original timestamp and fields, but its ``seq`` is re-stamped
+        from *this* log's counter (the worker's ordinal survives as
+        ``worker_seq``) so the merged stream stays totally ordered even
+        when wall-clocks tie across processes.
         """
+        if "seq" in record:
+            record.setdefault("worker_seq", record["seq"])
+        record["seq"] = self._next_seq()
         for sink in self._sinks:
             sink(record)
         return record

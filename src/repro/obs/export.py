@@ -1,0 +1,191 @@
+"""Export saved telemetry into external tool formats.
+
+Two converters, both pure functions of a saved trace document (the JSON
+written by ``--trace-out`` / :meth:`repro.obs.telemetry.Telemetry.save_trace`):
+
+* :func:`chrome_trace_events` turns the span tree into Chrome
+  trace-event JSON (the array-of-events form), loadable in Perfetto or
+  ``chrome://tracing``. Spans carrying ``worker`` attribution (stamped
+  by :meth:`Telemetry.absorb` when a process-pool sweep joins worker
+  telemetry) are mapped onto per-worker ``tid`` lanes, so a ``--jobs 4``
+  sweep renders as four swimlanes of cells under the main lane's sweep
+  span.
+* :func:`prometheus_exposition` renders a
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot in the Prometheus
+  text exposition format, so any run's counters/gauges/histograms can be
+  scraped, pushed to a gateway, or diffed between runs with plain text
+  tools.
+
+Spans record durations, not absolute start times (wall-clock reads are
+confined to event records by RPR003), so the chrome trace *reconstructs*
+a timeline: within each lane, sibling spans are laid out back-to-back
+from their parent's start. Nesting and per-phase widths are exact; gaps
+between parallel cells are not -- the lanes show where the time went,
+which is what straggler hunting needs.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs.tracing import Span
+
+__all__ = [
+    "chrome_trace_events",
+    "format_chrome_trace",
+    "prometheus_exposition",
+]
+
+#: pid used for every emitted trace event (one process, many lanes).
+_TRACE_PID = 1
+
+_MICROSECONDS = 1e6
+
+
+def _span_tid(span: Span, inherited: int) -> int:
+    """Lane for a span: worker attribution wins, else the parent's lane."""
+    worker = span.attributes.get("worker")
+    if isinstance(worker, int) and worker >= 0:
+        return worker + 1  # lane 0 is the main process
+    return inherited
+
+
+def _span_args(span: Span) -> dict:
+    args: dict[str, object] = dict(span.attributes)
+    for key, value in span.resources.items():
+        args[key] = value
+    return args
+
+
+def chrome_trace_events(trace: dict) -> list[dict]:
+    """Convert a trace document into a list of Chrome trace events.
+
+    Returns complete-duration (``"ph": "X"``) events plus the metadata
+    events naming the process and each lane. Timestamps are synthetic
+    microsecond offsets (see module docstring); durations are exact.
+    """
+    spans = [Span.from_dict(payload) for payload in trace.get("spans", [])]
+    events: list[dict] = []
+    #: Next free microsecond offset per lane, for spans that *enter* a
+    #: lane (worker roots); nested same-lane children nest in their
+    #: parent's interval instead.
+    cursors: dict[int, float] = {}
+    used_tids: set[int] = set()
+
+    def walk(span: Span, tid: int, start: float) -> float:
+        lane = _span_tid(span, tid)
+        if lane != tid:
+            # Entering a new lane: allocate from that lane's own cursor.
+            start = cursors.get(lane, 0.0)
+        duration = (span.duration or 0.0) * _MICROSECONDS
+        used_tids.add(lane)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": round(start, 3),
+                "dur": round(duration, 3),
+                "pid": _TRACE_PID,
+                "tid": lane,
+                "args": _span_args(span),
+            }
+        )
+        child_start = start
+        for child in span.children:
+            child_end = walk(child, lane, child_start)
+            child_lane = _span_tid(child, lane)
+            if child_lane == lane:
+                child_start = child_end
+        end = start + duration
+        cursors[lane] = max(cursors.get(lane, 0.0), end)
+        return end
+
+    cursor = 0.0
+    for root in spans:
+        cursor = walk(root, 0, cursor)
+
+    metadata: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _TRACE_PID,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for tid in sorted(used_tids):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _TRACE_PID,
+                "tid": tid,
+                "args": {"name": "main" if tid == 0 else f"worker-{tid - 1}"},
+            }
+        )
+        metadata.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": _TRACE_PID,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+    return metadata + events
+
+
+def format_chrome_trace(trace: dict) -> str:
+    """The chrome-trace JSON array as text, ready to load in Perfetto."""
+    return json.dumps(chrome_trace_events(trace), sort_keys=True)
+
+
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prometheus_name(name: str, prefix: str) -> str:
+    flat = _METRIC_NAME_RE.sub("_", name)
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _format_value(value: object) -> str:
+    number = float(value)  # type: ignore[arg-type]
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def prometheus_exposition(metrics: dict, prefix: str = "repro") -> str:
+    """Render a metrics snapshot in Prometheus text exposition format.
+
+    Counters and gauges map directly; histograms (streaming
+    count/total/min/max summaries) expose ``_count``/``_sum`` as a
+    summary family plus ``_min``/``_max`` gauges. Never-written gauges
+    are omitted -- exposition only states what was measured. Output is
+    sorted by metric name, so two runs diff cleanly.
+    """
+    lines: list[str] = []
+    for name in sorted(metrics):
+        payload = metrics[name]
+        kind = payload.get("type")
+        exposed = _prometheus_name(name, prefix)
+        if kind == "counter":
+            lines.append(f"# TYPE {exposed} counter")
+            lines.append(f"{exposed} {_format_value(payload.get('value', 0))}")
+        elif kind == "gauge":
+            if payload.get("value") is None:
+                continue
+            lines.append(f"# TYPE {exposed} gauge")
+            lines.append(f"{exposed} {_format_value(payload['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {exposed} summary")
+            lines.append(f"{exposed}_count {_format_value(payload.get('count', 0))}")
+            lines.append(f"{exposed}_sum {_format_value(payload.get('total', 0.0))}")
+            for bound in ("min", "max"):
+                value = payload.get(bound)
+                if value is not None:
+                    lines.append(f"# TYPE {exposed}_{bound} gauge")
+                    lines.append(f"{exposed}_{bound} {_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")

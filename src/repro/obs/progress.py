@@ -1,0 +1,403 @@
+"""Live sweep progress: event-stream tracking, ETA, and monitor views.
+
+A long sweep already narrates itself as a structured event stream
+(``sweep_start`` / ``cell_dispatched`` / ``cell_started`` /
+``cell_joined`` / ``cell_quarantined`` / ``sweep_done`` -- see
+:mod:`repro.experiments.runner`). This module turns that stream into
+*live state*: a :class:`SweepProgressTracker` is an
+:class:`~repro.obs.events.EventLog` sink that folds each record into
+cells done/total, per-worker occupancy, an EWMA of the cell-completion
+interval and the ETA derived from it. The same tracker also replays a
+JSON-lines event file or a sweep journal offline, which is what
+``repro monitor`` does.
+
+Every duration here is computed from the ``ts`` stamps the records
+already carry -- the tracker itself never reads the wall clock, so it
+is equally correct live (in the sweep process), tailing a file on
+another machine, or replaying history after the run.
+
+Console rendering lives here too: :func:`console_progress_sink` is the
+verbose per-cell line (``repro sweep --progress`` without ``--quiet``),
+and :class:`ProgressLineSink` is the minimal single-line view that
+overwrites itself in place.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import IO
+
+__all__ = [
+    "ProgressLineSink",
+    "SweepProgressTracker",
+    "console_progress_sink",
+    "format_snapshot",
+    "load_progress",
+]
+
+#: Journal lines carrying a progress heartbeat instead of a cell record.
+HEARTBEAT_RECORD = "heartbeat"
+
+
+class SweepProgressTracker:
+    """Folds sweep event records into live progress state.
+
+    Attach it to an event log (it is a sink: ``events.add_sink(tracker)``)
+    or feed it records with :meth:`consume`. :meth:`snapshot` returns a
+    JSON-ready view; the runner emits that view as the ``sweep_progress``
+    heartbeat event after every joined cell.
+
+    ``ewma_alpha`` weights the exponentially-weighted moving average of
+    the interval between cell completions; the ETA is the remaining cell
+    count times that interval, which absorbs parallelism automatically
+    (N workers join cells N times as often).
+    """
+
+    def __init__(self, ewma_alpha: float = 0.3):
+        self.ewma_alpha = ewma_alpha
+        self.total = 0
+        self.done = 0
+        self.restored = 0
+        self.retries = 0
+        self.quarantined = 0
+        self.skipped = 0
+        self.jobs: int | None = None
+        self.finished = False
+        #: worker id -> {"cell":, "attempt":, "since": ts} or None (idle).
+        self.workers: dict[int, dict | None] = {}
+        self.started_ts: float | None = None
+        self.last_ts: float | None = None
+        self._ewma_interval: float | None = None
+        self._last_join_ts: float | None = None
+
+    # -- event consumption --------------------------------------------------
+
+    def __call__(self, record: dict) -> None:
+        self.consume(record)
+
+    def consume(self, record: dict) -> None:
+        """Fold one event record into the tracker's state."""
+        event = record.get("event")
+        ts = record.get("ts")
+        if isinstance(ts, (int, float)):
+            if self.started_ts is None:
+                self.started_ts = float(ts)
+            self.last_ts = max(self.last_ts or float(ts), float(ts))
+        handler = getattr(self, f"_on_{event}", None)
+        if handler is not None:
+            handler(record)
+
+    def _on_sweep_start(self, record: dict) -> None:
+        jobs = record.get("jobs")
+        if isinstance(jobs, int):
+            self.jobs = jobs
+            for worker in range(jobs):
+                self.workers.setdefault(worker, None)
+
+    def _on_cell_dispatched(self, record: dict) -> None:
+        self.total += 1
+
+    def _on_cell_restored(self, record: dict) -> None:
+        self.total += 1
+        self.done += 1
+        self.restored += 1
+
+    def _on_cell_started(self, record: dict) -> None:
+        worker = record.get("worker")
+        if isinstance(worker, int):
+            self.workers[worker] = {
+                "cell": record.get("cell"),
+                "attempt": record.get("attempt"),
+                "since": record.get("ts"),
+            }
+
+    def _on_cell_finished(self, record: dict) -> None:
+        worker = record.get("worker")
+        if isinstance(worker, int):
+            self.workers[worker] = None
+
+    def _on_cell_joined(self, record: dict) -> None:
+        self.done += 1
+        ts = record.get("ts")
+        if not isinstance(ts, (int, float)):
+            return
+        anchor = self._last_join_ts if self._last_join_ts is not None else self.started_ts
+        if anchor is not None:
+            interval = max(0.0, float(ts) - anchor)
+            if self._ewma_interval is None:
+                self._ewma_interval = interval
+            else:
+                self._ewma_interval = (
+                    self.ewma_alpha * interval
+                    + (1.0 - self.ewma_alpha) * self._ewma_interval
+                )
+        self._last_join_ts = float(ts)
+
+    def _on_cell_retry(self, record: dict) -> None:
+        self.retries += 1
+
+    def _on_cell_quarantined(self, record: dict) -> None:
+        self.quarantined += 1
+
+    def _on_config_skipped(self, record: dict) -> None:
+        self.skipped += 1
+
+    def _on_sweep_done(self, record: dict) -> None:
+        self.finished = True
+        for worker in self.workers:
+            self.workers[worker] = None
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.total - self.done)
+
+    def ewma_cell_seconds(self) -> float | None:
+        """EWMA interval between cell completions, in seconds."""
+        return self._ewma_interval
+
+    def eta_seconds(self) -> float | None:
+        """Projected seconds until the last cell joins; None when unknown."""
+        if self.finished:
+            return 0.0
+        if self._ewma_interval is None or self._ewma_interval <= 0.0:
+            return None
+        return self.remaining * self._ewma_interval
+
+    def workers_busy(self) -> int:
+        return sum(1 for state in self.workers.values() if state is not None)
+
+    def snapshot(self) -> dict:
+        """JSON-ready progress view (the ``sweep_progress`` heartbeat body)."""
+        now = self.last_ts
+        workers: dict[str, dict | None] = {}
+        for worker in sorted(self.workers):
+            state = self.workers[worker]
+            if state is None:
+                workers[str(worker)] = None
+                continue
+            busy = None
+            since = state.get("since")
+            if isinstance(since, (int, float)) and now is not None:
+                busy = max(0.0, now - float(since))
+            workers[str(worker)] = {
+                "cell": state.get("cell"),
+                "attempt": state.get("attempt"),
+                "busy_seconds": busy,
+            }
+        elapsed = None
+        if self.started_ts is not None and now is not None:
+            elapsed = max(0.0, now - self.started_ts)
+        return {
+            "done": self.done,
+            "total": self.total,
+            "restored": self.restored,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            "skipped": self.skipped,
+            "jobs": self.jobs,
+            "workers_busy": self.workers_busy(),
+            "workers": workers,
+            "ewma_cell_seconds": self.ewma_cell_seconds(),
+            "eta_seconds": self.eta_seconds(),
+            "elapsed_seconds": elapsed,
+            "finished": self.finished,
+        }
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "?"
+    if value >= 3600:
+        return f"{value / 3600:.1f}h"
+    if value >= 60:
+        return f"{value / 60:.1f}m"
+    return f"{value:.1f}s"
+
+
+def format_snapshot(snapshot: dict) -> str:
+    """Render one progress snapshot as the monitor's text view."""
+    done, total = snapshot.get("done", 0), snapshot.get("total", 0)
+    percent = f" ({100.0 * done / total:.0f}%)" if total else ""
+    status = "done" if snapshot.get("finished") else "running"
+    lines = [f"sweep {status}: {done}/{total} cells{percent}"]
+    health = []
+    if snapshot.get("restored"):
+        health.append(f"{snapshot['restored']} restored")
+    if snapshot.get("retries"):
+        health.append(f"{snapshot['retries']} retries")
+    if snapshot.get("quarantined"):
+        health.append(f"{snapshot['quarantined']} quarantined")
+    if snapshot.get("skipped"):
+        health.append(f"{snapshot['skipped']} skipped")
+    if health:
+        lines.append("health: " + ", ".join(health))
+    lines.append(
+        "elapsed "
+        + _fmt_seconds(snapshot.get("elapsed_seconds"))
+        + "  ·  "
+        + _fmt_seconds(snapshot.get("ewma_cell_seconds"))
+        + "/cell  ·  eta "
+        + _fmt_seconds(snapshot.get("eta_seconds"))
+    )
+    workers = snapshot.get("workers") or {}
+    if workers:
+        jobs = snapshot.get("jobs") or len(workers)
+        lines.append(f"workers ({snapshot.get('workers_busy', 0)}/{jobs} busy):")
+        for worker in sorted(workers, key=lambda w: int(w)):
+            state = workers[worker]
+            if state is None:
+                lines.append(f"  w{worker}  idle")
+            else:
+                busy = _fmt_seconds(state.get("busy_seconds"))
+                attempt = state.get("attempt")
+                suffix = f" attempt {attempt}" if attempt is not None else ""
+                lines.append(f"  w{worker}  {state.get('cell')}{suffix}  ({busy})")
+    return "\n".join(lines)
+
+
+def console_progress_sink(record: dict) -> None:  # pragma: no cover - console side effect
+    """Event sink reproducing the verbose per-cell console lines."""
+    if record.get("event") == "config_result":
+        print(
+            f"  {record['label']} on {record['source']}: MAP={record['map']:.3f}"
+        )
+    elif record.get("event") == "config_skipped":
+        print(f"  {record['label']} on {record['source']}: skipped ({record['reason']})")
+    elif record.get("event") == "cell_restored":
+        print(f"  {record['label']} on {record['source']}: restored from journal")
+    elif record.get("event") == "cell_requeued":
+        print(
+            f"  {record['label']} on {record['source']}: "
+            f"quarantined last run ({record['kind']}), retrying"
+        )
+    elif record.get("event") == "cell_quarantined":
+        print(
+            f"  {record['label']} on {record['source']}: QUARANTINED "
+            f"({record['kind']}: {record['error']} after "
+            f"{record['attempts']} attempt(s))"
+        )
+
+
+class ProgressLineSink:
+    """Minimal single-line progress view that overwrites itself in place.
+
+    The ``repro sweep --progress --quiet`` rendering: one ``\\r``-anchored
+    line (``cells 12/34 · eta 42s · 1 quarantined``) refreshed on every
+    progress-relevant event, finalised with a newline at ``sweep_done``.
+    Wraps its own :class:`SweepProgressTracker`, so it needs nothing but
+    the event stream.
+    """
+
+    #: Events that change what the line displays.
+    _REFRESH_EVENTS = frozenset(
+        {
+            "sweep_start",
+            "cell_restored",
+            "cell_joined",
+            "cell_quarantined",
+            "cell_retry",
+            "sweep_done",
+        }
+    )
+
+    def __init__(self, stream: IO[str] | None = None):
+        self.tracker = SweepProgressTracker()
+        self._stream = stream if stream is not None else sys.stderr
+        self._width = 0
+
+    def __call__(self, record: dict) -> None:
+        self.tracker.consume(record)
+        if record.get("event") not in self._REFRESH_EVENTS:
+            return
+        tracker = self.tracker
+        bits = [f"cells {tracker.done}/{tracker.total}"]
+        eta = tracker.eta_seconds()
+        if eta is not None:
+            bits.append(f"eta {_fmt_seconds(eta)}")
+        if tracker.quarantined:
+            bits.append(f"{tracker.quarantined} quarantined")
+        if tracker.retries:
+            bits.append(f"{tracker.retries} retries")
+        line = " · ".join(bits)
+        pad = " " * max(0, self._width - len(line))
+        self._width = len(line)
+        self._stream.write(f"\r{line}{pad}")
+        if record.get("event") == "sweep_done":
+            self._stream.write("\n")
+        self._stream.flush()
+
+
+def iter_jsonl(path: str | Path) -> list[dict]:
+    """Parse a JSON-lines file, skipping torn or non-object lines.
+
+    Monitoring reads files that another process is still appending to,
+    so a half-written tail is normal operation, not corruption.
+    """
+    records: list[dict] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict):
+            records.append(entry)
+    return records
+
+
+def _journal_snapshot(records: list[dict]) -> dict:
+    """Progress view of a sweep journal: heartbeats + cell records.
+
+    The runner appends a heartbeat line (the ``sweep_progress`` body)
+    after each journaled cell, so the last heartbeat *is* the snapshot;
+    journals written before heartbeats existed fall back to counting
+    cell records, which still yields done and quarantine counts.
+    """
+    heartbeats = [r for r in records if r.get("record") == HEARTBEAT_RECORD]
+    if heartbeats:
+        snapshot = dict(heartbeats[-1])
+        snapshot.pop("record", None)
+        return snapshot
+    cells = [r for r in records if "cell" in r and "per_user_ap" in r]
+    quarantined = sum(1 for r in cells if r.get("failure") is not None)
+    return {
+        "done": len(cells),
+        "total": None,
+        "restored": 0,
+        "retries": 0,
+        "quarantined": quarantined,
+        "skipped": 0,
+        "jobs": None,
+        "workers_busy": 0,
+        "workers": {},
+        "ewma_cell_seconds": None,
+        "eta_seconds": None,
+        "elapsed_seconds": None,
+        "finished": False,
+    }
+
+
+def load_progress(path: str | Path) -> dict:
+    """Build a progress snapshot from an events file or a sweep journal.
+
+    ``repro monitor`` points this at either artifact of a running sweep:
+    a ``--log-json`` JSON-lines event stream (replayed through a
+    :class:`SweepProgressTracker`) or a ``--journal`` file (read via its
+    heartbeat records). The distinction is made from the file's first
+    record, so callers never have to say which kind they have.
+    """
+    records = iter_jsonl(path)
+    if records and records[0].get("format") == "repro-sweep-journal":
+        return _journal_snapshot(records)
+    tracker = SweepProgressTracker()
+    for record in sorted(
+        (r for r in records if "event" in r),
+        key=lambda r: r.get("seq") if isinstance(r.get("seq"), int) else 0,
+    ):
+        tracker.consume(record)
+    return tracker.snapshot()

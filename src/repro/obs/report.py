@@ -19,7 +19,12 @@ from __future__ import annotations
 
 from repro.obs.tracing import Span
 
-__all__ = ["format_resource_breakdown", "format_timing_breakdown"]
+__all__ = [
+    "critical_path",
+    "format_critical_path",
+    "format_resource_breakdown",
+    "format_timing_breakdown",
+]
 
 #: Span names whose rollup forms the paper's TTime measure.
 TRAINING_PHASES = ("fit", "profiles")
@@ -146,4 +151,148 @@ def format_resource_breakdown(trace: dict) -> str:
         lines.append(
             "(no resource samples recorded; rerun with --profile-resources)"
         )
+    return "\n".join(lines)
+
+
+# -- critical path and straggler analysis -----------------------------------
+
+
+def _child_seconds(span: Span) -> float:
+    return sum(child.duration or 0.0 for child in span.children)
+
+
+def _self_seconds(span: Span) -> float:
+    """A span's own time: duration minus child time, floored at zero.
+
+    Absorbed worker subtrees can overlap their parent's wall clock, so
+    child time may exceed the parent duration; negative self time means
+    "fully accounted for by (parallel) children" and renders as zero.
+    """
+    return max(0.0, (span.duration or 0.0) - _child_seconds(span))
+
+
+def _find_named(spans: list[Span], name: str) -> Span | None:
+    for span in spans:
+        if span.name == name:
+            return span
+        found = _find_named(span.children, name)
+        if found is not None:
+            return found
+    return None
+
+
+def critical_path(spans: list[Span]) -> list[Span]:
+    """The serial critical chain: at each level, the longest child.
+
+    For a sweep trace this descends sweep -> straggler cell -> its
+    slowest phase -> ...: the chain of spans the run's makespan was
+    actually waiting on, which is where optimisation effort pays.
+    """
+    if not spans:
+        return []
+    current = max(spans, key=lambda s: s.duration or 0.0)
+    path = [current]
+    while current.children:
+        current = max(current.children, key=lambda s: s.duration or 0.0)
+        path.append(current)
+    return path
+
+
+def _cell_identity(span: Span) -> str:
+    label = span.attributes.get("label", span.name)
+    source = span.attributes.get("source")
+    identity = f"{label} on {source}" if source is not None else str(label)
+    worker = span.attributes.get("worker")
+    if worker is not None:
+        identity += f"  [worker {worker}"
+        attempt = span.attributes.get("attempt")
+        if attempt is not None:
+            identity += f", attempt {attempt}"
+        identity += "]"
+    return identity
+
+
+def _collect_named(spans: list[Span], name: str, found: list[Span]) -> None:
+    for span in spans:
+        if span.name == name:
+            found.append(span)
+        _collect_named(span.children, name, found)
+
+
+def _phase_rollup(spans: list[Span], rollup: dict[str, list[float]]) -> None:
+    for span in spans:
+        entry = rollup.setdefault(span.name, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += span.duration or 0.0
+        entry[2] += _self_seconds(span)
+        _phase_rollup(span.children, rollup)
+
+
+def format_critical_path(trace: dict, top: int = 5) -> str:
+    """Critical path, phase self-times, stragglers, parallel efficiency.
+
+    The sweep's cells are independent, so its *serial* critical path is
+    the chain sweep -> slowest cell -> that cell's slowest phase; the
+    straggler table ranks every evaluated cell by duration with its
+    (model, source, params) identity and worker/attempt attribution; and
+    parallel efficiency is busy time over ``workers x makespan`` -- the
+    fraction of the pool that was doing cell work rather than waiting.
+    """
+    spans = [Span.from_dict(payload) for payload in trace.get("spans", [])]
+    lines = ["critical path (serial chain through the sweep)"]
+    _manifest_line(trace, lines)
+    if not spans:
+        lines.append("(no spans recorded)")
+        return "\n".join(lines)
+
+    for depth, span in enumerate(critical_path(spans)):
+        attrs = ""
+        if span.attributes:
+            attrs = " [" + " ".join(
+                f"{k}={v}" for k, v in sorted(span.attributes.items())
+            ) + "]"
+        label = f"{'  ' * depth}{span.name}{attrs}"
+        lines.append(
+            f"{label:<56}{span.duration or 0.0:>9.3f}s  self {_self_seconds(span):.3f}s"
+        )
+
+    rollup: dict[str, list[float]] = {}
+    _phase_rollup(spans, rollup)
+    lines.append("")
+    lines.append("per-phase totals (self vs child time)")
+    lines.append(f"{'phase':<28}{'calls':>6}{'total':>11}{'self':>11}{'child':>11}")
+    for name in sorted(rollup, key=lambda n: -rollup[n][1]):
+        count, total, self_time = rollup[name]
+        child = max(0.0, total - self_time)
+        lines.append(
+            f"{name:<28}{int(count):>6}{total:>10.3f}s{self_time:>10.3f}s{child:>10.3f}s"
+        )
+
+    cells: list[Span] = []
+    _collect_named(spans, "config", cells)
+    if cells:
+        stragglers = sorted(cells, key=lambda s: -(s.duration or 0.0))[:top]
+        lines.append("")
+        lines.append(f"top {len(stragglers)} straggler cells")
+        for rank, span in enumerate(stragglers, start=1):
+            lines.append(
+                f"{rank:>3}. {_cell_identity(span):<56}{span.duration or 0.0:>9.3f}s"
+            )
+
+    sweep = _find_named(spans, "sweep")
+    if sweep is not None and cells:
+        makespan = sweep.duration or 0.0
+        busy = sum(span.duration or 0.0 for span in cells)
+        jobs = sweep.attributes.get("jobs")
+        workers = int(jobs) if isinstance(jobs, (int, float)) else 1
+        lines.append("")
+        if makespan > 0 and workers > 0:
+            efficiency = busy / (workers * makespan)
+            lines.append(
+                f"parallel efficiency: busy {busy:.3f}s / "
+                f"({workers} worker(s) x {makespan:.3f}s makespan) = "
+                f"{100.0 * efficiency:.1f}%"
+            )
+        else:
+            lines.append("parallel efficiency: undefined (zero makespan)")
     return "\n".join(lines)

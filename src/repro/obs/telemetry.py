@@ -87,10 +87,28 @@ class Telemetry:
         forwarded to the sinks with their original timestamps) and
         ``metrics`` (a registry snapshot, folded in via
         :meth:`~repro.obs.metrics.MetricsRegistry.merge`).
+
+        When the executor stamped ``worker``/``attempt`` attribution
+        onto the payload (the process pool does, at join time), it is
+        preserved: attached root spans gain ``worker``/``attempt``
+        attributes (the chrome-trace exporter maps these to tid lanes)
+        and forwarded event records gain the same fields, so a merged
+        stream still says which worker did what on which try.
         """
-        for span in payload.get("spans", ()):
-            self.tracer.attach(Span.from_dict(span))
+        worker = payload.get("worker")
+        attempt = payload.get("attempt")
+        for span_payload in payload.get("spans", ()):
+            span = Span.from_dict(span_payload)
+            if worker is not None:
+                span.attributes.setdefault("worker", worker)
+                if attempt is not None:
+                    span.attributes.setdefault("attempt", attempt)
+            self.tracer.attach(span)
         for record in payload.get("events", ()):
+            if worker is not None:
+                record.setdefault("worker", worker)
+                if attempt is not None:
+                    record.setdefault("attempt", attempt)
             self.events.forward(record)
         self.metrics.merge(payload.get("metrics", {}))
 

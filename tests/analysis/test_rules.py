@@ -489,3 +489,67 @@ class TestUnboundedWait:
             """,
             path=self.EXEC_PATH,
         ) == []
+
+
+class TestEventLogProgress:
+    EXEC_PATH = "src/repro/experiments/fake_runner.py"
+
+    def test_flags_print_in_the_sweep_machinery(self):
+        report = lint(
+            """
+            def announce(cell):
+                print(f"done {cell}")
+            """,
+            path=self.EXEC_PATH,
+        )
+        (violation,) = report.violations
+        assert violation.rule == "RPR009"
+        assert violation.path == self.EXEC_PATH
+        assert violation.line == 3
+        assert "EventLog.emit" in violation.message
+
+    def test_flags_sys_stream_writes(self):
+        report = lint(
+            """
+            import sys
+
+            def announce(cell):
+                sys.stderr.write(f"done {cell}\\n")
+                sys.stdout.writelines([f"{cell}\\n"])
+            """,
+            path=self.EXEC_PATH,
+        )
+        assert [v.rule for v in report.violations] == ["RPR009"] * 2
+        assert "sys.stderr.write" in report.violations[0].message
+
+    def test_event_emission_and_file_writes_clean(self):
+        assert rules_hit(
+            """
+            def announce(events, stream, record):
+                events.emit("cell_joined", cell=record["cell"])
+                stream.write("journal line\\n")
+            """,
+            path=self.EXEC_PATH,
+        ) == []
+
+    def test_scoped_to_the_experiments_package(self):
+        source = """
+            def announce(cell):
+                print(f"done {cell}")
+            """
+        # Console rendering is legal in the obs sinks, the CLI and
+        # anywhere outside src/repro -- only the sweep machinery is held
+        # to event emission.
+        assert rules_hit(source, path="src/repro/obs/progress.py") == []
+        assert rules_hit(source, path="src/repro/cli.py") == []
+        assert rules_hit(source, path=APP_PATH) == []
+        assert rules_hit(source, path=self.EXEC_PATH) == ["RPR009"]
+
+    def test_pragma_suppresses_with_justification(self):
+        assert rules_hit(
+            """
+            def announce(cell):
+                print(f"done {cell}")  # repro: allow[RPR009] -- interactive debug helper, never imported by the runner
+            """,
+            path=self.EXEC_PATH,
+        ) == []

@@ -1,0 +1,154 @@
+"""Worker/attempt attribution through absorb, and trace-export parity.
+
+The contract: a ``--jobs N`` sweep's exported trace contains the same
+cell span set as a serial sweep's — the only difference is attribution
+(worker/attempt attributes, and therefore chrome-trace tid lanes). The
+supervisor stamps ``worker``/``attempt`` onto the outcome's telemetry
+payload at join time and :meth:`Telemetry.absorb` carries them onto the
+attached spans and forwarded events.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sources import RepresentationSource
+from repro.experiments.executors import ProcessCellExecutor, SweepSpec
+from repro.obs.events import MemorySink
+from repro.obs.export import chrome_trace_events
+from repro.obs.telemetry import Telemetry
+from repro.twitter.entities import UserType
+
+from tests.experiments.test_executors import SPEC, _configs, _runner
+
+#: Attribution attributes the parallel run adds and the serial one lacks.
+_ATTRIBUTION = ("worker", "attempt")
+
+
+def _cell_span_set(trace: dict) -> list[tuple]:
+    """Flattened multiset of the cell subtrees' spans, attribution-free.
+
+    Only ``config`` subtrees are compared: artifact-cache ``*.build``
+    spans outside (and inside) them depend on which process happened to
+    prepare a corpus first, which is scheduling, not evaluation.
+    """
+    def flatten(span, out):
+        if not span["name"].endswith(".build"):
+            attrs = tuple(sorted(
+                (k, v) for k, v in span.get("attributes", {}).items()
+                if k not in _ATTRIBUTION
+            ))
+            out.append((span["name"], attrs))
+        for child in span.get("children", ()):
+            flatten(child, out)
+
+    def collect(span, out):
+        if span["name"] == "config":
+            flatten(span, out)
+            return
+        for child in span.get("children", ()):
+            collect(child, out)
+
+    found: list[tuple] = []
+    for root in trace.get("spans", ()):
+        collect(root, found)
+    return sorted(found)
+
+
+class TestAbsorbAttribution:
+    def test_absorb_stamps_spans_and_events(self):
+        parent = Telemetry()
+        sink = MemorySink()
+        parent.events.add_sink(sink)
+        parent.absorb(
+            {
+                "worker": 3,
+                "attempt": 2,
+                "spans": [{"name": "config", "duration": 1.0,
+                           "attributes": {"label": "TN"}}],
+                "events": [{"event": "model_fitted", "ts": 0.0, "seq": 1}],
+            }
+        )
+        (span,) = parent.tracer.roots
+        assert span.attributes["worker"] == 3
+        assert span.attributes["attempt"] == 2
+        (record,) = sink.records
+        assert record["worker"] == 3 and record["attempt"] == 2
+        assert record["worker_seq"] == 1  # forward preserved the ordinal
+
+    def test_absorb_never_overwrites_existing_attribution(self):
+        parent = Telemetry()
+        parent.absorb(
+            {
+                "worker": 5,
+                "spans": [{"name": "config", "attributes": {"worker": 1}}],
+            }
+        )
+        (span,) = parent.tracer.roots
+        assert span.attributes["worker"] == 1  # setdefault semantics
+
+    def test_absorb_without_attribution_leaves_spans_bare(self):
+        parent = Telemetry()
+        parent.absorb({"spans": [{"name": "config", "duration": 1.0}]})
+        (span,) = parent.tracer.roots
+        assert "worker" not in span.attributes
+
+
+class TestExportParity:
+    """Serial and process-pool sweeps export the same cell span set."""
+
+    @pytest.fixture(scope="class")
+    def traces(self):
+        configs = _configs()[:3]
+        sources = [RepresentationSource.R]
+
+        serial_tel = Telemetry()
+        _runner(telemetry=serial_tel).run(
+            configs, sources, groups=[UserType.ALL]
+        )
+        parallel_tel = Telemetry()
+        _runner(telemetry=parallel_tel).run(
+            configs, sources, groups=[UserType.ALL],
+            executor=ProcessCellExecutor(SPEC, jobs=2),
+        )
+        return serial_tel.trace_payload(), parallel_tel.trace_payload()
+
+    def test_cell_span_sets_identical(self, traces):
+        serial, parallel = traces
+        assert _cell_span_set(serial) == _cell_span_set(parallel)
+        assert len(_cell_span_set(serial)) > 0
+
+    def test_parallel_cells_carry_worker_attribution(self, traces):
+        _serial, parallel = traces
+        sweep = next(s for s in parallel["spans"] if s["name"] == "sweep")
+        cells = [c for c in sweep["children"] if c["name"] == "config"]
+        assert cells
+        for cell in cells:
+            assert cell["attributes"]["worker"] in (0, 1)
+            assert cell["attributes"]["attempt"] == 1
+
+    def test_serial_cells_stay_on_the_main_lane(self, traces):
+        serial, _parallel = traces
+        events = chrome_trace_events(serial)
+        assert {e["tid"] for e in events if e["ph"] == "X"} == {0}
+
+    def test_parallel_export_has_one_lane_per_worker(self, traces):
+        _serial, parallel = traces
+        events = chrome_trace_events(parallel)
+        cell_lanes = {
+            e["tid"] for e in events
+            if e["ph"] == "X" and e["name"] == "config"
+        }
+        # jobs=2 -> worker lanes 1 and 2; the sweep span stays on lane 0.
+        assert cell_lanes <= {1, 2} and len(cell_lanes) >= 1
+        sweep_lane = next(
+            e["tid"] for e in events
+            if e["ph"] == "X" and e["name"] == "sweep"
+        )
+        assert sweep_lane == 0
+        lane_names = {
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "main" in lane_names
+        assert any(name.startswith("worker-") for name in lane_names)

@@ -49,8 +49,16 @@ class TestJournalFile:
             )
         lines = [json.loads(line) for line in path.read_text().splitlines()]
         assert lines[0] == {"format": "repro-sweep-journal", "version": 1}
-        assert len(lines) == 1 + len(_configs()) * len(SOURCES)
-        assert all("cell" in entry and "per_user_ap" in entry for entry in lines[1:])
+        cells = [e for e in lines[1:] if e.get("record") != "heartbeat"]
+        heartbeats = [e for e in lines[1:] if e.get("record") == "heartbeat"]
+        assert len(cells) == len(_configs()) * len(SOURCES)
+        assert all("cell" in entry and "per_user_ap" in entry for entry in cells)
+        # One heartbeat follows each journaled cell, plus the final one
+        # written after sweep_done.
+        assert len(heartbeats) == len(cells) + 1
+        assert all("eta_seconds" in hb and "done" in hb for hb in heartbeats)
+        assert heartbeats[-1]["finished"] is True
+        assert heartbeats[-1]["done"] == len(cells)
 
     def test_record_after_close_raises(self, tmp_path):
         journal = SweepJournal(tmp_path / "j.jsonl")
@@ -168,12 +176,20 @@ class TestResume:
                 configs, SOURCES, groups=[UserType.ALL], journal=journal
             )
 
-        # Simulate a kill after two cells: keep header + 2 records and a
-        # torn, half-written third record.
+        # Simulate a kill after two cells: keep header + 2 records (and
+        # their interleaved heartbeats) and a torn, half-written third
+        # record.
         lines = path.read_text().splitlines()
         completed = 2
+        cell_indices = [
+            i for i, line in enumerate(lines[1:], start=1)
+            if json.loads(line).get("record") != "heartbeat"
+        ]
+        keep_through = cell_indices[completed - 1] + 1  # trailing heartbeat too
         path.write_text(
-            "\n".join(lines[: 1 + completed]) + "\n" + lines[1 + completed][:37]
+            "\n".join(lines[: 1 + keep_through])
+            + "\n"
+            + lines[cell_indices[completed]][:37]
         )
 
         telemetry = Telemetry()

@@ -57,6 +57,41 @@ class TestEventLog:
         assert (tmp_path / "deep" / "dir" / "e.jsonl").exists()
 
 
+class TestSequenceNumbers:
+    """Records are totally ordered by ``seq``, even across merged
+    worker streams whose wall clocks tie or step backwards."""
+
+    def test_emit_stamps_strictly_increasing_seq(self):
+        log = EventLog()
+        sink = log.add_sink(MemorySink())
+        for n in range(5):
+            log.emit("tick", n=n)
+        seqs = [r["seq"] for r in sink.records]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        assert seqs[0] == 1
+
+    def test_forward_restamps_seq_from_the_parent_counter(self):
+        parent = EventLog()
+        sink = parent.add_sink(MemorySink())
+        parent.emit("sweep_start")
+        # A worker's record arrives carrying the *worker's* seq (1) and
+        # a timestamp that ties with the parent's own records.
+        worker_record = {"event": "cell_done", "ts": 0.0, "seq": 1}
+        forwarded = parent.forward(worker_record)
+        parent.emit("sweep_done")
+        seqs = [r["seq"] for r in sink.records]
+        assert seqs == [1, 2, 3]  # total order survives the merge
+        assert forwarded["worker_seq"] == 1  # the ordinal is preserved
+
+    def test_forward_without_seq_still_orders(self):
+        parent = EventLog()
+        sink = parent.add_sink(MemorySink())
+        parent.forward({"event": "legacy", "ts": 0.0})
+        assert sink.records[0]["seq"] == 1
+        assert "worker_seq" not in sink.records[0]
+
+
 class TestRunManifest:
     def test_create_stamps_environment(self):
         manifest = RunManifest.create(

@@ -1,0 +1,166 @@
+"""Tests for the chrome-trace and Prometheus exporters.
+
+The chrome-trace contract: the output is a JSON array Perfetto can
+load — metadata events naming the lanes, then one complete-duration
+("ph": "X") event per span, worker-attributed spans on their own tid
+lane, nesting reconstructed so children sit inside their parent's
+interval.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (
+    chrome_trace_events,
+    format_chrome_trace,
+    prometheus_exposition,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def span(name, duration, children=(), resources=None, **attributes):
+    payload = {"name": name, "duration": duration}
+    if attributes:
+        payload["attributes"] = dict(attributes)
+    if children:
+        payload["children"] = list(children)
+    if resources:
+        payload["resources"] = dict(resources)
+    return payload
+
+
+def trace(*spans, manifest=None):
+    return {"version": 1, "manifest": manifest, "spans": list(spans)}
+
+
+def complete_events(events):
+    return [e for e in events if e["ph"] == "X"]
+
+
+class TestChromeTrace:
+    def test_round_trips_as_a_json_array(self):
+        doc = trace(span("sweep", 2.0, [span("config", 1.0, model="TN")]))
+        text = format_chrome_trace(doc)
+        events = json.loads(text)
+        assert isinstance(events, list)
+        assert all(
+            set(e) >= {"name", "ph", "pid", "tid"} for e in events
+        )
+
+    def test_span_tree_becomes_nested_x_events(self):
+        doc = trace(
+            span("evaluate", 4.0, [span("fit", 3.0), span("rank", 0.5)])
+        )
+        xs = complete_events(chrome_trace_events(doc))
+        by_name = {e["name"]: e for e in xs}
+        evaluate, fit, rank = by_name["evaluate"], by_name["fit"], by_name["rank"]
+        assert evaluate["dur"] == 4.0e6 and fit["dur"] == 3.0e6
+        # Children nest inside the parent interval, laid back-to-back.
+        assert fit["ts"] == evaluate["ts"]
+        assert rank["ts"] == fit["ts"] + fit["dur"]
+        assert rank["ts"] + rank["dur"] <= evaluate["ts"] + evaluate["dur"]
+
+    def test_worker_attribution_maps_to_tid_lanes(self):
+        doc = trace(
+            span(
+                "sweep",
+                10.0,
+                [
+                    span("config", 4.0, worker=0, model="TN", source="R"),
+                    span("config", 5.0, worker=1, model="TNG", source="R"),
+                ],
+                jobs=2,
+            )
+        )
+        events = chrome_trace_events(doc)
+        xs = complete_events(events)
+        tids = {e["name"]: e["tid"] for e in xs if e["name"] == "sweep"}
+        assert tids["sweep"] == 0  # main lane
+        worker_lanes = sorted(
+            e["tid"] for e in xs if e["name"] == "config"
+        )
+        assert worker_lanes == [1, 2]  # one lane per worker, main excluded
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names[0] == "main"
+        assert names[1] == "worker-0" and names[2] == "worker-1"
+
+    def test_unattributed_children_inherit_the_worker_lane(self):
+        doc = trace(
+            span(
+                "sweep",
+                4.0,
+                [span("config", 3.0, [span("fit", 2.0)], worker=1)],
+            )
+        )
+        xs = complete_events(chrome_trace_events(doc))
+        fit = next(e for e in xs if e["name"] == "fit")
+        assert fit["tid"] == 2  # rides its parent's worker lane
+
+    def test_same_lane_roots_lay_out_sequentially(self):
+        doc = trace(span("a", 1.0), span("b", 2.0))
+        xs = complete_events(chrome_trace_events(doc))
+        a, b = (next(e for e in xs if e["name"] == n) for n in "ab")
+        assert a["ts"] == 0.0
+        assert b["ts"] == a["ts"] + a["dur"]
+
+    def test_resources_and_attributes_land_in_args(self):
+        doc = trace(
+            span(
+                "fit", 1.0, model="TN",
+                resources={"peak_rss_bytes": 1024.0, "cpu_seconds": 0.9},
+            )
+        )
+        (fit,) = complete_events(chrome_trace_events(doc))
+        assert fit["args"]["model"] == "TN"
+        assert fit["args"]["peak_rss_bytes"] == 1024.0
+        assert fit["args"]["cpu_seconds"] == 0.9
+
+    def test_empty_trace_yields_process_metadata_only(self):
+        events = chrome_trace_events(trace())
+        assert all(e["ph"] == "M" for e in events)
+
+
+class TestPrometheusExposition:
+    def _metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("sweep.cells.done").inc(7)
+        registry.gauge("sweep.jobs").set(4)
+        for value in (1.0, 3.0):
+            registry.histogram("cell.seconds").observe(value)
+        return registry.snapshot()
+
+    def test_counter_gauge_histogram_families(self):
+        text = prometheus_exposition(self._metrics())
+        assert "# TYPE repro_sweep_cells_done counter" in text
+        assert "repro_sweep_cells_done 7" in text
+        assert "repro_sweep_jobs 4" in text
+        assert "# TYPE repro_cell_seconds summary" in text
+        assert "repro_cell_seconds_count 2" in text
+        assert "repro_cell_seconds_sum 4" in text
+        assert "repro_cell_seconds_min 1" in text
+        assert "repro_cell_seconds_max 3" in text
+        assert text.endswith("\n")
+
+    def test_names_are_sanitized_and_families_sorted(self):
+        text = prometheus_exposition(self._metrics(), prefix="x")
+        samples = [
+            line.split()[0] for line in text.splitlines()
+            if not line.startswith("#")
+        ]
+        assert all(c.isalnum() or c in "_:" for name in samples for c in name)
+        # Families render in sorted metric-name order (the derived
+        # _count/_sum/_min/_max samples stay grouped with their family).
+        families = ["x_cell_seconds", "x_sweep_cells_done", "x_sweep_jobs"]
+        assert [text.index(f) for f in families] == sorted(
+            text.index(f) for f in families
+        )
+
+    def test_unwritten_gauge_is_omitted(self):
+        registry = MetricsRegistry()
+        registry.gauge("never.set")
+        assert prometheus_exposition(registry.snapshot()) == ""

@@ -1,0 +1,236 @@
+"""Tests for the live sweep progress tracker and monitor loaders.
+
+All timing in the tracker derives from the ``ts`` stamps the event
+records carry, so these tests drive it with synthetic records at chosen
+timestamps and assert the derived state — no sleeping, no wall clock.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs.events import EventLog
+from repro.obs.progress import (
+    ProgressLineSink,
+    SweepProgressTracker,
+    format_snapshot,
+    load_progress,
+)
+
+
+def feed(tracker, *records):
+    for record in records:
+        tracker.consume(record)
+
+
+def ev(event, ts, **fields):
+    return {"event": event, "ts": ts, **fields}
+
+
+class TestSweepProgressTracker:
+    def test_counts_done_total_restored(self):
+        tracker = SweepProgressTracker()
+        feed(
+            tracker,
+            ev("sweep_start", 0.0, jobs=2),
+            ev("cell_restored", 0.1),
+            ev("cell_dispatched", 0.2),
+            ev("cell_dispatched", 0.3),
+            ev("cell_joined", 5.0),
+        )
+        assert tracker.total == 3
+        assert tracker.done == 2  # one restored + one joined
+        assert tracker.restored == 1
+        assert tracker.remaining == 1
+
+    def test_worker_occupancy_follows_started_finished(self):
+        tracker = SweepProgressTracker()
+        feed(
+            tracker,
+            ev("sweep_start", 0.0, jobs=2),
+            ev("cell_started", 1.0, cell="TN|R|{}", worker=0, attempt=1),
+            ev("cell_started", 1.5, cell="LDA|R|{}", worker=1, attempt=2),
+        )
+        assert tracker.workers_busy() == 2
+        snapshot = tracker.snapshot()
+        assert snapshot["workers"]["0"]["cell"] == "TN|R|{}"
+        assert snapshot["workers"]["1"]["attempt"] == 2
+        # busy_seconds measured against the latest ts seen (1.5).
+        assert snapshot["workers"]["0"]["busy_seconds"] == 0.5
+        feed(tracker, ev("cell_finished", 4.0, cell="TN|R|{}", worker=0,
+                        attempt=1, status="ok", seconds=3.0))
+        assert tracker.workers_busy() == 1
+        assert tracker.snapshot()["workers"]["0"] is None
+
+    def test_ewma_and_eta_from_join_intervals(self):
+        tracker = SweepProgressTracker(ewma_alpha=0.5)
+        feed(
+            tracker,
+            ev("sweep_start", 0.0),
+            *[ev("cell_dispatched", 0.0) for _ in range(4)],
+            ev("cell_joined", 10.0),  # first interval: 10s from start
+        )
+        assert tracker.ewma_cell_seconds() == 10.0
+        assert tracker.eta_seconds() == 30.0  # 3 remaining x 10s
+        feed(tracker, ev("cell_joined", 30.0))  # 20s interval
+        assert tracker.ewma_cell_seconds() == 15.0  # 0.5*20 + 0.5*10
+        assert tracker.eta_seconds() == 30.0  # 2 remaining x 15s
+
+    def test_eta_unknown_before_first_join_and_zero_when_done(self):
+        tracker = SweepProgressTracker()
+        feed(tracker, ev("sweep_start", 0.0), ev("cell_dispatched", 0.1))
+        assert tracker.eta_seconds() is None
+        feed(tracker, ev("cell_joined", 1.0), ev("sweep_done", 1.1))
+        assert tracker.finished
+        assert tracker.eta_seconds() == 0.0
+
+    def test_health_counters(self):
+        tracker = SweepProgressTracker()
+        feed(
+            tracker,
+            ev("cell_retry", 1.0),
+            ev("cell_quarantined", 2.0),
+            ev("config_skipped", 3.0),
+        )
+        assert (tracker.retries, tracker.quarantined, tracker.skipped) == (1, 1, 1)
+
+    def test_works_as_an_event_log_sink(self):
+        log = EventLog()
+        tracker = log.add_sink(SweepProgressTracker())
+        log.emit("cell_dispatched")
+        log.emit("cell_joined")
+        assert tracker.done == 1 and tracker.total == 1
+
+    def test_snapshot_is_json_ready(self):
+        tracker = SweepProgressTracker()
+        feed(
+            tracker,
+            ev("sweep_start", 0.0, jobs=1),
+            ev("cell_dispatched", 0.0),
+            ev("cell_started", 0.1, cell="TN|R|{}", worker=0, attempt=1),
+        )
+        json.dumps(tracker.snapshot())
+
+
+class TestFormatSnapshot:
+    def test_renders_counts_eta_and_workers(self):
+        tracker = SweepProgressTracker()
+        feed(
+            tracker,
+            ev("sweep_start", 0.0, jobs=2),
+            *[ev("cell_dispatched", 0.0) for _ in range(4)],
+            ev("cell_started", 0.1, cell="TN|R|{}", worker=0, attempt=1),
+            ev("cell_joined", 2.0),
+            ev("cell_quarantined", 2.5),
+        )
+        text = format_snapshot(tracker.snapshot())
+        assert "sweep running: 1/4 cells (25%)" in text
+        assert "1 quarantined" in text
+        assert "eta" in text
+        assert "w0  TN|R|{} attempt 1" in text
+        assert "w1  idle" in text
+
+    def test_finished_snapshot_says_done(self):
+        tracker = SweepProgressTracker()
+        feed(
+            tracker,
+            ev("cell_dispatched", 0.0),
+            ev("cell_joined", 1.0),
+            ev("sweep_done", 1.0),
+        )
+        assert "sweep done: 1/1 cells" in format_snapshot(tracker.snapshot())
+
+
+class TestProgressLineSink:
+    def test_writes_self_overwriting_line(self):
+        stream = io.StringIO()
+        sink = ProgressLineSink(stream=stream)
+        log = EventLog()
+        log.add_sink(sink)
+        log.emit("sweep_start", jobs=1)
+        log.emit("cell_dispatched")
+        log.emit("cell_dispatched")
+        log.emit("cell_joined")
+        log.emit("sweep_done")
+        output = stream.getvalue()
+        assert "\rcells 1/2" in output
+        assert output.endswith("\n")  # finalised at sweep_done
+
+    def test_quarantines_surface_on_the_line(self):
+        stream = io.StringIO()
+        sink = ProgressLineSink(stream=stream)
+        sink(ev("cell_dispatched", 0.0))
+        sink(ev("cell_quarantined", 1.0))
+        assert "1 quarantined" in stream.getvalue()
+
+
+class TestLoadProgress:
+    def test_replays_an_events_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        records = [
+            ev("sweep_start", 0.0, jobs=1, seq=1),
+            ev("cell_dispatched", 0.0, seq=2),
+            ev("cell_dispatched", 0.0, seq=3),
+            ev("cell_joined", 2.0, seq=4),
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        snapshot = load_progress(path)
+        assert snapshot["done"] == 1 and snapshot["total"] == 2
+        assert snapshot["eta_seconds"] == 2.0
+
+    def test_orders_replay_by_seq_not_file_position(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        # A merged log flushed out of order: sweep_done written first.
+        records = [
+            ev("sweep_done", 3.0, seq=4),
+            ev("sweep_start", 0.0, seq=1),
+            ev("cell_dispatched", 0.0, seq=2),
+            ev("cell_joined", 2.0, seq=3),
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        snapshot = load_progress(path)
+        assert snapshot["finished"] is True
+        assert snapshot["done"] == 1
+
+    def test_tolerates_a_torn_tail(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            json.dumps(ev("cell_dispatched", 0.0, seq=1))
+            + "\n"
+            + '{"event": "cell_joi'
+        )
+        assert load_progress(path)["total"] == 1
+
+    def test_reads_journal_heartbeats(self, tmp_path):
+        path = tmp_path / "sweep.journal.jsonl"
+        heartbeat = {
+            "record": "heartbeat", "done": 3, "total": 9,
+            "eta_seconds": 12.0, "finished": False,
+        }
+        lines = [
+            {"format": "repro-sweep-journal", "version": 1},
+            {"record": "heartbeat", "done": 1, "total": 9,
+             "eta_seconds": 40.0, "finished": False},
+            heartbeat,
+        ]
+        path.write_text("\n".join(json.dumps(e) for e in lines) + "\n")
+        snapshot = load_progress(path)
+        assert snapshot["done"] == 3 and snapshot["total"] == 9
+        assert snapshot["eta_seconds"] == 12.0  # last heartbeat wins
+        assert "record" not in snapshot
+
+    def test_legacy_journal_without_heartbeats_counts_cells(self, tmp_path):
+        path = tmp_path / "sweep.journal.jsonl"
+        cell = {
+            "cell": "TN|R|{}", "model": "TN", "params": {}, "source": "R",
+            "per_user_ap": {"1": 0.5}, "training_seconds": 1.0,
+            "testing_seconds": 0.1, "failure": None,
+        }
+        quarantined = dict(cell, cell="LDA|R|{}", failure={"kind": "crash"})
+        lines = [{"format": "repro-sweep-journal", "version": 1}, cell, quarantined]
+        path.write_text("\n".join(json.dumps(e) for e in lines) + "\n")
+        snapshot = load_progress(path)
+        assert snapshot["done"] == 2
+        assert snapshot["quarantined"] == 1
+        assert snapshot["total"] is None  # unknowable without heartbeats

@@ -8,8 +8,14 @@ absorbed into the parent -- plus the resource-breakdown columns.
 
 from __future__ import annotations
 
-from repro.obs.report import format_resource_breakdown, format_timing_breakdown
+from repro.obs.report import (
+    critical_path,
+    format_critical_path,
+    format_resource_breakdown,
+    format_timing_breakdown,
+)
 from repro.obs.telemetry import Telemetry
+from repro.obs.tracing import Span
 
 
 def span(name, duration, children=(), resources=None, **attributes):
@@ -140,3 +146,89 @@ class TestResourceBreakdown:
         doc = trace(span("evaluate", 1.0))
         text = format_resource_breakdown(doc)
         assert "--profile-resources" in text
+
+
+def sweep_trace():
+    """A --jobs 2 sweep: one straggler cell, three quick ones."""
+    def cell(model, duration, worker, fit, rank):
+        return span(
+            "config", duration,
+            [span("evaluate", fit + rank, [span("fit", fit), span("rank", rank)])],
+            model=model, label=model, source="R", worker=worker, attempt=1,
+        )
+
+    return trace(
+        span(
+            "sweep", 10.0,
+            [
+                cell("LDA", 9.0, 0, fit=8.0, rank=0.8),  # the straggler
+                cell("TN", 2.0, 1, fit=1.5, rank=0.4),
+                cell("TNG", 3.0, 1, fit=2.0, rank=0.9),
+                cell("BTM", 4.0, 0, fit=3.0, rank=0.9),
+            ],
+            jobs=2,
+        )
+    )
+
+
+class TestCriticalPath:
+    def test_chain_descends_the_longest_child(self):
+        spans = [Span.from_dict(p) for p in sweep_trace()["spans"]]
+        chain = critical_path(spans)
+        assert [s.name for s in chain] == ["sweep", "config", "evaluate", "fit"]
+        assert chain[1].attributes["model"] == "LDA"
+        assert chain[-1].duration == 8.0
+
+    def test_report_renders_chain_with_self_times(self):
+        text = format_critical_path(sweep_trace())
+        lines = text.splitlines()
+        assert lines[0] == "critical path (serial chain through the sweep)"
+        sweep_line = next(line for line in lines if line.startswith("sweep"))
+        # 4 cells x 18s child time overlap the 10s makespan: self time
+        # clamps at zero instead of going negative.
+        assert "self 0.000s" in sweep_line
+        fit = next(line for line in lines if line.strip().startswith("fit"))
+        assert "8.000s" in fit
+
+    def test_phase_rollup_separates_self_and_child_time(self):
+        text = format_critical_path(sweep_trace())
+        lines = text.splitlines()
+        header = next(i for i, l in enumerate(lines) if l.startswith("phase"))
+        table = lines[header + 1:header + 6]
+        # Sorted by total, descending: the 4 cells' summed 18s beats the
+        # sweep's own 10s makespan.
+        assert table[0].startswith("config")
+        fit_row = next(line for line in table if line.startswith("fit"))
+        assert "14.500s" in fit_row  # 8 + 1.5 + 2 + 3, all self time
+        config_row = next(line for line in table if line.startswith("config"))
+        # config total 18s; evaluate children cover 17.5s -> self 0.5s
+        assert "18.000s" in config_row and "17.500s" in config_row
+
+    def test_stragglers_ranked_with_identity_and_attribution(self):
+        text = format_critical_path(sweep_trace(), top=2)
+        assert "top 2 straggler cells" in text
+        lines = text.splitlines()
+        first = next(line for line in lines if line.lstrip().startswith("1."))
+        assert "LDA on R" in first
+        assert "[worker 0, attempt 1]" in first
+        assert "9.000s" in first
+        second = next(line for line in lines if line.lstrip().startswith("2."))
+        assert "BTM on R" in second
+
+    def test_parallel_efficiency_uses_the_jobs_attribute(self):
+        text = format_critical_path(sweep_trace())
+        # busy 18s / (2 workers x 10s makespan) = 90%
+        assert (
+            "parallel efficiency: busy 18.000s / "
+            "(2 worker(s) x 10.000s makespan) = 90.0%"
+        ) in text
+
+    def test_serial_trace_defaults_to_one_worker(self):
+        doc = trace(
+            span("sweep", 4.0, [span("config", 3.0, model="TN", label="TN", source="R")])
+        )
+        text = format_critical_path(doc)
+        assert "(1 worker(s) x 4.000s makespan) = 75.0%" in text
+
+    def test_empty_trace_reports_no_spans(self):
+        assert "(no spans recorded)" in format_critical_path(trace())

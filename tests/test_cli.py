@@ -136,14 +136,139 @@ class TestParallelAndResume:
         first = json.loads(out.read_text())
         capsys.readouterr()
 
-        # Tear the journal as a kill would, then resume.
+        # Tear the journal as a kill would, then resume. Cell records
+        # interleave with heartbeat lines, so locate the cells first.
         lines = journal.read_text().splitlines()
-        journal.write_text("\n".join(lines[:4]) + "\n" + lines[4][:25])
+        cell_indices = [
+            i for i, line in enumerate(lines[1:], start=1)
+            if json.loads(line).get("record") != "heartbeat"
+        ]
+        keep = cell_indices[2] + 1  # header + 3 cells (+ their heartbeats)
+        journal.write_text(
+            "\n".join(lines[: 1 + keep]) + "\n" + lines[cell_indices[3]][:25]
+        )
         assert main([*base, "--resume"]) == 0
         captured = capsys.readouterr().out
         assert "resuming: 3 cells restored" in captured
         resumed = json.loads(out.read_text())
         assert _strip_timings(resumed["rows"]) == _strip_timings(first["rows"])
+
+
+class TestMonitorAndExport:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        """One traced, journaled, event-logged sweep to observe."""
+        base = tmp_path_factory.mktemp("observe")
+        out = base / "sweep.json"
+        events = base / "events.jsonl"
+        trace = base / "trace.json"
+        code = main([
+            "sweep", "--sources", "R", "--fast", *SMALL, "--out", str(out),
+            "--journal", "--log-json", str(events), "--trace-out", str(trace),
+        ])
+        assert code == 0
+        return {
+            "journal": base / "sweep.journal.jsonl",
+            "events": events,
+            "trace": trace,
+        }
+
+    def test_monitor_snapshot_of_a_journal(self, artifacts, capsys):
+        assert main(["monitor", str(artifacts["journal"]), "--snapshot"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep done:" in out
+        assert "eta" in out
+
+    def test_monitor_snapshot_json_is_machine_readable(self, artifacts, capsys):
+        code = main([
+            "monitor", str(artifacts["journal"]), "--snapshot", "--json",
+        ])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["finished"] is True
+        assert snapshot["done"] == snapshot["total"] > 0
+        assert "eta_seconds" in snapshot and "workers" in snapshot
+
+    def test_monitor_snapshot_of_an_events_file(self, artifacts, capsys):
+        code = main([
+            "monitor", str(artifacts["events"]), "--snapshot", "--json",
+        ])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["finished"] is True
+        assert snapshot["done"] == snapshot["total"] > 0
+
+    def test_monitor_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(["monitor", str(tmp_path / "nope.jsonl"), "--snapshot"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_export_trace_prints_chrome_trace_json(self, artifacts, capsys):
+        assert main(["export", "trace", "--trace", str(artifacts["trace"])]) == 0
+        events = json.loads(capsys.readouterr().out)
+        assert isinstance(events, list)
+        assert any(e["ph"] == "X" and e["name"] == "sweep" for e in events)
+        assert any(
+            e["ph"] == "M" and e.get("args", {}).get("name") == "main"
+            for e in events
+        )
+
+    def test_export_trace_out_writes_a_file(self, artifacts, tmp_path, capsys):
+        out = tmp_path / "trace.chrome.json"
+        code = main([
+            "export", "trace", "--trace", str(artifacts["trace"]),
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert "written to" in capsys.readouterr().out
+        assert isinstance(json.loads(out.read_text()), list)
+
+    def test_export_metrics_prometheus_exposition(self, artifacts, capsys):
+        assert main(["export", "metrics", "--trace", str(artifacts["trace"])]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_sweep_cells_dispatched counter" in out
+        assert "# TYPE repro_doc_cache_miss counter" in out
+
+    def test_export_unreadable_trace_exits_2(self, tmp_path, capsys):
+        assert main([
+            "export", "trace", "--trace", str(tmp_path / "missing.json"),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_critical_path(self, artifacts, capsys):
+        code = main([
+            "report", "--artifact", "critical-path",
+            "--trace", str(artifacts["trace"]), "--top", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "straggler cells" in out
+        assert "parallel efficiency" in out
+
+
+class TestQuietProgress:
+    def test_quiet_drops_per_cell_lines(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "sweep", "--sources", "R", "--fast", *SMALL, "--out", str(out),
+            "--progress", "--quiet",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "MAP=" not in captured.out  # verbose per-cell lines gone
+        assert "\rcells " in captured.err  # the inline line remains
+        assert "eta" in captured.err
+
+    def test_progress_alone_keeps_per_cell_lines(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "sweep", "--sources", "R", "--fast", *SMALL, "--out", str(out),
+            "--progress",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "MAP=" in captured.out
+        assert "\rcells " in captured.err
 
 
 class TestBench:
