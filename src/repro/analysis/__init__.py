@@ -18,6 +18,7 @@ RPR006    picklable-spec           unpicklable process-pool specs
 RPR007    resource-span-leak       samplers not entered via ``with``
 RPR008    unbounded-wait           executor waits without a timeout
 RPR009    eventlog-progress        console writes in the sweep machinery
+RPR010    profile-artifact-mutation  in-place writes to ``.profiles``
 RPR900    unused-pragma            stale ``repro: allow[...]`` comment
 ========  =======================  ==================================
 
@@ -54,6 +55,7 @@ from repro.analysis import rules_pickle  # noqa: E402,F401  isort: skip
 from repro.analysis import rules_resources  # noqa: E402,F401  isort: skip
 from repro.analysis import rules_concurrency  # noqa: E402,F401  isort: skip
 from repro.analysis import rules_progress  # noqa: E402,F401  isort: skip
+from repro.analysis import rules_profiles  # noqa: E402,F401  isort: skip
 
 __all__ = [
     "JSON_FORMAT_VERSION",

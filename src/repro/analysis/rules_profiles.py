@@ -1,0 +1,106 @@
+"""RPR010: profile artifacts are immutable outside the update protocol.
+
+:class:`repro.core.stages.UserProfiles` is a cached, versioned artifact:
+its key promises that the profile mapping it carries was built by the
+:class:`repro.models.base.ProfileState` fold under the recorded
+parameters. Writing into ``<artifact>.profiles`` in place -- assigning a
+user's entry, ``update()``-ing the mapping, deleting keys -- silently
+breaks that promise: the mutated artifact keeps its old cache key, so
+every later cache hit serves profiles that no longer match their
+parameters, and replay parity against a batch rebuild becomes
+meaningless. Profiles change only by folding new documents through
+``ProfileState.update`` (or reweighting via ``decayed``) and storing the
+result as a *new* artifact under a new key.
+
+The rule flags writes through any ``.profiles`` attribute -- subscript
+assignment, augmented assignment, ``del``, and the mutating ``dict``
+methods. Local variables named ``profiles`` (the builder's own dict
+under construction) are legitimate and not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.base import FileContext, Rule, Violation, register_rule
+
+__all__ = ["ProfileArtifactMutationRule"]
+
+#: ``dict`` methods that mutate the receiver in place.
+_MUTATING_METHODS = frozenset(
+    {"update", "pop", "popitem", "clear", "setdefault", "__setitem__", "__delitem__"}
+)
+
+
+@register_rule
+class ProfileArtifactMutationRule(Rule):
+    id = "RPR010"
+    name = "profile-artifact-mutation"
+    summary = "in-place mutation of a profile artifact's .profiles mapping"
+    invariant = (
+        "UserProfiles artifacts are immutable: their cache key certifies the "
+        "ProfileState fold that built them, so profiles change only by "
+        "folding through ProfileState.update/decayed into a new artifact, "
+        "never by writing into .profiles in place"
+    )
+    library_only = True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if self._writes_profiles(target):
+                        yield ctx.violation(
+                            self, node,
+                            "assignment into a profile artifact's .profiles "
+                            "mapping: fold new documents through "
+                            "ProfileState.update and store a new artifact "
+                            "under a new key instead",
+                        )
+                        break
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if self._writes_profiles(target):
+                        yield ctx.violation(
+                            self, node,
+                            "del on a profile artifact's .profiles mapping: "
+                            "build a new artifact (e.g. via decayed()) "
+                            "instead of erasing entries in place",
+                        )
+                        break
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATING_METHODS
+                    and self._is_profiles_attribute(func.value)
+                ):
+                    yield ctx.violation(
+                        self, node,
+                        f".profiles.{func.attr}(...) mutates a profile "
+                        "artifact in place: profiles change only through "
+                        "the ProfileState update protocol",
+                    )
+
+    @staticmethod
+    def _is_profiles_attribute(node: ast.AST) -> bool:
+        """Whether ``node`` is an ``<expr>.profiles`` attribute access."""
+        return isinstance(node, ast.Attribute) and node.attr == "profiles"
+
+    def _writes_profiles(self, target: ast.AST) -> bool:
+        """Whether an assignment target writes through ``.profiles``.
+
+        Covers ``x.profiles[k] = v`` (subscript into the mapping) and
+        ``x.profiles = v`` / ``x.profiles += v`` (rebinding the
+        artifact's attribute). Plain local names -- a builder's own
+        ``profiles`` dict -- are untouched.
+        """
+        if isinstance(target, ast.Subscript):
+            return self._is_profiles_attribute(target.value)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            return any(self._writes_profiles(el) for el in target.elts)
+        return self._is_profiles_attribute(target)

@@ -5,6 +5,8 @@ Commands
 ``generate``   simulate a corpus and print its statistics (Table 2 style)
 ``evaluate``   evaluate one model on one source and print MAP vs baselines
 ``sweep``      run a configuration sweep and save it as JSON
+``replay``     stream timelines through incremental profile updates,
+               checking parity against batch rebuilds
 ``monitor``    live progress view of a running sweep (events file or journal)
 ``export``     convert saved telemetry: chrome-trace JSON, Prometheus metrics
 ``bench``      run the calibrated resource suite / compare two baselines
@@ -57,6 +59,9 @@ Examples
     python -m repro evaluate --model TN --source R --users 40 --trace-out trace.json
     python -m repro sweep --out sweep.json --sources R T --fast --log-json
     python -m repro sweep --out sweep.json --jobs 4 --journal --progress --quiet
+    python -m repro sweep --out sweep.json --fast --temporal none half-life:3600
+    python -m repro replay --users 16 --ticks 40 --group-size 3 --min-retweets 3
+    python -m repro replay --models TN TNG --jobs 2 --json replay.json
     python -m repro monitor sweep.journal.jsonl --snapshot
     python -m repro export trace --trace trace.json --out trace.chrome.json
     python -m repro export metrics --trace trace.json
@@ -82,10 +87,16 @@ from pathlib import Path
 
 from repro.core.pipeline import ExperimentPipeline
 from repro.core.sources import ALL_SOURCES, RepresentationSource
-from repro.errors import PersistenceError
+from repro.core.temporal import TemporalWeighting
+from repro.errors import ConfigurationError, PersistenceError
 from repro.eval.metrics import map_over_users
-from repro.experiments.bench import SUITE_SCALES, run_bench_suite
-from repro.experiments.configs import MODEL_NAMES, ConfigGrid, ModelConfig
+from repro.experiments.bench import (
+    BENCH_MODELS,
+    SUITE_SCALES,
+    run_bench_suite,
+    run_incremental_suite,
+)
+from repro.experiments.configs import MODEL_NAMES, ConfigGrid, ModelConfig, cross_temporal
 from repro.experiments.executors import (
     GridSpec,
     PipelineSpec,
@@ -94,6 +105,7 @@ from repro.experiments.executors import (
     SweepSpec,
 )
 from repro.experiments.persistence import SweepJournal, load_sweep, save_sweep
+from repro.experiments.replay import ReplaySpec, run_replay
 from repro.experiments.supervision import RetryPolicy, SupervisionPolicy
 from repro.faults import FaultPlan
 from repro.experiments.report import (
@@ -272,15 +284,27 @@ def _journal_path(args: argparse.Namespace) -> Path | None:
     return None
 
 
+def _temporal_axis(specs: Sequence[str] | None) -> tuple[TemporalWeighting, ...]:
+    """Parse ``--temporal`` specs, turning config errors into usage errors."""
+    if not specs:
+        return ()
+    try:
+        return tuple(TemporalWeighting.parse(spec) for spec in specs)
+    except ConfigurationError as error:
+        raise SystemExit(f"--temporal: {error}") from error
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
+    temporal_axis = _temporal_axis(args.temporal)
     if args.fast:
-        grid = bench_grid(seed=args.seed)
-        configs = fast_grid(seed=args.seed)
+        grid = bench_grid(seed=args.seed, temporal_axis=temporal_axis)
+        configs = cross_temporal(fast_grid(seed=args.seed), temporal_axis)
     else:
         grid = ConfigGrid(
             topic_scale=args.topic_scale,
             iteration_scale=args.iteration_scale,
             seed=args.seed,
+            temporal_axis=temporal_axis,
         )
         configs = list(grid.iter_all())
     models = sorted({c.model for c in configs})
@@ -477,16 +501,81 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_replay(args: argparse.Namespace) -> int:
+    models = tuple(args.models)
+    with _telemetry_scope(args, "replay", list(models)) as telemetry:
+        _dataset, groups = _make_dataset(args)
+        spec = ReplaySpec(
+            pipeline=PipelineSpec(
+                dataset=DatasetConfig(
+                    n_users=args.users, n_ticks=args.ticks, seed=args.seed
+                ),
+                seed=args.seed,
+                max_train_docs_per_user=args.max_train_docs,
+            ),
+            grid=GridSpec.from_grid(bench_grid(seed=args.seed)),
+            source=args.source,
+            users=tuple(sorted(groups[UserType.ALL])),
+            models=models,
+            chunk_size=args.chunk_size,
+            deterministic_topics=not args.stochastic_topics,
+        )
+        results = run_replay(spec, jobs=args.jobs, telemetry=telemetry)
+    passed = True
+    for replay in results:
+        parity = replay.parity_ok(args.tolerance)
+        passed = passed and parity
+        status = "exact" if replay.exact else f"max_delta={replay.max_delta:.3e}"
+        verdict = "" if parity else "  PARITY FAIL"
+        print(
+            f"{replay.model} on {replay.source}: {len(replay.users)} users, "
+            f"{sum(u.updates for u in replay.users)} updates, {status}, "
+            f"update={replay.mean_update_seconds * 1e3:.3f}ms "
+            f"rebuild={replay.mean_full_rebuild_seconds * 1e3:.3f}ms "
+            f"speedup={replay.speedup:.1f}x{verdict}"
+        )
+    if args.json:
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "source": args.source,
+            "chunk_size": args.chunk_size,
+            "tolerance": args.tolerance,
+            "jobs": args.jobs,
+            "models": [replay.to_dict() for replay in results],
+        }
+        out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        print(f"replay results written to {out}")
+    if not passed:
+        print(
+            f"replay parity check failed (tolerance {args.tolerance:g})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_bench_run(args: argparse.Namespace) -> int:
-    baseline = run_bench_suite(
-        scale=args.scale,
-        trials=args.trials,
-        warmup=args.warmup,
-        jobs=args.jobs,
-        seed=args.seed,
-        label=args.label,
-        trace_allocations=args.trace_allocations,
-    )
+    if args.suite == "incremental":
+        baseline = run_incremental_suite(
+            scale=args.scale,
+            trials=args.trials,
+            warmup=args.warmup,
+            seed=args.seed,
+            label=args.label,
+            source=RepresentationSource(args.source),
+            chunk_size=args.chunk_size,
+        )
+    else:
+        baseline = run_bench_suite(
+            scale=args.scale,
+            trials=args.trials,
+            warmup=args.warmup,
+            jobs=args.jobs,
+            seed=args.seed,
+            label=args.label,
+            trace_allocations=args.trace_allocations,
+        )
     path = baseline.save(baseline_path(args.out_dir, args.label))
     print(format_baseline(baseline))
     print(f"baseline written to {path}")
@@ -635,8 +724,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection plan: a JSON file path or inline JSON "
              "(testing; overrides the REPRO_FAULT_PLAN variable)",
     )
+    p_sweep.add_argument(
+        "--temporal", nargs="+", metavar="SPEC", default=None,
+        help="temporal-weighting axis crossed over every configuration: "
+             "'none', 'window:SECONDS' or 'half-life:SECONDS' "
+             "(e.g. --temporal none half-life:3600)",
+    )
     _add_telemetry_arguments(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="stream user timelines through incremental profile updates, "
+             "checking parity against batch rebuilds",
+    )
+    _add_dataset_arguments(p_replay)
+    p_replay.add_argument(
+        "--models", nargs="+", default=list(BENCH_MODELS), choices=MODEL_NAMES,
+        help="models to replay (default: one per family: TN TNG LDA)",
+    )
+    p_replay.add_argument("--source", default="R",
+                          choices=[s.value for s in ALL_SOURCES])
+    p_replay.add_argument("--max-train-docs", type=int, default=100)
+    p_replay.add_argument(
+        "--chunk-size", type=int, default=1, metavar="N",
+        help="tweets folded per incremental update (default: 1)",
+    )
+    p_replay.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="replay user chunks on N worker processes; digests are "
+             "identical to a serial run",
+    )
+    p_replay.add_argument(
+        "--tolerance", type=float, default=0.0, metavar="DELTA",
+        help="largest allowed |incremental - rebuilt| profile entry; the "
+             "default 0 demands bit-identical profiles",
+    )
+    p_replay.add_argument(
+        "--stochastic-topics", action="store_true",
+        help="keep topic inference stochastic instead of per-document "
+             "seeded; pair with a nonzero --tolerance",
+    )
+    p_replay.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the full per-user replay results as JSON",
+    )
+    _add_telemetry_arguments(p_replay)
+    p_replay.set_defaults(func=cmd_replay)
 
     p_monitor = sub.add_parser(
         "monitor", help="live progress view of a sweep (events file or journal)"
@@ -724,6 +858,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench_run.add_argument(
         "--trace-allocations", action="store_true",
         help="also capture tracemalloc allocation peaks (slow)",
+    )
+    p_bench_run.add_argument(
+        "--suite", choices=["standard", "incremental"], default="standard",
+        help="standard: the staged pipeline suite; incremental: streamed "
+             "profile updates vs batch rebuilds (phases incremental/*)",
+    )
+    p_bench_run.add_argument(
+        "--source", default="R", choices=[s.value for s in ALL_SOURCES],
+        help="(incremental suite) representation source to replay",
+    )
+    p_bench_run.add_argument(
+        "--chunk-size", type=int, default=1, metavar="N",
+        help="(incremental suite) tweets folded per streamed update",
     )
     p_bench_run.set_defaults(func=cmd_bench_run)
     p_bench_compare = bench_sub.add_parser(

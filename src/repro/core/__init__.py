@@ -18,6 +18,7 @@ from repro.core.sources import (
 )
 from repro.core.split import UserSplit, split_user, train_tweets
 from repro.core.stages import (
+    PROFILE_PROTOCOL_VERSION,
     ArtifactCache,
     FittedModel,
     PreparedCorpus,
@@ -26,12 +27,17 @@ from repro.core.stages import (
     artifact_key,
     canonical_params,
 )
+from repro.core.temporal import NO_DECAY, TEMPORAL_KINDS, TemporalWeighting
 
 __all__ = [
     "ALL_SOURCES",
     "ATOMIC_SOURCES",
     "ArtifactCache",
     "COMPOSITE_SOURCES",
+    "NO_DECAY",
+    "PROFILE_PROTOCOL_VERSION",
+    "TEMPORAL_KINDS",
+    "TemporalWeighting",
     "DocumentFactory",
     "FittedModel",
     "PreparedCorpus",

@@ -41,6 +41,7 @@ from repro.core.recommender import RankingRecommender
 from repro.core.sources import RepresentationSource
 from repro.core.split import UserSplit, split_user, train_tweets
 from repro.core.stages import (
+    PROFILE_PROTOCOL_VERSION,
     ArtifactCache,
     FittedModel,
     PreparedCorpus,
@@ -137,6 +138,9 @@ class ExperimentPipeline:
     )
     _corpus_cache: ArtifactCache = field(
         default_factory=lambda: ArtifactCache("corpus_cache"), repr=False
+    )
+    _profile_cache: ArtifactCache = field(
+        default_factory=lambda: ArtifactCache("profile_cache"), repr=False
     )
 
     # -- splits and preprocessing ------------------------------------------
@@ -295,36 +299,113 @@ class ExperimentPipeline:
             corpus=corpus,
         )
 
+    def profile_inputs(
+        self, fitted: FittedModel, user_id: int
+    ) -> tuple[list[TextDoc], list[int] | None, list[tuple[int, int]]]:
+        """One user's profile-building inputs: docs, labels, fold keys.
+
+        The fold keys are ``(timestamp, tweet_id)`` tuples -- the
+        canonical incremental fold order pinned by
+        :class:`~repro.models.base.ProfileState`. Shared between
+        :meth:`build_profiles` and the streaming replay driver so both
+        fold the exact same stream.
+        """
+        corpus = fitted.corpus
+        aggregation = getattr(fitted.model, "aggregation", None)
+        uses_rocchio = aggregation is AggregationFunction.ROCCHIO
+        context = self._context_for(corpus.users)
+        tweets = corpus.per_user_tweets[user_id]
+        docs = [self._doc(t, context) for t in tweets]
+        labels = (
+            corpus.source.labels_for(self.dataset, user_id, list(tweets))
+            if uses_rocchio
+            else None
+        )
+        keys = [(t.timestamp, t.tweet_id) for t in tweets]
+        return docs, labels, keys
+
+    def profile_key(self, fitted: FittedModel) -> str:
+        """Deterministic cache key of one fitted model's user profiles.
+
+        Includes every profile-affecting parameter
+        (:meth:`~repro.models.base.RepresentationModel.profile_params`:
+        aggregation, Rocchio weights, temporal decay) and the protocol
+        version, so changing a decay or window parameter is a cache
+        miss, never a stale hit.
+        """
+        model = fitted.model
+        params = (
+            model.profile_params()
+            if hasattr(model, "profile_params")
+            else model.describe()
+        )
+        return artifact_key(
+            stage="profiles",
+            version=PROFILE_PROTOCOL_VERSION,
+            fit=fitted.key,
+            profile=params,
+        )
+
     def build_profiles(
         self, fitted: FittedModel, stopwatch: Stopwatch | None = None
     ) -> UserProfiles:
         """Stage 3: one user model per evaluated user.
 
-        ``stopwatch`` (when given) measures each profile build
-        individually, reproducing the per-user ``profiles`` spans of the
-        trace tree.
+        Profiles fold through the model's incremental
+        :class:`~repro.models.base.ProfileState` in pinned
+        ``(timestamp, tweet_id)`` order; a temporal weighting attached
+        to the model (``model.temporal``) is applied via
+        :meth:`~repro.models.base.ProfileState.decayed`, anchored at
+        each user's split cutoff. ``stopwatch`` (when given) measures
+        each profile build individually, reproducing the per-user
+        ``profiles`` spans of the trace tree.
         """
         stage_checkpoint("profiles")
         if stopwatch is None:
             stopwatch = Stopwatch()
         corpus = fitted.corpus
-        source = corpus.source
-        aggregation = getattr(fitted.model, "aggregation", None)
-        uses_rocchio = aggregation is AggregationFunction.ROCCHIO
-        context = self._context_for(corpus.users)
+        model = fitted.model
+        temporal = getattr(model, "temporal", None)
+        if temporal is not None and temporal.is_identity:
+            temporal = None
+        key = self.profile_key(fitted)
+        cached = self._profile_cache.peek(key, self.telemetry)
+        if cached is not None:
+            return cached
+
         profiles: dict[int, object] = {}
         for uid in corpus.users:
-            tweets = corpus.per_user_tweets[uid]
-            docs = [self._doc(t, context) for t in tweets]
-            labels = (
-                source.labels_for(self.dataset, uid, list(tweets))
-                if uses_rocchio
-                else None
-            )
+            docs, labels, keys = self.profile_inputs(fitted, uid)
             with stopwatch.measure():
-                profiles[uid] = fitted.recommender.build_profile(docs, labels=labels)
-        return UserProfiles(
-            key=artifact_key(stage="profiles", fit=fitted.key), profiles=profiles
+                try:
+                    state = model.init_profile()
+                except NotImplementedError:
+                    if temporal is not None:
+                        raise ConfigurationError(
+                            f"{model.name} has no incremental profile state; "
+                            "temporal weighting requires one"
+                        ) from None
+                    profiles[uid] = fitted.recommender.build_profile(docs, labels=labels)
+                    continue
+                state.update(docs, labels=labels, keys=keys)
+                if temporal is None:
+                    profiles[uid] = state.value()
+                else:
+                    reference = self.split_for(uid).cutoff
+                    profiles[uid] = state.decayed(temporal.weight_fn(reference))
+        params = (
+            model.profile_params()
+            if hasattr(model, "profile_params")
+            else model.describe()
+        )
+        return self._profile_cache.store(
+            key,
+            UserProfiles(
+                key=key,
+                profiles=profiles,
+                params=params,
+                version=PROFILE_PROTOCOL_VERSION,
+            ),
         )
 
     def rank_users(

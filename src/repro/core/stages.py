@@ -44,6 +44,7 @@ from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.twitter.entities import Tweet
 
 __all__ = [
+    "PROFILE_PROTOCOL_VERSION",
     "ArtifactCache",
     "FittedModel",
     "PreparedCorpus",
@@ -54,6 +55,12 @@ __all__ = [
     "stage_checkpoint",
     "stage_gate",
 ]
+
+#: Version of the profile build/update/decay protocol. Folded into every
+#: :class:`UserProfiles` cache key so a change to the fold semantics
+#: (order pinning, decay weighting, aggregation identities) invalidates
+#: previously cached profiles instead of silently serving stale ones.
+PROFILE_PROTOCOL_VERSION = 1
 
 
 #: Installed stage-boundary hooks, called by :func:`stage_checkpoint`.
@@ -152,10 +159,21 @@ class FittedModel:
 
 @dataclass(frozen=True)
 class UserProfiles:
-    """Stage-3 artifact: one user model per evaluated user."""
+    """Stage-3 artifact: one user model per evaluated user.
+
+    ``params`` records every profile-affecting parameter (aggregation,
+    Rocchio weights, temporal decay) and ``version`` the
+    :data:`PROFILE_PROTOCOL_VERSION` the profiles were built under; both
+    are part of ``key``, so any change to either is a cache miss. The
+    profile mappings themselves are immutable artifacts -- mutate a
+    profile only through :class:`repro.models.base.ProfileState`, never
+    in place (reprolint RPR010 enforces this).
+    """
 
     key: str
     profiles: Mapping[int, object] = field(hash=False)
+    params: Mapping[str, Any] = field(default_factory=dict, hash=False)
+    version: int = PROFILE_PROTOCOL_VERSION
 
 
 @dataclass(frozen=True)
@@ -179,6 +197,25 @@ class ArtifactCache:
         self.name = name
         self._store: dict[str, Any] = {}
 
+    def peek(self, key: str, telemetry: Telemetry | None = None) -> Any | None:
+        """The cached artifact, or ``None`` -- counting the hit/miss.
+
+        For call sites that must build misses at their own span nesting
+        level (the profile stage keeps its per-user spans direct
+        children of the evaluation phase); pair with :meth:`store`.
+        """
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        if key in self._store:
+            tel.count(f"{self.name}.hit")
+            return self._store[key]
+        tel.count(f"{self.name}.miss")
+        return None
+
+    def store(self, key: str, artifact: Any) -> Any:
+        """Record a freshly built artifact under its key."""
+        self._store[key] = artifact
+        return artifact
+
     def get_or_build(
         self,
         key: str,
@@ -186,15 +223,13 @@ class ArtifactCache:
         telemetry: Telemetry | None = None,
     ) -> Any:
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
-        if key in self._store:
-            tel.count(f"{self.name}.hit")
-        else:
-            tel.count(f"{self.name}.miss")
+        artifact = self.peek(key, tel)
+        if artifact is None and key not in self._store:
             # A dedicated span separates the (one-off) artifact build
             # cost from the enclosing phase's cache-hit fast path, and
             # gives the build its own resource window.
             with tel.span(f"{self.name}.build", key=key):
-                self._store[key] = build()
+                self.store(key, build())
         return self._store[key]
 
     def __contains__(self, key: str) -> bool:

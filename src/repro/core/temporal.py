@@ -1,0 +1,141 @@
+"""Temporal weighting for user profiles: none / sliding window / half-life.
+
+The paper's evaluation treats every training tweet as equally useful,
+but "Profiling vs. Time vs. Content" (PAPERS.md) shows recency can
+matter as much as the representation model itself. This module supplies
+the temporal axis: a :class:`TemporalWeighting` assigns each profile
+entry a weight from its age relative to a reference tick (the user's
+evaluation cutoff), and :meth:`ProfileState.decayed
+<repro.models.base.ProfileState>` folds those weights into the profile
+without refitting the underlying model.
+
+Three kinds are supported:
+
+``none``
+    Every entry weighs 1.0 -- the paper's original behaviour.
+``window``
+    A sliding window: entries at most ``window`` ticks old weigh 1.0,
+    older entries weigh 0.0 (and drop out of the profile entirely).
+``half-life``
+    Exponential decay: an entry ``age`` ticks old weighs
+    ``0.5 ** (age / half_life)``.
+
+Timestamps are the generator's simulation ticks, so windows and
+half-lives are expressed in ticks, not seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["NO_DECAY", "TEMPORAL_KINDS", "TemporalWeighting"]
+
+TEMPORAL_KINDS = ("none", "window", "half-life")
+
+
+@dataclass(frozen=True)
+class TemporalWeighting:
+    """One point on the temporal-weighting axis.
+
+    Frozen and field-picklable so it can ride inside ``*Spec``
+    dataclasses across the process-pool boundary.
+    """
+
+    kind: str = "none"
+    window: int | None = None
+    half_life: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in TEMPORAL_KINDS:
+            raise ConfigurationError(
+                f"temporal kind must be one of {TEMPORAL_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "window":
+            if self.window is None or self.window <= 0:
+                raise ConfigurationError(
+                    f"window weighting needs a positive window, got {self.window!r}"
+                )
+            if self.half_life is not None:
+                raise ConfigurationError("window weighting does not take a half_life")
+        elif self.kind == "half-life":
+            if self.half_life is None or self.half_life <= 0:
+                raise ConfigurationError(
+                    f"half-life weighting needs a positive half_life, got {self.half_life!r}"
+                )
+            if self.window is not None:
+                raise ConfigurationError("half-life weighting does not take a window")
+        else:
+            if self.window is not None or self.half_life is not None:
+                raise ConfigurationError("kind 'none' takes neither window nor half_life")
+
+    @property
+    def is_identity(self) -> bool:
+        """True when this weighting never changes a profile."""
+        return self.kind == "none"
+
+    def weight(self, reference: float, timestamp: float) -> float:
+        """Weight of an entry stamped ``timestamp``, seen from ``reference``."""
+        if self.kind == "none":
+            return 1.0
+        age = max(reference - timestamp, 0.0)
+        if self.kind == "window":
+            return 1.0 if age <= self.window else 0.0
+        return 0.5 ** (age / self.half_life)
+
+    def weight_fn(self, reference: float) -> Callable[[Any], float]:
+        """Per-entry weight callable for :meth:`ProfileState.decayed`.
+
+        Profile entry keys are ``(timestamp, tweet_id)`` tuples; bare
+        numeric keys are accepted and read as timestamps directly.
+        """
+
+        def weigh(key: Any) -> float:
+            timestamp = key[0] if isinstance(key, tuple) else key
+            return self.weight(reference, float(timestamp))
+
+        return weigh
+
+    def describe(self) -> dict[str, Any]:
+        """Canonical parameter mapping (feeds profile cache keys)."""
+        if self.kind == "window":
+            return {"kind": self.kind, "window": self.window}
+        if self.kind == "half-life":
+            return {"kind": self.kind, "half_life": self.half_life}
+        return {"kind": self.kind}
+
+    def label(self) -> str:
+        """Compact spelling used in config params and CLI output."""
+        if self.kind == "window":
+            return f"window:{self.window}"
+        if self.kind == "half-life":
+            return f"half-life:{self.half_life:g}"
+        return "none"
+
+    @classmethod
+    def parse(cls, spec: str) -> "TemporalWeighting":
+        """Parse a CLI spelling: ``none``, ``window:40``, ``half-life:80``."""
+        text = spec.strip().lower()
+        if text in ("", "none"):
+            return cls()
+        kind, sep, argument = text.partition(":")
+        if sep and argument:
+            try:
+                if kind == "window":
+                    return cls(kind="window", window=int(argument))
+                if kind in ("half-life", "exp"):
+                    return cls(kind="half-life", half_life=float(argument))
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"cannot parse temporal spec {spec!r}: {exc}"
+                ) from exc
+        raise ConfigurationError(
+            "temporal spec must be 'none', 'window:<ticks>' or "
+            f"'half-life:<ticks>', got {spec!r}"
+        )
+
+
+#: The identity weighting -- the paper's original, undecayed profiles.
+NO_DECAY = TemporalWeighting()

@@ -12,6 +12,14 @@ from repro.experiments.executors import (
     evaluate_cell,
 )
 from repro.experiments.persistence import SweepJournal, load_sweep, save_sweep
+from repro.experiments.replay import (
+    ModelReplay,
+    ReplaySpec,
+    UserReplay,
+    profile_delta,
+    profile_digest,
+    run_replay,
+)
 from repro.experiments.report import (
     format_figure7,
     format_figure_map,
@@ -50,14 +58,17 @@ __all__ = [
     "GridSpec",
     "MODEL_NAMES",
     "ModelConfig",
+    "ModelReplay",
     "PipelineSpec",
     "ProcessCellExecutor",
+    "ReplaySpec",
     "SerialCellExecutor",
     "SweepJournal",
     "SweepResult",
     "SweepRow",
     "SweepRunner",
     "SweepSpec",
+    "UserReplay",
     "bench_dataset",
     "bench_grid",
     "bench_setup",
@@ -68,4 +79,7 @@ __all__ = [
     "format_table3",
     "format_table6",
     "format_table7",
+    "profile_delta",
+    "profile_digest",
+    "run_replay",
 ]

@@ -34,6 +34,7 @@ from repro.experiments.executors import (
     SerialCellExecutor,
     SweepSpec,
 )
+from repro.experiments.replay import ReplaySpec, run_replay
 from repro.experiments.standard import bench_grid, fast_grid
 from repro.obs.baseline import Baseline, SampleStats
 from repro.obs.manifest import RunManifest
@@ -50,7 +51,9 @@ __all__ = [
     "SuiteScale",
     "collect_phase_samples",
     "default_trials",
+    "replay_suite_spec",
     "run_bench_suite",
+    "run_incremental_suite",
 ]
 
 #: One representative model per family: bag, graph, topic.
@@ -223,6 +226,25 @@ def collect_phase_samples(roots: list[Span]) -> dict[str, dict[str, float]]:
     return phases
 
 
+def _summarise_phases(
+    per_trial: list[dict[str, dict[str, float]]],
+) -> dict[str, dict[str, SampleStats]]:
+    """Fold per-trial phase samples into median/IQR summary stats."""
+    phases: dict[str, dict[str, SampleStats]] = {}
+    for key in sorted({phase for trial in per_trial for phase in trial}):
+        metrics: dict[str, SampleStats] = {}
+        for metric in ("wall_seconds", "cpu_seconds", "peak_rss_bytes", "alloc_peak_bytes"):
+            samples = [
+                trial[key][metric]
+                for trial in per_trial
+                if key in trial and metric in trial[key]
+            ]
+            if samples:
+                metrics[metric] = SampleStats.from_samples(samples)
+        phases[key] = metrics
+    return phases
+
+
 def run_bench_suite(
     scale: str = "quick",
     trials: int | None = None,
@@ -288,18 +310,7 @@ def run_bench_suite(
             if payload.get("type") == "counter"
         }
 
-    phases: dict[str, dict[str, SampleStats]] = {}
-    for key in sorted({phase for trial in per_trial for phase in trial}):
-        metrics: dict[str, SampleStats] = {}
-        for metric in ("wall_seconds", "cpu_seconds", "peak_rss_bytes", "alloc_peak_bytes"):
-            samples = [
-                trial[key][metric]
-                for trial in per_trial
-                if key in trial and metric in trial[key]
-            ]
-            if samples:
-                metrics[metric] = SampleStats.from_samples(samples)
-        phases[key] = metrics
+    phases = _summarise_phases(per_trial)
 
     manifest.finish()
     return Baseline(
@@ -316,5 +327,150 @@ def run_bench_suite(
             "models": list(suite_models),
             "sources": [s.value for s in suite_sources],
             "trace_allocations": trace_allocations,
+        },
+    )
+
+
+def replay_suite_spec(
+    scale: str = "tiny",
+    seed: int = 7,
+    models: tuple[str, ...] | None = None,
+    source: RepresentationSource = RepresentationSource.R,
+    chunk_size: int = 1,
+    deterministic_topics: bool = True,
+) -> ReplaySpec:
+    """A calibrated-suite-sized replay spec: same dataset, users and
+    fast-grid model picks as the bench suite at the same ``scale``."""
+    suite_scale = SUITE_SCALES.get(scale)
+    if suite_scale is None:
+        raise ConfigurationError(
+            f"unknown bench scale {scale!r}; expected one of {sorted(SUITE_SCALES)}"
+        )
+    spec = _suite_spec(suite_scale, seed)
+    dataset = generate_dataset(spec.pipeline.dataset)
+    groups = select_user_groups(
+        dataset, group_size=suite_scale.group_size, min_retweets=suite_scale.min_retweets
+    )
+    return ReplaySpec(
+        pipeline=spec.pipeline,
+        grid=spec.grid,
+        source=source.value,
+        users=tuple(sorted(groups[UserType.ALL])),
+        models=tuple(models) if models is not None else BENCH_MODELS,
+        chunk_size=chunk_size,
+        deterministic_topics=deterministic_topics,
+    )
+
+
+def _replay_span_rss(roots: list[Span]) -> dict[tuple[str, str], float]:
+    """Peak RSS per ``replay_model`` span, keyed (model, source)."""
+    peaks: dict[tuple[str, str], float] = {}
+
+    def visit(span: Span) -> None:
+        attrs = span.attributes
+        if span.name == "replay_model" and "model" in attrs and "source" in attrs:
+            value = span.resources.get("peak_rss_bytes")
+            if value is not None:
+                key = (str(attrs["model"]), str(attrs["source"]))
+                peaks[key] = max(peaks.get(key, 0.0), float(value))
+        for child in span.children:
+            visit(child)
+
+    for root in roots:
+        visit(root)
+    return peaks
+
+
+def run_incremental_suite(
+    scale: str = "tiny",
+    trials: int | None = None,
+    warmup: int = 1,
+    seed: int = 7,
+    label: str = "run",
+    models: tuple[str, ...] | None = None,
+    source: RepresentationSource = RepresentationSource.R,
+    chunk_size: int = 1,
+    sample_interval: float = 0.005,
+) -> Baseline:
+    """Benchmark streamed profile updates against batch rebuilds.
+
+    Replays the calibrated suite's users through each model's
+    incremental :class:`~repro.models.base.ProfileState` (see
+    :mod:`repro.experiments.replay`) and summarises, per model, the
+    total per-update fold cost (``incremental/MODEL/SOURCE/update``)
+    and the cost of batch rebuilds at every stream boundary
+    (``incremental/MODEL/SOURCE/rebuild``). Both are ordinary baseline
+    phases, so ``repro bench compare --gate`` guards streamed-update
+    latency exactly as it guards the pipeline stages. Replay parity
+    (``exact``) and the rebuild/update speedup ride along as counters,
+    which the gate reports but never fails on.
+    """
+    suite_scale = SUITE_SCALES.get(scale)
+    if suite_scale is None:
+        raise ConfigurationError(
+            f"unknown bench scale {scale!r}; expected one of {sorted(SUITE_SCALES)}"
+        )
+    if trials is None:
+        trials = default_trials()
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if warmup < 0:
+        raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+    spec = replay_suite_spec(
+        scale=scale, seed=seed, models=models, source=source, chunk_size=chunk_size
+    )
+
+    manifest = RunManifest.create(
+        seed=seed,
+        dataset={
+            "n_users": suite_scale.n_users,
+            "n_ticks": suite_scale.n_ticks,
+            "max_train_docs_per_user": suite_scale.max_train_docs_per_user,
+        },
+        models=spec.models,
+        command="bench-incremental",
+        scale=scale,
+        trials=trials,
+        warmup=warmup,
+        chunk_size=chunk_size,
+        source=source.value,
+    )
+
+    per_trial: list[dict[str, dict[str, float]]] = []
+    counters: dict[str, float] = {}
+    for index in range(warmup + trials):
+        with ResourceSampler(interval=sample_interval) as sampler:
+            telemetry = Telemetry(resources=sampler)
+            replays = run_replay(spec, telemetry=telemetry)
+        if index < warmup:
+            continue
+        rss = _replay_span_rss(telemetry.tracer.roots)
+        samples: dict[str, dict[str, float]] = {}
+        for replay in replays:
+            prefix = f"incremental/{replay.model}/{replay.source}"
+            samples[f"{prefix}/update"] = {"wall_seconds": replay.update_seconds}
+            samples[f"{prefix}/rebuild"] = {"wall_seconds": replay.rebuild_seconds}
+            peak = rss.get((replay.model, replay.source))
+            if peak is not None:
+                samples[f"{prefix}/update"]["peak_rss_bytes"] = peak
+            counters[f"incremental.{replay.model}.exact"] = 1.0 if replay.exact else 0.0
+            counters[f"incremental.{replay.model}.speedup"] = replay.speedup
+        per_trial.append(samples)
+
+    manifest.finish()
+    return Baseline(
+        label=label,
+        phases=_summarise_phases(per_trial),
+        counters=counters,
+        manifest=manifest.to_dict(),
+        config={
+            "scale": scale,
+            "trials": trials,
+            "warmup": warmup,
+            "seed": seed,
+            "models": list(spec.models),
+            "sources": [source.value],
+            "chunk_size": chunk_size,
+            "suite": "incremental",
         },
     )

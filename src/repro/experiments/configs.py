@@ -30,9 +30,10 @@ identical to the paper's.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field
 
+from repro.core.temporal import TemporalWeighting
 from repro.errors import ValidationError
 from repro.models.aggregation import AggregationFunction
 from repro.models.bag import CharacterNGramModel, TokenNGramModel
@@ -51,7 +52,7 @@ from repro.models.topic.llda import LabeledLdaModel
 from repro.models.weighting import WeightingScheme
 from repro.text.pooling import PoolingScheme
 
-__all__ = ["ModelConfig", "ConfigGrid", "MODEL_NAMES"]
+__all__ = ["ModelConfig", "ConfigGrid", "MODEL_NAMES", "cross_temporal"]
 
 MODEL_NAMES: tuple[str, ...] = (
     "TN", "CN", "TNG", "CNG", "LDA", "LLDA", "BTM", "HDP", "HLDA",
@@ -82,6 +83,40 @@ class ModelConfig:
         return f"{self.model}({inner})"
 
 
+def cross_temporal(
+    configs: Sequence[ModelConfig],
+    temporal_axis: Sequence[TemporalWeighting],
+) -> list[ModelConfig]:
+    """Cross configurations with the temporal-weighting axis.
+
+    Each non-identity weighting yields a variant whose params carry a
+    ``temporal`` label (so cell identities, journal ids and profile
+    cache keys all distinguish the axis points) and whose factory
+    attaches the weighting to the freshly built model. The identity
+    weighting leaves the configuration untouched -- its params stay
+    byte-identical to the undecayed grid's. An empty axis is the
+    identity crossing: the configurations come back as they are.
+    """
+    if not temporal_axis:
+        return list(configs)
+    crossed: list[ModelConfig] = []
+    for config in configs:
+        for temporal in temporal_axis:
+            if temporal.is_identity:
+                crossed.append(config)
+                continue
+            params = dict(config.params)
+            params["temporal"] = temporal.label()
+            crossed.append(
+                ModelConfig(
+                    model=config.model,
+                    params=params,
+                    factory=lambda base=config.factory, tw=temporal: base().with_temporal(tw),
+                )
+            )
+    return crossed
+
+
 class ConfigGrid:
     """The paper's grid, optionally scaled down for tractable sweeps.
 
@@ -96,6 +131,12 @@ class ConfigGrid:
         Fold-in iterations for topic-model inference.
     seed:
         Seed forwarded to every stochastic model.
+    temporal_axis:
+        Optional temporal-weighting axis
+        (:class:`~repro.core.temporal.TemporalWeighting` points). When
+        given, every model family's configurations are crossed with the
+        axis -- an identity point keeps the original configuration, the
+        others add a ``temporal`` parameter and decay-weighted profiles.
     """
 
     def __init__(
@@ -105,6 +146,7 @@ class ConfigGrid:
         infer_iterations: int = 20,
         btm_max_biterms: int | None = None,
         seed: int = 0,
+        temporal_axis: Sequence[TemporalWeighting] | None = None,
     ):
         if topic_scale <= 0 or iteration_scale <= 0:
             raise ValidationError("scales must be positive")
@@ -113,6 +155,12 @@ class ConfigGrid:
         self.infer_iterations = infer_iterations
         self.btm_max_biterms = btm_max_biterms
         self.seed = seed
+        self.temporal_axis: tuple[TemporalWeighting, ...] = tuple(temporal_axis or ())
+
+    def _cross(self, configs: list[ModelConfig]) -> list[ModelConfig]:
+        if not self.temporal_axis:
+            return configs
+        return cross_temporal(configs, self.temporal_axis)
 
     # -- scaling helpers -------------------------------------------------------
 
@@ -262,17 +310,22 @@ class ConfigGrid:
     # -- the full grid ---------------------------------------------------------------
 
     def all_configurations(self) -> dict[str, list[ModelConfig]]:
-        """The complete 223-configuration grid, keyed by model name."""
+        """The complete 223-configuration grid, keyed by model name.
+
+        With a ``temporal_axis``, each family is crossed with the axis
+        here -- the single choke point, so sweeps, workers and reports
+        all see the same crossed grid.
+        """
         return {
-            "TN": self.tn_configurations(),
-            "CN": self.cn_configurations(),
-            "TNG": self.tng_configurations(),
-            "CNG": self.cng_configurations(),
-            "LDA": self.lda_configurations(),
-            "LLDA": self.llda_configurations(),
-            "BTM": self.btm_configurations(),
-            "HDP": self.hdp_configurations(),
-            "HLDA": self.hlda_configurations(),
+            "TN": self._cross(self.tn_configurations()),
+            "CN": self._cross(self.cn_configurations()),
+            "TNG": self._cross(self.tng_configurations()),
+            "CNG": self._cross(self.cng_configurations()),
+            "LDA": self._cross(self.lda_configurations()),
+            "LLDA": self._cross(self.llda_configurations()),
+            "BTM": self._cross(self.btm_configurations()),
+            "HDP": self._cross(self.hdp_configurations()),
+            "HLDA": self._cross(self.hlda_configurations()),
         }
 
     def iter_all(self) -> Iterator[ModelConfig]:

@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from repro.core.pipeline import ExperimentPipeline
 from repro.core.sources import RepresentationSource
 from repro.core.stages import canonical_params
+from repro.core.temporal import TemporalWeighting
 from repro.errors import ConfigurationError
 from repro.experiments.configs import ConfigGrid, ModelConfig
 from repro.experiments.supervision import CellFailure, SupervisionPolicy
@@ -73,13 +74,20 @@ __all__ = [
 
 @dataclass(frozen=True)
 class GridSpec:
-    """Picklable description of a :class:`ConfigGrid`."""
+    """Picklable description of a :class:`ConfigGrid`.
+
+    ``temporal_axis`` rides along as a tuple of frozen
+    :class:`~repro.core.temporal.TemporalWeighting` points, so a worker
+    rebuilding the grid enumerates the same temporally crossed cells the
+    parent submitted.
+    """
 
     topic_scale: float = 1.0
     iteration_scale: float = 1.0
     infer_iterations: int = 20
     btm_max_biterms: int | None = None
     seed: int = 0
+    temporal_axis: tuple[TemporalWeighting, ...] = ()
 
     @classmethod
     def from_grid(cls, grid: ConfigGrid) -> "GridSpec":
@@ -89,6 +97,7 @@ class GridSpec:
             infer_iterations=grid.infer_iterations,
             btm_max_biterms=grid.btm_max_biterms,
             seed=grid.seed,
+            temporal_axis=tuple(grid.temporal_axis),
         )
 
     def build(self) -> ConfigGrid:
@@ -98,6 +107,7 @@ class GridSpec:
             infer_iterations=self.infer_iterations,
             btm_max_biterms=self.btm_max_biterms,
             seed=self.seed,
+            temporal_axis=self.temporal_axis,
         )
 
 

@@ -17,11 +17,13 @@ benches agree:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.core.pipeline import ExperimentPipeline
 from repro.core.sources import RepresentationSource
+from repro.core.temporal import TemporalWeighting
 from repro.experiments.configs import ConfigGrid, ModelConfig
 from repro.twitter.dataset import (
     DatasetConfig,
@@ -86,12 +88,16 @@ def bench_setup(
     return BenchSetup(dataset=dataset, groups=groups, pipeline=pipeline)
 
 
-def bench_grid(seed: int = 7) -> ConfigGrid:
+def bench_grid(
+    seed: int = 7, temporal_axis: Sequence[TemporalWeighting] = ()
+) -> ConfigGrid:
     """The 223-configuration grid at benchmark scale.
 
     Topic counts shrink by 10x ({5,10,15,20}) and sampler iterations by
     50x ({20,40}); the *structure* of the grid (which parameters vary and
-    how many configurations exist) is identical to the paper's.
+    how many configurations exist) is identical to the paper's. A
+    ``temporal_axis`` crosses every configuration with the given
+    temporal weightings (see :class:`~repro.core.temporal.TemporalWeighting`).
     """
     return ConfigGrid(
         topic_scale=0.1,
@@ -99,6 +105,7 @@ def bench_grid(seed: int = 7) -> ConfigGrid:
         infer_iterations=8,
         btm_max_biterms=30_000,
         seed=seed,
+        temporal_axis=temporal_axis,
     )
 
 

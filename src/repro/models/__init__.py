@@ -22,13 +22,15 @@ from repro.models.aggregation import (
     AggregationFunction,
     aggregate,
     centroid_aggregate,
+    normalised,
     rocchio_aggregate,
     sum_aggregate,
 )
-from repro.models.bag import BagModel, CharacterNGramModel, TokenNGramModel
-from repro.models.base import Doc, RepresentationModel, TextDoc
+from repro.models.bag import BagModel, BagProfileState, CharacterNGramModel, TokenNGramModel
+from repro.models.base import Doc, ProfileState, RepresentationModel, TextDoc
 from repro.models.graph import (
     CharacterNGramGraphModel,
+    GraphProfileState,
     GraphSimilarity,
     NGramGraph,
     TokenNGramGraphModel,
@@ -52,17 +54,20 @@ from repro.models.topic import (
     LdaModel,
     PlsaModel,
     TopicModel,
+    TopicProfileState,
 )
 from repro.models.weighting import IdfTable, WeightingScheme
 
 __all__ = [
     "AggregationFunction",
     "BagModel",
+    "BagProfileState",
     "BitermTopicModel",
     "CharacterNGramGraphModel",
     "CharacterNGramModel",
     "ContextCategory",
     "Doc",
+    "GraphProfileState",
     "GraphSimilarity",
     "HdpModel",
     "HldaModel",
@@ -73,12 +78,14 @@ __all__ = [
     "ModelFacts",
     "NGramGraph",
     "PlsaModel",
+    "ProfileState",
     "RepresentationModel",
     "TAXONOMY",
     "TextDoc",
     "TokenNGramGraphModel",
     "TokenNGramModel",
     "TopicModel",
+    "TopicProfileState",
     "VectorSimilarity",
     "WeightingScheme",
     "aggregate",
@@ -88,6 +95,7 @@ __all__ = [
     "facts_for",
     "generalized_jaccard_similarity",
     "jaccard_similarity",
+    "normalised",
     "normalized_value_similarity",
     "rocchio_aggregate",
     "sum_aggregate",

@@ -9,6 +9,14 @@ The paper's three strategies (Section 3.2):
   (paper setting: ``a = 0.8``, ``b = 0.2``).
 
 All operate on sparse ``dict[str, float]`` vectors.
+
+Each strategy additionally accepts per-document ``weights`` -- the hook
+the temporal-decay axis uses to age profile entries. ``weights=None``
+takes the exact original code path, so undecayed aggregation stays
+bit-identical to the paper's batch behaviour; weighted centroids divide
+by the total weight instead of the count, and weighted Rocchio scales
+each class by its weight mass, so all-ones weights reproduce the
+unweighted result.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from repro.errors import ConfigurationError, ValidationError
 
 __all__ = [
     "AggregationFunction",
+    "normalised",
     "sum_aggregate",
     "centroid_aggregate",
     "rocchio_aggregate",
@@ -41,29 +50,60 @@ class AggregationFunction(str, enum.Enum):
         return self.value
 
 
-def _normalised(vector: SparseVector) -> SparseVector:
+def normalised(vector: SparseVector) -> SparseVector:
+    """Unit (L2) normalisation; the zero vector normalises to ``{}``."""
     norm = math.sqrt(sum(w * w for w in vector.values()))
     if norm == 0.0:
         return {}
     return {g: w / norm for g, w in vector.items()}
 
 
-def sum_aggregate(vectors: Sequence[SparseVector]) -> SparseVector:
-    """Component-wise sum."""
+# Original private spelling, kept for callers that predate the public name.
+_normalised = normalised
+
+
+def _check_weights(vectors: Sequence[SparseVector], weights: Sequence[float] | None) -> None:
+    if weights is not None and len(weights) != len(vectors):
+        raise ValidationError(f"{len(vectors)} vectors but {len(weights)} weights")
+
+
+def sum_aggregate(
+    vectors: Sequence[SparseVector],
+    weights: Sequence[float] | None = None,
+) -> SparseVector:
+    """Component-wise (optionally weighted) sum."""
+    _check_weights(vectors, weights)
     total: SparseVector = {}
-    for vector in vectors:
+    if weights is None:
+        for vector in vectors:
+            for g, w in vector.items():
+                total[g] = total.get(g, 0.0) + w
+        return total
+    for vector, weight in zip(vectors, weights):
+        if weight == 0.0:
+            continue
         for g, w in vector.items():
-            total[g] = total.get(g, 0.0) + w
+            total[g] = total.get(g, 0.0) + weight * w
     return total
 
 
-def centroid_aggregate(vectors: Sequence[SparseVector]) -> SparseVector:
-    """Mean of unit-normalised vectors."""
+def centroid_aggregate(
+    vectors: Sequence[SparseVector],
+    weights: Sequence[float] | None = None,
+) -> SparseVector:
+    """Mean of unit-normalised vectors (weighted mean when weighted)."""
+    _check_weights(vectors, weights)
     if not vectors:
         return {}
-    summed = sum_aggregate([_normalised(v) for v in vectors])
-    count = len(vectors)
-    return {g: w / count for g, w in summed.items()}
+    if weights is None:
+        summed = sum_aggregate([normalised(v) for v in vectors])
+        count = len(vectors)
+        return {g: w / count for g, w in summed.items()}
+    total_weight = math.fsum(weights)
+    if total_weight == 0.0:
+        return {}
+    summed = sum_aggregate([normalised(v) for v in vectors], weights)
+    return {g: w / total_weight for g, w in summed.items()}
 
 
 def rocchio_aggregate(
@@ -71,31 +111,59 @@ def rocchio_aggregate(
     labels: Sequence[int],
     alpha: float = 0.8,
     beta: float = 0.2,
+    weights: Sequence[float] | None = None,
 ) -> SparseVector:
     """Rocchio user model from positive and negative examples.
 
     ``labels[i]`` is 1 for a positive (relevant) document and 0 for a
     negative one. If one of the classes is empty its term contributes
-    nothing, which degrades gracefully to a (scaled) centroid.
+    nothing, which degrades gracefully to a (scaled) centroid. With
+    ``weights``, each class normalises by its weight mass instead of its
+    count, so a zero-weight document drops out of both numerator and
+    denominator.
     """
     if len(vectors) != len(labels):
         raise ValidationError(f"{len(vectors)} vectors but {len(labels)} labels")
+    _check_weights(vectors, weights)
     if not math.isclose(alpha + beta, 1.0, abs_tol=1e-9):
         raise ConfigurationError(f"Rocchio requires alpha + beta == 1, got {alpha} + {beta}")
-    positives = [_normalised(v) for v, l in zip(vectors, labels) if l == 1]
-    negatives = [_normalised(v) for v, l in zip(vectors, labels) if l == 0]
+    if weights is None:
+        positives = [normalised(v) for v, l in zip(vectors, labels) if l == 1]
+        negatives = [normalised(v) for v, l in zip(vectors, labels) if l == 0]
 
-    model: SparseVector = {}
-    if positives:
-        scale = alpha / len(positives)
-        for vector in positives:
+        model: SparseVector = {}
+        if positives:
+            scale = alpha / len(positives)
+            for vector in positives:
+                for g, w in vector.items():
+                    model[g] = model.get(g, 0.0) + scale * w
+        if negatives:
+            scale = beta / len(negatives)
+            for vector in negatives:
+                for g, w in vector.items():
+                    model[g] = model.get(g, 0.0) - scale * w
+        return model
+
+    positives = [(normalised(v), wt) for v, l, wt in zip(vectors, labels, weights) if l == 1]
+    negatives = [(normalised(v), wt) for v, l, wt in zip(vectors, labels, weights) if l == 0]
+
+    model = {}
+    positive_mass = math.fsum(wt for _, wt in positives)
+    if positive_mass != 0.0:
+        scale = alpha / positive_mass
+        for vector, wt in positives:
+            if wt == 0.0:
+                continue
             for g, w in vector.items():
-                model[g] = model.get(g, 0.0) + scale * w
-    if negatives:
-        scale = beta / len(negatives)
-        for vector in negatives:
+                model[g] = model.get(g, 0.0) + scale * wt * w
+    negative_mass = math.fsum(wt for _, wt in negatives)
+    if negative_mass != 0.0:
+        scale = beta / negative_mass
+        for vector, wt in negatives:
+            if wt == 0.0:
+                continue
             for g, w in vector.items():
-                model[g] = model.get(g, 0.0) - scale * w
+                model[g] = model.get(g, 0.0) - scale * wt * w
     return model
 
 
@@ -105,17 +173,18 @@ def aggregate(
     labels: Sequence[int] | None = None,
     rocchio_alpha: float = 0.8,
     rocchio_beta: float = 0.2,
+    weights: Sequence[float] | None = None,
 ) -> SparseVector:
     """Dispatch to the chosen aggregation strategy.
 
     Rocchio requires ``labels``; the other strategies ignore them.
     """
     if function is AggregationFunction.SUM:
-        return sum_aggregate(vectors)
+        return sum_aggregate(vectors, weights)
     if function is AggregationFunction.CENTROID:
-        return centroid_aggregate(vectors)
+        return centroid_aggregate(vectors, weights)
     if function is AggregationFunction.ROCCHIO:
         if labels is None:
             raise ConfigurationError("Rocchio aggregation requires positive/negative labels")
-        return rocchio_aggregate(vectors, labels, rocchio_alpha, rocchio_beta)
+        return rocchio_aggregate(vectors, labels, rocchio_alpha, rocchio_beta, weights)
     raise ConfigurationError(f"unknown aggregation function: {function!r}")

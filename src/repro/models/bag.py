@@ -19,11 +19,12 @@ construction time.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.errors import ConfigurationError, NotFittedError
-from repro.models.aggregation import AggregationFunction, aggregate
-from repro.models.base import Doc, RepresentationModel
+from repro.models.aggregation import AggregationFunction, aggregate, normalised
+from repro.models.base import Doc, ProfileState, RepresentationModel
 from repro.models.similarity import VectorSimilarity, vector_similarity_function
 from repro.models.weighting import (
     IdfTable,
@@ -34,9 +35,75 @@ from repro.models.weighting import (
 )
 from repro.text.ngrams import char_ngrams, token_ngrams
 
-__all__ = ["BagModel", "TokenNGramModel", "CharacterNGramModel"]
+__all__ = ["BagModel", "BagProfileState", "TokenNGramModel", "CharacterNGramModel"]
 
 SparseVector = dict[str, float]
+
+
+class BagProfileState(ProfileState):
+    """Incremental sparse-vector profile for the bag family.
+
+    Sum and centroid keep running accumulators, so :meth:`value` is
+    O(profile) rather than O(history); both fold document vectors in the
+    same order with the same float operations as the batch
+    :func:`~repro.models.aggregation.aggregate`, so the result is
+    bit-identical. Rocchio scales each class by ``1/len(class)``, which
+    changes with every fold -- its :meth:`value` replays the batch
+    :func:`~repro.models.aggregation.rocchio_aggregate` over the
+    retained vectors instead, which is exact by construction.
+    """
+
+    def __init__(self, model: "BagModel") -> None:
+        super().__init__()
+        self._model = model
+        self._entries: list[tuple[Any, SparseVector, int | None]] = []
+        self._running: SparseVector = {}
+
+    def _fold(self, key: Any, doc: Doc, label: int | None) -> None:
+        vector = self._model.represent(doc)
+        self._entries.append((key, vector, label))
+        aggregation = self._model.aggregation
+        if aggregation is AggregationFunction.SUM:
+            for g, w in vector.items():
+                self._running[g] = self._running.get(g, 0.0) + w
+        elif aggregation is AggregationFunction.CENTROID:
+            for g, w in normalised(vector).items():
+                self._running[g] = self._running.get(g, 0.0) + w
+
+    def _labels(self) -> list[int]:
+        if any(label is None for _, _, label in self._entries):
+            raise ConfigurationError("Rocchio aggregation requires positive/negative labels")
+        return [label for _, _, label in self._entries]  # type: ignore[misc]
+
+    def value(self) -> SparseVector:
+        aggregation = self._model.aggregation
+        if aggregation is AggregationFunction.SUM:
+            return dict(self._running)
+        if aggregation is AggregationFunction.CENTROID:
+            if not self._entries:
+                return {}
+            count = len(self._entries)
+            return {g: w / count for g, w in self._running.items()}
+        return aggregate(
+            aggregation,
+            [vector for _, vector, _ in self._entries],
+            labels=self._labels(),
+            rocchio_alpha=self._model.rocchio_alpha,
+            rocchio_beta=self._model.rocchio_beta,
+        )
+
+    def decayed(self, weight_fn: Callable[[Any], float]) -> SparseVector:
+        weights = [weight_fn(key) for key, _, _ in self._entries]
+        aggregation = self._model.aggregation
+        labels = self._labels() if aggregation is AggregationFunction.ROCCHIO else None
+        return aggregate(
+            aggregation,
+            [vector for _, vector, _ in self._entries],
+            labels=labels,
+            rocchio_alpha=self._model.rocchio_alpha,
+            rocchio_beta=self._model.rocchio_beta,
+            weights=weights,
+        )
 
 
 def validate_bag_configuration(
@@ -133,14 +200,12 @@ class BagModel(RepresentationModel):
         docs: Sequence[Doc],
         labels: Sequence[int] | None = None,
     ) -> SparseVector:
-        vectors = [self.represent(doc) for doc in docs]
-        return aggregate(
-            self.aggregation,
-            vectors,
-            labels=labels,
-            rocchio_alpha=self.rocchio_alpha,
-            rocchio_beta=self.rocchio_beta,
-        )
+        if self.aggregation is AggregationFunction.ROCCHIO and labels is None:
+            raise ConfigurationError("Rocchio aggregation requires positive/negative labels")
+        return self.init_profile().update(docs, labels=labels).value()
+
+    def init_profile(self) -> BagProfileState:
+        return BagProfileState(self)
 
     def score(self, user_model: SparseVector, doc_model: SparseVector) -> float:
         return self._similarity_fn(user_model, doc_model)
@@ -153,6 +218,13 @@ class BagModel(RepresentationModel):
             "aggregation": self.aggregation.value,
             "similarity": self.similarity.value,
         }
+
+    def profile_params(self) -> dict[str, object]:
+        params = super().profile_params()
+        if self.aggregation is AggregationFunction.ROCCHIO:
+            params["rocchio_alpha"] = self.rocchio_alpha
+            params["rocchio_beta"] = self.rocchio_beta
+        return params
 
 
 class TokenNGramModel(BagModel):

@@ -15,6 +15,15 @@ Every model in the paper fits the same mould (Definition 2.1):
 Models consume :class:`Doc` objects, a minimal structural type carrying
 the normalised text and its tokens, so the same pipeline feeds
 token-based, character-based and topic models.
+
+Profiles follow a uniform **build / update / decay** protocol: each
+family implements a :class:`ProfileState` that folds documents in
+incrementally (:meth:`ProfileState.update`), materialises the batch
+profile on demand (:meth:`ProfileState.value`) and re-weights retained
+entries without refolding the model (:meth:`ProfileState.decayed`).
+``build_user_model`` is defined *through* the state, so a batch build
+and a streamed sequence of updates are the same code path -- parity is
+by construction, not by test alone.
 """
 
 from __future__ import annotations
@@ -22,9 +31,11 @@ from __future__ import annotations
 import abc
 from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Any, Protocol, runtime_checkable
+from typing import Any, Callable, Protocol, runtime_checkable
 
-__all__ = ["Doc", "TextDoc", "RepresentationModel"]
+from repro.errors import ValidationError
+
+__all__ = ["Doc", "TextDoc", "ProfileState", "RepresentationModel"]
 
 
 @runtime_checkable
@@ -55,11 +66,104 @@ class TextDoc:
         return cls(" ".join(tokens), tuple(tokens))
 
 
+class ProfileState(abc.ABC):
+    """Incremental user-profile accumulator shared by all model families.
+
+    A state folds documents in **non-decreasing key order** -- keys are
+    ``(timestamp, tweet_id)`` tuples wherever real tweets are available
+    (graph merges are order-sensitive, so the fold order must be
+    canonical). Each fold retains the per-document representation, which
+    is what lets :meth:`decayed` re-weight history without calling
+    :meth:`RepresentationModel.represent` again.
+
+    Contract:
+
+    * :meth:`update` may be called any number of times with any
+      chunking; the final :meth:`value` is identical to a single batch
+      call over the concatenated documents.
+    * :meth:`value` is non-destructive and repeatable -- it returns the
+      profile the family's ``build_user_model`` would have produced.
+    * :meth:`decayed` returns a profile where each retained entry is
+      scaled by ``weight_fn(key)``; the state itself is unchanged, and
+      a weight function that returns 1.0 everywhere reproduces
+      :meth:`value` exactly.
+    """
+
+    def __init__(self) -> None:
+        self._last_key: Any = None
+        self._seen = 0
+
+    @property
+    def count(self) -> int:
+        """Number of documents folded into the profile so far."""
+        return self._seen
+
+    def update(
+        self,
+        docs: Sequence[Doc],
+        labels: Sequence[int] | None = None,
+        keys: Sequence[Any] | None = None,
+    ) -> "ProfileState":
+        """Fold a chunk of documents into the profile. Returns ``self``.
+
+        ``keys`` pins the fold order: the chunk is sorted by key, and a
+        key below the largest key already folded raises
+        :class:`ValidationError` -- out-of-order streaming would
+        silently change order-sensitive profiles (graph merges). When
+        ``keys`` is omitted the positional order is used, with the
+        running document index as the key.
+        """
+        docs = list(docs)
+        if labels is not None and len(labels) != len(docs):
+            raise ValidationError(
+                f"labels length {len(labels)} does not match docs length {len(docs)}"
+            )
+        if keys is None:
+            order: Sequence[int] = range(len(docs))
+        else:
+            keys = list(keys)
+            if len(keys) != len(docs):
+                raise ValidationError(
+                    f"keys length {len(keys)} does not match docs length {len(docs)}"
+                )
+            order = sorted(range(len(docs)), key=lambda i: keys[i])
+        for position, index in enumerate(order):
+            key = keys[index] if keys is not None else self._seen + position
+            if self._last_key is not None and key < self._last_key:
+                raise ValidationError(
+                    "profile updates must fold in non-decreasing "
+                    f"(timestamp, tweet_id) order: key {key!r} arrived after "
+                    f"{self._last_key!r}"
+                )
+            self._last_key = key
+            label = labels[index] if labels is not None else None
+            self._fold(key, docs[index], label)
+        self._seen += len(docs)
+        return self
+
+    @abc.abstractmethod
+    def _fold(self, key: Any, doc: Doc, label: int | None) -> None:
+        """Fold one document (already order-checked) into the state."""
+
+    @abc.abstractmethod
+    def value(self) -> Any:
+        """Materialise the profile exactly as a batch build would."""
+
+    @abc.abstractmethod
+    def decayed(self, weight_fn: Callable[[Any], float]) -> Any:
+        """Profile with each retained entry scaled by ``weight_fn(key)``."""
+
+
 class RepresentationModel(abc.ABC):
     """Abstract base for the nine representation models of the paper."""
 
     #: Short model name as used in the paper's figures (e.g. ``"TN"``).
     name: str = "?"
+
+    #: Temporal weighting applied when the pipeline builds profiles
+    #: (duck-typed :class:`repro.core.temporal.TemporalWeighting`;
+    #: ``None`` keeps the paper's undecayed behaviour).
+    temporal: Any = None
 
     @abc.abstractmethod
     def fit(self, corpus: Sequence[Doc], user_ids: Sequence[str] | None = None) -> "RepresentationModel":
@@ -89,6 +193,33 @@ class RepresentationModel(abc.ABC):
     @abc.abstractmethod
     def score(self, user_model: Any, doc_model: Any) -> float:
         """Similarity between a user model and a document model."""
+
+    def init_profile(self) -> ProfileState:
+        """Fresh incremental profile state for this model.
+
+        Each family base class provides its state; models outside the
+        protocol (extensions, baselines) need not implement it.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no incremental profile state")
+
+    def with_temporal(self, temporal: Any) -> "RepresentationModel":
+        """Attach a temporal weighting for profile builds. Returns ``self``."""
+        self.temporal = temporal
+        return self
+
+    def profile_params(self) -> dict[str, Any]:
+        """Every parameter that changes a built profile's *values*.
+
+        Feeds the ``UserProfiles`` artifact-cache key, so anything that
+        alters aggregation, supervision weights or temporal decay must
+        appear here -- a stale hit would silently serve profiles built
+        under different parameters. Family bases extend this with their
+        aggregation-affecting knobs.
+        """
+        params: dict[str, Any] = dict(self.describe())
+        if self.temporal is not None:
+            params["temporal"] = dict(self.temporal.describe())
+        return params
 
     def describe(self) -> dict[str, Any]:
         """Human-readable configuration summary (used in reports)."""

@@ -21,14 +21,16 @@ and normalized value (NS) similarity.
 from __future__ import annotations
 
 import enum
-from collections.abc import Iterator, Sequence
+from collections.abc import Callable, Iterator, Sequence
+from typing import Any
 
 from repro.errors import ConfigurationError, ValidationError
-from repro.models.base import Doc, RepresentationModel
+from repro.models.base import Doc, ProfileState, RepresentationModel
 from repro.text.ngrams import char_ngrams, token_ngrams
 
 __all__ = [
     "NGramGraph",
+    "GraphProfileState",
     "GraphSimilarity",
     "containment_similarity",
     "value_similarity",
@@ -194,6 +196,50 @@ _GRAPH_SIMILARITIES = {
 # -- the models ----------------------------------------------------------------
 
 
+class GraphProfileState(ProfileState):
+    """Incremental n-gram-graph profile for the graph family.
+
+    The running user graph folds each positive document graph with
+    learning factor ``1 / i`` for the ``i``-th contribution -- the exact
+    sequence of :meth:`NGramGraph.updated` calls that
+    :meth:`NGramGraph.merge_all` performs, so the incremental profile is
+    bit-identical to the batch one. The update operator is **not**
+    commutative, which is why :class:`~repro.models.base.ProfileState`
+    pins the fold order to ``(timestamp, tweet_id)``.
+
+    :meth:`decayed` refolds the retained document graphs with learning
+    factor ``w_i / (w_1 + ... + w_i)`` -- the weighted running average;
+    all-ones weights reduce to ``1 / i``, i.e. the undecayed profile.
+    """
+
+    def __init__(self, model: "GraphModel") -> None:
+        super().__init__()
+        self._model = model
+        self._entries: list[tuple[Any, NGramGraph]] = []
+        self._graph = NGramGraph()
+
+    def _fold(self, key: Any, doc: Doc, label: int | None) -> None:
+        if label is not None and label != 1:
+            return
+        graph = self._model.represent(doc)
+        self._entries.append((key, graph))
+        self._graph = self._graph.updated(graph, 1.0 / len(self._entries))
+
+    def value(self) -> NGramGraph:
+        return NGramGraph(dict(self._graph.edges()))
+
+    def decayed(self, weight_fn: Callable[[Any], float]) -> NGramGraph:
+        merged = NGramGraph()
+        mass = 0.0
+        for key, graph in self._entries:
+            weight = weight_fn(key)
+            if weight <= 0.0:
+                continue
+            mass += weight
+            merged = merged.updated(graph, weight / mass)
+        return merged
+
+
 class GraphModel(RepresentationModel):
     """Shared machinery for TNG and CNG.
 
@@ -234,9 +280,10 @@ class GraphModel(RepresentationModel):
         provided, only the positive documents contribute, otherwise all
         documents do.
         """
-        if labels is not None:
-            docs = [d for d, l in zip(docs, labels) if l == 1]
-        return NGramGraph.merge_all([self.represent(d) for d in docs])
+        return self.init_profile().update(docs, labels=labels).value()
+
+    def init_profile(self) -> GraphProfileState:
+        return GraphProfileState(self)
 
     def score(self, user_model: NGramGraph, doc_model: NGramGraph) -> float:
         return self._similarity_fn(user_model, doc_model)

@@ -1,6 +1,12 @@
 """Topic models: PLSA, LDA, Labeled LDA, BTM, HDP, HLDA."""
 
-from repro.models.topic.base import TopicModel, dense_centroid, dense_cosine, dense_rocchio
+from repro.models.topic.base import (
+    TopicModel,
+    TopicProfileState,
+    dense_centroid,
+    dense_cosine,
+    dense_rocchio,
+)
 from repro.models.topic.btm import BitermTopicModel, extract_biterms
 from repro.models.topic.hdp import HdpModel
 from repro.models.topic.hlda import HldaModel
@@ -19,6 +25,7 @@ __all__ = [
     "LdaModel",
     "PlsaModel",
     "TopicModel",
+    "TopicProfileState",
     "dense_centroid",
     "dense_cosine",
     "dense_rocchio",

@@ -19,18 +19,26 @@ encoded document and return its topic distribution).
 from __future__ import annotations
 
 import abc
-from collections.abc import Sequence
+import hashlib
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 
 from repro.errors import ConfigurationError, EmptyCorpusError, NotFittedError, ValidationError
 from repro.models.aggregation import AggregationFunction
-from repro.models.base import Doc, RepresentationModel
+from repro.models.base import Doc, ProfileState, RepresentationModel
 from repro.models.topic.gibbs import IterationHook
 from repro.text.pooling import PoolingScheme, pool_documents
 from repro.text.vocabulary import Vocabulary
 
-__all__ = ["TopicModel", "dense_cosine", "dense_centroid", "dense_rocchio"]
+__all__ = [
+    "TopicModel",
+    "TopicProfileState",
+    "dense_cosine",
+    "dense_centroid",
+    "dense_rocchio",
+]
 
 
 def dense_cosine(u: np.ndarray, v: np.ndarray) -> float:
@@ -42,16 +50,37 @@ def dense_cosine(u: np.ndarray, v: np.ndarray) -> float:
     return float(np.dot(u, v) / (norm_u * norm_v))
 
 
-def dense_centroid(vectors: Sequence[np.ndarray]) -> np.ndarray:
-    """Mean of unit-normalised dense vectors."""
+def _check_dense_weights(vectors: Sequence[np.ndarray], weights: Sequence[float] | None) -> None:
+    if weights is not None and len(weights) != len(vectors):
+        raise ValidationError(f"{len(vectors)} vectors but {len(weights)} weights")
+
+
+def dense_centroid(
+    vectors: Sequence[np.ndarray],
+    weights: Sequence[float] | None = None,
+) -> np.ndarray:
+    """Mean of unit-normalised dense vectors (weighted mean when weighted)."""
     if not vectors:
         raise EmptyCorpusError("cannot build a centroid from zero vectors")
+    _check_dense_weights(vectors, weights)
+    if weights is None:
+        total = np.zeros_like(vectors[0], dtype=float)
+        for vec in vectors:
+            norm = np.linalg.norm(vec)
+            if norm > 0.0:
+                total += vec / norm
+        return total / len(vectors)
     total = np.zeros_like(vectors[0], dtype=float)
-    for vec in vectors:
+    mass = float(np.sum(np.asarray(weights, dtype=float)))
+    if mass == 0.0:
+        return total
+    for vec, weight in zip(vectors, weights):
+        if weight == 0.0:
+            continue
         norm = np.linalg.norm(vec)
         if norm > 0.0:
-            total += vec / norm
-    return total / len(vectors)
+            total += weight * (vec / norm)
+    return total / mass
 
 
 def dense_rocchio(
@@ -59,24 +88,102 @@ def dense_rocchio(
     labels: Sequence[int],
     alpha: float = 0.8,
     beta: float = 0.2,
+    weights: Sequence[float] | None = None,
 ) -> np.ndarray:
-    """Rocchio combination of dense positive and negative vectors."""
+    """Rocchio combination of dense positive and negative vectors.
+
+    With ``weights``, each class normalises by its weight mass instead
+    of its count; all-ones weights reproduce the unweighted result up to
+    float associativity.
+    """
     if len(vectors) != len(labels):
         raise ValidationError(f"{len(vectors)} vectors but {len(labels)} labels")
     if not vectors:
         raise EmptyCorpusError("cannot build a Rocchio model from zero vectors")
+    _check_dense_weights(vectors, weights)
     model = np.zeros_like(vectors[0], dtype=float)
-    positives = [v for v, l in zip(vectors, labels) if l == 1]
-    negatives = [v for v, l in zip(vectors, labels) if l == 0]
-    if positives:
-        model += (alpha / len(positives)) * np.sum(
-            [v / n for v in positives if (n := np.linalg.norm(v)) > 0.0], axis=0
+    if weights is None:
+        positives = [v for v, l in zip(vectors, labels) if l == 1]
+        negatives = [v for v, l in zip(vectors, labels) if l == 0]
+        if positives:
+            model += (alpha / len(positives)) * np.sum(
+                [v / n for v in positives if (n := np.linalg.norm(v)) > 0.0], axis=0
+            )
+        if negatives:
+            model -= (beta / len(negatives)) * np.sum(
+                [v / n for v in negatives if (n := np.linalg.norm(v)) > 0.0], axis=0
+            )
+        return model
+    positives = [(v, w) for v, l, w in zip(vectors, labels, weights) if l == 1]
+    negatives = [(v, w) for v, l, w in zip(vectors, labels, weights) if l == 0]
+    positive_mass = float(np.sum([w for _, w in positives])) if positives else 0.0
+    if positive_mass != 0.0:
+        model += (alpha / positive_mass) * np.sum(
+            [w * (v / n) for v, w in positives if w != 0.0 and (n := np.linalg.norm(v)) > 0.0],
+            axis=0,
         )
-    if negatives:
-        model -= (beta / len(negatives)) * np.sum(
-            [v / n for v in negatives if (n := np.linalg.norm(v)) > 0.0], axis=0
+    negative_mass = float(np.sum([w for _, w in negatives])) if negatives else 0.0
+    if negative_mass != 0.0:
+        model -= (beta / negative_mass) * np.sum(
+            [w * (v / n) for v, w in negatives if w != 0.0 and (n := np.linalg.norm(v)) > 0.0],
+            axis=0,
         )
     return model
+
+
+class TopicProfileState(ProfileState):
+    """Incremental topic-mixture profile for the topic family.
+
+    Each fold infers the document's topic distribution ``theta`` once
+    and retains it -- updating a profile never re-runs Gibbs over
+    history. :meth:`value` aggregates the retained mixtures exactly as
+    the batch build does, so parity is by construction; with stochastic
+    fold-in (``deterministic_inference`` off) the *representations*
+    themselves depend on the shared RNG's draw order, which is why
+    replay parity for topic models is stated with a tolerance unless
+    deterministic inference is enabled.
+    """
+
+    def __init__(self, model: "TopicModel") -> None:
+        super().__init__()
+        self._model = model
+        self._entries: list[tuple[Any, np.ndarray, int | None]] = []
+
+    def _fold(self, key: Any, doc: Doc, label: int | None) -> None:
+        self._entries.append((key, self._model.represent(doc), label))
+
+    def _labels(self) -> list[int]:
+        if any(label is None for _, _, label in self._entries):
+            raise ConfigurationError("Rocchio aggregation requires labels")
+        return [label for _, _, label in self._entries]  # type: ignore[misc]
+
+    def _null_model(self) -> np.ndarray:
+        return np.zeros(max(self._model.n_topics, 1))
+
+    def value(self) -> np.ndarray:
+        if not self._entries:
+            return self._null_model()
+        vectors = [theta for _, theta, _ in self._entries]
+        if self._model.aggregation is AggregationFunction.ROCCHIO:
+            return dense_rocchio(
+                vectors, self._labels(), self._model.rocchio_alpha, self._model.rocchio_beta
+            )
+        return dense_centroid(vectors)
+
+    def decayed(self, weight_fn: Callable[[Any], float]) -> np.ndarray:
+        if not self._entries:
+            return self._null_model()
+        weights = [weight_fn(key) for key, _, _ in self._entries]
+        vectors = [theta for _, theta, _ in self._entries]
+        if self._model.aggregation is AggregationFunction.ROCCHIO:
+            return dense_rocchio(
+                vectors,
+                self._labels(),
+                self._model.rocchio_alpha,
+                self._model.rocchio_beta,
+                weights=weights,
+            )
+        return dense_centroid(vectors, weights=weights)
 
 
 class TopicModel(RepresentationModel):
@@ -129,6 +236,13 @@ class TopicModel(RepresentationModel):
         self._rng = np.random.default_rng(seed)
         self._vocabulary: Vocabulary | None = None
         self.iteration_hook: IterationHook | None = None
+        #: When on, each document's fold-in runs under a private RNG
+        #: seeded from ``(seed, encoded tokens)``, making
+        #: :meth:`represent` a pure function of the fitted model and the
+        #: document -- the property the streaming replay driver needs
+        #: for bit-exact serial-vs-parallel parity. Off by default so
+        #: the paper's original numbers are untouched.
+        self.deterministic_inference = False
 
     def set_iteration_hook(self, hook: IterationHook | None) -> "TopicModel":
         """Install (or clear) a per-training-iteration progress observer.
@@ -182,28 +296,39 @@ class TopicModel(RepresentationModel):
         self._train(encoded, raw_docs)
         return self
 
+    def _doc_rng_seed(self, encoded: list[int]) -> int:
+        """Stable per-document seed: a hash of the model seed and tokens."""
+        payload = f"{self.seed!r}|" + ",".join(map(str, encoded))
+        digest = hashlib.sha256(payload.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
     def represent(self, doc: Doc) -> np.ndarray:
         if self._vocabulary is None:
             raise NotFittedError(f"{type(self).__name__}.fit was never called")
         encoded = self._vocabulary.encode(list(doc.tokens))
-        return self._infer(encoded)
+        if not self.deterministic_inference:
+            return self._infer(encoded)
+        shared_rng = self._rng
+        self._rng = np.random.default_rng(self._doc_rng_seed(encoded))
+        try:
+            return self._infer(encoded)
+        finally:
+            self._rng = shared_rng
 
     def build_user_model(
         self,
         docs: Sequence[Doc],
         labels: Sequence[int] | None = None,
     ) -> np.ndarray:
-        if not docs:
-            # A user with no training documents for this source gets a
-            # null model: every candidate scores 0, as for the bag and
-            # graph models' empty representations.
-            return np.zeros(max(self.n_topics, 1))
-        vectors = [self.represent(d) for d in docs]
-        if self.aggregation is AggregationFunction.ROCCHIO:
-            if labels is None:
-                raise ConfigurationError("Rocchio aggregation requires labels")
-            return dense_rocchio(vectors, labels, self.rocchio_alpha, self.rocchio_beta)
-        return dense_centroid(vectors)
+        # A user with no training documents for this source gets a null
+        # model: every candidate scores 0, as for the bag and graph
+        # models' empty representations.
+        if docs and self.aggregation is AggregationFunction.ROCCHIO and labels is None:
+            raise ConfigurationError("Rocchio aggregation requires labels")
+        return self.init_profile().update(docs, labels=labels).value()
+
+    def init_profile(self) -> TopicProfileState:
+        return TopicProfileState(self)
 
     def score(self, user_model: np.ndarray, doc_model: np.ndarray) -> float:
         return dense_cosine(user_model, doc_model)
@@ -215,6 +340,16 @@ class TopicModel(RepresentationModel):
             "aggregation": self.aggregation.value,
             "iterations": self.iterations,
         }
+
+    def profile_params(self) -> dict[str, object]:
+        params = super().profile_params()
+        params["infer_iterations"] = self.infer_iterations
+        params["seed"] = self.seed
+        params["deterministic_inference"] = self.deterministic_inference
+        if self.aggregation is AggregationFunction.ROCCHIO:
+            params["rocchio_alpha"] = self.rocchio_alpha
+            params["rocchio_beta"] = self.rocchio_beta
+        return params
 
     # -- helpers for subclasses ----------------------------------------------
 

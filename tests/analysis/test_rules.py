@@ -553,3 +553,96 @@ class TestEventLogProgress:
             """,
             path=self.EXEC_PATH,
         ) == []
+
+
+class TestProfileArtifactMutation:
+    """RPR010: profile artifacts change only through the update protocol."""
+
+    def test_flags_subscript_assignment(self):
+        report = lint(
+            """
+            def patch(artifact, uid, profile):
+                artifact.profiles[uid] = profile
+            """
+        )
+        (violation,) = report.violations
+        assert violation.rule == "RPR010"
+        assert violation.path == LIB_PATH
+        assert violation.line == 3
+        assert "ProfileState.update" in violation.message
+
+    def test_flags_augmented_assignment_and_del(self):
+        assert rules_hit(
+            """
+            def trim(artifact, uid):
+                artifact.profiles[uid] += 1
+                del artifact.profiles[uid]
+            """
+        ) == ["RPR010", "RPR010"]
+
+    def test_flags_mutating_dict_methods(self):
+        assert rules_hit(
+            """
+            def merge(artifact, extra, uid):
+                artifact.profiles.update(extra)
+                artifact.profiles.pop(uid)
+                artifact.profiles.clear()
+                artifact.profiles.setdefault(uid, {})
+            """
+        ) == ["RPR010"] * 4
+
+    def test_flags_attribute_rebinds(self):
+        assert rules_hit(
+            """
+            def swap(artifact, replacement):
+                artifact.profiles = replacement
+            """
+        ) == ["RPR010"]
+
+    def test_flags_tuple_unpacking_targets(self):
+        assert rules_hit(
+            """
+            def unpack(artifact, uid, profile, other):
+                artifact.profiles[uid], other = profile, None
+            """
+        ) == ["RPR010"]
+
+    def test_local_profiles_dict_is_clean(self):
+        # The builder's own dict under construction is the legitimate
+        # way profiles come to exist; only artifact attributes are held
+        # to immutability.
+        assert rules_hit(
+            """
+            def build(model, users):
+                profiles = {}
+                for uid in users:
+                    profiles[uid] = model.build_user_model(())
+                profiles.update({})
+                return profiles
+            """
+        ) == []
+
+    def test_reading_profiles_is_clean(self):
+        assert rules_hit(
+            """
+            def score(artifact, uid):
+                profile = artifact.profiles[uid]
+                return dict(artifact.profiles.items()), profile
+            """
+        ) == []
+
+    def test_library_only(self):
+        source = """
+            def patch(artifact, uid, profile):
+                artifact.profiles[uid] = profile
+            """
+        assert rules_hit(source, path=APP_PATH) == []
+        assert rules_hit(source, path=LIB_PATH) == ["RPR010"]
+
+    def test_pragma_suppresses_with_justification(self):
+        assert rules_hit(
+            """
+            def patch(artifact, uid, profile):
+                artifact.profiles[uid] = profile  # repro: allow[RPR010] -- migration shim for pre-protocol caches
+            """
+        ) == []

@@ -1,0 +1,134 @@
+"""Tests for the temporal weighting axis (none / window / half-life)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.temporal import NO_DECAY, TEMPORAL_KINDS, TemporalWeighting
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TemporalWeighting(kind="linear")
+
+    def test_window_requires_window(self):
+        with pytest.raises(ConfigurationError):
+            TemporalWeighting(kind="window")
+
+    def test_half_life_requires_half_life(self):
+        with pytest.raises(ConfigurationError):
+            TemporalWeighting(kind="half-life")
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            TemporalWeighting(kind="window", window=0)
+
+    def test_half_life_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            TemporalWeighting(kind="half-life", half_life=-1)
+
+    def test_none_rejects_stray_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TemporalWeighting(kind="none", window=10)
+
+    def test_window_rejects_half_life(self):
+        with pytest.raises(ConfigurationError):
+            TemporalWeighting(kind="window", window=10, half_life=5.0)
+
+    def test_kinds_constant_matches(self):
+        assert TEMPORAL_KINDS == ("none", "window", "half-life")
+
+
+class TestWeights:
+    def test_identity_weighs_everything_one(self):
+        tw = TemporalWeighting()
+        assert tw.is_identity
+        assert tw.weight(100, 0) == 1.0
+        assert tw.weight(100, 100) == 1.0
+
+    def test_window_keeps_recent_drops_old(self):
+        tw = TemporalWeighting(kind="window", window=10)
+        assert tw.weight(100, 95) == 1.0  # age 5, inside
+        assert tw.weight(100, 90) == 1.0  # age 10, boundary is inside
+        assert tw.weight(100, 89) == 0.0  # age 11, outside
+
+    def test_half_life_halves_per_period(self):
+        tw = TemporalWeighting(kind="half-life", half_life=10)
+        assert tw.weight(100, 100) == 1.0
+        assert tw.weight(100, 90) == pytest.approx(0.5)
+        assert tw.weight(100, 80) == pytest.approx(0.25)
+
+    def test_future_timestamps_clamp_to_full_weight(self):
+        window = TemporalWeighting(kind="window", window=10)
+        decay = TemporalWeighting(kind="half-life", half_life=10)
+        assert window.weight(100, 200) == 1.0
+        assert decay.weight(100, 200) == 1.0
+
+    def test_weight_fn_reads_timestamp_from_fold_key(self):
+        tw = TemporalWeighting(kind="half-life", half_life=10)
+        fn = tw.weight_fn(100)
+        assert fn((90, 42)) == pytest.approx(0.5)  # (timestamp, tweet_id)
+        assert fn(90) == pytest.approx(0.5)  # bare timestamps work too
+
+
+class TestParseAndLabels:
+    def test_parse_none(self):
+        assert TemporalWeighting.parse("none") == NO_DECAY
+
+    def test_parse_window(self):
+        tw = TemporalWeighting.parse("window:40")
+        assert tw.kind == "window"
+        assert tw.window == 40
+
+    def test_parse_half_life(self):
+        tw = TemporalWeighting.parse("half-life:80")
+        assert tw.kind == "half-life"
+        assert tw.half_life == 80.0
+
+    def test_parse_exp_alias(self):
+        assert TemporalWeighting.parse("exp:80") == TemporalWeighting.parse(
+            "half-life:80"
+        )
+
+    def test_parse_garbage_rejected(self):
+        for bad in ("window", "window:x", "half-life:", "sliding:5", "window:-3"):
+            with pytest.raises(ConfigurationError):
+                TemporalWeighting.parse(bad)
+
+    def test_label_roundtrips_through_parse(self):
+        for tw in (
+            NO_DECAY,
+            TemporalWeighting(kind="window", window=60),
+            TemporalWeighting(kind="half-life", half_life=2.5),
+        ):
+            assert TemporalWeighting.parse(tw.label()) == tw
+
+    def test_describe_distinguishes_parameters(self):
+        a = TemporalWeighting(kind="half-life", half_life=10)
+        b = TemporalWeighting(kind="half-life", half_life=20)
+        assert a.describe() != b.describe()
+        assert dict(a.describe())["kind"] == "half-life"
+
+
+class TestPicklability:
+    """GridSpec ships the axis to pool workers; it must survive pickling."""
+
+    def test_roundtrip(self):
+        for tw in (
+            NO_DECAY,
+            TemporalWeighting(kind="window", window=60),
+            TemporalWeighting(kind="half-life", half_life=10),
+        ):
+            clone = pickle.loads(pickle.dumps(tw))
+            assert clone == tw
+            assert clone.weight(100, 90) == tw.weight(100, 90)
+
+    def test_weight_fn_of_unpickled_instance(self):
+        tw = pickle.loads(
+            pickle.dumps(TemporalWeighting(kind="half-life", half_life=10))
+        )
+        assert tw.weight_fn(100)((90, 1)) == pytest.approx(0.5)

@@ -142,3 +142,53 @@ class TestFigureBenchBaselines:
         assert bench_common.bench_trials() == 1
         monkeypatch.setenv(TRIALS_ENV, "4")
         assert bench_common.bench_trials() == 4
+
+
+class TestIncrementalSuite:
+    """The streaming-replay suite produces gateable baselines."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        from repro.experiments.bench import run_incremental_suite
+
+        return run_incremental_suite(
+            scale="tiny", trials=1, warmup=0, models=("TN",), label="inc"
+        )
+
+    def test_phases_cover_update_and_rebuild(self, baseline):
+        assert set(baseline.phases) == {
+            "incremental/TN/R/update",
+            "incremental/TN/R/rebuild",
+        }
+        for metrics in baseline.phases.values():
+            assert "wall_seconds" in metrics
+
+    def test_parity_and_speedup_counters(self, baseline):
+        assert baseline.counters["incremental.TN.exact"] == 1.0
+        assert baseline.counters["incremental.TN.speedup"] > 1.0
+
+    def test_config_records_the_suite(self, baseline):
+        assert baseline.config["suite"] == "incremental"
+        assert baseline.manifest["command"] == "bench-incremental"
+
+    def test_comparable_to_itself(self, baseline):
+        from repro.experiments.bench import run_incremental_suite
+
+        again = run_incremental_suite(
+            scale="tiny", trials=1, warmup=1, models=("TN",), label="inc2"
+        )
+        report = compare_baselines(baseline, again)
+        assert not report.missing_phases
+        assert not report.added_phases
+        gated = {d.phase for d in report.deltas}
+        assert gated == set(baseline.phases)
+
+    def test_validation(self):
+        from repro.experiments.bench import run_incremental_suite
+
+        with pytest.raises(ConfigurationError):
+            run_incremental_suite(scale="galactic")
+        with pytest.raises(ConfigurationError):
+            run_incremental_suite(scale="tiny", trials=0)
+        with pytest.raises(ConfigurationError):
+            run_incremental_suite(scale="tiny", models=("NOPE",))

@@ -98,3 +98,73 @@ class TestScaling:
         grid = ConfigGrid(btm_max_biterms=123)
         model = grid.all_configurations()["BTM"][0].build()
         assert model.max_biterms == 123
+
+
+class TestTemporalAxis:
+    """Crossing the grid with the temporal-weighting axis."""
+
+    def _axis(self):
+        from repro.core.temporal import NO_DECAY, TemporalWeighting
+
+        return (
+            NO_DECAY,
+            TemporalWeighting(kind="window", window=20),
+            TemporalWeighting(kind="half-life", half_life=10),
+        )
+
+    def test_empty_axis_is_identity(self):
+        from repro.experiments.configs import cross_temporal
+        from repro.experiments.standard import fast_grid
+
+        configs = fast_grid()
+        assert cross_temporal(configs, ()) == list(configs)
+
+    def test_axis_multiplies_configurations(self):
+        from repro.experiments.configs import cross_temporal
+        from repro.experiments.standard import fast_grid
+
+        configs = fast_grid()
+        crossed = cross_temporal(configs, self._axis())
+        assert len(crossed) == 3 * len(configs)
+
+    def test_identity_point_keeps_params_byte_identical(self):
+        from repro.experiments.configs import cross_temporal
+        from repro.experiments.standard import fast_grid
+
+        config = fast_grid()[0]
+        crossed = cross_temporal([config], self._axis())
+        assert crossed[0].params == config.params
+        assert "temporal" in crossed[1].params
+        assert crossed[1].params["temporal"] == "window:20"
+        assert crossed[2].params["temporal"] == "half-life:10"
+
+    def test_factory_attaches_the_weighting(self):
+        from repro.experiments.configs import cross_temporal
+        from repro.experiments.standard import fast_grid
+
+        config = next(c for c in fast_grid() if c.model == "TN")
+        crossed = cross_temporal([config], self._axis())
+        assert crossed[0].build().temporal is None
+        built = crossed[2].build()
+        assert built.temporal is not None
+        assert built.temporal.half_life == 10
+
+    def test_grid_crosses_every_family(self, grid):
+        axis_grid = ConfigGrid(
+            topic_scale=0.1,
+            iteration_scale=0.01,
+            infer_iterations=2,
+            temporal_axis=self._axis(),
+        )
+        assert axis_grid.total_configurations() == 3 * grid.total_configurations()
+
+    def test_grid_spec_roundtrips_the_axis(self):
+        import pickle
+
+        from repro.experiments.executors import GridSpec
+
+        grid = ConfigGrid(temporal_axis=self._axis())
+        spec = GridSpec.from_grid(grid)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.temporal_axis == spec.temporal_axis == self._axis()
+        assert clone.build().temporal_axis == self._axis()

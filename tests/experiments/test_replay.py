@@ -1,0 +1,185 @@
+"""Tests for the streaming replay driver (``repro replay``).
+
+The load-bearing properties: incremental profiles are bit-identical to
+batch rebuilds at every chunk boundary for bag and graph models (and for
+topic models under deterministic inference), and a ``--jobs`` replay
+produces the same per-user digests as a serial one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.bench import replay_suite_spec
+from repro.experiments.replay import (
+    ModelReplay,
+    UserReplay,
+    profile_delta,
+    profile_digest,
+    run_replay,
+)
+from repro.models.graph import NGramGraph
+
+#: Two exactness-guaranteed families keep the suite fast; the topic
+#: family's replay is covered by the digest-parity test below and by
+#: tests/models/test_profile_state.py at the protocol level.
+SPEC = dataclasses.replace(replay_suite_spec(scale="tiny"), models=("TN", "TNG"))
+
+
+class TestSpecValidation:
+    def test_zero_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(SPEC, chunk_size=0)
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(SPEC, models=())
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(SPEC, source="bogus")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_replay(dataclasses.replace(SPEC, models=("NOPE",)))
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_replay(SPEC, jobs=0)
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(SPEC)) == SPEC
+
+
+class TestProfileComparison:
+    def test_equal_dicts(self):
+        assert profile_delta({"a": 1.0}, {"a": 1.0}) == 0.0
+
+    def test_differing_dicts(self):
+        assert profile_delta({"a": 1.0}, {"a": 1.5, "b": 0.25}) == 0.5
+
+    def test_equal_graphs(self):
+        g = NGramGraph({("a", "b"): 1.0})
+        assert profile_delta(g, NGramGraph({("a", "b"): 1.0})) == 0.0
+
+    def test_differing_graphs(self):
+        g1 = NGramGraph({("a", "b"): 1.0})
+        g2 = NGramGraph({("a", "b"): 0.5})
+        assert profile_delta(g1, g2) == 0.5
+
+    def test_equal_arrays(self):
+        a = np.array([0.25, 0.75])
+        assert profile_delta(a, a.copy()) == 0.0
+
+    def test_shape_mismatch_is_incomparable(self):
+        assert profile_delta(np.zeros(3), np.zeros(4)) == float("inf")
+
+    def test_type_mismatch_is_incomparable(self):
+        assert profile_delta({"a": 1.0}, np.zeros(2)) == float("inf")
+
+    def test_digest_is_stable_and_sensitive(self):
+        assert profile_digest({"a": 1.0}) == profile_digest({"a": 1.0})
+        assert profile_digest({"a": 1.0}) != profile_digest({"a": 1.0000001})
+        assert profile_digest(np.array([1.0])) != profile_digest(np.array([2.0]))
+
+
+class TestSerialReplay:
+    @pytest.fixture(scope="class")
+    def replays(self):
+        return run_replay(SPEC)
+
+    def test_results_follow_spec_model_order(self, replays):
+        assert [r.model for r in replays] == list(SPEC.models)
+
+    def test_bag_and_graph_are_bit_exact(self, replays):
+        for replay in replays:
+            assert replay.exact, f"{replay.model} diverged: {replay.max_delta}"
+            assert replay.max_delta == 0.0
+            assert replay.parity_ok(tolerance=0.0)
+
+    def test_every_user_streamed_updates(self, replays):
+        for replay in replays:
+            assert replay.users
+            for user in replay.users:
+                assert user.updates == user.docs  # chunk_size=1
+                assert user.digest
+                assert user.update_seconds >= 0.0
+                assert user.rebuild_seconds >= user.final_rebuild_seconds >= 0.0
+
+    def test_incremental_updates_cheaper_than_rebuild(self, replays):
+        """The cost asymmetry exists (the calibrated >=5x claim is
+        checked by the bench gate, not a unit test -- CI machines are
+        noisy)."""
+        for replay in replays:
+            assert replay.speedup > 1.0, f"{replay.model}: {replay.speedup}"
+
+    def test_to_dict_roundtrips_schema(self, replays):
+        payload = replays[0].to_dict()
+        assert payload["model"] == "TN"
+        assert set(payload) == {
+            "model", "source", "params", "exact", "max_delta",
+            "update_seconds", "rebuild_seconds", "mean_update_seconds",
+            "mean_full_rebuild_seconds", "speedup", "users",
+        }
+        assert set(payload["users"][0]) == {
+            "user", "docs", "updates", "exact", "max_delta", "digest",
+            "update_seconds", "rebuild_seconds", "final_rebuild_seconds",
+        }
+
+    def test_chunked_stream_stays_exact(self):
+        chunked = run_replay(dataclasses.replace(SPEC, chunk_size=3))
+        for replay in chunked:
+            assert replay.exact
+            for user in replay.users:
+                assert user.updates == -(-user.docs // 3)  # ceil division
+
+    def test_jobs_replay_matches_serial_digests(self, replays):
+        """Serial and --jobs runs agree bit for bit, user by user."""
+        spec = dataclasses.replace(SPEC, models=("TN",))
+        parallel = run_replay(spec, jobs=2)
+        serial_tn = next(r for r in replays if r.model == "TN")
+        assert [u.user for u in parallel[0].users] == [
+            u.user for u in serial_tn.users
+        ]
+        assert [u.digest for u in parallel[0].users] == [
+            u.digest for u in serial_tn.users
+        ]
+        assert parallel[0].exact
+
+
+class TestAggregates:
+    def _user(self, **overrides):
+        base = dict(
+            user=1, docs=4, updates=4, exact=True, max_delta=0.0, digest="d",
+            update_seconds=0.1, rebuild_seconds=0.8, final_rebuild_seconds=0.4,
+        )
+        base.update(overrides)
+        return UserReplay(**base)
+
+    def test_speedup_is_rebuild_over_update(self):
+        replay = ModelReplay(
+            model="TN", source="R", params={}, users=(self._user(),)
+        )
+        assert replay.mean_update_seconds == pytest.approx(0.025)
+        assert replay.mean_full_rebuild_seconds == pytest.approx(0.4)
+        assert replay.speedup == pytest.approx(16.0)
+
+    def test_zero_updates_degenerate_speedup(self):
+        empty = ModelReplay(model="TN", source="R", params={}, users=())
+        assert empty.speedup == 1.0
+        assert empty.exact
+        assert empty.max_delta == 0.0
+
+    def test_parity_tolerance(self):
+        replay = ModelReplay(
+            model="LDA", source="R", params={},
+            users=(self._user(exact=False, max_delta=1e-9),),
+        )
+        assert not replay.parity_ok(tolerance=0.0)
+        assert replay.parity_ok(tolerance=1e-8)
