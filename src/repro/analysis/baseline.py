@@ -1,0 +1,105 @@
+"""Ratchet baselines: land strict rules without a flag day.
+
+A baseline file records the *pre-existing* findings of a tree so new
+rules can be enabled immediately: anything already in the baseline is
+suppressed (and counted as ``baselined``), anything new fails the run.
+Fixing a finding and regenerating (`--update-baseline`) only ever
+shrinks the file -- the ratchet direction.
+
+Findings are identified by a **stable fingerprint**: rule id, file path
+and message text plus an occurrence index for exact duplicates -- no
+line numbers, so unrelated edits above a baselined finding do not
+un-suppress it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.analysis.base import Violation
+from repro.errors import PersistenceError
+
+__all__ = [
+    "BASELINE_FORMAT_VERSION",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_FORMAT_VERSION = 1
+
+
+def fingerprint(violation: Violation, occurrence: int = 0) -> str:
+    """Stable identity of one finding, independent of line numbers."""
+    basis = "\x00".join(
+        [violation.rule, violation.path, violation.message, str(occurrence)]
+    )
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+
+def _fingerprints(violations: Iterable[Violation]) -> list[tuple[Violation, str]]:
+    occurrences: Counter[tuple[str, str, str]] = Counter()
+    pairs: list[tuple[Violation, str]] = []
+    for violation in violations:
+        key = (violation.rule, violation.path, violation.message)
+        pairs.append((violation, fingerprint(violation, occurrences[key])))
+        occurrences[key] += 1
+    return pairs
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """The fingerprint set of a baseline file."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise PersistenceError(f"cannot read baseline {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise PersistenceError(
+            f"baseline {path} is not valid JSON: {error}"
+        ) from error
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_FORMAT_VERSION
+        or not isinstance(payload.get("findings"), list)
+    ):
+        raise PersistenceError(
+            f"baseline {path} has an unrecognised format "
+            f"(expected version {BASELINE_FORMAT_VERSION})"
+        )
+    return {
+        finding["fingerprint"]
+        for finding in payload["findings"]
+        if isinstance(finding, dict) and "fingerprint" in finding
+    }
+
+
+def write_baseline(path: str | Path, violations: Sequence[Violation]) -> int:
+    """Write the baseline for the given findings; returns the count."""
+    findings = [
+        {"rule": violation.rule, "file": violation.path, "fingerprint": digest}
+        for violation, digest in _fingerprints(sorted(violations))
+    ]
+    document = {"version": BASELINE_FORMAT_VERSION, "findings": findings}
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(findings)
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: set[str]
+) -> tuple[list[Violation], int]:
+    """Split findings into (surviving, suppressed-count)."""
+    surviving: list[Violation] = []
+    suppressed = 0
+    for violation, digest in _fingerprints(violations):
+        if digest in baseline:
+            suppressed += 1
+        else:
+            surviving.append(violation)
+    return surviving, suppressed

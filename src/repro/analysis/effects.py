@@ -1,0 +1,269 @@
+"""Effect inference: per-function effect sets, propagated to fixed point.
+
+Every function the call graph knows gets a *direct* effect set extracted
+from its own AST, then a transitive set computed by propagating callee
+effects over the graph until nothing changes. The effect vocabulary is
+the repo's reproducibility taxonomy:
+
+``rng``
+    unseeded RNG construction or a draw from hidden global RNG state
+    (the RPR001 patterns);
+``wall_clock``
+    a wall-clock read -- ``time.time``, ``datetime.now`` and friends
+    (the RPR003 set; ``perf_counter``/``monotonic`` stay clean);
+``set_iteration_float_sum``
+    float accumulation over an unordered iterable (the RPR002 patterns);
+``io``
+    file-system or console side effects;
+``process_spawn``
+    creation of worker processes or subprocesses;
+``mutates_global``
+    writes to module-level mutable state (attached by the summariser in
+    :mod:`repro.analysis.graph`, which owns the scope analysis).
+
+A direct effect is **sanctioned** when the flagged statement carries a
+justified ``# repro: allow[...]`` pragma for the matching per-file rule
+-- the author has declared the effect intentional (a telemetry
+timestamp, an exact integer count). The whole-program rules propagate
+only *unsanctioned* effects, so a declared effect never taints its
+callers; the ``--graph`` effect report propagates everything, so the
+export stays an honest account of what each function can do.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.analysis.rules_determinism import (
+    _GLOBAL_STATE_RNG,
+    _SEEDED_FACTORIES,
+    _WALL_CLOCK,
+    _is_set_expr,
+    _is_values_call,
+)
+
+__all__ = [
+    "EFFECTS",
+    "PRAGMA_RULE_FOR_EFFECT",
+    "direct_effects",
+    "propagate_effects",
+    "witness_path",
+]
+
+#: The full effect vocabulary, in report order.
+EFFECTS = (
+    "rng",
+    "wall_clock",
+    "io",
+    "set_iteration_float_sum",
+    "process_spawn",
+    "mutates_global",
+)
+
+#: Per-file rule whose pragma sanctions each effect kind. An effect with
+#: no entry cannot be sanctioned by a per-file pragma (use the
+#: whole-program rule's own id instead).
+PRAGMA_RULE_FOR_EFFECT = {
+    "rng": "RPR001",
+    "wall_clock": "RPR003",
+    "set_iteration_float_sum": "RPR002",
+}
+
+#: Console / file-system side effects, by canonical dotted name ...
+_IO_DOTTED = {
+    "json.dump",
+    "json.load",
+    "pickle.dump",
+    "pickle.load",
+    "os.remove",
+    "os.unlink",
+    "os.makedirs",
+    "os.rename",
+    "os.replace",
+    "shutil.copy",
+    "shutil.copytree",
+    "shutil.move",
+    "shutil.rmtree",
+    "sys.stdout.write",
+    "sys.stderr.write",
+}
+#: ... by bare builtin name ...
+_IO_BUILTINS = {"open", "print", "input"}
+#: ... and by method name (Path-style handles the receiver is untyped for).
+_IO_METHODS = {
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+    "unlink",
+    "mkdir",
+    "rmdir",
+}
+
+#: Process-creation calls by canonical dotted prefix or exact name.
+_SPAWN_DOTTED_PREFIXES = ("subprocess.", "multiprocessing.")
+_SPAWN_DOTTED = {"os.fork", "os.forkpty", "os.system", "os.execv", "os.spawnv"}
+#: Method/class names that create processes when called on an untyped
+#: receiver (``context.Process(...)``).
+_SPAWN_METHODS = {"Process", "Popen"}
+
+
+def _effect_record(effect: str, node: ast.AST, detail: str) -> dict:
+    return {
+        "effect": effect,
+        "line": getattr(node, "lineno", 1),
+        "end_line": getattr(node, "end_lineno", None) or getattr(node, "lineno", 1),
+        "col": getattr(node, "col_offset", 0),
+        "detail": detail,
+        "sanctioned": False,
+    }
+
+
+def _call_effect(node: ast.Call, imports) -> tuple[str, str] | None:
+    """Classify one call node as ``(effect, detail)``, or None."""
+    resolved = imports.resolve(node.func)
+    bare = node.func.id if isinstance(node.func, ast.Name) else None
+    attr = node.func.attr if isinstance(node.func, ast.Attribute) else None
+    if resolved is not None:
+        if resolved in _WALL_CLOCK:
+            return "wall_clock", resolved
+        if resolved in _GLOBAL_STATE_RNG:
+            return "rng", resolved
+        if resolved in _SEEDED_FACTORIES:
+            seeded = bool(node.args) or any(kw.arg == "seed" for kw in node.keywords)
+            if not seeded:
+                return "rng", f"{resolved} (unseeded)"
+            return None
+        if resolved in _IO_DOTTED:
+            return "io", resolved
+        if resolved in _SPAWN_DOTTED or resolved.startswith(_SPAWN_DOTTED_PREFIXES):
+            return "process_spawn", resolved
+        return None
+    if bare in _IO_BUILTINS:
+        return "io", bare
+    if attr in _IO_METHODS:
+        return "io", f".{attr}"
+    if attr in _SPAWN_METHODS or bare in _SPAWN_METHODS:
+        return "process_spawn", attr or bare or ""
+    return None
+
+
+def _unordered_sum_effects(func: ast.AST) -> Iterable[tuple[ast.AST, str]]:
+    """The RPR002 patterns: float accumulation over unordered iterables."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "sum"
+                and node.args
+            ):
+                arg = node.args[0]
+                if _is_set_expr(arg) or _is_values_call(arg):
+                    yield node, "sum() over an unordered iterable"
+                elif isinstance(
+                    arg, (ast.GeneratorExp, ast.ListComp)
+                ) and _is_set_expr(arg.generators[0].iter):
+                    yield node, "sum() over a set comprehension"
+        elif isinstance(node, ast.For) and (
+            _is_set_expr(node.iter) or _is_values_call(node.iter)
+        ):
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.AugAssign) and isinstance(stmt.op, ast.Add):
+                    yield stmt, "+= accumulation over an unordered iterable"
+
+
+def direct_effects(func: ast.AST, imports) -> list[dict]:
+    """Direct (non-transitive) effect records of one function body.
+
+    Nested ``def``s and lambdas are *inlined* -- their effects belong to
+    the enclosing function, which matches how closures are used in this
+    codebase (a local ``build()`` handed to ``ArtifactCache.get_or_build``
+    runs on the definer's behalf). ``mutates_global`` is attached
+    separately by the summariser, which owns the scope analysis.
+    """
+    records: list[dict] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            classified = _call_effect(node, imports)
+            if classified is not None:
+                records.append(_effect_record(classified[0], node, classified[1]))
+    for node, detail in _unordered_sum_effects(func):
+        records.append(_effect_record("set_iteration_float_sum", node, detail))
+    records.sort(key=lambda record: (record["line"], record["col"], record["effect"]))
+    return records
+
+
+def propagate_effects(
+    direct: Mapping[str, Sequence[dict]],
+    edges: Mapping[str, Iterable[str]],
+    include_sanctioned: bool = True,
+) -> tuple[dict[str, set[str]], dict[str, dict[str, str | None]]]:
+    """Fixed-point propagation of effects over the call graph.
+
+    Returns ``(effects, witness)``: per function the transitive effect
+    set, and per (function, effect) one *witness* -- ``None`` when the
+    effect is direct, else the callee it arrived through, so a concrete
+    call path to the origin can be reconstructed
+    (:func:`witness_path`). With ``include_sanctioned=False``,
+    pragma-sanctioned direct effects do not enter the system at all.
+    """
+    effects: dict[str, set[str]] = {}
+    witness: dict[str, dict[str, str | None]] = {}
+    for qualname in direct:
+        own = {
+            record["effect"]
+            for record in direct[qualname]
+            if include_sanctioned or not record.get("sanctioned")
+        }
+        effects[qualname] = set(own)
+        witness[qualname] = {effect: None for effect in own}
+
+    callers: dict[str, set[str]] = {}
+    for caller, callees in edges.items():
+        for callee in callees:
+            callers.setdefault(callee, set()).add(caller)
+
+    worklist = list(direct)
+    pending = set(worklist)
+    while worklist:
+        qualname = worklist.pop()
+        pending.discard(qualname)
+        changed = False
+        for callee in edges.get(qualname, ()):
+            if callee == qualname:
+                continue
+            for effect in effects.get(callee, ()):
+                if effect not in effects[qualname]:
+                    effects[qualname].add(effect)
+                    witness[qualname][effect] = callee
+                    changed = True
+        if changed:
+            for caller in callers.get(qualname, ()):
+                if caller in effects and caller not in pending:
+                    pending.add(caller)
+                    worklist.append(caller)
+    return effects, witness
+
+
+def witness_path(
+    qualname: str,
+    effect: str,
+    witness: Mapping[str, Mapping[str, str | None]],
+) -> list[str]:
+    """Call chain from ``qualname`` down to the effect's direct origin.
+
+    ``[qualname]`` when the effect is direct; otherwise each hop follows
+    the recorded witness callee. A malformed witness table (cycles) is
+    cut rather than looped.
+    """
+    path = [qualname]
+    seen = {qualname}
+    current = qualname
+    while True:
+        step = witness.get(current, {}).get(effect)
+        if step is None or step in seen:
+            return path
+        path.append(step)
+        seen.add(step)
+        current = step

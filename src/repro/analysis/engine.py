@@ -1,21 +1,29 @@
 """The ``reprolint`` engine: file collection, pragmas, rule dispatch.
 
 :func:`lint_paths` walks the given files/directories in sorted order,
-parses each ``*.py`` once, runs every applicable rule over the shared
-:class:`~repro.analysis.base.FileContext`, and applies per-line
-suppression pragmas::
+parses each ``*.py`` once, runs every applicable per-file rule over the
+shared :class:`~repro.analysis.base.FileContext`, then assembles the
+condensed module summaries into a whole-program analysis
+(:mod:`repro.analysis.graph`) and runs the program rules over it.
+Per-line suppression pragmas apply to both passes::
 
     rng = np.random.default_rng()  # repro: allow[RPR001] -- caller seeds later
 
 A pragma names one or more rules (``allow[RPR002,RPR003]``) and
 suppresses matching violations whose flagged statement covers the
-pragma's line. A pragma that suppresses nothing is itself reported as
-``RPR900`` (unused-suppression-pragma), so stale allowances cannot
-accumulate.
+pragma's line. A pragma that suppresses nothing in *either* pass is
+itself reported as ``RPR900`` (unused-suppression-pragma), so stale
+allowances cannot accumulate.
+
+With ``cache_path`` set, per-file results (violations, pragmas, module
+summary) are cached keyed on content SHA-256 and the active rule-set
+signature; a warm run re-parses only changed files while the
+whole-program pass always runs fresh over the summaries
+(:mod:`repro.analysis.cache`).
 
 Exit-code semantics (:attr:`LintReport.exit_code`) are CI-ready:
 0 clean, 1 violations found, 2 engine errors (unreadable or unparsable
-input).
+input, or nothing to analyze).
 """
 
 from __future__ import annotations
@@ -31,12 +39,31 @@ from pathlib import Path
 from repro.analysis.base import (
     UNUSED_PRAGMA_RULE,
     FileContext,
+    ProgramRule,
     Rule,
     Violation,
+    default_program_rules,
     default_rules,
 )
+from repro.analysis.cache import AnalysisCache, content_hash
+from repro.analysis.graph import (
+    ModuleSummary,
+    ProgramAnalysis,
+    build_analysis,
+    summarize_module,
+)
 
-__all__ = ["LintReport", "Pragma", "find_pragmas", "lint_paths", "lint_source"]
+__all__ = [
+    "LintReport",
+    "Pragma",
+    "find_pragmas",
+    "lint_paths",
+    "lint_source",
+    "rule_signature",
+]
+
+#: Bump to invalidate incremental caches when engine semantics change.
+_ENGINE_CACHE_SALT = "reprolint-v2"
 
 #: Matches suppression comments: allow[...] with one or more rule ids
 #: and an optional ``-- justification`` tail.
@@ -71,7 +98,7 @@ def find_pragmas(source: str) -> list[Pragma]:
                 )
                 pragmas.append(Pragma(line=token.start[0], rules=rules))
     except tokenize.TokenError:
-        pass  # a parse error is reported by lint_source
+        pass  # a parse error is reported by the per-file pass
     return pragmas
 
 
@@ -82,6 +109,14 @@ class LintReport:
     violations: list[Violation] = field(default_factory=list)
     files_checked: int = 0
     errors: list[str] = field(default_factory=list)
+    #: Incremental-cache counters (zero when no cache was used).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Findings suppressed by a ratchet baseline (set by the CLI layer).
+    baselined: int = 0
+    #: The whole-program analysis, for ``--graph`` exports. Not part of
+    #: equality/serialisation; None when no program pass ran.
+    analysis: ProgramAnalysis | None = field(default=None, repr=False)
 
     @property
     def exit_code(self) -> int:
@@ -93,52 +128,88 @@ class LintReport:
         self.violations.extend(other.violations)
         self.files_checked += other.files_checked
         self.errors.extend(other.errors)
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.baselined += other.baselined
 
 
-def lint_source(
-    source: str,
-    path: str | Path,
-    rules: Sequence[Rule] | None = None,
-) -> LintReport:
-    """Lint one in-memory source text as if it lived at ``path``."""
-    report = LintReport(files_checked=1)
-    active_rules = list(rules) if rules is not None else default_rules()
+def rule_signature(
+    rules: Sequence[Rule], program_rules: Sequence[ProgramRule]
+) -> str:
+    """Cache signature: engine salt plus the active rule ids."""
+    file_ids = ",".join(sorted(rule.id for rule in rules))
+    program_ids = ",".join(sorted(rule.id for rule in program_rules))
+    return f"{_ENGINE_CACHE_SALT};rules:{file_ids};program:{program_ids}"
+
+
+@dataclass
+class _FileFacts:
+    """Everything one file contributes, from cache or a fresh parse."""
+
+    path: str
+    error: str | None = None
+    violations: list[Violation] = field(default_factory=list)
+    pragmas: list[Pragma] = field(default_factory=list)
+    used_lines: set[int] = field(default_factory=set)
+    summary: ModuleSummary | None = None
+
+    def to_entry(self) -> dict:
+        return {
+            "error": self.error,
+            "violations": [v.to_payload() for v in self.violations],
+            "pragmas": [
+                {"line": p.line, "rules": sorted(p.rules)} for p in self.pragmas
+            ],
+            "used_lines": sorted(self.used_lines),
+            "summary": self.summary.to_dict() if self.summary else None,
+        }
+
+    @classmethod
+    def from_entry(cls, path: str, entry: dict) -> "_FileFacts":
+        return cls(
+            path=path,
+            error=entry.get("error"),
+            violations=[
+                Violation.from_payload(p) for p in entry.get("violations", ())
+            ],
+            pragmas=[
+                Pragma(line=p["line"], rules=frozenset(p["rules"]))
+                for p in entry.get("pragmas", ())
+            ],
+            used_lines=set(entry.get("used_lines", ())),
+            summary=(
+                ModuleSummary.from_dict(entry["summary"])
+                if entry.get("summary")
+                else None
+            ),
+        )
+
+
+def _analyze_file(
+    path: str | Path, source: str, rules: Sequence[Rule]
+) -> _FileFacts:
+    """The per-file pass: parse, rules, pragma suppression, summary."""
+    facts = _FileFacts(path=str(path))
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as error:
-        report.errors.append(f"{path}:{error.lineno or 0}: syntax error: {error.msg}")
-        return report
+        facts.error = f"{path}:{error.lineno or 0}: syntax error: {error.msg}"
+        return facts
 
     ctx = FileContext(path, source, tree)
     raw: list[Violation] = []
-    for rule in active_rules:
+    for rule in rules:
         raw.extend(rule.run(ctx))
 
-    pragmas = find_pragmas(source)
-    used: set[Pragma] = set()
+    facts.pragmas = find_pragmas(source)
     for violation in sorted(raw):
-        pragma = _matching_pragma(violation, pragmas)
+        pragma = _matching_pragma(violation, facts.pragmas)
         if pragma is not None:
-            used.add(pragma)
+            facts.used_lines.add(pragma.line)
         else:
-            report.violations.append(violation)
-    for pragma in pragmas:
-        if pragma not in used:
-            report.violations.append(
-                Violation(
-                    path=str(path),
-                    line=pragma.line,
-                    col=0,
-                    rule=UNUSED_PRAGMA_RULE,
-                    message=(
-                        "suppression pragma allows "
-                        f"[{', '.join(sorted(pragma.rules))}] but suppresses "
-                        "nothing on this line -- remove it"
-                    ),
-                )
-            )
-    report.violations.sort()
-    return report
+            facts.violations.append(violation)
+    facts.summary = summarize_module(tree, path, facts.pragmas)
+    return facts
 
 
 def _matching_pragma(
@@ -151,6 +222,79 @@ def _matching_pragma(
         ):
             return pragma
     return None
+
+
+def _run_program_pass(
+    facts: Sequence[_FileFacts],
+    program_rules: Sequence[ProgramRule],
+    report: LintReport,
+) -> None:
+    """Assemble the program, run program rules, finish RPR900."""
+    summaries = [f.summary for f in facts if f.summary is not None]
+    analysis = build_analysis(summaries) if summaries else None
+    report.analysis = analysis
+
+    pragmas_by_path = {f.path: f.pragmas for f in facts}
+    used_by_path = {f.path: set(f.used_lines) for f in facts}
+
+    if analysis is not None:
+        for rule in program_rules:
+            for violation in rule.run(analysis):
+                pragma = _matching_pragma(
+                    violation, pragmas_by_path.get(violation.path, ())
+                )
+                if pragma is not None:
+                    used_by_path.setdefault(violation.path, set()).add(pragma.line)
+                else:
+                    report.violations.append(violation)
+
+    for file_facts in facts:
+        used = used_by_path.get(file_facts.path, set())
+        for pragma in file_facts.pragmas:
+            if pragma.line not in used:
+                report.violations.append(
+                    Violation(
+                        path=file_facts.path,
+                        line=pragma.line,
+                        col=0,
+                        rule=UNUSED_PRAGMA_RULE,
+                        message=(
+                            "suppression pragma allows "
+                            f"[{', '.join(sorted(pragma.rules))}] but "
+                            "suppresses nothing on this line -- remove it"
+                        ),
+                    )
+                )
+
+
+def lint_source(
+    source: str,
+    path: str | Path,
+    rules: Sequence[Rule] | None = None,
+    program_rules: Sequence[ProgramRule] | None = None,
+) -> LintReport:
+    """Lint one in-memory source text as if it lived at ``path``.
+
+    The program pass runs over the single module, so whole-program rules
+    that only need intra-file facts (a key call reading a module global)
+    still fire. When ``rules`` is given explicitly but ``program_rules``
+    is not, only the requested per-file rules run -- matching how rule
+    unit tests isolate one rule at a time.
+    """
+    active_rules = list(rules) if rules is not None else default_rules()
+    if program_rules is not None:
+        active_program_rules = list(program_rules)
+    else:
+        active_program_rules = default_program_rules() if rules is None else []
+    report = LintReport(files_checked=1)
+    facts = _analyze_file(path, source, active_rules)
+    if facts.error is not None:
+        report.errors.append(facts.error)
+        return report
+    report.violations.extend(facts.violations)
+    _run_program_pass([facts], active_program_rules, report)
+    report.violations.sort()
+    return report
 
 
 def collect_files(paths: Sequence[str | Path]) -> tuple[list[Path], list[str]]:
@@ -177,17 +321,58 @@ def collect_files(paths: Sequence[str | Path]) -> tuple[list[Path], list[str]]:
 def lint_paths(
     paths: Sequence[str | Path],
     rules: Sequence[Rule] | None = None,
+    program_rules: Sequence[ProgramRule] | None = None,
+    cache_path: str | Path | None = None,
 ) -> LintReport:
     """Lint every ``*.py`` under ``paths`` and aggregate one report."""
     active_rules = list(rules) if rules is not None else default_rules()
+    active_program_rules = (
+        list(program_rules) if program_rules is not None else default_program_rules()
+    )
     files, errors = collect_files(paths)
     report = LintReport(errors=errors)
+    if not files:
+        report.errors.append(
+            "0 files analyzed: no Python files found under "
+            + ", ".join(str(p) for p in paths)
+        )
+        return report
+
+    cache: AnalysisCache | None = None
+    if cache_path is not None:
+        cache = AnalysisCache.load(
+            cache_path, rule_signature(active_rules, active_program_rules)
+        )
+
+    all_facts: list[_FileFacts] = []
     for file in files:
         try:
             source = file.read_text(encoding="utf-8")
         except OSError as error:
             report.errors.append(f"{file}: {error}")
             continue
-        report.extend(lint_source(source, file, active_rules))
+        report.files_checked += 1
+        facts: _FileFacts | None = None
+        digest = content_hash(source) if cache is not None else ""
+        if cache is not None:
+            entry = cache.lookup(file, digest)
+            if entry is not None:
+                facts = _FileFacts.from_entry(str(file), entry)
+        if facts is None:
+            facts = _analyze_file(file, source, active_rules)
+            if cache is not None:
+                cache.store(file, digest, facts.to_entry())
+        if facts.error is not None:
+            report.errors.append(facts.error)
+            continue
+        report.violations.extend(facts.violations)
+        all_facts.append(facts)
+
+    _run_program_pass(all_facts, active_program_rules, report)
+
+    if cache is not None:
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
+        cache.save()
     report.violations.sort()
     return report

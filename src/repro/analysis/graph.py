@@ -1,0 +1,1124 @@
+"""Whole-program call graph over the repro library.
+
+The per-file rules see one module at a time; the invariants they protect
+(determinism, fork-safety, cache-key purity) are properties of *call
+chains* that cross module boundaries. This module builds the program
+view those rules need:
+
+1. every file is condensed into a :class:`ModuleSummary` -- functions
+   and methods with their call sites, direct effects
+   (:mod:`repro.analysis.effects`), module-global mutations and
+   cache-key construction sites. Summaries are plain JSON-serialisable
+   data, which is what makes the incremental cache
+   (:mod:`repro.analysis.cache`) possible;
+2. summaries are assembled into a :class:`Program` whose symbol table
+   resolves aliased imports, ``from x import y``, relative imports and
+   re-exports through ``__init__.py`` (via
+   :mod:`repro.analysis.names`), with method calls resolved through a
+   lightweight class-hierarchy pass (``self.m()`` walks the MRO and
+   descendant overrides; an untyped receiver falls back to every known
+   method of that name -- deliberate over-approximation: a spurious
+   edge can only make a rule *more* suspicious, never blind);
+3. :func:`build_analysis` runs the effect fixed point and detects the
+   graph *roots* the whole-program rules anchor on: evaluation-stage
+   functions (``core/stages.py`` and the ``ExperimentPipeline`` stage
+   methods), process-pool worker entry points (functions passed as a
+   ``Process(target=...)``, plus ``evaluate_cell``), and
+   ``ProfileState.update`` with its overrides.
+
+:func:`analysis_to_json` / :func:`analysis_to_dot` export the graph and
+the per-function effect report for ``repro lint --graph``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis import effects as effects_mod
+from repro.analysis.names import ImportMap, module_name_for_path
+
+__all__ = [
+    "GRAPH_FORMAT_VERSION",
+    "ClassSummary",
+    "FunctionSummary",
+    "ModuleSummary",
+    "Program",
+    "ProgramAnalysis",
+    "analysis_to_dot",
+    "analysis_to_json",
+    "build_analysis",
+    "build_program",
+    "summarize_module",
+]
+
+#: Format marker for the ``--graph`` JSON export.
+GRAPH_FORMAT_VERSION = 1
+
+#: Synthetic function name holding a module's top-level statements.
+MODULE_BODY = "<module>"
+
+#: Methods of ``core/pipeline.py`` classes that are evaluation stages.
+_STAGE_METHODS = frozenset(
+    {"prepare_corpus", "fit_model", "build_profiles", "rank_users", "evaluate"}
+)
+
+#: Key-constructor call names: values flowing into these become cache
+#: keys / canonical serialisations (the RPR011 surface).
+_KEY_CALL_NAMES = frozenset({"artifact_key", "canonical_params"})
+
+#: Mutating container-method names (list / set / dict).
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+
+# ---------------------------------------------------------------------------
+# Summaries (per-file facts, JSON-serialisable for the incremental cache)
+
+
+@dataclass
+class FunctionSummary:
+    """One function or method, condensed to graph-relevant facts."""
+
+    qualname: str
+    name: str
+    cls: str | None
+    line: int
+    end_line: int
+    calls: list[dict] = field(default_factory=list)
+    effects: list[dict] = field(default_factory=list)
+    mutations: list[dict] = field(default_factory=list)
+    key_calls: list[dict] = field(default_factory=list)
+    spawn_targets: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "qualname": self.qualname,
+            "name": self.name,
+            "cls": self.cls,
+            "line": self.line,
+            "end_line": self.end_line,
+            "calls": self.calls,
+            "effects": self.effects,
+            "mutations": self.mutations,
+            "key_calls": self.key_calls,
+            "spawn_targets": self.spawn_targets,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FunctionSummary":
+        return cls(**payload)
+
+
+@dataclass
+class ClassSummary:
+    """One class: bases for the hierarchy pass, fields for RPR011."""
+
+    name: str
+    line: int
+    bases: list[dict] = field(default_factory=list)
+    methods: list[str] = field(default_factory=list)
+    is_dataclass: bool = False
+    fields: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "bases": self.bases,
+            "methods": self.methods,
+            "is_dataclass": self.is_dataclass,
+            "fields": self.fields,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ClassSummary":
+        return cls(**payload)
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the program pass needs to know about one file."""
+
+    module: str
+    path: str
+    is_package: bool = False
+    aliases: dict[str, str] = field(default_factory=dict)
+    star_imports: list[str] = field(default_factory=list)
+    #: module-global name -> "const" | "mutable" | "computed".
+    globals: dict[str, str] = field(default_factory=dict)
+    classes: dict[str, ClassSummary] = field(default_factory=dict)
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "module": self.module,
+            "path": self.path,
+            "is_package": self.is_package,
+            "aliases": self.aliases,
+            "star_imports": self.star_imports,
+            "globals": self.globals,
+            "classes": {name: c.to_dict() for name, c in self.classes.items()},
+            "functions": {q: f.to_dict() for q, f in self.functions.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ModuleSummary":
+        return cls(
+            module=payload["module"],
+            path=payload["path"],
+            is_package=payload["is_package"],
+            aliases=payload["aliases"],
+            star_imports=payload["star_imports"],
+            globals=payload["globals"],
+            classes={
+                name: ClassSummary.from_dict(c)
+                for name, c in payload["classes"].items()
+            },
+            functions={
+                q: FunctionSummary.from_dict(f)
+                for q, f in payload["functions"].items()
+            },
+        )
+
+
+# ---------------------------------------------------------------------------
+# Extraction
+
+
+def _global_kind(value: ast.expr | None) -> str:
+    """How stable a module-level binding is, from its value expression."""
+    if value is None:
+        return "computed"
+    if isinstance(value, ast.Constant):
+        return "const"
+    if isinstance(value, ast.Tuple):
+        return "const"
+    if isinstance(
+        value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+    ):
+        return "mutable"
+    if isinstance(value, ast.BinOp):
+        return _global_kind(value.left)
+    if isinstance(value, ast.Call):
+        name = (
+            value.func.id
+            if isinstance(value.func, ast.Name)
+            else value.func.attr if isinstance(value.func, ast.Attribute) else ""
+        )
+        if name in ("dict", "list", "set", "defaultdict", "deque", "Counter",
+                    "OrderedDict", "bytearray"):
+            return "mutable"
+        if name in ("frozenset", "tuple"):
+            return "const"
+    return "computed"
+
+
+def _bound_names(target: ast.expr) -> Iterable[str]:
+    """Names a target expression *binds* -- subscripts/attributes do not.
+
+    ``cache[k] = v`` mutates ``cache``, it does not bind it; collecting
+    every Name under the target would hide exactly the module-global
+    mutations the fork-safety rule exists to find.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _bound_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _bound_names(target.value)
+
+
+def _local_names(func: ast.AST) -> set[str]:
+    """Names bound inside ``func`` (params + assignments, nested included)."""
+    names: set[str] = set()
+    declared_global: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            arguments = node.args
+            for arg in (
+                *arguments.posonlyargs,
+                *arguments.args,
+                *arguments.kwonlyargs,
+            ):
+                names.add(arg.arg)
+            if arguments.vararg:
+                names.add(arguments.vararg.arg)
+            if arguments.kwarg:
+                names.add(arguments.kwarg.arg)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(node.name)
+        elif isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                names.update(_bound_names(target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(_bound_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    names.update(_bound_names(item.optional_vars))
+        elif isinstance(node, ast.comprehension):
+            names.update(_bound_names(node.target))
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+    return names - declared_global
+
+
+def _annotation_ref(annotation: ast.expr | None, imports: ImportMap) -> str | None:
+    """A class reference from a type annotation, best effort."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        text = annotation.value.strip().strip("\"'")
+        return text if text.isidentifier() else None
+    if isinstance(annotation, ast.Name):
+        return imports.resolve(annotation) or annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return imports.resolve(annotation)
+    return None
+
+
+class _FunctionExtractor:
+    """Extracts one FunctionSummary from a function body (or module body)."""
+
+    def __init__(
+        self,
+        module: str,
+        imports: ImportMap,
+        module_globals: Mapping[str, str],
+        pragma_rules_by_line: Mapping[int, frozenset[str]],
+        classes: Mapping[str, ClassSummary],
+    ):
+        self.module = module
+        self.imports = imports
+        self.module_globals = module_globals
+        self.pragma_rules_by_line = pragma_rules_by_line
+        self.classes = classes
+
+    def extract(
+        self, node: ast.AST, qualname: str, name: str, cls: str | None,
+        body: Sequence[ast.stmt] | None = None,
+    ) -> FunctionSummary:
+        statements = list(body) if body is not None else [node]
+        summary = FunctionSummary(
+            qualname=qualname,
+            name=name,
+            cls=cls,
+            line=getattr(node, "lineno", 1),
+            end_line=getattr(node, "end_lineno", None) or getattr(node, "lineno", 1),
+        )
+        locals_ = set()
+        if body is None:
+            locals_ = _local_names(node)
+        types = self._local_types(node, body)
+        for stmt in statements:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    self._record_call(summary, sub, types)
+            self._record_mutations(summary, stmt, locals_)
+        for stmt in statements:
+            summary.effects.extend(
+                self._sanction(record)
+                for record in effects_mod.direct_effects(stmt, self.imports)
+            )
+        if summary.mutations:
+            first = summary.mutations[0]
+            summary.effects.append(
+                {
+                    "effect": "mutates_global",
+                    "line": first["line"],
+                    "end_line": first["end_line"],
+                    "col": first["col"],
+                    "detail": first["name"],
+                    "sanctioned": False,
+                }
+            )
+        return summary
+
+    def _sanction(self, record: dict) -> dict:
+        rule = effects_mod.PRAGMA_RULE_FOR_EFFECT.get(record["effect"])
+        if rule is not None:
+            for line in range(record["line"], record["end_line"] + 1):
+                if rule in self.pragma_rules_by_line.get(line, frozenset()):
+                    record["sanctioned"] = True
+                    break
+        return record
+
+    def _local_types(
+        self, node: ast.AST, body: Sequence[ast.stmt] | None
+    ) -> dict[str, str]:
+        """variable -> class reference, from annotations and ``v = Cls()``."""
+        types: dict[str, str] = {}
+        if body is None and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            arguments = node.args
+            for arg in (*arguments.posonlyargs, *arguments.args, *arguments.kwonlyargs):
+                ref = _annotation_ref(arg.annotation, self.imports)
+                if ref is not None:
+                    types[arg.arg] = ref
+        for sub in ast.walk(node) if body is None else _walk_body(body):
+            if (
+                isinstance(sub, ast.Assign)
+                and len(sub.targets) == 1
+                and isinstance(sub.targets[0], ast.Name)
+                and isinstance(sub.value, ast.Call)
+            ):
+                ref = self._class_ref(sub.value.func)
+                if ref is not None:
+                    types[sub.targets[0].id] = ref
+            elif (
+                isinstance(sub, ast.AnnAssign)
+                and isinstance(sub.target, ast.Name)
+            ):
+                ref = _annotation_ref(sub.annotation, self.imports)
+                if ref is not None:
+                    types[sub.target.id] = ref
+        return types
+
+    def _class_ref(self, func: ast.expr) -> str | None:
+        resolved = self.imports.resolve(func)
+        if resolved is not None:
+            return resolved
+        if isinstance(func, ast.Name) and func.id in self.classes:
+            return f"{self.module}.{func.id}"
+        return None
+
+    def _record_call(
+        self, summary: FunctionSummary, node: ast.Call, types: Mapping[str, str]
+    ) -> None:
+        record: dict = {
+            "line": node.lineno,
+            "end_line": node.end_lineno or node.lineno,
+            "col": node.col_offset,
+        }
+        func = node.func
+        resolved = self.imports.resolve(func)
+        bare = func.id if isinstance(func, ast.Name) else None
+        attr: str | None = None
+        if resolved is not None:
+            record.update(kind="dotted", target=resolved)
+        elif bare is not None:
+            record.update(kind="local", target=bare)
+        elif isinstance(func, ast.Attribute):
+            attr = func.attr
+            receiver = None
+            if isinstance(func.value, ast.Name):
+                if func.value.id in ("self", "cls"):
+                    record.update(kind="self", target=attr)
+                    summary.calls.append(record)
+                    self._maybe_key_call(summary, node, attr, types)
+                    self._maybe_spawn_target(summary, node, attr, bare)
+                    return
+                receiver = types.get(func.value.id)
+            record.update(kind="method", target=attr, receiver=receiver)
+        else:
+            return
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+        summary.calls.append(record)
+        self._maybe_key_call(summary, node, resolved or bare or attr, types)
+        self._maybe_spawn_target(summary, node, attr, bare)
+
+    def _maybe_spawn_target(
+        self, summary: FunctionSummary, node: ast.Call, attr: str | None,
+        bare: str | None,
+    ) -> None:
+        if (attr or bare) not in ("Process", "Thread"):
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "target" and isinstance(keyword.value, ast.Name):
+                summary.spawn_targets.append(keyword.value.id)
+
+    def _maybe_key_call(
+        self,
+        summary: FunctionSummary,
+        node: ast.Call,
+        call_name: str | None,
+        types: Mapping[str, str],
+    ) -> None:
+        if call_name is None:
+            return
+        tail = call_name.rsplit(".", 1)[-1]
+        if tail not in _KEY_CALL_NAMES and "cache_key" not in tail:
+            return
+        key_call: dict = {
+            "name": tail,
+            "line": node.lineno,
+            "end_line": node.end_lineno or node.lineno,
+            "col": node.col_offset,
+            "global_reads": [],
+            "nonfield_self": [],
+            "arg_calls": [],
+        }
+        locals_here = set(types)
+        argument_exprs: list[ast.expr] = list(node.args)
+        argument_exprs.extend(kw.value for kw in node.keywords)
+        enclosing = self.classes.get(summary.cls) if summary.cls else None
+        for expr in argument_exprs:
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                    kind = self.module_globals.get(sub.id)
+                    if kind in ("mutable", "computed") and sub.id not in locals_here:
+                        key_call["global_reads"].append(
+                            {"name": sub.id, "kind": kind, "line": sub.lineno,
+                             "col": sub.col_offset}
+                        )
+                elif (
+                    isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "self"
+                    and isinstance(sub.ctx, ast.Load)
+                    and enclosing is not None
+                    and enclosing.is_dataclass
+                ):
+                    key_call["nonfield_self"].append(
+                        {"attr": sub.attr, "cls": summary.cls, "line": sub.lineno,
+                         "col": sub.col_offset}
+                    )
+                elif isinstance(sub, ast.Call):
+                    resolved = self.imports.resolve(sub.func)
+                    if resolved is not None:
+                        key_call["arg_calls"].append(
+                            {"kind": "dotted", "target": resolved,
+                             "line": sub.lineno, "col": sub.col_offset}
+                        )
+                    elif isinstance(sub.func, ast.Name):
+                        key_call["arg_calls"].append(
+                            {"kind": "local", "target": sub.func.id,
+                             "line": sub.lineno, "col": sub.col_offset}
+                        )
+                    elif isinstance(sub.func, ast.Attribute):
+                        receiver = None
+                        if isinstance(sub.func.value, ast.Name):
+                            if sub.func.value.id in ("self", "cls"):
+                                key_call["arg_calls"].append(
+                                    {"kind": "self", "target": sub.func.attr,
+                                     "line": sub.lineno, "col": sub.col_offset}
+                                )
+                                continue
+                            receiver = types.get(sub.func.value.id)
+                        key_call["arg_calls"].append(
+                            {"kind": "method", "target": sub.func.attr,
+                             "receiver": receiver, "line": sub.lineno,
+                             "col": sub.col_offset}
+                        )
+        # Deduplicate repeated reads of the same name inside one call.
+        key_call["global_reads"] = _dedupe(key_call["global_reads"], "name")
+        key_call["nonfield_self"] = _dedupe(key_call["nonfield_self"], "attr")
+        summary.key_calls.append(key_call)
+
+    def _record_mutations(
+        self, summary: FunctionSummary, stmt: ast.stmt, locals_: set[str]
+    ) -> None:
+        def is_module_global(name: str) -> bool:
+            return name in self.module_globals and name not in locals_
+
+        for node in ast.walk(stmt):
+            target: ast.expr | None = None
+            op = None
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for tgt in targets:
+                    if isinstance(tgt, ast.Subscript) and isinstance(
+                        tgt.value, ast.Name
+                    ) and is_module_global(tgt.value.id):
+                        target, op = tgt.value, "subscript-assign"
+                    elif (
+                        isinstance(tgt, ast.Name)
+                        and isinstance(node, ast.Assign)
+                        and tgt.id in self.module_globals
+                        and tgt.id not in locals_
+                        and self._declared_global(stmt, tgt.id)
+                    ):
+                        target, op = tgt, "rebind"
+            elif isinstance(node, ast.Delete):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Subscript) and isinstance(
+                        tgt.value, ast.Name
+                    ) and is_module_global(tgt.value.id):
+                        target, op = tgt.value, "del"
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and is_module_global(node.func.value.id)
+            ):
+                target, op = node.func.value, node.func.attr
+            if target is not None and op is not None:
+                summary.mutations.append(
+                    {
+                        "name": target.id,
+                        "op": op,
+                        "line": node.lineno,
+                        "end_line": node.end_lineno or node.lineno,
+                        "col": node.col_offset,
+                    }
+                )
+
+    @staticmethod
+    def _declared_global(stmt: ast.stmt, name: str) -> bool:
+        return any(
+            isinstance(node, ast.Global) and name in node.names
+            for node in ast.walk(stmt)
+        )
+
+
+def _walk_body(body: Sequence[ast.stmt]) -> Iterable[ast.AST]:
+    for stmt in body:
+        yield from ast.walk(stmt)
+
+
+def _dedupe(records: list[dict], key: str) -> list[dict]:
+    seen: set[str] = set()
+    kept = []
+    for record in records:
+        if record[key] not in seen:
+            seen.add(record[key])
+            kept.append(record)
+    return kept
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = (
+            target.id
+            if isinstance(target, ast.Name)
+            else target.attr if isinstance(target, ast.Attribute) else ""
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _annotation_is_classvar(annotation: ast.expr) -> bool:
+    return "ClassVar" in ast.dump(annotation)
+
+
+def summarize_module(
+    tree: ast.Module,
+    path: str | Path,
+    pragmas: Sequence | None = None,
+) -> ModuleSummary:
+    """Condense one parsed file into its :class:`ModuleSummary`.
+
+    ``pragmas`` (``engine.Pragma`` records) mark direct effects as
+    sanctioned when the flagged line carries an allowance for the
+    matching per-file rule.
+    """
+    module, is_package = module_name_for_path(path)
+    imports = ImportMap.from_tree(tree, module=module, is_package=is_package)
+    pragma_rules_by_line: dict[int, frozenset[str]] = {}
+    for pragma in pragmas or ():
+        existing = pragma_rules_by_line.get(pragma.line, frozenset())
+        pragma_rules_by_line[pragma.line] = existing | pragma.rules
+
+    summary = ModuleSummary(
+        module=module,
+        path=str(path),
+        is_package=is_package,
+        aliases=dict(imports.aliases),
+        star_imports=list(imports.star_imports),
+    )
+
+    # Pass 1: module-level bindings and class shells (the extractor needs
+    # globals and local class names before it sees any function body).
+    module_body: list[ast.stmt] = []
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(stmt, ast.ClassDef):
+            class_summary = ClassSummary(name=stmt.name, line=stmt.lineno)
+            class_summary.is_dataclass = _is_dataclass_decorated(stmt)
+            for base in stmt.bases:
+                resolved = imports.resolve(base)
+                if resolved is not None:
+                    class_summary.bases.append({"ref": resolved, "local": False})
+                elif isinstance(base, ast.Name):
+                    class_summary.bases.append({"ref": base.id, "local": True})
+            for member in stmt.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    class_summary.methods.append(member.name)
+                elif isinstance(member, ast.AnnAssign) and isinstance(
+                    member.target, ast.Name
+                ):
+                    if not _annotation_is_classvar(member.annotation):
+                        class_summary.fields.append(member.target.id)
+            summary.classes[stmt.name] = class_summary
+            continue
+        module_body.append(stmt)
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.target is not None:
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                summary.globals[target.id] = _global_kind(getattr(stmt, "value", None))
+
+    extractor = _FunctionExtractor(
+        module=module,
+        imports=imports,
+        module_globals=summary.globals,
+        pragma_rules_by_line=pragma_rules_by_line,
+        classes=summary.classes,
+    )
+
+    # Pass 2: function and method bodies, plus the synthetic module body.
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{module}.{stmt.name}"
+            summary.functions[qualname] = extractor.extract(
+                stmt, qualname, stmt.name, None
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            for member in stmt.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{module}.{stmt.name}.{member.name}"
+                    summary.functions[qualname] = extractor.extract(
+                        member, qualname, member.name, stmt.name
+                    )
+    if module_body:
+        qualname = f"{module}.{MODULE_BODY}"
+        summary.functions[qualname] = extractor.extract(
+            tree, qualname, MODULE_BODY, None, body=module_body
+        )
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# Program assembly and call resolution
+
+
+class Program:
+    """The resolved multi-module view: symbols, hierarchy, call edges."""
+
+    def __init__(self, summaries: Iterable[ModuleSummary]):
+        self.modules: dict[str, ModuleSummary] = {}
+        for summary in summaries:
+            self.modules[summary.module] = summary
+        self.functions: dict[str, FunctionSummary] = {}
+        self.function_module: dict[str, str] = {}
+        self.classes: dict[str, ClassSummary] = {}
+        self.class_module: dict[str, str] = {}
+        self.methods_by_name: dict[str, list[str]] = {}
+        for module_name, summary in self.modules.items():
+            for qualname, function in summary.functions.items():
+                self.functions[qualname] = function
+                self.function_module[qualname] = module_name
+                if function.cls is not None:
+                    self.methods_by_name.setdefault(function.name, []).append(qualname)
+            for class_name in summary.classes:
+                self.classes[f"{module_name}.{class_name}"] = summary.classes[class_name]
+                self.class_module[f"{module_name}.{class_name}"] = module_name
+        self._subclasses: dict[str, set[str]] | None = None
+
+    # -- symbol resolution ---------------------------------------------------
+
+    def resolve_symbol(self, dotted: str, _seen: frozenset[str] = frozenset()) -> str | None:
+        """Resolve a canonical dotted name to a defined function or class.
+
+        Chases re-exports: ``repro.analysis.lint_paths`` follows the
+        ``__init__.py`` import to ``repro.analysis.engine.lint_paths``.
+        Returns the defining qualname, or None for out-of-program names.
+        """
+        if dotted in _seen:
+            return None
+        if dotted in self.functions or dotted in self.classes:
+            return dotted
+        parts = dotted.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:split])
+            module = self.modules.get(prefix)
+            if module is None:
+                continue
+            rest = parts[split:]
+            head = f"{prefix}.{rest[0]}"
+            if head in self.classes and len(rest) == 2:
+                resolved = self.resolve_method(head, rest[1])
+                return resolved[0] if resolved else None
+            if head in self.functions or head in self.classes:
+                return head if len(rest) == 1 else None
+            alias = module.aliases.get(rest[0])
+            if alias is not None:
+                chased = ".".join([alias, *rest[1:]])
+                return self.resolve_symbol(chased, _seen | {dotted})
+            for star in module.star_imports:
+                chased = ".".join([star, *rest])
+                resolved = self.resolve_symbol(chased, _seen | {dotted})
+                if resolved is not None:
+                    return resolved
+        return None
+
+    # -- class hierarchy -----------------------------------------------------
+
+    def base_classes(self, class_qual: str) -> list[str]:
+        summary = self.classes.get(class_qual)
+        if summary is None:
+            return []
+        module = self.class_module[class_qual]
+        resolved: list[str] = []
+        for base in summary.bases:
+            if base["local"]:
+                candidate = f"{module}.{base['ref']}"
+                if candidate in self.classes:
+                    resolved.append(candidate)
+                    continue
+                alias = self.modules[module].aliases.get(base["ref"])
+                if alias is not None:
+                    chased = self.resolve_symbol(alias)
+                    if chased in self.classes:
+                        resolved.append(chased)
+            else:
+                chased = self.resolve_symbol(base["ref"])
+                if chased is not None and chased in self.classes:
+                    resolved.append(chased)
+        return resolved
+
+    def mro(self, class_qual: str) -> list[str]:
+        """Linearised ancestry, depth-first (good enough for method lookup)."""
+        order: list[str] = []
+        stack = [class_qual]
+        seen: set[str] = set()
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            order.append(current)
+            stack.extend(self.base_classes(current))
+        return order
+
+    def subclasses(self, class_qual: str) -> set[str]:
+        if self._subclasses is None:
+            children: dict[str, set[str]] = {}
+            for qual in self.classes:
+                for base in self.base_classes(qual):
+                    children.setdefault(base, set()).add(qual)
+            self._subclasses = children
+        descendants: set[str] = set()
+        frontier = deque(self._subclasses.get(class_qual, ()))
+        while frontier:
+            current = frontier.popleft()
+            if current in descendants:
+                continue
+            descendants.add(current)
+            frontier.extend(self._subclasses.get(current, ()))
+        return descendants
+
+    def resolve_method(self, class_qual: str, name: str) -> list[str]:
+        """Method candidates: MRO match plus overrides in descendants.
+
+        Including descendant overrides is what lets an effect inside a
+        concrete ``_fold`` implementation taint the abstract
+        ``ProfileState.update`` that dispatches to it.
+        """
+        candidates: list[str] = []
+        for ancestor in self.mro(class_qual):
+            candidate = f"{ancestor}.{name}"
+            if candidate in self.functions:
+                candidates.append(candidate)
+                break
+        for descendant in sorted(self.subclasses(class_qual)):
+            candidate = f"{descendant}.{name}"
+            if candidate in self.functions:
+                candidates.append(candidate)
+        return candidates
+
+    # -- call edges ----------------------------------------------------------
+
+    def resolve_call(self, caller: str, call: Mapping) -> set[str]:
+        kind = call["kind"]
+        module = self.function_module[caller]
+        if kind == "dotted":
+            return self._edges_for_symbol(call["target"])
+        if kind == "local":
+            candidate = f"{module}.{call['target']}"
+            if candidate in self.functions:
+                return {candidate}
+            if candidate in self.classes:
+                return self._constructor_edges(candidate)
+            return set()
+        if kind == "self":
+            function = self.functions[caller]
+            if function.cls is None:
+                return set()
+            return set(self.resolve_method(f"{module}.{function.cls}", call["target"]))
+        if kind == "method":
+            receiver = call.get("receiver")
+            if receiver is not None:
+                class_qual = self._receiver_class(module, receiver)
+                if class_qual is not None:
+                    return set(self.resolve_method(class_qual, call["target"]))
+            # Untyped receiver: over-approximate with every known method
+            # of that name. A spurious edge only widens reachability.
+            return set(self.methods_by_name.get(call["target"], ()))
+        return set()
+
+    def _receiver_class(self, module: str, receiver: str) -> str | None:
+        if receiver in self.classes:
+            return receiver
+        local = f"{module}.{receiver}"
+        if local in self.classes:
+            return local
+        chased = self.resolve_symbol(receiver)
+        if chased is not None and chased in self.classes:
+            return chased
+        return None
+
+    def _edges_for_symbol(self, dotted: str) -> set[str]:
+        resolved = self.resolve_symbol(dotted)
+        if resolved is None:
+            return set()
+        if resolved in self.classes:
+            return self._constructor_edges(resolved)
+        return {resolved}
+
+    def _constructor_edges(self, class_qual: str) -> set[str]:
+        edges = set()
+        for ancestor in self.mro(class_qual):
+            for method in ("__init__", "__post_init__"):
+                candidate = f"{ancestor}.{method}"
+                if candidate in self.functions:
+                    edges.add(candidate)
+        return edges
+
+
+def build_program(summaries: Iterable[ModuleSummary]) -> Program:
+    return Program(summaries)
+
+
+# ---------------------------------------------------------------------------
+# Roots: the entry points whole-program rules anchor on
+
+
+def detect_roots(program: Program) -> dict[str, tuple[str, ...]]:
+    """Analysis entry points, by category.
+
+    ``stage``
+        every function/method defined in a ``core/stages.py`` module,
+        plus the :data:`_STAGE_METHODS` of classes in ``core/pipeline.py``;
+    ``worker``
+        functions handed to a ``Process(target=...)`` constructor, plus
+        ``evaluate_cell`` in any module that spawns workers or defines a
+        ``ProcessCellExecutor``;
+    ``profile_update``
+        ``update`` on any class named ``ProfileState`` or descending
+        from one.
+    """
+    stage: set[str] = set()
+    worker: set[str] = set()
+    profile_update: set[str] = set()
+
+    spawn_modules: set[str] = set()
+    for qualname, function in program.functions.items():
+        module = program.function_module[qualname]
+        parts = module.split(".")
+        if parts[-2:] == ["core", "stages"] and function.name != MODULE_BODY:
+            stage.add(qualname)
+        if (
+            parts[-2:] == ["core", "pipeline"]
+            and function.cls is not None
+            and function.name in _STAGE_METHODS
+        ):
+            stage.add(qualname)
+        for target in function.spawn_targets:
+            resolved = program.resolve_call(qualname, {"kind": "local", "target": target})
+            if not resolved:
+                resolved = program._edges_for_symbol(target)
+            worker.update(resolved)
+            spawn_modules.add(module)
+
+    for class_qual, summary in program.classes.items():
+        if summary.name == "ProcessCellExecutor":
+            spawn_modules.add(program.class_module[class_qual])
+
+    for qualname, function in program.functions.items():
+        module = program.function_module[qualname]
+        if (
+            function.name == "evaluate_cell"
+            and function.cls is None
+            and module in spawn_modules
+        ):
+            worker.add(qualname)
+
+    profile_roots = {
+        qual for qual, summary in program.classes.items()
+        if summary.name == "ProfileState"
+    }
+    for class_qual in list(profile_roots):
+        profile_roots |= program.subclasses(class_qual)
+    for class_qual in profile_roots:
+        candidate = f"{class_qual}.update"
+        if candidate in program.functions:
+            profile_update.add(candidate)
+
+    return {
+        "stage": tuple(sorted(stage)),
+        "worker": tuple(sorted(worker)),
+        "profile_update": tuple(sorted(profile_update)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# The assembled analysis
+
+
+@dataclass
+class ProgramAnalysis:
+    """Call graph + effect fixed point + roots, ready for rules/export."""
+
+    program: Program
+    edges: dict[str, tuple[str, ...]]
+    roots: dict[str, tuple[str, ...]]
+    #: Transitive effects including pragma-sanctioned origins (report view).
+    effects: dict[str, set[str]]
+    witness: dict[str, dict[str, str | None]]
+    #: Transitive effects excluding sanctioned origins (rule view).
+    strict_effects: dict[str, set[str]]
+    strict_witness: dict[str, dict[str, str | None]]
+
+    def reachable_from(self, roots: Iterable[str]) -> dict[str, str | None]:
+        """BFS over call edges; function -> parent (roots map to None)."""
+        parents: dict[str, str | None] = {}
+        frontier = deque()
+        for root in roots:
+            if root in self.program.functions and root not in parents:
+                parents[root] = None
+                frontier.append(root)
+        while frontier:
+            current = frontier.popleft()
+            for callee in self.edges.get(current, ()):
+                if callee not in parents:
+                    parents[callee] = current
+                    frontier.append(callee)
+        return parents
+
+    def call_path(self, target: str, parents: Mapping[str, str | None]) -> list[str]:
+        """Root-to-target chain reconstructed from BFS parent pointers."""
+        path = [target]
+        current: str | None = target
+        while current is not None:
+            current = parents.get(current)
+            if current is not None:
+                path.append(current)
+        path.reverse()
+        return path
+
+    def effect_origin_path(self, qualname: str, effect: str) -> list[str]:
+        return effects_mod.witness_path(qualname, effect, self.strict_witness)
+
+    def display_path(self, qualname: str) -> str:
+        module = self.program.function_module.get(qualname)
+        if module is None:
+            return "?"
+        return self.program.modules[module].path
+
+
+def build_analysis(summaries: Iterable[ModuleSummary]) -> ProgramAnalysis:
+    """Assemble the program, resolve edges, run the effect fixed point."""
+    program = build_program(summaries)
+    edges: dict[str, tuple[str, ...]] = {}
+    for qualname, function in program.functions.items():
+        resolved: set[str] = set()
+        for call in function.calls:
+            resolved |= program.resolve_call(qualname, call)
+        resolved.discard(qualname)
+        edges[qualname] = tuple(sorted(resolved))
+    direct = {
+        qualname: function.effects for qualname, function in program.functions.items()
+    }
+    effects, witness = effects_mod.propagate_effects(
+        direct, edges, include_sanctioned=True
+    )
+    strict_effects, strict_witness = effects_mod.propagate_effects(
+        direct, edges, include_sanctioned=False
+    )
+    return ProgramAnalysis(
+        program=program,
+        edges=edges,
+        roots=detect_roots(program),
+        effects=effects,
+        witness=witness,
+        strict_effects=strict_effects,
+        strict_witness=strict_witness,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exports
+
+
+def analysis_to_json(analysis: ProgramAnalysis) -> dict:
+    """The ``--graph out.json`` document: nodes, edges, effects, roots."""
+    functions = []
+    for qualname in sorted(analysis.program.functions):
+        function = analysis.program.functions[qualname]
+        functions.append(
+            {
+                "qualname": qualname,
+                "module": analysis.program.function_module[qualname],
+                "file": analysis.display_path(qualname),
+                "line": function.line,
+                "effects": sorted(analysis.effects.get(qualname, ())),
+                "strict_effects": sorted(analysis.strict_effects.get(qualname, ())),
+                "calls": list(analysis.edges.get(qualname, ())),
+            }
+        )
+    return {
+        "version": GRAPH_FORMAT_VERSION,
+        "modules": sorted(analysis.program.modules),
+        "functions": functions,
+        "edges": sorted(
+            [caller, callee]
+            for caller, callees in analysis.edges.items()
+            for callee in callees
+        ),
+        "roots": {k: list(v) for k, v in sorted(analysis.roots.items())},
+    }
+
+
+def analysis_to_dot(analysis: ProgramAnalysis) -> str:
+    """A Graphviz rendering of the call graph, effects as node labels."""
+    lines = [
+        "digraph reprolint {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontname="monospace", fontsize=9];',
+    ]
+    root_set = {qual for quals in analysis.roots.values() for qual in quals}
+    for qualname in sorted(analysis.program.functions):
+        effect_list = sorted(analysis.effects.get(qualname, ()))
+        label = qualname
+        if effect_list:
+            label += "\\n[" + ", ".join(effect_list) + "]"
+        attributes = [f'label="{label}"']
+        if qualname in root_set:
+            attributes.append('style=filled, fillcolor="lightblue"')
+        lines.append(f'  "{qualname}" [{", ".join(attributes)}];')
+    for caller in sorted(analysis.edges):
+        for callee in analysis.edges[caller]:
+            lines.append(f'  "{caller}" -> "{callee}";')
+    lines.append("}")
+    return "\n".join(lines)

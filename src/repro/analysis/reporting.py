@@ -5,14 +5,20 @@ order, keys sorted), so CI can diff two runs or gate on
 ``.violations | length`` without worrying about ordering noise::
 
     {
-      "version": 1,
+      "version": 2,
       "files_checked": 170,
       "violations": [
         {"file": "src/repro/x.py", "line": 12, "col": 4,
-         "rule": "RPR001", "message": "..."}
+         "rule": "RPR013", "message": "...",
+         "call_path": ["repro.core.stages.fit_model", "repro.models.x._draw"]}
       ],
-      "errors": []
+      "errors": [],
+      "cache": {"hits": 168, "misses": 2},
+      "baselined": 0
     }
+
+Version 2 added ``call_path`` per violation (empty for per-file rules)
+plus the ``cache`` and ``baselined`` summary fields.
 """
 
 from __future__ import annotations
@@ -20,13 +26,13 @@ from __future__ import annotations
 import json
 from collections.abc import Sequence
 
-from repro.analysis.base import Rule
+from repro.analysis.base import ProgramRule, Rule
 from repro.analysis.engine import LintReport
 
 __all__ = ["JSON_FORMAT_VERSION", "format_json", "format_rules", "format_text"]
 
 #: Format marker for the JSON output document.
-JSON_FORMAT_VERSION = 1
+JSON_FORMAT_VERSION = 2
 
 
 def format_text(report: LintReport) -> str:
@@ -45,6 +51,13 @@ def format_text(report: LintReport) -> str:
         )
     else:
         lines.append(f"clean: {report.files_checked} file(s) checked")
+    if report.baselined:
+        lines.append(f"{report.baselined} pre-existing finding(s) baselined")
+    if report.cache_hits or report.cache_misses:
+        lines.append(
+            f"incremental cache: {report.cache_hits} hit(s), "
+            f"{report.cache_misses} miss(es)"
+        )
     return "\n".join(lines)
 
 
@@ -60,19 +73,27 @@ def format_json(report: LintReport) -> str:
                 "col": violation.col,
                 "rule": violation.rule,
                 "message": violation.message,
+                "call_path": list(violation.chain),
             }
             for violation in report.violations
         ],
         "errors": list(report.errors),
+        "cache": {"hits": report.cache_hits, "misses": report.cache_misses},
+        "baselined": report.baselined,
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def format_rules(rules: Sequence[Rule]) -> str:
+def format_rules(rules: Sequence[Rule | ProgramRule]) -> str:
     """The ``--list-rules`` table: id, name, scope, invariant."""
     lines = []
     for rule in rules:
-        scope = "src/repro" if rule.library_only else "all code"
+        if isinstance(rule, ProgramRule):
+            scope = "whole-program"
+        elif rule.library_only:
+            scope = "src/repro"
+        else:
+            scope = "all code"
         lines.append(f"{rule.id}  {rule.name}  [{scope}]")
         lines.append(f"    flags: {rule.summary}")
         lines.append(f"    protects: {rule.invariant}")

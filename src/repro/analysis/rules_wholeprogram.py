@@ -1,0 +1,247 @@
+"""Whole-program rules: invariants that only hold across module edges.
+
+These rules consume a :class:`repro.analysis.graph.ProgramAnalysis` --
+the assembled call graph, the transitive effect sets and the detected
+roots -- rather than a single file. Each finding is anchored at a
+concrete source position (so suppression pragmas keep working) and
+carries the call chain that makes it reachable, reported as a
+``call path:`` line under the message.
+
+``RPR011`` cache-key-provenance
+    a value flowing into ``artifact_key`` / ``canonical_params`` (or any
+    ``*cache_key*`` constructor) must derive from declared dataclass
+    fields or immutable module constants -- anything else can change
+    without changing the key, silently serving stale artifacts.
+``RPR012`` fork-safety
+    module-level mutable state written by code reachable from a
+    process-pool worker entry point diverges between the parent and the
+    workers; results must flow back through the sanctioned telemetry
+    channel (``Telemetry.absorb``) instead.
+``RPR013`` nondeterminism-reachability
+    an unseeded RNG draw, wall-clock read or unordered float
+    accumulation reachable from an evaluation stage or
+    ``ProfileState.update`` breaks row-level reproducibility; the
+    per-file rules (RPR001/002/003) see the origin, this rule sees the
+    chain. Effects already pragma'd at their origin for the per-file
+    rule are *sanctioned* and do not taint callers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro.analysis.base import ProgramRule, Violation, register_program_rule
+
+__all__ = [
+    "CacheKeyProvenanceRule",
+    "ForkSafetyRule",
+    "NondeterminismReachabilityRule",
+]
+
+#: The effect kinds that break bit-identical rows when they reach a stage.
+_NONDETERMINISM = ("rng", "wall_clock", "set_iteration_float_sum")
+
+_EFFECT_LABEL = {
+    "rng": "unseeded RNG",
+    "wall_clock": "wall-clock read",
+    "set_iteration_float_sum": "float accumulation over an unordered iterable",
+}
+
+
+def _anchor(analysis, qualname: str, record: Mapping) -> dict:
+    """Violation position kwargs for an effect/mutation record."""
+    return {
+        "path": analysis.display_path(qualname),
+        "line": record["line"],
+        "col": record.get("col", 0),
+        "end_line": record.get("end_line", record["line"]),
+    }
+
+
+@register_program_rule
+class CacheKeyProvenanceRule(ProgramRule):
+    id = "RPR011"
+    name = "cache-key-provenance"
+    summary = (
+        "cache-key constructors must be fed from declared dataclass fields "
+        "or immutable constants"
+    )
+    invariant = (
+        "An ArtifactCache key changes exactly when the inputs it stands "
+        "for change; values read from mutable module state, undeclared "
+        "attributes or effectful calls can drift without touching the key."
+    )
+
+    def check(self, analysis) -> Iterator[Violation]:
+        program = analysis.program
+        for qualname, function in program.functions.items():
+            for key_call in function.key_calls:
+                yield from self._check_global_reads(analysis, qualname, key_call)
+                yield from self._check_self_reads(
+                    analysis, program, qualname, function, key_call
+                )
+                yield from self._check_arg_calls(analysis, qualname, key_call)
+
+    def _check_global_reads(self, analysis, qualname, key_call):
+        for read in key_call["global_reads"]:
+            yield Violation(
+                rule=self.id,
+                message=(
+                    f"{key_call['name']}() argument reads module-level "
+                    f"{read['kind']} binding '{read['name']}' -- cache keys "
+                    "must derive from declared dataclass fields or literal "
+                    "constants, or the key goes stale when the binding moves"
+                ),
+                chain=(qualname,),
+                **_anchor(analysis, qualname, key_call),
+            )
+
+    def _check_self_reads(self, analysis, program, qualname, function, key_call):
+        if function.cls is None:
+            return
+        module = program.function_module[qualname]
+        class_qual = f"{module}.{function.cls}"
+        declared: set[str] = set()
+        for ancestor in program.mro(class_qual):
+            summary = program.classes.get(ancestor)
+            if summary is not None:
+                declared.update(summary.fields)
+        for read in key_call["nonfield_self"]:
+            if read["attr"] in declared:
+                continue
+            yield Violation(
+                rule=self.id,
+                message=(
+                    f"{key_call['name']}() argument reads self.{read['attr']}, "
+                    f"which is not a declared dataclass field of "
+                    f"{function.cls} -- undeclared attributes are invisible "
+                    "to the key and can change without invalidating it"
+                ),
+                chain=(qualname,),
+                **_anchor(analysis, qualname, key_call),
+            )
+
+    def _check_arg_calls(self, analysis, qualname, key_call):
+        for call in key_call["arg_calls"]:
+            targets = analysis.program.resolve_call(qualname, call)
+            for target in sorted(targets):
+                tainted = analysis.strict_effects.get(target, set()) & {
+                    "rng",
+                    "wall_clock",
+                }
+                for effect in sorted(tainted):
+                    origin = analysis.effect_origin_path(target, effect)
+                    yield Violation(
+                        rule=self.id,
+                        message=(
+                            f"{key_call['name']}() argument calls "
+                            f"{call['target']}(), which transitively performs "
+                            f"a {_EFFECT_LABEL[effect]} -- the key would "
+                            "change between identical runs"
+                        ),
+                        chain=(qualname, *origin),
+                        **_anchor(analysis, qualname, key_call),
+                    )
+
+
+@register_program_rule
+class ForkSafetyRule(ProgramRule):
+    id = "RPR012"
+    name = "fork-safety"
+    summary = (
+        "worker-reachable code must not mutate module-level state outside "
+        "the telemetry absorb channel"
+    )
+    invariant = (
+        "Rows from `--jobs N` are bit-identical to serial rows; state "
+        "mutated inside a forked worker never propagates back, so "
+        "anything beyond Telemetry.absorb-merged telemetry silently "
+        "diverges between the two modes."
+    )
+
+    def check(self, analysis) -> Iterator[Violation]:
+        roots = analysis.roots.get("worker", ())
+        if not roots:
+            return
+        parents = analysis.reachable_from(roots)
+        seen: set[tuple[str, str]] = set()
+        for qualname in sorted(parents):
+            function = analysis.program.functions.get(qualname)
+            if function is None or not function.mutations:
+                continue
+            if self._is_absorb_channel(qualname, function):
+                continue
+            path = analysis.call_path(qualname, parents)
+            for mutation in function.mutations:
+                key = (qualname, mutation["name"])
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield Violation(
+                    rule=self.id,
+                    message=(
+                        f"module-level mutable state '{mutation['name']}' is "
+                        f"mutated ({mutation['op']}) by {qualname}, which is "
+                        f"reachable from worker entry point {path[0]} -- "
+                        "worker-side mutations never reach the parent; merge "
+                        "results through Telemetry.absorb instead"
+                    ),
+                    chain=tuple(path),
+                    **_anchor(analysis, qualname, mutation),
+                )
+
+    @staticmethod
+    def _is_absorb_channel(qualname: str, function) -> bool:
+        # Telemetry.absorb (and the absorb/merge methods it delegates to)
+        # is the sanctioned parent-side merge point; its own mutations are
+        # the mechanism, not a leak.
+        return function.name == "absorb" or function.cls == "Telemetry"
+
+
+@register_program_rule
+class NondeterminismReachabilityRule(ProgramRule):
+    id = "RPR013"
+    name = "nondeterminism-reachability"
+    summary = (
+        "no unseeded RNG, wall clock or unordered float accumulation may "
+        "be reachable from an evaluation stage or profile update"
+    )
+    invariant = (
+        "Every number in the sweep grid is a pure function of "
+        "(config, source, seed); a nondeterministic effect anywhere on a "
+        "stage's call chain breaks the paper's comparative claims."
+    )
+
+    def check(self, analysis) -> Iterator[Violation]:
+        roots = [
+            *analysis.roots.get("stage", ()),
+            *analysis.roots.get("profile_update", ()),
+        ]
+        if not roots:
+            return
+        parents = analysis.reachable_from(roots)
+        seen: set[tuple[str, str, int]] = set()
+        for qualname in sorted(parents):
+            function = analysis.program.functions.get(qualname)
+            if function is None:
+                continue
+            for record in function.effects:
+                effect = record["effect"]
+                if effect not in _NONDETERMINISM or record.get("sanctioned"):
+                    continue
+                key = (qualname, effect, record["line"])
+                if key in seen:
+                    continue
+                seen.add(key)
+                path = analysis.call_path(qualname, parents)
+                yield Violation(
+                    rule=self.id,
+                    message=(
+                        f"{_EFFECT_LABEL[effect]} ({record['detail']}) is "
+                        f"reachable from {path[0]} -- every value on a "
+                        "stage's call chain must be a pure function of "
+                        "(config, source, seed)"
+                    ),
+                    chain=tuple(path),
+                    **_anchor(analysis, qualname, record),
+                )

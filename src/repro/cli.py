@@ -630,23 +630,103 @@ def cmd_suggest(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     # Lazy import: the linter is stdlib-only and must stay importable
     # (and fast) even where the numeric stack is broken.
-    from repro.analysis import default_rules, lint_paths
+    from pathlib import Path
+
+    from repro.analysis import default_program_rules, default_rules, lint_paths
+    from repro.analysis.baseline import (
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.analysis.graph import analysis_to_dot, analysis_to_json
     from repro.analysis.reporting import format_json, format_rules, format_text
+    from repro.errors import ConfigurationError
 
     rules = default_rules()
+    program_rules = default_program_rules()
     if args.list_rules:
-        print(format_rules(rules))
+        print(format_rules([*rules, *program_rules]))
         return 0
-    if args.select:
-        known = {rule.id for rule in rules}
-        unknown = sorted(set(args.select) - known)
+
+    known = {rule.id for rule in rules} | {rule.id for rule in program_rules}
+    selected = set(args.select or ())
+    ignored = {
+        rule_id
+        for chunk in (args.ignore or ())
+        for rule_id in chunk.split(",")
+        if rule_id
+    }
+    # RPR900 (stale pragma) is synthesized by the engine rather than
+    # registered, so it cannot be selected -- but it can be ignored,
+    # e.g. when linting one file of a tree whose pragmas are only used
+    # at whole-program scope.
+    for label, requested, legal in (
+        ("--select", selected, known),
+        ("--ignore", ignored, known | {"RPR900"}),
+    ):
+        unknown = sorted(requested - legal)
         if unknown:
             raise SystemExit(
-                f"unknown rule id(s): {', '.join(unknown)}; "
-                f"known: {', '.join(sorted(known))}"
+                f"unknown rule id(s) in {label}: {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(legal))}"
             )
-        rules = [rule for rule in rules if rule.id in args.select]
-    report = lint_paths(args.paths, rules=rules)
+    conflict = sorted(selected & ignored)
+    if conflict:
+        raise ConfigurationError(
+            f"rule(s) both selected and ignored: {', '.join(conflict)} -- "
+            "--select and --ignore must not overlap"
+        )
+    if selected:
+        rules = [rule for rule in rules if rule.id in selected]
+        program_rules = [rule for rule in program_rules if rule.id in selected]
+    if ignored:
+        rules = [rule for rule in rules if rule.id not in ignored]
+        program_rules = [
+            rule for rule in program_rules if rule.id not in ignored
+        ]
+
+    if args.update_baseline and not args.baseline:
+        raise ConfigurationError("--update-baseline requires --baseline PATH")
+
+    report = lint_paths(
+        args.paths,
+        rules=rules,
+        program_rules=program_rules,
+        cache_path=args.cache,
+    )
+    if "RPR900" in ignored:
+        report.violations = [
+            violation
+            for violation in report.violations
+            if violation.rule != "RPR900"
+        ]
+
+    if args.graph and report.analysis is not None:
+        graph_path = Path(args.graph)
+        if graph_path.suffix == ".dot":
+            graph_path.write_text(
+                analysis_to_dot(report.analysis), encoding="utf-8"
+            )
+        else:
+            import json as _json
+
+            graph_path.write_text(
+                _json.dumps(analysis_to_json(report.analysis), indent=2),
+                encoding="utf-8",
+            )
+
+    if args.baseline:
+        if args.update_baseline:
+            count = write_baseline(args.baseline, report.violations)
+            print(
+                f"baseline updated: {count} finding(s) written to "
+                f"{args.baseline}"
+            )
+            return 2 if report.errors else 0
+        report.violations, report.baselined = apply_baseline(
+            report.violations, load_baseline(args.baseline)
+        )
+
     print(format_json(report) if args.format == "json" else format_text(report))
     return report.exit_code
 
@@ -906,7 +986,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.set_defaults(func=cmd_report)
 
     p_lint = sub.add_parser(
-        "lint", help="run reprolint (determinism / taxonomy / telemetry rules)"
+        "lint", help="run reprolint (determinism / taxonomy / telemetry rules)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  clean (no violations, no errors)\n"
+            "  1  violations found\n"
+            "  2  engine errors (unreadable/unparsable input, or no Python\n"
+            "     files to analyze)"
+        ),
     )
     p_lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -916,6 +1004,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--select", nargs="+", metavar="RPRnnn",
         help="run only these rule ids",
+    )
+    p_lint.add_argument(
+        "--ignore", nargs="+", metavar="RPRnnn[,RPRnnn...]",
+        help="run every rule except these ids (complement of --select; "
+             "selecting and ignoring the same rule is a configuration error)",
+    )
+    p_lint.add_argument(
+        "--baseline", metavar="PATH",
+        help="ratchet baseline: suppress findings recorded in this file "
+             "(by rule + file + stable fingerprint, not line number)",
+    )
+    p_lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline with the current findings and exit 0",
+    )
+    p_lint.add_argument(
+        "--graph", metavar="OUT",
+        help="export the whole-program call graph and per-function effect "
+             "report (.dot for Graphviz, anything else for JSON)",
+    )
+    p_lint.add_argument(
+        "--cache", nargs="?", const=".reprolint-cache.json", default=None,
+        metavar="PATH",
+        help="incremental mode: cache per-file analysis keyed on content "
+             "hashes (default cache file: .reprolint-cache.json)",
     )
     p_lint.add_argument(
         "--list-rules", action="store_true",

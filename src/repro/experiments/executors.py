@@ -196,7 +196,7 @@ def _worker_pipeline(spec: PipelineSpec) -> ExperimentPipeline:
     pipeline = _WORKER_PIPELINES.get(spec)
     if pipeline is None:
         pipeline = spec.build()
-        _WORKER_PIPELINES[spec] = pipeline
+        _WORKER_PIPELINES[spec] = pipeline  # repro: allow[RPR012] -- per-process memo of a pure rebuild from the picklable spec; never flows back to the parent
     return pipeline
 
 
@@ -207,7 +207,7 @@ def _worker_index(spec: GridSpec) -> dict[tuple[str, str], ModelConfig]:
             (config.model, canonical_params(config.params)): config
             for config in spec.build().iter_all()
         }
-        _WORKER_INDEXES[spec] = index
+        _WORKER_INDEXES[spec] = index  # repro: allow[RPR012] -- per-process memo derived deterministically from the grid spec; identical in every worker
     return index
 
 

@@ -1,0 +1,93 @@
+"""Ratchet baselines: stable fingerprints, apply/update round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.base import Violation
+from repro.analysis.baseline import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.errors import PersistenceError
+
+
+def violation(rule="RPR003", path="src/repro/x.py", line=10,
+              message="wall-clock read"):
+    return Violation(path=path, line=line, col=0, rule=rule, message=message)
+
+
+class TestFingerprint:
+    def test_independent_of_line_numbers(self):
+        assert fingerprint(violation(line=10)) == fingerprint(violation(line=99))
+
+    def test_sensitive_to_rule_file_and_message(self):
+        base = fingerprint(violation())
+        assert fingerprint(violation(rule="RPR004")) != base
+        assert fingerprint(violation(path="src/repro/y.py")) != base
+        assert fingerprint(violation(message="other")) != base
+
+    def test_occurrence_index_disambiguates_duplicates(self):
+        assert fingerprint(violation(), 0) != fingerprint(violation(), 1)
+
+
+class TestRoundTrip:
+    def test_write_then_apply_suppresses_all(self, tmp_path):
+        findings = [violation(line=1), violation(line=2, rule="RPR004")]
+        path = tmp_path / "baseline.json"
+        assert write_baseline(path, findings) == 2
+        surviving, suppressed = apply_baseline(findings, load_baseline(path))
+        assert surviving == []
+        assert suppressed == 2
+
+    def test_new_finding_survives(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [violation()])
+        fresh = violation(message="a brand new defect")
+        surviving, suppressed = apply_baseline(
+            [violation(line=42), fresh], load_baseline(path)
+        )
+        assert surviving == [fresh]
+        assert suppressed == 1
+
+    def test_duplicate_findings_consume_baseline_entries(self, tmp_path):
+        # Two identical findings baselined; if the file later has three,
+        # exactly one must survive -- the baseline is a multiset.
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [violation(line=1), violation(line=2)])
+        surviving, suppressed = apply_baseline(
+            [violation(line=1), violation(line=2), violation(line=3)],
+            load_baseline(path),
+        )
+        assert len(surviving) == 1
+        assert suppressed == 2
+
+    def test_document_is_versioned_and_sorted(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [violation(rule="RPR004"), violation()])
+        document = json.loads(path.read_text())
+        assert document["version"] == 1
+        rules = [finding["rule"] for finding in document["findings"]]
+        assert rules == sorted(rules)
+
+
+class TestLoadErrors:
+    def test_missing_file_raises_persistence_error(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_invalid_json_raises_persistence_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{oops")
+        with pytest.raises(PersistenceError):
+            load_baseline(path)
+
+    def test_wrong_version_raises_persistence_error(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(PersistenceError):
+            load_baseline(path)

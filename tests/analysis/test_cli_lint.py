@@ -1,5 +1,5 @@
 """The ``repro lint`` subcommand: exit codes, output formats, rule
-selection and the rule catalogue."""
+selection/ignoring, baselines, graph export and the rule catalogue."""
 
 from __future__ import annotations
 
@@ -8,6 +8,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.errors import ConfigurationError
 
 
 @pytest.fixture()
@@ -39,8 +40,9 @@ class TestLintCommand:
     def test_json_format(self, dirty_tree, capsys):
         assert main(["lint", str(dirty_tree), "--format", "json"]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert [v["rule"] for v in payload["violations"]] == ["RPR003", "RPR004"]
+        assert all("call_path" in v for v in payload["violations"])
 
     def test_select_restricts_rules(self, dirty_tree, capsys):
         assert main(["lint", str(dirty_tree), "--select", "RPR004"]) == 1
@@ -55,5 +57,140 @@ class TestLintCommand:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"):
+        for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+                        "RPR006", "RPR011", "RPR012", "RPR013"):
             assert rule_id in out
+        assert "whole-program" in out
+
+
+class TestIgnoreFlag:
+    def test_ignore_drops_rule(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree), "--ignore", "RPR003"]) == 1
+        out = capsys.readouterr().out
+        assert "RPR004" in out
+        assert "RPR003" not in out
+
+    def test_ignore_accepts_comma_list(self, dirty_tree, capsys):
+        assert main(
+            ["lint", str(dirty_tree), "--ignore", "RPR003,RPR004"]
+        ) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_ignore_unknown_rule_rejected(self, dirty_tree):
+        with pytest.raises(SystemExit):
+            main(["lint", str(dirty_tree), "--ignore", "RPR999"])
+
+    def test_rpr900_is_ignorable_but_not_selectable(self, tmp_path, capsys):
+        # A pragma that is only meaningful at whole-program scope looks
+        # stale when one file is linted alone; --ignore RPR900 covers
+        # that, while --select RPR900 stays invalid (the engine
+        # synthesizes it, no registered rule runs it).
+        stale = tmp_path / "stale.py"
+        stale.write_text(
+            "x = 1  # repro: allow[RPR012] -- used only at tree scope\n"
+        )
+        assert main(["lint", str(stale)]) == 1
+        assert "RPR900" in capsys.readouterr().out
+        assert main(["lint", str(stale), "--ignore", "RPR900"]) == 0
+        assert "clean" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            main(["lint", str(stale), "--select", "RPR900"])
+
+    def test_select_and_ignore_conflict(self, dirty_tree):
+        with pytest.raises(ConfigurationError, match="RPR003"):
+            main(
+                ["lint", str(dirty_tree), "--select", "RPR003",
+                 "--ignore", "RPR003"]
+            )
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "exit codes" in out
+        for marker in ("0 ", "1 ", "2 "):
+            assert marker in out
+
+
+class TestNoFilesAnalyzed:
+    def test_empty_directory_exits_two_with_warning(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        (empty / "README.md").write_text("no python here\n")
+        assert main(["lint", str(empty)]) == 2
+        out = capsys.readouterr().out
+        assert "0 files analyzed" in out
+
+
+class TestBaseline:
+    def test_update_then_apply_suppresses_existing(self, dirty_tree, capsys):
+        baseline = dirty_tree / "lint-baseline.json"
+        assert main(
+            ["lint", str(dirty_tree), "--baseline", str(baseline),
+             "--update-baseline"]
+        ) == 0
+        capsys.readouterr()
+        document = json.loads(baseline.read_text())
+        assert document["version"] == 1
+        assert {f["rule"] for f in document["findings"]} == {"RPR003", "RPR004"}
+
+        assert main(["lint", str(dirty_tree), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_new_finding_escapes_baseline(self, dirty_tree, capsys):
+        baseline = dirty_tree / "lint-baseline.json"
+        main(["lint", str(dirty_tree), "--baseline", str(baseline),
+              "--update-baseline"])
+        capsys.readouterr()
+        dirty = dirty_tree / "src" / "repro" / "dirty.py"
+        dirty.write_text(dirty.read_text() + "other = time.time()\n")
+        assert main(["lint", str(dirty_tree), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR003" in out
+
+    def test_baseline_survives_line_shifts(self, dirty_tree, capsys):
+        baseline = dirty_tree / "lint-baseline.json"
+        main(["lint", str(dirty_tree), "--baseline", str(baseline),
+              "--update-baseline"])
+        capsys.readouterr()
+        dirty = dirty_tree / "src" / "repro" / "dirty.py"
+        dirty.write_text("# a new comment line\n" + dirty.read_text())
+        assert main(["lint", str(dirty_tree), "--baseline", str(baseline)]) == 0
+
+    def test_update_baseline_requires_baseline_path(self, dirty_tree):
+        with pytest.raises(ConfigurationError):
+            main(["lint", str(dirty_tree), "--update-baseline"])
+
+
+class TestGraphExport:
+    def test_json_export_round_trips(self, dirty_tree, tmp_path, capsys):
+        out_path = tmp_path / "graph.json"
+        main(["lint", str(dirty_tree), "--graph", str(out_path)])
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert payload["version"] == 1
+        assert isinstance(payload["functions"], list)
+        assert isinstance(payload["edges"], list)
+        assert set(payload["roots"]) == {"stage", "worker", "profile_update"}
+
+    def test_dot_export_is_graphviz_shaped(self, dirty_tree, tmp_path, capsys):
+        out_path = tmp_path / "graph.dot"
+        main(["lint", str(dirty_tree), "--graph", str(out_path)])
+        capsys.readouterr()
+        text = out_path.read_text()
+        assert text.startswith("digraph")
+        assert text.rstrip().endswith("}")
+
+
+class TestIncrementalCache:
+    def test_cache_flag_writes_cache_file(self, dirty_tree, capsys, monkeypatch):
+        monkeypatch.chdir(dirty_tree)
+        cache = dirty_tree / "cache.json"
+        main(["lint", str(dirty_tree), "--cache", str(cache)])
+        capsys.readouterr()
+        assert cache.exists()
+        main(["lint", str(dirty_tree), "--cache", str(cache)])
+        out = capsys.readouterr().out
+        assert "1 hit(s)" in out

@@ -1,0 +1,171 @@
+"""Effect inference: direct classification and the transitive fixed point."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.effects import (
+    EFFECTS,
+    direct_effects,
+    propagate_effects,
+    witness_path,
+)
+from repro.analysis.names import ImportMap
+
+
+def effects_of(source: str) -> set[str]:
+    tree = ast.parse(textwrap.dedent(source))
+    imports = ImportMap.from_tree(tree)
+    func = next(
+        node for node in tree.body if isinstance(node, ast.FunctionDef)
+    )
+    return {record["effect"] for record in direct_effects(func, imports)}
+
+
+class TestDirectEffects:
+    def test_unseeded_rng(self):
+        assert effects_of(
+            """
+            import numpy as np
+            def f():
+                return np.random.default_rng()
+            """
+        ) == {"rng"}
+
+    def test_seeded_rng_is_clean(self):
+        assert effects_of(
+            """
+            import numpy as np
+            def f(seed):
+                return np.random.default_rng(seed)
+            """
+        ) == set()
+
+    def test_wall_clock(self):
+        assert effects_of(
+            """
+            import time
+            def f():
+                return time.time()
+            """
+        ) == {"wall_clock"}
+
+    def test_monotonic_clock_is_clean(self):
+        assert effects_of(
+            """
+            import time
+            def f():
+                return time.perf_counter()
+            """
+        ) == set()
+
+    def test_io_builtin_and_method(self):
+        assert effects_of(
+            """
+            def f(path):
+                print("hi")
+                return path.read_text()
+            """
+        ) == {"io"}
+
+    def test_process_spawn(self):
+        assert effects_of(
+            """
+            import subprocess
+            def f():
+                subprocess.run(["true"])
+            """
+        ) == {"process_spawn"}
+
+    def test_unordered_float_sum(self):
+        assert effects_of(
+            """
+            def f(scores):
+                return sum(set(scores))
+            """
+        ) == {"set_iteration_float_sum"}
+
+    def test_nested_def_effects_are_inlined(self):
+        assert effects_of(
+            """
+            import time
+            def f():
+                def build():
+                    return time.time()
+                return build
+            """
+        ) == {"wall_clock"}
+
+    def test_records_carry_positions(self):
+        tree = ast.parse("import time\ndef f():\n    return time.time()\n")
+        imports = ImportMap.from_tree(tree)
+        [record] = direct_effects(tree.body[1], imports)
+        assert record["line"] == 3
+        assert record["sanctioned"] is False
+        assert record["detail"] == "time.time"
+
+    def test_vocabulary_is_closed(self):
+        assert set(EFFECTS) >= {"rng", "wall_clock", "io",
+                                "set_iteration_float_sum", "process_spawn",
+                                "mutates_global"}
+
+
+class TestPropagation:
+    def test_two_hop_chain(self):
+        direct = {
+            "a": [],
+            "b": [],
+            "c": [{"effect": "rng", "sanctioned": False}],
+        }
+        edges = {"a": ["b"], "b": ["c"], "c": []}
+        effects, witness = propagate_effects(direct, edges)
+        assert effects["a"] == {"rng"}
+        assert witness_path("a", "rng", witness) == ["a", "b", "c"]
+
+    def test_cycle_terminates(self):
+        direct = {
+            "a": [{"effect": "io", "sanctioned": False}],
+            "b": [],
+        }
+        edges = {"a": ["b"], "b": ["a"]}
+        effects, _ = propagate_effects(direct, edges)
+        assert effects["a"] == {"io"}
+        assert effects["b"] == {"io"}
+
+    def test_sanctioned_excluded_in_strict_mode(self):
+        direct = {
+            "a": [],
+            "b": [{"effect": "wall_clock", "sanctioned": True}],
+        }
+        edges = {"a": ["b"], "b": []}
+        lenient, _ = propagate_effects(direct, edges, include_sanctioned=True)
+        strict, _ = propagate_effects(direct, edges, include_sanctioned=False)
+        assert lenient["a"] == {"wall_clock"}
+        assert strict["a"] == set()
+        assert strict["b"] == set()
+
+    def test_direct_effect_has_no_witness_step(self):
+        direct = {"a": [{"effect": "rng", "sanctioned": False}]}
+        _, witness = propagate_effects(direct, {"a": []})
+        assert witness["a"]["rng"] is None
+        assert witness_path("a", "rng", witness) == ["a"]
+
+    def test_diamond_converges(self):
+        direct = {
+            "top": [],
+            "left": [],
+            "right": [],
+            "bottom": [{"effect": "rng", "sanctioned": False}],
+        }
+        edges = {
+            "top": ["left", "right"],
+            "left": ["bottom"],
+            "right": ["bottom"],
+            "bottom": [],
+        }
+        effects, witness = propagate_effects(direct, edges)
+        assert effects["top"] == {"rng"}
+        path = witness_path("top", "rng", witness)
+        assert path[0] == "top"
+        assert path[-1] == "bottom"

@@ -1,0 +1,297 @@
+"""The whole-program call graph: summaries, resolution, roots, exports."""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+
+from repro.analysis.graph import (
+    analysis_to_dot,
+    analysis_to_json,
+    build_analysis,
+    summarize_module,
+)
+
+
+def build(tmp_path, files):
+    """Write a file tree, summarise every module, assemble the analysis."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    summaries = [
+        summarize_module(
+            ast.parse((tmp_path / rel).read_text()), tmp_path / rel
+        )
+        for rel in files
+    ]
+    return build_analysis(summaries)
+
+
+class TestCallResolution:
+    def test_aliased_cross_module_call(self, tmp_path):
+        analysis = build(
+            tmp_path,
+            {
+                "util.py": """
+                    def helper():
+                        return 1
+                    """,
+                "a.py": """
+                    import util as u
+                    def go():
+                        return u.helper()
+                    """,
+            },
+        )
+        assert analysis.edges["a.go"] == ("util.helper",)
+
+    def test_reexport_through_init(self, tmp_path):
+        analysis = build(
+            tmp_path,
+            {
+                "pkg/__init__.py": "from pkg.impl import helper\n",
+                "pkg/impl.py": """
+                    def helper():
+                        return 1
+                    """,
+                "main.py": """
+                    from pkg import helper
+                    def go():
+                        return helper()
+                    """,
+            },
+        )
+        assert analysis.edges["main.go"] == ("pkg.impl.helper",)
+
+    def test_method_resolved_through_mro(self, tmp_path):
+        analysis = build(
+            tmp_path,
+            {
+                "base.py": """
+                    class Base:
+                        def run(self):
+                            return 1
+                    """,
+                "child.py": """
+                    from base import Base
+                    class Child(Base):
+                        pass
+                    """,
+                "main.py": """
+                    from child import Child
+                    def go():
+                        c = Child()
+                        return c.run()
+                    """,
+            },
+        )
+        assert "base.Base.run" in analysis.edges["main.go"]
+
+    def test_self_call_reaches_descendant_override(self, tmp_path):
+        analysis = build(
+            tmp_path,
+            {
+                "state.py": """
+                    class State:
+                        def update(self, docs):
+                            return self._fold(docs)
+                    """,
+                "impl.py": """
+                    import numpy as np
+                    from state import State
+                    class Impl(State):
+                        def _fold(self, docs):
+                            return np.random.default_rng()
+                    """,
+            },
+        )
+        assert analysis.edges["state.State.update"] == ("impl.Impl._fold",)
+        # ... and the effect fixed point carries the override's rng
+        # effect up into the abstract dispatcher.
+        assert "rng" in analysis.effects["state.State.update"]
+
+    def test_untyped_receiver_falls_back_to_name_match(self, tmp_path):
+        analysis = build(
+            tmp_path,
+            {
+                "sink.py": """
+                    class Sink:
+                        def absorb(self, item):
+                            return item
+                    """,
+                "main.py": """
+                    def go(x):
+                        return x.absorb(1)
+                    """,
+            },
+        )
+        assert analysis.edges["main.go"] == ("sink.Sink.absorb",)
+
+    def test_constructor_call_edges_to_init(self, tmp_path):
+        analysis = build(
+            tmp_path,
+            {
+                "thing.py": """
+                    import time
+                    class Thing:
+                        def __init__(self):
+                            self.ts = time.time()
+                    """,
+                "main.py": """
+                    from thing import Thing
+                    def go():
+                        return Thing()
+                    """,
+            },
+        )
+        assert analysis.edges["main.go"] == ("thing.Thing.__init__",)
+        assert "wall_clock" in analysis.effects["main.go"]
+
+    def test_module_body_is_a_synthetic_function(self, tmp_path):
+        analysis = build(
+            tmp_path,
+            {
+                "boot.py": """
+                    import time
+                    STARTED = time.time()
+                    """,
+            },
+        )
+        assert "wall_clock" in analysis.effects["boot.<module>"]
+
+
+class TestRoots:
+    def test_stage_worker_and_profile_roots(self, tmp_path):
+        analysis = build(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/core/__init__.py": "",
+                "repro/core/stages.py": """
+                    def artifact_key(**parts):
+                        return parts
+                    """,
+                "repro/models.py": """
+                    class ProfileState:
+                        def update(self, docs):
+                            return docs
+                    class Sub(ProfileState):
+                        def update(self, docs):
+                            return docs
+                    """,
+                "repro/exec.py": """
+                    import multiprocessing as mp
+                    def _worker(q):
+                        return q
+                    def evaluate_cell(cell):
+                        return cell
+                    def start():
+                        p = mp.Process(target=_worker, args=(1,))
+                        return p
+                    """,
+            },
+        )
+        assert analysis.roots["stage"] == ("repro.core.stages.artifact_key",)
+        assert set(analysis.roots["worker"]) == {
+            "repro.exec._worker",
+            "repro.exec.evaluate_cell",
+        }
+        assert set(analysis.roots["profile_update"]) == {
+            "repro.models.ProfileState.update",
+            "repro.models.Sub.update",
+        }
+
+    def test_reachability_paths(self, tmp_path):
+        analysis = build(
+            tmp_path,
+            {
+                "a.py": """
+                    import b
+                    def top():
+                        return b.mid()
+                    """,
+                "b.py": """
+                    import c
+                    def mid():
+                        return c.leaf()
+                    """,
+                "c.py": """
+                    def leaf():
+                        return 1
+                    """,
+            },
+        )
+        parents = analysis.reachable_from(["a.top"])
+        assert analysis.call_path("c.leaf", parents) == [
+            "a.top",
+            "b.mid",
+            "c.leaf",
+        ]
+
+
+class TestExports:
+    def build_fixture(self, tmp_path):
+        return build(
+            tmp_path,
+            {
+                "util.py": """
+                    import time
+                    def stamp():
+                        return time.time()
+                    """,
+                "main.py": """
+                    import util
+                    def go():
+                        return util.stamp()
+                    """,
+            },
+        )
+
+    def test_json_round_trips(self, tmp_path):
+        analysis = self.build_fixture(tmp_path)
+        payload = json.loads(json.dumps(analysis_to_json(analysis)))
+        assert payload["version"] == 1
+        functions = {f["qualname"]: f for f in payload["functions"]}
+        assert functions["main.go"]["calls"] == ["util.stamp"]
+        assert functions["main.go"]["effects"] == ["wall_clock"]
+        assert ["main.go", "util.stamp"] in payload["edges"]
+        assert set(payload["roots"]) == {"stage", "worker", "profile_update"}
+
+    def test_dot_is_graphviz_shaped(self, tmp_path):
+        analysis = self.build_fixture(tmp_path)
+        dot = analysis_to_dot(analysis)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"main.go" -> "util.stamp";' in dot
+        assert "wall_clock" in dot
+
+
+class TestSummaryRoundTrip:
+    def test_module_summary_survives_dict_round_trip(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            import time
+            CACHE = {}
+            class Box:
+                def __init__(self):
+                    self.v = 1
+            def put(k):
+                CACHE[k] = time.time()
+            """
+        )
+        path = tmp_path / "mod.py"
+        path.write_text(source)
+        from repro.analysis.graph import ModuleSummary
+
+        summary = summarize_module(ast.parse(source), path)
+        clone = ModuleSummary.from_dict(
+            json.loads(json.dumps(summary.to_dict()))
+        )
+        assert clone.module == summary.module
+        assert clone.globals == {"CACHE": "mutable"}
+        assert set(clone.functions) == set(summary.functions)
+        assert clone.functions["mod.put"].mutations == (
+            summary.functions["mod.put"].mutations
+        )

@@ -1,0 +1,164 @@
+"""Name-resolution edge cases: the call graph is only as good as these.
+
+Aliased imports, ``from x import *``, relative imports and re-exports
+through ``__init__.py`` are exactly the spellings the whole-program
+resolver must canonicalise; a miss here silently drops call edges.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.names import ImportMap, module_name_for_path
+
+
+def resolve(source: str, expr: str, module=None, is_package=False) -> str | None:
+    imports = ImportMap.from_tree(
+        ast.parse(source), module=module, is_package=is_package
+    )
+    node = ast.parse(expr, mode="eval").body
+    return imports.resolve(node)
+
+
+class TestAliasedImports:
+    def test_import_as(self):
+        assert (
+            resolve("import numpy as np", "np.random.default_rng")
+            == "numpy.random.default_rng"
+        )
+
+    def test_import_submodule_as(self):
+        assert (
+            resolve("import numpy.random as npr", "npr.default_rng")
+            == "numpy.random.default_rng"
+        )
+
+    def test_from_import_as(self):
+        assert (
+            resolve("from numpy import random as npr", "npr.default_rng")
+            == "numpy.random.default_rng"
+        )
+
+    def test_plain_submodule_import_binds_top_name(self):
+        assert (
+            resolve("import numpy.random", "numpy.random.default_rng")
+            == "numpy.random.default_rng"
+        )
+
+    def test_unimported_name_is_none(self):
+        assert resolve("import numpy as np", "pd.DataFrame") is None
+
+
+class TestStarImports:
+    def test_star_import_recorded_in_order(self):
+        imports = ImportMap.from_tree(
+            ast.parse("from repro.core import *\nfrom repro.obs import *\n")
+        )
+        assert imports.star_imports == ["repro.core", "repro.obs"]
+
+    def test_star_import_binds_no_alias(self):
+        imports = ImportMap.from_tree(ast.parse("from repro.core import *\n"))
+        assert imports.aliases == {}
+
+
+class TestRelativeImports:
+    def test_single_dot_sibling(self):
+        assert (
+            resolve(
+                "from .stages import artifact_key",
+                "artifact_key",
+                module="repro.core.pipeline",
+            )
+            == "repro.core.stages.artifact_key"
+        )
+
+    def test_double_dot_uncle(self):
+        assert (
+            resolve(
+                "from ..obs import telemetry",
+                "telemetry.Telemetry",
+                module="repro.core.pipeline",
+            )
+            == "repro.obs.telemetry.Telemetry"
+        )
+
+    def test_bare_dot_import(self):
+        assert (
+            resolve(
+                "from . import stages",
+                "stages.artifact_key",
+                module="repro.core.pipeline",
+            )
+            == "repro.core.stages.artifact_key"
+        )
+
+    def test_package_init_counts_one_level_shallower(self):
+        # Inside repro/core/__init__.py, ``from .stages import x`` means
+        # repro.core.stages, not repro.stages.
+        assert (
+            resolve(
+                "from .stages import artifact_key",
+                "artifact_key",
+                module="repro.core",
+                is_package=True,
+            )
+            == "repro.core.stages.artifact_key"
+        )
+
+    def test_relative_import_without_module_context_is_skipped(self):
+        assert resolve("from .stages import artifact_key", "artifact_key") is None
+
+    def test_too_many_dots_is_skipped(self):
+        assert (
+            resolve(
+                "from ....nowhere import thing",
+                "thing",
+                module="repro.core",
+            )
+            is None
+        )
+
+
+class TestModuleNameForPath:
+    def test_package_module(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "stages.py").write_text("")
+        name, is_package = module_name_for_path(pkg / "stages.py")
+        assert name == "repro.core.stages"
+        assert is_package is False
+
+    def test_package_init(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        name, is_package = module_name_for_path(pkg / "__init__.py")
+        assert name == "repro.core"
+        assert is_package is True
+
+    def test_loose_file_uses_stem(self, tmp_path):
+        loose = tmp_path / "script.py"
+        loose.write_text("")
+        name, is_package = module_name_for_path(loose)
+        assert name == "script"
+        assert is_package is False
+
+
+class TestReexportThroughInit:
+    """Re-exports need the whole-program resolver, but the per-file map
+    must canonicalise the import of the *package* name correctly first."""
+
+    def test_from_package_import_binds_package_path(self):
+        assert (
+            resolve("from repro.analysis import lint_paths", "lint_paths")
+            == "repro.analysis.lint_paths"
+        )
+
+    def test_datetime_class_canonicalisation(self):
+        assert (
+            resolve("from datetime import datetime", "datetime.now")
+            == "datetime.datetime.now"
+        )

@@ -21,12 +21,28 @@ DIRTY = 'import time\nstamp = time.time()\nraise ValueError("x")\n'
 class TestJson:
     def test_document_schema(self):
         payload = json.loads(format_json(lint_source(DIRTY, LIB_PATH)))
-        assert set(payload) == {"version", "files_checked", "violations", "errors"}
+        assert set(payload) == {
+            "version",
+            "files_checked",
+            "violations",
+            "errors",
+            "cache",
+            "baselined",
+        }
         assert payload["version"] == JSON_FORMAT_VERSION
         assert payload["files_checked"] == 1
         assert payload["errors"] == []
+        assert payload["cache"] == {"hits": 0, "misses": 0}
+        assert payload["baselined"] == 0
         for violation in payload["violations"]:
-            assert set(violation) == {"file", "line", "col", "rule", "message"}
+            assert set(violation) == {
+                "file",
+                "line",
+                "col",
+                "rule",
+                "message",
+                "call_path",
+            }
         assert [v["rule"] for v in payload["violations"]] == ["RPR003", "RPR004"]
         assert payload["violations"][0]["file"] == LIB_PATH
         assert payload["violations"][0]["line"] == 2
@@ -58,3 +74,10 @@ class TestListRules:
         for rule in default_rules():
             assert rule.id in catalogue
             assert rule.name in catalogue
+
+    def test_program_rules_marked_whole_program(self):
+        from repro.analysis.base import default_program_rules
+
+        catalogue = format_rules(default_program_rules())
+        assert "RPR011" in catalogue
+        assert "[whole-program]" in catalogue

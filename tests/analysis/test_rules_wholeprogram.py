@@ -1,0 +1,304 @@
+"""RPR011/012/013: whole-program rules over multi-module fixtures.
+
+Each rule gets a flagging fixture whose finding crosses at least two
+call-graph hops over module boundaries (with the reported call path
+asserted exactly) and a clean fixture that exercises the same shape
+without the defect.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.base import PROGRAM_RULE_REGISTRY, RULE_REGISTRY
+from repro.analysis.engine import lint_paths
+
+PKG_INITS = {
+    "src/repro/__init__.py": "",
+    "src/repro/core/__init__.py": "",
+    "src/repro/util/__init__.py": "",
+}
+
+
+def run_lint(tmp_path, files, program_rule_ids, file_rule_ids=()):
+    for rel, source in {**PKG_INITS, **files}.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return lint_paths(
+        [tmp_path / "src"],
+        rules=[RULE_REGISTRY[i]() for i in file_rule_ids],
+        program_rules=[PROGRAM_RULE_REGISTRY[i]() for i in program_rule_ids],
+    )
+
+
+class TestNondeterminismReachability:
+    FLAGGING = {
+        "src/repro/core/stages.py": """
+            from repro.util.helpers import compute
+            def fit_model(x):
+                return compute(x)
+            """,
+        "src/repro/util/helpers.py": """
+            from repro.util.deep import draw
+            def compute(x):
+                return draw(x)
+            """,
+        "src/repro/util/deep.py": """
+            import numpy as np
+            def draw(x):
+                rng = np.random.default_rng()
+                return x
+            """,
+    }
+
+    def test_two_hop_cross_module_chain_flagged_with_path(self, tmp_path):
+        report = run_lint(tmp_path, self.FLAGGING, ["RPR013"])
+        [violation] = report.violations
+        assert violation.rule == "RPR013"
+        assert violation.path.endswith("deep.py")
+        assert violation.line == 4  # the default_rng() line of the fixture
+        assert violation.chain == (
+            "repro.core.stages.fit_model",
+            "repro.util.helpers.compute",
+            "repro.util.deep.draw",
+        )
+        assert "call path:" in violation.format()
+
+    def test_seeded_rng_is_clean(self, tmp_path):
+        files = dict(self.FLAGGING)
+        files["src/repro/util/deep.py"] = """
+            import numpy as np
+            def draw(x):
+                rng = np.random.default_rng(7)
+                return x
+            """
+        report = run_lint(tmp_path, files, ["RPR013"])
+        assert report.violations == []
+
+    def test_profile_update_is_a_root(self, tmp_path):
+        files = {
+            "src/repro/models.py": """
+                import time
+                class ProfileState:
+                    def update(self, docs):
+                        return self._fold(docs)
+                class Impl(ProfileState):
+                    def _fold(self, docs):
+                        return time.time()
+                """,
+        }
+        report = run_lint(tmp_path, files, ["RPR013"])
+        [violation] = report.violations
+        assert violation.chain[0] in (
+            "repro.models.ProfileState.update",
+            "repro.models.Impl.update",
+        )
+        assert violation.chain[-1] == "repro.models.Impl._fold"
+
+    def test_origin_pragma_sanctions_the_effect(self, tmp_path):
+        files = dict(self.FLAGGING)
+        files["src/repro/util/deep.py"] = """
+            import time
+            def draw(x):
+                ts = time.time()  # repro: allow[RPR003] -- telemetry stamp, not a model input
+                return x
+            """
+        report = run_lint(
+            tmp_path, files, ["RPR013"], file_rule_ids=["RPR003"]
+        )
+        assert report.violations == []
+
+    def test_pragma_on_origin_suppresses_and_counts_as_used(self, tmp_path):
+        files = dict(self.FLAGGING)
+        files["src/repro/util/deep.py"] = """
+            import numpy as np
+            def draw(x):
+                rng = np.random.default_rng()  # repro: allow[RPR013] -- fixture: chain verified by hand
+                return x
+            """
+        report = run_lint(tmp_path, files, ["RPR013"])
+        assert report.violations == []
+
+
+class TestForkSafety:
+    FLAGGING = {
+        "src/repro/core/exec.py": """
+            import multiprocessing as mp
+            from repro.util.state import remember
+            def _worker(q):
+                return remember(q)
+            def start():
+                p = mp.Process(target=_worker, args=(1,))
+                return p
+            """,
+        "src/repro/util/state.py": """
+            _CACHE = {}
+            def remember(q):
+                _CACHE[q] = True
+                return q
+            """,
+    }
+
+    def test_worker_reachable_mutation_flagged_with_path(self, tmp_path):
+        report = run_lint(tmp_path, self.FLAGGING, ["RPR012"])
+        [violation] = report.violations
+        assert violation.rule == "RPR012"
+        assert violation.path.endswith("state.py")
+        assert "_CACHE" in violation.message
+        assert violation.chain == (
+            "repro.core.exec._worker",
+            "repro.util.state.remember",
+        )
+
+    def test_local_mutation_is_clean(self, tmp_path):
+        files = dict(self.FLAGGING)
+        files["src/repro/util/state.py"] = """
+            def remember(q):
+                cache = {}
+                cache[q] = True
+                return q
+            """
+        report = run_lint(tmp_path, files, ["RPR012"])
+        assert report.violations == []
+
+    def test_absorb_channel_is_exempt(self, tmp_path):
+        files = dict(self.FLAGGING)
+        files["src/repro/util/state.py"] = """
+            _MERGED = {}
+            class Telemetry:
+                def absorb(self, q):
+                    _MERGED[q] = True
+                    return q
+            def remember(q):
+                t = Telemetry()
+                return t.absorb(q)
+            """
+        report = run_lint(tmp_path, files, ["RPR012"])
+        assert report.violations == []
+
+    def test_unreached_mutation_is_clean(self, tmp_path):
+        files = dict(self.FLAGGING)
+        files["src/repro/core/exec.py"] = """
+            from repro.util.state import remember
+            def main_side_only(q):
+                return remember(q)
+            """
+        report = run_lint(tmp_path, files, ["RPR012"])
+        assert report.violations == []
+
+
+class TestCacheKeyProvenance:
+    def test_effectful_arg_call_flagged_with_two_hop_path(self, tmp_path):
+        files = {
+            "src/repro/core/keys.py": """
+                from repro.util.stamp import describe
+                def build(params):
+                    return artifact_key(stage="fit", when=describe())
+                """,
+            "src/repro/util/stamp.py": """
+                import time
+                def describe():
+                    return _now()
+                def _now():
+                    return time.time()
+                """,
+        }
+        report = run_lint(tmp_path, files, ["RPR011"])
+        [violation] = report.violations
+        assert violation.rule == "RPR011"
+        assert violation.path.endswith("keys.py")
+        assert violation.chain == (
+            "repro.core.keys.build",
+            "repro.util.stamp.describe",
+            "repro.util.stamp._now",
+        )
+        assert "wall-clock" in violation.message
+
+    def test_mutable_global_read_flagged(self, tmp_path):
+        files = {
+            "src/repro/core/keys.py": """
+                _EXTRA = {}
+                def build(params):
+                    return artifact_key(stage="fit", extra=_EXTRA)
+                """,
+        }
+        report = run_lint(tmp_path, files, ["RPR011"])
+        [violation] = report.violations
+        assert "_EXTRA" in violation.message
+        assert violation.chain == ("repro.core.keys.build",)
+
+    def test_undeclared_self_attribute_flagged(self, tmp_path):
+        files = {
+            "src/repro/core/keys.py": """
+                from dataclasses import dataclass
+                @dataclass(frozen=True)
+                class Spec:
+                    name: str
+                    def cache_key(self):
+                        return canonical_params({"n": self.name, "x": self.extra})
+                """,
+        }
+        report = run_lint(tmp_path, files, ["RPR011"])
+        [violation] = report.violations
+        assert "self.extra" in violation.message
+        assert "self.name" not in violation.message
+
+    def test_declared_fields_and_constants_are_clean(self, tmp_path):
+        files = {
+            "src/repro/core/keys.py": """
+                from dataclasses import dataclass
+                VERSION = 3
+                @dataclass(frozen=True)
+                class Spec:
+                    name: str
+                    def cache_key(self):
+                        return artifact_key(name=self.name, version=VERSION)
+                """,
+        }
+        report = run_lint(tmp_path, files, ["RPR011"])
+        assert report.violations == []
+
+    def test_inherited_dataclass_fields_count_as_declared(self, tmp_path):
+        files = {
+            "src/repro/core/keys.py": """
+                from dataclasses import dataclass
+                @dataclass(frozen=True)
+                class BaseSpec:
+                    seed: int
+                @dataclass(frozen=True)
+                class Spec(BaseSpec):
+                    name: str
+                    def cache_key(self):
+                        return artifact_key(name=self.name, seed=self.seed)
+                """,
+        }
+        report = run_lint(tmp_path, files, ["RPR011"])
+        assert report.violations == []
+
+
+class TestLibraryScoping:
+    def test_findings_outside_src_repro_are_dropped(self, tmp_path):
+        # Same defect as the RPR012 flagging fixture, but in a benchmarks
+        # tree: program rules are library-scoped.
+        files = {
+            "benchmarks/exec.py": """
+                import multiprocessing as mp
+                _CACHE = {}
+                def _worker(q):
+                    _CACHE[q] = True
+                def start():
+                    p = mp.Process(target=_worker, args=(1,))
+                    return p
+                """,
+        }
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        report = lint_paths(
+            [tmp_path / "benchmarks"],
+            rules=[],
+            program_rules=[PROGRAM_RULE_REGISTRY["RPR012"]()],
+        )
+        assert report.violations == []
