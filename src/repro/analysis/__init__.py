@@ -22,6 +22,7 @@ RPR010    profile-artifact-mutation  in-place writes to ``.profiles``
 RPR011    cache-key-provenance     cache keys fed from undeclared state
 RPR012    fork-safety              worker-reachable global mutation
 RPR013    nondeterminism-reachability  effect chains into stages
+RPR014    profiler-hygiene         stack samplers not entered via ``with``
 RPR900    unused-pragma            stale ``repro: allow[...]`` comment
 ========  =======================  ==================================
 
@@ -75,6 +76,7 @@ from repro.analysis import rules_resources  # noqa: E402,F401  isort: skip
 from repro.analysis import rules_concurrency  # noqa: E402,F401  isort: skip
 from repro.analysis import rules_progress  # noqa: E402,F401  isort: skip
 from repro.analysis import rules_profiles  # noqa: E402,F401  isort: skip
+from repro.analysis import rules_profiler  # noqa: E402,F401  isort: skip
 from repro.analysis import rules_wholeprogram  # noqa: E402,F401  isort: skip
 
 __all__ = [

@@ -8,8 +8,11 @@ Commands
 ``replay``     stream timelines through incremental profile updates,
                checking parity against batch rebuilds
 ``monitor``    live progress view of a running sweep (events file or journal)
-``export``     convert saved telemetry: chrome-trace JSON, Prometheus metrics
+``export``     convert saved telemetry: chrome-trace JSON, Prometheus
+               metrics, flamegraph formats (collapsed stacks, speedscope)
 ``bench``      run the calibrated resource suite / compare two baselines
+``profile``    statistical stack profiling: wrap sweep/bench/replay/evaluate
+               under a sampler, or diff two saved profiles
 ``report``     render a saved sweep as the paper's figures/tables
 ``suggest``    followee / hashtag recommendations (the extension tasks)
 ``lint``       run reprolint, the repo's AST-based invariant linter
@@ -68,6 +71,11 @@ Examples
     python -m repro report --artifact critical-path --trace trace.json
     python -m repro bench run --label main --scale quick --trials 5
     python -m repro bench compare results/BENCH_main.json results/BENCH_pr.json --gate
+    python -m repro profile -- sweep --out sweep.json --fast --jobs 2
+    python -m repro profile --hz 251 -- bench run --scale tiny --label pr
+    python -m repro profile diff before.json after.json
+    python -m repro export profile --profile profile.json --format speedscope
+    python -m repro report --artifact hotspots --profile profile.json --top 10
     python -m repro report --sweep sweep.json --artifact figure --group "All Users"
     python -m repro report --artifact resource-breakdown --trace trace.json
     python -m repro suggest --kind hashtag --text "word1 word2"
@@ -118,23 +126,31 @@ from repro.experiments.report import (
 from repro.experiments.runner import SweepRunner
 from repro.experiments.standard import bench_grid, fast_grid
 from repro.obs import (
+    DEFAULT_HZ,
     JsonLinesSink,
     ResourceSampler,
     RunManifest,
+    StackSampler,
     Telemetry,
+    active_sampler,
     baseline_path,
+    collapsed_stacks,
     compare_baselines,
     format_baseline,
     format_chrome_trace,
     format_comparison,
     format_critical_path,
+    format_hotspots,
+    format_profile_diff,
     format_resource_breakdown,
     format_snapshot,
     format_timing_breakdown,
     load_baseline,
+    load_profile,
     load_progress,
     load_trace,
     prometheus_exposition,
+    speedscope_document,
 )
 from repro.twitter.dataset import DatasetConfig, generate_dataset, select_user_groups
 from repro.twitter.entities import UserType
@@ -206,8 +222,18 @@ def _telemetry_scope(
     body, the manifest's wall clock is stamped, the trace is saved and
     the JSON-lines sink is closed -- also on error, so an interrupted
     run still leaves a readable partial trace.
+
+    An active :class:`StackSampler` (the ``repro profile`` wrapper)
+    also forces telemetry on: the profiler needs open spans for
+    attribution, and worker profile payloads only flow through
+    :meth:`Telemetry.absorb`.
     """
-    if not (args.trace_out or args.log_json or args.profile_resources):
+    if not (
+        args.trace_out
+        or args.log_json
+        or args.profile_resources
+        or active_sampler() is not None
+    ):
         yield None
         return
     with ExitStack() as stack:
@@ -444,6 +470,16 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         return 130
 
 
+def _emit_rendered(rendered: str, out: str | None) -> None:
+    if out:
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered + ("" if rendered.endswith("\n") else "\n"))
+        print(f"written to {path}")
+    else:
+        print(rendered)
+
+
 def cmd_export(args: argparse.Namespace) -> int:
     try:
         trace = load_trace(args.trace)
@@ -458,17 +494,83 @@ def cmd_export(args: argparse.Namespace) -> int:
         rendered = prometheus_exposition(
             trace.get("metrics", {}), prefix=args.prefix
         )
-    if args.out:
-        out = Path(args.out)
-        out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(rendered + ("" if rendered.endswith("\n") else "\n"))
-        print(f"written to {out}")
-    else:
-        print(rendered)
+    _emit_rendered(rendered, args.out)
     return 0
 
 
+def cmd_export_profile(args: argparse.Namespace) -> int:
+    try:
+        profile = load_profile(args.profile)
+    except (PersistenceError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "speedscope":
+        rendered = json.dumps(
+            speedscope_document(profile, name=Path(args.profile).name),
+            indent=1,
+            sort_keys=True,
+        )
+    else:
+        rendered = collapsed_stacks(profile)
+    _emit_rendered(rendered, args.out)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        raise SystemExit(
+            "profile: give a command to wrap after --, e.g. "
+            "'repro profile -- sweep --out sweep.json --fast', or "
+            "'repro profile diff BEFORE.json AFTER.json'"
+        )
+    if rest[0] == "diff":
+        if len(rest) != 3:
+            raise SystemExit("usage: repro profile diff BEFORE.json AFTER.json")
+        try:
+            before = load_profile(rest[1])
+            after = load_profile(rest[2])
+        except (PersistenceError, OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(format_profile_diff(before, after, top=args.top))
+        return 0
+    if rest[0] not in ("sweep", "bench", "replay", "evaluate"):
+        raise SystemExit(
+            f"profile: cannot wrap {rest[0]!r}; profileable commands: "
+            "sweep, bench, replay, evaluate (or the 'diff' subcommand)"
+        )
+    with StackSampler(hz=args.hz) as sampler:
+        code = main(rest)
+    profile = sampler.profile
+    path = profile.save(args.out)
+    print(
+        f"profile written to {path} ({profile.samples} samples @ "
+        f"{profile.hz:g} Hz, sampler overhead "
+        f"{100.0 * profile.overhead_ratio:.2f}%)"
+    )
+    print()
+    print(format_hotspots(profile.to_dict(), top=args.top))
+    return code
+
+
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.artifact == "hotspots":
+        source = args.profile or args.trace
+        if not source:
+            raise SystemExit(
+                "--profile (or --trace with an embedded profile) is required "
+                "for the hotspots artifact"
+            )
+        try:
+            profile = load_profile(source)
+        except (PersistenceError, OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(format_hotspots(profile, top=args.top))
+        return 0
     if args.artifact in ("timing-breakdown", "resource-breakdown", "critical-path"):
         if not args.trace:
             raise SystemExit(f"--trace is required for the {args.artifact} artifact")
@@ -579,6 +681,16 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
     path = baseline.save(baseline_path(args.out_dir, args.label))
     print(format_baseline(baseline))
     print(f"baseline written to {path}")
+    profiling = active_sampler()
+    if profiling is not None:
+        # Running under `repro profile`: drop a profile companion next
+        # to the baseline, so BENCH_<label>.json always has a matching
+        # PROFILE_<label>.json explaining where its time went.
+        companion = Path(path).with_name(f"PROFILE_{args.label}.json")
+        companion.write_text(
+            json.dumps(profiling.snapshot(), indent=1, sort_keys=True) + "\n"
+        )
+        print(f"profile companion written to {companion}")
     return 0
 
 
@@ -908,6 +1020,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="metric name prefix (default: repro)",
     )
     p_export_metrics.set_defaults(func=cmd_export)
+    p_export_profile = export_sub.add_parser(
+        "profile", help="stack profile -> collapsed stacks / speedscope JSON"
+    )
+    p_export_profile.add_argument(
+        "--profile", required=True,
+        help="profile JSON written by `repro profile` (or a trace with an "
+             "embedded profile)",
+    )
+    p_export_profile.add_argument(
+        "--format", choices=["collapsed", "speedscope"], default="speedscope",
+        help="collapsed: flamegraph.pl lines; speedscope: JSON for "
+             "https://www.speedscope.app (default)",
+    )
+    p_export_profile.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="output path (default: stdout)",
+    )
+    p_export_profile.set_defaults(func=cmd_export_profile)
 
     p_bench = sub.add_parser(
         "bench", help="resource benchmark baselines (run the suite / compare)"
@@ -972,12 +1102,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser("report", help="render a saved sweep or trace")
     p_report.add_argument("--sweep", help="sweep JSON path")
     p_report.add_argument("--trace", help="trace JSON path (*-breakdown artifacts)")
+    p_report.add_argument("--profile",
+                          help="profile JSON path (hotspots artifact)")
     p_report.add_argument("--artifact", default="figure",
                           choices=["figure", "table6", "table7", "figure7",
                                    "timing-breakdown", "resource-breakdown",
-                                   "critical-path"])
+                                   "critical-path", "hotspots"])
     p_report.add_argument("--top", type=int, default=5, metavar="N",
-                          help="straggler cells listed by critical-path "
+                          help="straggler cells listed by critical-path / "
+                               "functions per phase listed by hotspots "
                                "(default: 5)")
     p_report.add_argument("--group", default=UserType.ALL.value,
                           choices=[g.value for g in UserType])
@@ -1035,6 +1168,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="describe every registered rule and exit",
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="statistical stack profiler: wrap a command, or diff profiles",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  repro profile -- sweep --out sweep.json --fast --jobs 2\n"
+            "  repro profile --hz 251 --out fit.json -- bench run --scale tiny\n"
+            "  repro profile diff before.json after.json"
+        ),
+    )
+    p_profile.add_argument(
+        "--hz", type=float, default=DEFAULT_HZ, metavar="RATE",
+        help=f"sampling rate in samples/second (default: {DEFAULT_HZ:g}; "
+             "prime, to avoid phase-locking with periodic work)",
+    )
+    p_profile.add_argument(
+        "--out", default="profile.json", metavar="PATH",
+        help="where to write the profile document (default: profile.json)",
+    )
+    p_profile.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="functions per phase in the printed hotspot summary "
+             "(default: 10)",
+    )
+    p_profile.add_argument(
+        "rest", nargs=argparse.REMAINDER,
+        help="after --: the repro command to profile (sweep, bench, replay, "
+             "evaluate); or: diff BEFORE.json AFTER.json",
+    )
+    p_profile.set_defaults(func=cmd_profile)
 
     p_suggest = sub.add_parser("suggest", help="followee / hashtag suggestions")
     _add_dataset_arguments(p_suggest)

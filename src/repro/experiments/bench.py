@@ -38,6 +38,7 @@ from repro.experiments.replay import ReplaySpec, run_replay
 from repro.experiments.standard import bench_grid, fast_grid
 from repro.obs.baseline import Baseline, SampleStats
 from repro.obs.manifest import RunManifest
+from repro.obs.profiler import active_sampler
 from repro.obs.resources import ResourceSampler
 from repro.obs.telemetry import Telemetry
 from repro.obs.tracing import Span
@@ -165,11 +166,15 @@ def _run_trial(
     pool (parallel), so trials are independent samples of the same
     work, not progressively warmer cache states.
     """
+    profiling = active_sampler()
     if jobs > 1:
         telemetry = Telemetry()
         executor = ProcessCellExecutor(spec, jobs=jobs)
         for _cell, outcome in executor.run_cells(
-            tasks, collect_telemetry=True, sample_resources=True
+            tasks,
+            collect_telemetry=True,
+            sample_resources=True,
+            profile_hz=profiling.hz if profiling is not None else None,
         ):
             if outcome.telemetry is not None:
                 telemetry.absorb(outcome.telemetry)
@@ -282,6 +287,10 @@ def run_bench_suite(
     spec = _suite_spec(suite_scale, seed)
     tasks = _suite_tasks(spec, suite_scale, seed, suite_models, suite_sources)
 
+    # When the suite runs under ``repro profile``, the baseline records
+    # the sampling rate and the sampler's counters: profiled baselines
+    # are self-describing and the profiler's cost stays visible.
+    profiling = active_sampler()
     manifest = RunManifest.create(
         seed=seed,
         dataset={
@@ -295,6 +304,7 @@ def run_bench_suite(
         jobs=jobs,
         trials=trials,
         warmup=warmup,
+        profile_hz=profiling.hz if profiling is not None else None,
     )
 
     per_trial: list[dict[str, dict[str, float]]] = []
@@ -312,6 +322,11 @@ def run_bench_suite(
 
     phases = _summarise_phases(per_trial)
 
+    if profiling is not None:
+        counters["profiler.samples"] = float(profiling.profile.samples)
+        counters["profiler.dropped"] = float(profiling.profile.dropped)
+        counters["profiler.overhead_percent"] = 100.0 * profiling.overhead_ratio()
+
     manifest.finish()
     return Baseline(
         label=label,
@@ -327,6 +342,7 @@ def run_bench_suite(
             "models": list(suite_models),
             "sources": [s.value for s in suite_sources],
             "trace_allocations": trace_allocations,
+            "profile_hz": profiling.hz if profiling is not None else None,
         },
     )
 

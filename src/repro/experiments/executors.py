@@ -55,6 +55,7 @@ from repro.experiments.supervision import CellFailure, SupervisionPolicy
 from repro.faults.injector import maybe_armed
 from repro.faults.plan import FaultPlan
 from repro.obs.events import EventLog, MemorySink
+from repro.obs.profiler import StackSampler
 from repro.obs.resources import ResourceSampler
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 
@@ -218,6 +219,7 @@ def evaluate_cell(
     sample_resources: bool = False,
     attempt: int = 1,
     fault_plan: FaultPlan | None = None,
+    profile_hz: float | None = None,
 ) -> CellOutcome:
     """Evaluate one cell against a worker-local pipeline.
 
@@ -230,7 +232,12 @@ def evaluate_cell(
     :class:`~repro.obs.resources.ResourceSampler` runs for the duration
     of the cell, so the spans shipped back in ``outcome.telemetry``
     carry this *worker process's* RSS peaks -- the parent's own sampler
-    cannot see across the process boundary.
+    cannot see across the process boundary. ``profile_hz`` does the
+    same for stack sampling: a worker-local
+    :class:`~repro.obs.profiler.StackSampler` runs at that rate and the
+    resulting profile document ships back under
+    ``outcome.telemetry["profile"]`` for
+    :meth:`~repro.obs.telemetry.Telemetry.absorb` to merge.
 
     ``attempt`` and ``fault_plan`` belong to supervision: the attempt
     number flows from the supervisor (it survives worker replacement, so
@@ -242,11 +249,14 @@ def evaluate_cell(
         fault_plan = FaultPlan.from_env()
     with ExitStack() as stack:
         telemetry = None
+        profiler = None
         if collect_telemetry:
             sampler = (
                 stack.enter_context(ResourceSampler()) if sample_resources else None
             )
             telemetry = Telemetry(resources=sampler)
+            if profile_hz is not None:
+                profiler = stack.enter_context(StackSampler(hz=profile_hz))
         events = MemorySink()
         if telemetry is not None:
             telemetry.events.add_sink(events)
@@ -283,12 +293,17 @@ def evaluate_cell(
                     outcome.phase_seconds = dict(result.phase_seconds)
         finally:
             pipeline.telemetry = None
-        if telemetry is not None:
-            outcome.telemetry = {
-                "spans": telemetry.tracer.to_payload(),
-                "events": list(events.records),
-                "metrics": telemetry.metrics.snapshot(),
-            }
+    # Assembled after the ExitStack closes: the samplers' final
+    # accounting (resource windows, profile wall_seconds) lands on
+    # __exit__, so snapshotting earlier would under-report.
+    if telemetry is not None:
+        outcome.telemetry = {
+            "spans": telemetry.tracer.to_payload(),
+            "events": list(events.records),
+            "metrics": telemetry.metrics.snapshot(),
+        }
+        if profiler is not None:
+            outcome.telemetry["profile"] = profiler.profile.to_dict()
     return outcome
 
 
@@ -328,10 +343,12 @@ class SerialCellExecutor:
         tasks: Sequence[CellTask],
         collect_telemetry: bool = False,
         sample_resources: bool = False,
+        profile_hz: float | None = None,
     ) -> Iterator[tuple[Cell, CellOutcome]]:
-        # ``sample_resources`` is accepted for executor-interface parity
-        # but needs no action here: in-process cells record through the
-        # parent tracer, whose own sampler (if any) already covers them.
+        # ``sample_resources`` and ``profile_hz`` are accepted for
+        # executor-interface parity but need no action here: in-process
+        # cells record through the parent tracer, whose own resource
+        # sampler / stack profiler (if any) already covers them.
         tel = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
         events = tel.events if tel.enabled else EventLog()
         plan = self.fault_plan if self.fault_plan is not None else FaultPlan.from_env()
@@ -440,9 +457,16 @@ def _pool_worker(task_queue, result_queue) -> None:
         if blob == b"":
             break
         try:
-            index, attempt, spec, cell, collect_telemetry, sample_resources, plan = (
-                pickle.loads(blob)
-            )
+            (
+                index,
+                attempt,
+                spec,
+                cell,
+                collect_telemetry,
+                sample_resources,
+                plan,
+                profile_hz,
+            ) = pickle.loads(blob)
         except Exception as error:
             result_queue.put(("error", -1, type(error).__name__, str(error)))
             continue
@@ -454,6 +478,7 @@ def _pool_worker(task_queue, result_queue) -> None:
                 sample_resources,
                 attempt=attempt,
                 fault_plan=plan,
+                profile_hz=profile_hz,
             )
         except Exception as error:
             result_queue.put(("error", index, type(error).__name__, str(error)))
@@ -548,6 +573,7 @@ class ProcessCellExecutor:
         tasks: Sequence[CellTask],
         collect_telemetry: bool = False,
         sample_resources: bool = False,
+        profile_hz: float | None = None,
     ) -> Iterator[tuple[Cell, CellOutcome]]:
         cells = [cell for cell, _config in tasks]
         if not cells:
@@ -570,6 +596,7 @@ class ProcessCellExecutor:
             collect_telemetry=collect_telemetry,
             sample_resources=sample_resources,
             plan=plan,
+            profile_hz=profile_hz,
         )
         workers = [_PoolWorker() for _ in range(min(self.jobs, len(cells)))]
         try:
@@ -584,12 +611,16 @@ class ProcessCellExecutor:
 class _Supervisor:
     """The scheduling state of one ``run_cells`` call."""
 
-    def __init__(self, executor, cells, collect_telemetry, sample_resources, plan):
+    def __init__(
+        self, executor, cells, collect_telemetry, sample_resources, plan,
+        profile_hz=None,
+    ):
         self.executor = executor
         self.cells = cells
         self.collect_telemetry = collect_telemetry
         self.sample_resources = sample_resources
         self.plan = plan
+        self.profile_hz = profile_hz
         tel = executor.telemetry if executor.telemetry is not None else NULL_TELEMETRY
         self.tel = tel
         self.events = tel.events if tel.enabled else EventLog()
@@ -611,6 +642,7 @@ class _Supervisor:
                 self.collect_telemetry,
                 self.sample_resources,
                 self.plan,
+                self.profile_hz,
             )
         )
 

@@ -43,6 +43,7 @@ from repro.experiments.configs import ModelConfig
 from repro.experiments.executors import Cell, CellOutcome, SerialCellExecutor
 from repro.experiments.supervision import CellFailure
 from repro.obs.events import EventLog
+from repro.obs.profiler import active_sampler
 from repro.obs.progress import (
     ProgressLineSink,
     SweepProgressTracker,
@@ -362,10 +363,15 @@ class SweepRunner:
                         label=cell.label,
                         source=cell.source,
                     )
+                # When this process is being profiled, workers sample
+                # themselves at the same rate; their profiles merge into
+                # the active sampler via Telemetry.absorb below.
+                profiling = active_sampler()
                 for cell, outcome in executor.run_cells(
                     pending,
                     collect_telemetry=tel.enabled,
                     sample_resources=tel.resources is not None,
+                    profile_hz=profiling.hz if profiling is not None else None,
                 ):
                     if outcome.telemetry is not None:
                         tel.absorb(outcome.telemetry)

@@ -21,8 +21,12 @@ Six primitives, one facade:
   from the event stream, plus the console progress sinks and the
   ``repro monitor`` snapshot loaders;
 * :mod:`repro.obs.export`    -- Chrome trace-event
-  (:func:`chrome_trace_events`, Perfetto-loadable) and Prometheus text
-  exposition (:func:`prometheus_exposition`) exporters;
+  (:func:`chrome_trace_events`, Perfetto-loadable), Prometheus text
+  exposition (:func:`prometheus_exposition`) and flamegraph
+  (:func:`collapsed_stacks`, :func:`speedscope_document`) exporters;
+* :mod:`repro.obs.profiler`  -- :class:`StackSampler` statistical
+  stack sampling with span attribution, mergeable :class:`Profile`
+  documents, hotspot reports and profile diffing;
 * :mod:`repro.obs.telemetry` -- the :class:`Telemetry` facade the
   pipeline is instrumented against, and its zero-overhead
   :data:`NULL_TELEMETRY` twin.
@@ -45,11 +49,20 @@ from repro.obs.baseline import (
 from repro.obs.events import EventLog, JsonLinesSink, MemorySink, Sink
 from repro.obs.export import (
     chrome_trace_events,
+    collapsed_stacks,
     format_chrome_trace,
     prometheus_exposition,
+    speedscope_document,
 )
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiler import (
+    DEFAULT_HZ,
+    Profile,
+    StackSampler,
+    active_sampler,
+    load_profile,
+)
 from repro.obs.progress import (
     ProgressLineSink,
     SweepProgressTracker,
@@ -58,7 +71,10 @@ from repro.obs.progress import (
     load_progress,
 )
 from repro.obs.report import (
+    diff_profiles,
     format_critical_path,
+    format_hotspots,
+    format_profile_diff,
     format_resource_breakdown,
     format_timing_breakdown,
 )
@@ -69,12 +85,13 @@ from repro.obs.telemetry import (
     Telemetry,
     load_trace,
 )
-from repro.obs.tracing import Span, SpanStopwatch, Tracer
+from repro.obs.tracing import Span, SpanStopwatch, Tracer, current_span_path
 
 __all__ = [
     "Baseline",
     "BaselineComparison",
     "Counter",
+    "DEFAULT_HZ",
     "EventLog",
     "Gauge",
     "Histogram",
@@ -84,6 +101,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TELEMETRY",
     "NullTelemetry",
+    "Profile",
     "ProgressLineSink",
     "ResourceSampler",
     "ResourceWatch",
@@ -92,23 +110,32 @@ __all__ = [
     "Sink",
     "Span",
     "SpanStopwatch",
+    "StackSampler",
     "SweepProgressTracker",
     "Telemetry",
     "Tracer",
+    "active_sampler",
     "baseline_path",
     "chrome_trace_events",
+    "collapsed_stacks",
     "compare_baselines",
     "console_progress_sink",
+    "current_span_path",
+    "diff_profiles",
     "format_baseline",
     "format_chrome_trace",
     "format_comparison",
     "format_critical_path",
+    "format_hotspots",
+    "format_profile_diff",
     "format_resource_breakdown",
     "format_snapshot",
     "format_timing_breakdown",
     "load_baseline",
+    "load_profile",
     "load_progress",
     "load_trace",
     "prometheus_exposition",
     "read_rss_bytes",
+    "speedscope_document",
 ]

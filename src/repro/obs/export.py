@@ -15,6 +15,14 @@ written by ``--trace-out`` / :meth:`repro.obs.telemetry.Telemetry.save_trace`):
   text exposition format, so any run's counters/gauges/histograms can be
   scraped, pushed to a gateway, or diffed between runs with plain text
   tools.
+* :func:`collapsed_stacks` and :func:`speedscope_document` convert a
+  stack-profile document (``repro profile``, see
+  :mod:`repro.obs.profiler`) into the two de-facto flamegraph exchange
+  formats: Brendan Gregg's collapsed-stack lines (``flamegraph.pl``,
+  ``inferno``) and speedscope's JSON file format
+  (https://www.speedscope.app). Span attribution is preserved -- the
+  phase path prefixes each collapsed stack, and speedscope gets one
+  sampled profile per phase.
 
 Spans record durations, not absolute start times (wall-clock reads are
 confined to event records by RPR003), so the chrome trace *reconstructs*
@@ -33,8 +41,10 @@ from repro.obs.tracing import Span
 
 __all__ = [
     "chrome_trace_events",
+    "collapsed_stacks",
     "format_chrome_trace",
     "prometheus_exposition",
+    "speedscope_document",
 ]
 
 #: pid used for every emitted trace event (one process, many lanes).
@@ -163,8 +173,9 @@ def prometheus_exposition(metrics: dict, prefix: str = "repro") -> str:
     Counters and gauges map directly; histograms (streaming
     count/total/min/max summaries) expose ``_count``/``_sum`` as a
     summary family plus ``_min``/``_max`` gauges. Never-written gauges
-    are omitted -- exposition only states what was measured. Output is
-    sorted by metric name, so two runs diff cleanly.
+    and never-observed histograms are omitted -- exposition only states
+    what was measured. Output is sorted by metric name, so two runs
+    diff cleanly.
     """
     lines: list[str] = []
     for name in sorted(metrics):
@@ -180,6 +191,11 @@ def prometheus_exposition(metrics: dict, prefix: str = "repro") -> str:
             lines.append(f"# TYPE {exposed} gauge")
             lines.append(f"{exposed} {_format_value(payload['value'])}")
         elif kind == "histogram":
+            if not payload.get("count"):
+                # Created but never observed: skip the whole family,
+                # like unwritten gauges -- a `_count 0` / `_sum 0` pair
+                # would claim a measurement that never happened.
+                continue
             lines.append(f"# TYPE {exposed} summary")
             lines.append(f"{exposed}_count {_format_value(payload.get('count', 0))}")
             lines.append(f"{exposed}_sum {_format_value(payload.get('total', 0.0))}")
@@ -189,3 +205,79 @@ def prometheus_exposition(metrics: dict, prefix: str = "repro") -> str:
                     lines.append(f"# TYPE {exposed}_{bound} gauge")
                     lines.append(f"{exposed}_{bound} {_format_value(value)}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _frame_label(frame: list | tuple) -> str:
+    """Render one profile frame as ``func (file:line)``."""
+    file, func, line = frame
+    return f"{func} ({file}:{line})"
+
+
+def collapsed_stacks(profile: dict) -> str:
+    """Render a profile document as Brendan Gregg collapsed-stack lines.
+
+    One line per distinct stack: frames joined with ``;`` followed by
+    the sample count, ready for ``flamegraph.pl`` or ``inferno``. The
+    span phase path prefixes the frames, so flamegraphs group by phase
+    first and frames roll up under the span that ran them. Lines are
+    sorted, so two exports of the same profile diff cleanly.
+    """
+    lines: list[str] = []
+    for stack in profile.get("stacks", ()):
+        parts = [str(name) for name in stack.get("phase", ())]
+        parts.extend(_frame_label(frame) for frame in stack.get("frames", ()))
+        if not parts:
+            continue
+        lines.append(f"{';'.join(parts)} {int(stack.get('count', 0))}")
+    lines.sort()
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def speedscope_document(profile: dict, name: str = "repro profile") -> dict:
+    """Convert a profile document into speedscope's JSON file format.
+
+    Emits one ``sampled``-type profile per distinct span phase path
+    (plus one for unattributed stacks), all sharing one deduplicated
+    frame table -- open the file at https://www.speedscope.app and flip
+    between phases to see each span's flamegraph. Weights are sample
+    counts (``unit: "none"``): statistical profiles measure relative
+    time, and counts divide by ``hz`` for seconds.
+    """
+    frame_index: dict[tuple[str, str, int], int] = {}
+    shared_frames: list[dict] = []
+    by_phase: dict[tuple[str, ...], list[tuple[list[int], int]]] = {}
+    for stack in profile.get("stacks", ()):
+        phase = tuple(str(part) for part in stack.get("phase", ()))
+        indexes: list[int] = []
+        for frame in stack.get("frames", ()):
+            file, func, line = str(frame[0]), str(frame[1]), int(frame[2])
+            key = (file, func, line)
+            if key not in frame_index:
+                frame_index[key] = len(shared_frames)
+                shared_frames.append({"name": func, "file": file, "line": line})
+            indexes.append(frame_index[key])
+        by_phase.setdefault(phase, []).append((indexes, int(stack.get("count", 0))))
+
+    profiles: list[dict] = []
+    for phase in sorted(by_phase):
+        stacks = by_phase[phase]
+        total = sum(count for _indexes, count in stacks)
+        profiles.append(
+            {
+                "type": "sampled",
+                "name": "/".join(phase) if phase else "(no span)",
+                "unit": "none",
+                "startValue": 0,
+                "endValue": total,
+                "samples": [indexes for indexes, _count in stacks],
+                "weights": [count for _indexes, count in stacks],
+            }
+        )
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "name": name,
+        "exporter": "repro",
+        "shared": {"frames": shared_frames},
+        "profiles": profiles,
+        "activeProfileIndex": 0,
+    }

@@ -21,7 +21,10 @@ from repro.obs.tracing import Span
 
 __all__ = [
     "critical_path",
+    "diff_profiles",
     "format_critical_path",
+    "format_hotspots",
+    "format_profile_diff",
     "format_resource_breakdown",
     "format_timing_breakdown",
 ]
@@ -295,4 +298,156 @@ def format_critical_path(trace: dict, top: int = 5) -> str:
             )
         else:
             lines.append("parallel efficiency: undefined (zero makespan)")
+    return "\n".join(lines)
+
+
+# -- stack-profile hotspots and diffing --------------------------------------
+
+
+def _hotspot_rollup(
+    stacks: list[dict],
+) -> dict[tuple[str, str], tuple[int, int]]:
+    """Per-function (self, cumulative) sample counts for one stack set.
+
+    Functions are keyed ``(file, func)`` -- line numbers vary sample to
+    sample inside one hot loop, so they aggregate away here. Self counts
+    the samples where the function was innermost; cumulative counts the
+    samples where it appears anywhere on the stack (once per sample,
+    recursion notwithstanding).
+    """
+    rollup: dict[tuple[str, str], list[int]] = {}
+    for stack in stacks:
+        frames = stack.get("frames", ())
+        count = int(stack.get("count", 0))
+        if not frames or count <= 0:
+            continue
+        on_stack = {(str(f[0]), str(f[1])) for f in frames}
+        for key in on_stack:
+            entry = rollup.setdefault(key, [0, 0])
+            entry[1] += count
+        leaf = frames[-1]
+        rollup[(str(leaf[0]), str(leaf[1]))][0] += count
+    return {key: (entry[0], entry[1]) for key, entry in rollup.items()}
+
+
+def _stacks_by_phase(profile: dict) -> dict[str, list[dict]]:
+    by_phase: dict[str, list[dict]] = {}
+    for stack in profile.get("stacks", ()):
+        key = "/".join(str(part) for part in stack.get("phase", ())) or "(no span)"
+        by_phase.setdefault(key, []).append(stack)
+    return by_phase
+
+
+def format_hotspots(profile: dict, top: int = 10) -> str:
+    """Top-``top`` hottest functions per span phase, self vs cumulative.
+
+    Phases are the span paths the sampler attributed stacks to (e.g.
+    ``sweep/config/evaluate/fit``), ordered by sample count; within each
+    phase, functions rank by self samples (the frames actually on-CPU),
+    with cumulative counts alongside so callers of hot helpers are still
+    visible. Percentages are of the phase's samples.
+    """
+    lines = ["hotspots (stack samples per function)"]
+    hz = profile.get("hz")
+    samples = int(profile.get("samples", 0))
+    header = f"{samples} samples"
+    if hz:
+        header += f" @ {hz:g} Hz"
+    overhead = profile.get("overhead_ratio")
+    if overhead is not None:
+        header += f", sampler overhead {100.0 * float(overhead):.2f}%"
+    lines.append(header)
+    if not samples:
+        lines.append("(no samples recorded)")
+        return "\n".join(lines)
+
+    by_phase = _stacks_by_phase(profile)
+    phase_totals = {
+        phase: sum(int(s.get("count", 0)) for s in stacks)
+        for phase, stacks in by_phase.items()
+    }
+    for phase in sorted(by_phase, key=lambda p: -phase_totals[p]):
+        total = phase_totals[phase]
+        lines.append("")
+        lines.append(f"phase {phase}  ({total} samples)")
+        lines.append(f"{'function':<56}{'self':>8}{'self%':>8}{'cum':>8}{'cum%':>8}")
+        rollup = _hotspot_rollup(by_phase[phase])
+        ranked = sorted(rollup.items(), key=lambda kv: (-kv[1][0], -kv[1][1], kv[0]))
+        for (file, func), (self_count, cum_count) in ranked[:top]:
+            label = f"{func} ({file})"
+            if len(label) > 55:
+                label = label[:52] + "..."
+            lines.append(
+                f"{label:<56}{self_count:>8}"
+                f"{100.0 * self_count / total:>7.1f}%"
+                f"{cum_count:>8}{100.0 * cum_count / total:>7.1f}%"
+            )
+    return "\n".join(lines)
+
+
+def diff_profiles(before: dict, after: dict) -> list[dict]:
+    """Per-function self-share deltas between two profile documents.
+
+    Sample counts are not comparable across runs (different durations,
+    rates), so each function's self samples are normalised to a *share*
+    of its profile's total samples; the delta is expressed in percentage
+    points. Returns one record per function seen in either profile,
+    sorted by absolute delta (largest movement first):
+    ``{"file", "func", "before_share", "after_share", "delta"}``.
+    """
+    rollups = []
+    for profile in (before, after):
+        rollup = _hotspot_rollup(list(profile.get("stacks", ())))
+        total = sum(self_count for self_count, _cum in rollup.values())
+        shares = {
+            key: self_count / total if total else 0.0
+            for key, (self_count, _cum) in rollup.items()
+        }
+        rollups.append(shares)
+    before_shares, after_shares = rollups
+    records = []
+    for key in sorted(set(before_shares) | set(after_shares)):
+        b = before_shares.get(key, 0.0)
+        a = after_shares.get(key, 0.0)
+        records.append(
+            {
+                "file": key[0],
+                "func": key[1],
+                "before_share": b,
+                "after_share": a,
+                "delta": a - b,
+            }
+        )
+    records.sort(key=lambda r: (-abs(r["delta"]), r["file"], r["func"]))
+    return records
+
+
+def format_profile_diff(before: dict, after: dict, top: int = 10) -> str:
+    """Human-readable hotspot movement between two profiles.
+
+    The upcoming vectorization PRs use this to *prove* where time moved:
+    a successful rewrite shows the old hot function's self share falling
+    and the replacement's rising.
+    """
+    records = diff_profiles(before, after)
+    lines = [
+        "profile diff (self-time share, percentage points)",
+        f"before: {int(before.get('samples', 0))} samples, "
+        f"after: {int(after.get('samples', 0))} samples",
+    ]
+    moved = [r for r in records if abs(r["delta"]) > 1e-9]
+    if not moved:
+        lines.append("(no hotspot movement)")
+        return "\n".join(lines)
+    lines.append(f"{'function':<56}{'before':>9}{'after':>9}{'delta':>9}")
+    for record in moved[:top]:
+        label = f"{record['func']} ({record['file']})"
+        if len(label) > 55:
+            label = label[:52] + "..."
+        lines.append(
+            f"{label:<56}"
+            f"{100.0 * record['before_share']:>8.1f}%"
+            f"{100.0 * record['after_share']:>8.1f}%"
+            f"{100.0 * record['delta']:>+8.1f}pp"
+        )
     return "\n".join(lines)

@@ -17,6 +17,11 @@ the background thread starts on ``__enter__`` and is joined on
 watch still works degraded -- it records the boundary samples taken at
 watch start and stop, so short-lived use never crashes, it just loses
 the between-boundaries peaks.
+
+The third question -- *which frames inside the phase* burn the time --
+is answered by the stack-sampling profiler in
+:mod:`repro.obs.profiler`, which follows the same background-thread,
+context-manager-only design (its rule is RPR014).
 """
 
 from __future__ import annotations

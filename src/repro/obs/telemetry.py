@@ -25,8 +25,9 @@ from repro.eval.timing import Stopwatch
 from repro.obs.events import EventLog
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import Profile, active_sampler
 from repro.obs.resources import ResourceSampler
-from repro.obs.tracing import Span, Tracer
+from repro.obs.tracing import Span, Tracer, current_span_path
 
 __all__ = ["NULL_TELEMETRY", "NullTelemetry", "Telemetry", "load_trace"]
 
@@ -53,6 +54,9 @@ class Telemetry:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = events if events is not None else EventLog()
         self.manifest = manifest
+        #: Absorbed worker stack profiles, when no process-wide sampler
+        #: is active to receive them (see :meth:`absorb`).
+        self.profile: Profile | None = None
 
     @property
     def resources(self) -> ResourceSampler | None:
@@ -82,11 +86,16 @@ class Telemetry:
     def absorb(self, payload: dict) -> None:
         """Merge a worker's telemetry payload into this stream.
 
-        ``payload`` carries up to three keys: ``spans`` (a list of span
+        ``payload`` carries up to four keys: ``spans`` (a list of span
         dicts, re-attached to the current span), ``events`` (records
-        forwarded to the sinks with their original timestamps) and
+        forwarded to the sinks with their original timestamps),
         ``metrics`` (a registry snapshot, folded in via
-        :meth:`~repro.obs.metrics.MetricsRegistry.merge`).
+        :meth:`~repro.obs.metrics.MetricsRegistry.merge`) and
+        ``profile`` (a worker's stack-profile document, folded into the
+        process's active :class:`~repro.obs.profiler.StackSampler` when
+        one is running -- the ``repro profile`` wrapper -- else into
+        this telemetry's own :attr:`profile` accumulator, so ``--jobs
+        N`` yields one merged profile with the serial schema).
 
         When the executor stamped ``worker``/``attempt`` attribution
         onto the payload (the process pool does, at join time), it is
@@ -111,17 +120,41 @@ class Telemetry:
                     record.setdefault("attempt", attempt)
             self.events.forward(record)
         self.metrics.merge(payload.get("metrics", {}))
+        profile_payload = payload.get("profile")
+        if profile_payload:
+            # Prefix worker stacks with the joining thread's open spans
+            # (the sweep span, typically) so merged phase paths read
+            # exactly like a serial run's -- the attach() analogue.
+            prefix = current_span_path()
+            sampler = active_sampler()
+            if sampler is not None:
+                sampler.profile.merge(profile_payload, prefix=prefix)
+            else:
+                if self.profile is None:
+                    self.profile = Profile(
+                        hz=float(profile_payload.get("hz", 0.0) or 1.0)
+                    )
+                self.profile.merge(profile_payload, prefix=prefix)
 
     # -- persistence --------------------------------------------------------
 
     def trace_payload(self) -> dict[str, object]:
-        """The JSON-ready trace document: manifest + spans + metrics."""
-        return {
+        """The JSON-ready trace document: manifest + spans + metrics.
+
+        When worker profiles were absorbed without an active sampler,
+        the merged profile rides along under ``"profile"``, so
+        ``repro export profile`` / ``report --artifact hotspots`` can
+        read it straight from the trace file.
+        """
+        payload: dict[str, object] = {
             "version": TRACE_FORMAT_VERSION,
             "manifest": self.manifest.to_dict() if self.manifest else None,
             "spans": self.tracer.to_payload(),
             "metrics": self.metrics.snapshot(),
         }
+        if self.profile is not None:
+            payload["profile"] = self.profile.to_dict()
+        return payload
 
     def save_trace(self, path: str | Path) -> Path:
         """Write the trace document to ``path`` as JSON."""

@@ -16,6 +16,8 @@ stopwatch's ``elapsed`` exactly.
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from collections.abc import Iterator
 from contextlib import contextmanager
@@ -28,7 +30,44 @@ from repro.eval.timing import Stopwatch
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.obs.resources import ResourceSampler
 
-__all__ = ["Span", "SpanStopwatch", "Tracer"]
+__all__ = ["Span", "SpanStopwatch", "Tracer", "current_span_path"]
+
+
+#: Open-span stacks per thread, across every live tracer. The stack
+#: profiler (:mod:`repro.obs.profiler`) reads this from its sampling
+#: thread to tag each captured stack with the innermost active span --
+#: attribution must work whichever Telemetry instance opened the span
+#: (the bench suite builds one per trial), so the registry is keyed by
+#: thread, not by tracer. List append/pop are atomic under the GIL, so
+#: the sampling thread sees a consistent (at worst one-span-stale)
+#: snapshot without locking on the hot path.
+_THREAD_SPANS: dict[int, list[str]] = {}
+
+
+def _reset_spans_after_fork() -> None:
+    """Drop inherited span stacks in a forked child.
+
+    A fork-started worker inherits the parent's registry, where the
+    forking thread's ident maps to the parent's open spans (``sweep``
+    etc.); left in place they would prefix every stack the worker's own
+    profiler captures. The child's tracers open their spans fresh.
+    """
+    _THREAD_SPANS.clear()
+
+
+os.register_at_fork(after_in_child=_reset_spans_after_fork)
+
+
+def current_span_path(thread_id: int | None = None) -> tuple[str, ...]:
+    """Names of the open spans on ``thread_id``, outermost first.
+
+    Defaults to the calling thread. Returns ``()`` when the thread has
+    no open span (or never traced at all).
+    """
+    if thread_id is None:
+        thread_id = threading.get_ident()
+    stack = _THREAD_SPANS.get(thread_id)
+    return tuple(stack) if stack else ()
 
 
 @dataclass
@@ -108,6 +147,8 @@ class Tracer:
         parent = self.current
         (parent.children if parent is not None else self.roots).append(span)
         self._stack.append(span)
+        thread_spans = _THREAD_SPANS.setdefault(threading.get_ident(), [])  # repro: allow[RPR012] -- per-thread span registry; worker-local state that never crosses the process boundary
+        thread_spans.append(name)
         watch = self.resources.watch() if self.resources is not None else None
         start = time.perf_counter()
         try:
@@ -117,6 +158,7 @@ class Tracer:
             if watch is not None:
                 span.resources.update(watch.stop())
             self._stack.pop()
+            thread_spans.pop()
 
     def stopwatch(self, name: str, **attributes: object) -> "SpanStopwatch":
         """A Stopwatch-compatible timer whose segments become spans."""

@@ -357,6 +357,84 @@ class TestResourceSpanLeak:
         ) == ["RPR007"]
 
 
+class TestProfilerHygiene:
+    def test_flags_sampler_outside_with(self):
+        (violation,) = lint(
+            """
+            from repro.obs.profiler import StackSampler
+
+            def run():
+                sampler = StackSampler(hz=97.0)
+                return sampler
+            """
+        ).violations
+        assert violation.rule == "RPR014"
+        assert violation.line == 5
+
+    def test_with_statement_is_clean(self):
+        assert rules_hit(
+            """
+            from repro.obs import StackSampler
+
+            def run():
+                with StackSampler(hz=97.0) as sampler:
+                    return sampler.profile
+            """
+        ) == []
+
+    def test_enter_context_is_clean(self):
+        assert rules_hit(
+            """
+            from repro.obs.profiler import StackSampler
+
+            def run(stack):
+                return stack.enter_context(StackSampler())
+            """
+        ) == []
+
+    def test_aliased_import_still_flagged(self):
+        assert rules_hit(
+            """
+            from repro.obs import profiler
+
+            def run():
+                return profiler.StackSampler()
+            """
+        ) == ["RPR014"]
+
+    def test_delegating_factory_is_clean(self):
+        # Mirrors RPR005/RPR007: a function named for delegation may
+        # return an un-entered sampler for its caller to enter.
+        assert rules_hit(
+            """
+            from repro.obs.profiler import StackSampler
+
+            def stack_sampler(hz):
+                return StackSampler(hz=hz)
+            """
+        ) == []
+
+    def test_non_delegating_return_still_flagged(self):
+        assert rules_hit(
+            """
+            from repro.obs.profiler import StackSampler
+
+            def start():
+                return StackSampler()
+            """
+        ) == ["RPR014"]
+
+    def test_pragma_suppresses(self):
+        assert rules_hit(
+            """
+            from repro.obs.profiler import StackSampler
+
+            def start():
+                return StackSampler()  # repro: allow[RPR014] -- test fixture keeps a raw sampler
+            """
+        ) == []
+
+
 class TestPicklableSpec:
     def test_flags_callable_field(self):
         (violation,) = lint(

@@ -1,4 +1,4 @@
-"""Tests for the chrome-trace and Prometheus exporters.
+"""Tests for the chrome-trace, Prometheus and flamegraph exporters.
 
 The chrome-trace contract: the output is a JSON array Perfetto can
 load — metadata events naming the lanes, then one complete-duration
@@ -13,8 +13,10 @@ import json
 
 from repro.obs.export import (
     chrome_trace_events,
+    collapsed_stacks,
     format_chrome_trace,
     prometheus_exposition,
+    speedscope_document,
 )
 from repro.obs.metrics import MetricsRegistry
 
@@ -164,3 +166,108 @@ class TestPrometheusExposition:
         registry = MetricsRegistry()
         registry.gauge("never.set")
         assert prometheus_exposition(registry.snapshot()) == ""
+
+    def test_never_observed_histogram_is_omitted(self):
+        # A histogram that was created but never observed used to emit
+        # `_count 0` / `_sum 0` samples, polluting dashboards with dead
+        # families.  It must vanish like an unwritten gauge.
+        registry = MetricsRegistry()
+        registry.histogram("never.observed")
+        assert prometheus_exposition(registry.snapshot()) == ""
+
+    def test_observed_histogram_still_renders_next_to_empty_one(self):
+        registry = MetricsRegistry()
+        registry.histogram("never.observed")
+        registry.histogram("cell.seconds").observe(2.0)
+        text = prometheus_exposition(registry.snapshot())
+        assert "repro_cell_seconds_count 1" in text
+        assert "never_observed" not in text
+
+
+def profile(stacks, *, hz=97.0, samples=None, dropped=0, truncated=0,
+            sample_seconds=0.01, wall_seconds=1.0):
+    total = sum(s["count"] for s in stacks)
+    return {
+        "version": 1,
+        "kind": "repro-profile",
+        "hz": hz,
+        "samples": total if samples is None else samples,
+        "dropped": dropped,
+        "truncated": truncated,
+        "sample_seconds": sample_seconds,
+        "wall_seconds": wall_seconds,
+        "overhead_ratio": sample_seconds / wall_seconds,
+        "stacks": stacks,
+    }
+
+
+def stack(phase, frames, count):
+    return {"phase": list(phase), "frames": [list(f) for f in frames], "count": count}
+
+
+class TestCollapsedStacks:
+    def test_lines_join_phase_and_frames_with_counts(self):
+        doc = profile([
+            stack(("sweep", "fit"),
+                  [("gibbs.py", "fit", 10), ("gibbs.py", "_sweep", 42)], 7),
+        ])
+        (line,) = collapsed_stacks(doc).splitlines()
+        assert line == (
+            "sweep;fit;fit (gibbs.py:10);_sweep (gibbs.py:42) 7"
+        )
+
+    def test_lines_are_sorted_for_determinism(self):
+        doc = profile([
+            stack(("b",), [("f.py", "g", 1)], 2),
+            stack(("a",), [("f.py", "g", 1)], 3),
+        ])
+        lines = collapsed_stacks(doc).splitlines()
+        assert lines == sorted(lines)
+        assert lines[0].startswith("a;")
+
+    def test_empty_profile_renders_empty(self):
+        assert collapsed_stacks(profile([])) == ""
+
+
+class TestSpeedscope:
+    def _doc(self):
+        return profile([
+            stack(("sweep", "fit"), [("gibbs.py", "fit", 10)], 5),
+            stack(("sweep", "fit"),
+                  [("gibbs.py", "fit", 10), ("gibbs.py", "_sweep", 42)], 3),
+            stack(("sweep", "rank"), [("rank.py", "rank", 7)], 2),
+            stack((), [("sampler.py", "join", 1)], 1),
+        ])
+
+    def test_schema_and_top_level_shape(self):
+        doc = speedscope_document(self._doc())
+        assert doc["$schema"] == (
+            "https://www.speedscope.app/file-format-schema.json"
+        )
+        assert doc["activeProfileIndex"] == 0
+        assert {"frames"} <= set(doc["shared"])
+
+    def test_one_sampled_profile_per_phase(self):
+        doc = speedscope_document(self._doc())
+        names = [p["name"] for p in doc["profiles"]]
+        assert names == ["(no span)", "sweep/fit", "sweep/rank"]
+        assert all(p["type"] == "sampled" for p in doc["profiles"])
+
+    def test_frames_are_shared_and_deduped(self):
+        doc = speedscope_document(self._doc())
+        frames = doc["shared"]["frames"]
+        keys = [(f["name"], f["file"], f["line"]) for f in frames]
+        assert len(keys) == len(set(keys))
+        # The fit frame appears in two stacks but only once in the table.
+        assert sum(1 for f in frames if f["name"] == "fit") == 1
+
+    def test_weights_are_sample_counts(self):
+        doc = speedscope_document(self._doc())
+        fit = next(p for p in doc["profiles"] if p["name"] == "sweep/fit")
+        assert sorted(fit["weights"]) == [3, 5]
+        assert fit["endValue"] == 8
+        assert len(fit["samples"]) == len(fit["weights"])
+        frames = doc["shared"]["frames"]
+        # Samples index into the shared frame table.
+        for sample in fit["samples"]:
+            assert all(0 <= i < len(frames) for i in sample)

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 from repro.obs.report import (
     critical_path,
+    diff_profiles,
     format_critical_path,
+    format_hotspots,
+    format_profile_diff,
     format_resource_breakdown,
     format_timing_breakdown,
 )
@@ -232,3 +235,116 @@ class TestCriticalPath:
 
     def test_empty_trace_reports_no_spans(self):
         assert "(no spans recorded)" in format_critical_path(trace())
+
+
+def profile_doc(stacks, hz=97.0, overhead=0.01):
+    return {
+        "version": 1, "kind": "repro-profile", "hz": hz,
+        "samples": sum(s["count"] for s in stacks),
+        "dropped": 0, "truncated": 0,
+        "sample_seconds": overhead, "wall_seconds": 1.0,
+        "overhead_ratio": overhead,
+        "stacks": stacks,
+    }
+
+
+def stack(phase, frames, count):
+    return {"phase": list(phase), "frames": [list(f) for f in frames], "count": count}
+
+
+GIBBS = ("repro/models/topic/gibbs.py", "_sweep")
+FIT = ("repro/models/topic/base.py", "fit")
+RANK = ("repro/core/pipeline.py", "rank")
+
+
+def fit_heavy_profile(gibbs=80, fit_only=10, rank=10):
+    """fit phase dominated by the Gibbs sweep, plus a small rank phase."""
+    return profile_doc([
+        stack(("evaluate", "fit"), [FIT + (1,), GIBBS + (2,)], gibbs),
+        stack(("evaluate", "fit"), [FIT + (1,)], fit_only),
+        stack(("evaluate", "rank"), [RANK + (3,)], rank),
+    ])
+
+
+class TestHotspots:
+    def test_phases_order_by_samples_and_rank_by_self_time(self):
+        text = format_hotspots(fit_heavy_profile())
+        lines = text.splitlines()
+        assert lines[0] == "hotspots (stack samples per function)"
+        assert "100 samples @ 97 Hz, sampler overhead 1.00%" in lines[1]
+        fit_header = next(i for i, l in enumerate(lines) if l.startswith("phase "))
+        assert lines[fit_header] == "phase evaluate/fit  (90 samples)"
+        # The busier phase renders before the quieter one.
+        assert text.index("evaluate/fit") < text.index("evaluate/rank")
+        # Within the fit phase, the innermost Gibbs frame ranks first.
+        first_row = lines[fit_header + 2]
+        assert first_row.startswith("_sweep (repro/models/topic/gibbs.py)")
+
+    def test_self_vs_cumulative_attribution(self):
+        text = format_hotspots(fit_heavy_profile())
+        gibbs_row = next(
+            l for l in text.splitlines() if l.startswith("_sweep")
+        )
+        # Gibbs is innermost for 80 of 90 fit samples: self == cum == 80.
+        assert "80" in gibbs_row and "88.9%" in gibbs_row
+        fit_row = next(l for l in text.splitlines() if l.startswith("fit "))
+        # fit() is innermost only when Gibbs isn't running (10 samples)
+        # but on-stack for all 90.
+        columns = fit_row.split()
+        assert columns[-4:] == ["10", "11.1%", "90", "100.0%"]
+
+    def test_top_limits_rows_per_phase(self):
+        text = format_hotspots(fit_heavy_profile(), top=1)
+        fit_section = text.split("phase evaluate/rank")[0]
+        assert "_sweep" in fit_section
+        assert "\nfit (" not in fit_section
+
+    def test_line_numbers_aggregate_away(self):
+        # One hot loop yields many distinct sampled lines; the report
+        # keys functions by (file, func) so they fold into one row.
+        doc = profile_doc([
+            stack(("fit",), [GIBBS + (10,)], 3),
+            stack(("fit",), [GIBBS + (11,)], 4),
+        ])
+        text = format_hotspots(doc)
+        rows = [l for l in text.splitlines() if l.startswith("_sweep")]
+        assert len(rows) == 1
+        assert " 7" in rows[0]
+
+    def test_empty_profile_reports_no_samples(self):
+        text = format_hotspots(profile_doc([]))
+        assert "(no samples recorded)" in text
+
+
+class TestProfileDiff:
+    def test_records_sorted_by_absolute_movement(self):
+        before = fit_heavy_profile(gibbs=80, fit_only=10, rank=10)
+        after = fit_heavy_profile(gibbs=30, fit_only=10, rank=60)
+        records = diff_profiles(before, after)
+        assert [abs(r["delta"]) for r in records] == sorted(
+            (abs(r["delta"]) for r in records), reverse=True
+        )
+        gibbs = next(r for r in records if r["func"] == "_sweep")
+        assert gibbs["before_share"] == 0.8
+        assert gibbs["after_share"] == 0.3
+        assert gibbs["delta"] == -0.5
+
+    def test_functions_absent_on_one_side_default_to_zero(self):
+        before = profile_doc([stack(("fit",), [GIBBS + (2,)], 10)])
+        after = profile_doc([stack(("fit",), [RANK + (3,)], 10)])
+        by_func = {r["func"]: r for r in diff_profiles(before, after)}
+        assert by_func["_sweep"]["after_share"] == 0.0
+        assert by_func["rank"]["before_share"] == 0.0
+
+    def test_render_shows_movement_in_percentage_points(self):
+        before = fit_heavy_profile(gibbs=80, fit_only=10, rank=10)
+        after = fit_heavy_profile(gibbs=30, fit_only=10, rank=60)
+        text = format_profile_diff(before, after)
+        assert "profile diff (self-time share, percentage points)" in text
+        assert "before: 100 samples, after: 100 samples" in text
+        gibbs = next(l for l in text.splitlines() if l.startswith("_sweep"))
+        assert "80.0%" in gibbs and "30.0%" in gibbs and "-50.0pp" in gibbs
+
+    def test_identical_profiles_report_no_movement(self):
+        doc = fit_heavy_profile()
+        assert "(no hotspot movement)" in format_profile_diff(doc, doc)

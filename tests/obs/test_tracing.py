@@ -7,7 +7,7 @@ import time
 import pytest
 
 from repro.eval.timing import Stopwatch
-from repro.obs.tracing import Span, SpanStopwatch, Tracer
+from repro.obs.tracing import Span, SpanStopwatch, Tracer, current_span_path
 
 
 class TestSpanNesting:
@@ -74,6 +74,56 @@ class TestSpanNesting:
         assert restored.attributes == {"model": "TN"}
         assert restored.children[0].name == "inner"
         assert restored.duration == tracer.roots[0].duration
+
+
+class TestAttachOrdering:
+    def test_attach_nests_under_the_open_span_not_the_root(self):
+        # Worker span trees joined mid-sweep must land under the span
+        # that is open at join time (the sweep span), exactly where an
+        # in-process cell's spans would have gone -- not at the roots.
+        tracer = Tracer()
+        worker_tree = Span(name="config", duration=0.5)
+        with tracer.span("sweep"):
+            tracer.attach(worker_tree)
+        (sweep,) = tracer.roots
+        assert [c.name for c in sweep.children] == ["config"]
+
+    def test_attach_with_no_open_span_lands_at_the_roots(self):
+        tracer = Tracer()
+        tracer.attach(Span(name="config"))
+        assert [s.name for s in tracer.roots] == ["config"]
+
+    def test_attach_under_nested_span_uses_the_innermost(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.attach(Span(name="grafted"))
+        (outer,) = tracer.roots
+        (inner,) = outer.children
+        assert [c.name for c in inner.children] == ["grafted"]
+
+
+class TestCurrentSpanPath:
+    def test_tracks_the_open_span_stack(self):
+        tracer = Tracer()
+        assert current_span_path() == ()
+        with tracer.span("sweep"):
+            with tracer.span("fit"):
+                assert current_span_path() == ("sweep", "fit")
+            assert current_span_path() == ("sweep",)
+        assert current_span_path() == ()
+
+    def test_spans_from_different_tracers_share_one_path(self):
+        # The registry is keyed by thread, not tracer: the bench suite
+        # builds one Telemetry per trial, and the profiler must see the
+        # innermost span whichever tracer opened it.
+        outer, inner = Tracer(), Tracer()
+        with outer.span("trial"):
+            with inner.span("fit"):
+                assert current_span_path() == ("trial", "fit")
+
+    def test_unknown_thread_id_is_empty(self):
+        assert current_span_path(thread_id=-1) == ()
 
 
 class TestSpanStopwatch:

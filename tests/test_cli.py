@@ -353,6 +353,117 @@ class TestBench:
         assert "peak RSS" in out and "--profile-resources" not in out
 
 
+class TestProfile:
+    @pytest.fixture(scope="class")
+    def profile_file(self, tmp_path_factory):
+        """One profiled evaluate run shared by the read-only tests."""
+        out = tmp_path_factory.mktemp("profile") / "profile.json"
+        code = main([
+            "profile", "--out", str(out), "--",
+            "evaluate", "--model", "TN", "--source", "R", *SMALL,
+        ])
+        assert code == 0
+        return out
+
+    def test_wrapper_writes_a_profile_and_prints_hotspots(
+        self, profile_file, capsys
+    ):
+        capsys.readouterr()
+        doc = json.loads(profile_file.read_text())
+        assert doc["kind"] == "repro-profile"
+        assert doc["samples"] > 0
+        assert doc["wall_seconds"] > 0
+        # The wrapper forces telemetry on, so samples carry span paths.
+        phases = {tuple(s["phase"]) for s in doc["stacks"]}
+        assert any(p and p[0] == "evaluate" for p in phases)
+
+    def test_report_hotspots_renders_a_saved_profile(self, profile_file, capsys):
+        code = main([
+            "report", "--artifact", "hotspots",
+            "--profile", str(profile_file), "--top", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hotspots (stack samples per function)" in out
+        assert "phase evaluate" in out
+        assert "self%" in out and "cum%" in out
+
+    def test_export_speedscope_document(self, profile_file, capsys):
+        code = main([
+            "export", "profile", "--profile", str(profile_file),
+            "--format", "speedscope",
+        ])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["$schema"] == (
+            "https://www.speedscope.app/file-format-schema.json"
+        )
+        assert doc["profiles"] and doc["shared"]["frames"]
+
+    def test_export_collapsed_stacks(self, profile_file, tmp_path, capsys):
+        out = tmp_path / "profile.collapsed"
+        code = main([
+            "export", "profile", "--profile", str(profile_file),
+            "--format", "collapsed", "--out", str(out),
+        ])
+        assert code == 0
+        assert "written to" in capsys.readouterr().out
+        lines = out.read_text().splitlines()
+        assert lines
+        # `phase;frames count` lines, flamegraph.pl-ready.
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+
+    def test_diff_of_a_profile_with_itself_is_quiet(self, profile_file, capsys):
+        code = main([
+            "profile", "diff", str(profile_file), str(profile_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile diff" in out
+        assert "(no hotspot movement)" in out
+
+    def test_diff_requires_two_paths(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "diff", "only-one.json"])
+
+    def test_unprofileable_command_is_rejected(self):
+        with pytest.raises(SystemExit, match="cannot wrap"):
+            main(["profile", "--", "monitor", "x.jsonl"])
+
+    def test_missing_profile_exits_2(self, tmp_path, capsys):
+        code = main([
+            "export", "profile", "--profile", str(tmp_path / "missing.json"),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_profiled_bench_writes_companion_and_counters(
+        self, tmp_path, capsys
+    ):
+        # Satellite contract: a profiled bench run drops a
+        # PROFILE_<label>.json companion next to the baseline, and the
+        # baseline itself records the sampling rate and sampler cost.
+        code = main([
+            "profile", "--hz", "251", "--out", str(tmp_path / "p.json"), "--",
+            "bench", "run", "--label", "pr", "--scale", "tiny",
+            "--trials", "1", "--warmup", "0", "--out-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert "profile companion written to" in capsys.readouterr().out
+
+        baseline = json.loads((tmp_path / "BENCH_pr.json").read_text())
+        assert baseline["config"]["profile_hz"] == 251.0
+        assert baseline["manifest"]["extra"]["profile_hz"] == 251.0
+        assert baseline["counters"]["profiler.samples"] > 0
+        assert baseline["counters"]["profiler.dropped"] >= 0
+        assert 0.0 <= baseline["counters"]["profiler.overhead_percent"] < 5.0
+
+        companion = json.loads((tmp_path / "PROFILE_pr.json").read_text())
+        assert companion["kind"] == "repro-profile"
+        assert companion["hz"] == 251.0
+        assert companion["wall_seconds"] > 0  # open window banked
+
+
 class TestSuggest:
     def test_hashtag_for_text(self, capsys):
         code = main([
